@@ -1,0 +1,134 @@
+// Ablation A2: why Magma terminates GTP at the AGW (§3.1).
+//
+// Paper: "GTP ... is sensitive to loss and latency to the point that it
+// struggles to operate over lower quality or congested backhaul links,
+// such as satellite or shared microwave links ... Since Magma terminates
+// GTP locally in the AGW without traversing the backhaul link, a UE never
+// sees a dropped GTP connection."
+//
+// Two architectures, same degraded backhaul:
+//  (a) traditional: the session-management dialogue is GTP-C across the
+//      backhaul to a remote core (T3-RESPONSE/N3 reliability only);
+//  (b) Magma: the whole attach terminates at the AGW; the backhaul carries
+//      only gRPC-style config sync on a loss-tolerant transport.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "feg/feg.h"
+
+using namespace magma;
+
+namespace {
+
+// (a) Traditional: GTP-C CreateSession across the backhaul.
+struct GtpcOutcome {
+  double success_rate;
+  double mean_latency_s;
+};
+
+GtpcOutcome run_gtpc(const sim::LinkConfig& backhaul, double extra_loss,
+                     std::uint64_t seed) {
+  sim::Kernel kernel;
+  sim::Rng rng(seed);
+  sim::LinkConfig config = backhaul;
+  config.loss_probability += extra_loss;
+  net::DuplexLink link(kernel, rng, config);
+  net::ChannelPair channels = net::make_datagram_pair(kernel, link);
+  feg::GtpcEndpoint client(kernel, *channels.a);
+  feg::GtpcEndpoint server(kernel, *channels.b);
+  server.set_request_handler([](const proto::lte::GtpcMessage&) {
+    return proto::lte::GtpcMessage{proto::lte::CreateSessionResponse{}};
+  });
+
+  const int kAttempts = 60;
+  int ok = 0;
+  double latency_sum = 0;
+  for (int i = 0; i < kAttempts; ++i) {
+    kernel.schedule(i * sim::kSecond, [&]() {
+      const sim::TimePoint start = kernel.now();
+      proto::lte::CreateSessionRequest request;
+      request.imsi = common::Imsi::from_digits(1010000000000ULL +
+                                               static_cast<std::uint64_t>(i));
+      client.send_request(
+          proto::lte::GtpcMessage{request},
+          [&, start](common::Result<proto::lte::GtpcMessage> result) {
+            if (result.ok()) {
+              ++ok;
+              latency_sum += sim::to_seconds(kernel.now() - start);
+            }
+          });
+    });
+  }
+  kernel.run();
+  return GtpcOutcome{static_cast<double>(ok) / kAttempts,
+                     ok > 0 ? latency_sum / ok : 0};
+}
+
+// (b) Magma: full attach over the same backhaul quality (which carries only
+// the orchestrator sync), radio-side attach local to the AGW.
+double run_magma(const sim::LinkConfig& backhaul, double extra_loss,
+                 std::uint64_t seed) {
+  core::NetworkConfig config;
+  config.seed = seed;
+  config.backhaul = backhaul;
+  config.backhaul.loss_probability += extra_loss;
+  core::Network net(config);
+  agw::AccessGateway& agw = net.add_agw(agw::virtual_xeon(4));
+  ran::EnodebConfig big;
+  big.max_active_ues = 200;
+  ran::EnodeB& enb = net.add_enodeb(agw, big);
+  net.run_for(5 * sim::kSecond);
+
+  std::vector<ran::UeLte*> ues = benchutil::provision_lte_ues(net, 60);
+  // Let the config push land over the degraded backhaul (retried by the
+  // reliable transport + magmad's periodic sync).
+  net.run_for(60 * sim::kSecond);
+  core::AttachRamp ramp(net, ues, enb, 2.0);
+  net.run_for(sim::from_seconds(60 / 2.0 + 40));
+  return ramp.csr();
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(
+      "Ablation A2 — GTP across the backhaul vs Magma's local termination",
+      "Hasan et al., NSDI'23, §3.1");
+
+  struct Case {
+    const char* name;
+    sim::LinkConfig config;
+  };
+  const Case cases[] = {
+      {"fiber (5ms, 0%)", sim::fiber_backhaul()},
+      {"microwave (15ms, 0.5%)", sim::microwave_backhaul()},
+      {"satellite (300ms, 2%)", sim::satellite_backhaul()},
+  };
+
+  std::printf("%-26s %10s %14s %14s %16s\n", "backhaul", "+loss%",
+              "GTP-C succ%", "GTP-C lat(s)", "Magma attach%");
+  double gtpc_sat_lossy = 1.0;
+  double magma_sat_lossy = 0.0;
+  for (const Case& c : cases) {
+    for (const double extra : {0.0, 0.15, 0.35}) {
+      const GtpcOutcome gtpc = run_gtpc(c.config, extra, 5);
+      const double magma_csr = run_magma(c.config, extra, 5);
+      std::printf("%-26s %10.0f %14.1f %14.2f %16.1f\n", c.name, extra * 100,
+                  gtpc.success_rate * 100, gtpc.mean_latency_s,
+                  magma_csr * 100);
+      if (std::string(c.name).starts_with("satellite") && extra == 0.35) {
+        gtpc_sat_lossy = gtpc.success_rate;
+        magma_sat_lossy = magma_csr;
+      }
+    }
+  }
+
+  const bool holds = gtpc_sat_lossy < 0.85 && magma_sat_lossy > 0.95;
+  std::printf("\nSHAPE %s: on degraded satellite backhaul GTP-C loses "
+              "sessions outright (%.0f%% success) while Magma's "
+              "locally-terminated attach stays at %.0f%% — the UE \"never "
+              "sees a dropped GTP connection\".\n",
+              holds ? "HOLDS" : "DIVERGES", gtpc_sat_lossy * 100,
+              magma_sat_lossy * 100);
+  return holds ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+// Baseline comparison: Magma's edge-terminated core vs a traditional
+// centralized core, on identical radio sites and backhaul.
+//
+// The paper's central architectural argument (§3, §3.1): "Magma terminates
+// the radio-specific protocols as early as possible, in access gateways
+// connected directly to the radio access network." In a traditional EPC
+// the S1 interface crosses the backhaul to a remote MME, so every NAS
+// round-trip of the attach dialogue pays the WAN's latency and loss — and
+// a backhaul outage kills *session establishment*, not just configuration.
+//
+// Both deployments below use the same AGW software; the only difference is
+// where the S1 interface terminates (site LAN vs across the backhaul),
+// which is exactly the paper's architectural delta.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace magma;
+
+namespace {
+
+struct Outcome {
+  double csr;
+  double mean_latency_s;
+  double outage_csr;  // attaches attempted during a 60 s backhaul outage
+};
+
+Outcome run_deployment(const sim::LinkConfig& backhaul, bool traditional) {
+  core::NetworkConfig config;
+  config.seed = 33;
+  config.backhaul = backhaul;
+  core::Network net(config);
+  agw::AccessGateway& agw = net.add_agw(agw::virtual_xeon(4));
+  ran::EnodebConfig cell;
+  cell.max_active_ues = 300;
+  // Traditional: the "AGW" plays the remote MME/SGW; S1 crosses the WAN.
+  ran::EnodeB& enb = net.add_enodeb(
+      agw, cell,
+      traditional ? std::optional<sim::LinkConfig>(backhaul) : std::nullopt);
+  net.run_for(10 * sim::kSecond);
+
+  // Phase 1: 40 attaches under normal conditions.
+  std::vector<ran::UeLte*> ues = benchutil::provision_lte_ues(net, 60);
+  net.run_for(20 * sim::kSecond);
+  std::vector<ran::UeLte*> phase1(ues.begin(), ues.begin() + 40);
+  core::AttachRamp ramp(net, phase1, enb, 2.0);
+  net.run_for(sim::from_seconds(40 / 2.0 + 40));
+
+  double latency_sum = 0;
+  int ok = 0;
+  for (const core::AttachRecord& record : ramp.records()) {
+    if (record.done && record.outcome.success) {
+      latency_sum += sim::to_seconds(record.outcome.latency);
+      ++ok;
+    }
+  }
+
+  // Phase 2: a 60 s backhaul outage; 20 fresh UEs try to attach during it.
+  net.set_backhaul_up(agw, false);
+  std::vector<ran::UeLte*> phase2(ues.begin() + 40, ues.end());
+  core::AttachRamp outage_ramp(net, phase2, enb, 2.0);
+  net.run_for(60 * sim::kSecond);
+  net.set_backhaul_up(agw, true);
+  net.run_for(30 * sim::kSecond);
+
+  return Outcome{ramp.csr(), ok > 0 ? latency_sum / ok : 0,
+                 outage_ramp.csr()};
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(
+      "Baseline — traditional centralized core vs Magma's edge termination",
+      "Hasan et al., NSDI'23, §3/§3.1 (the architectural thesis)");
+  std::printf("Same AGW software, same radios; only the S1 termination "
+              "point differs.\nTraditional: S1 crosses the backhaul to a "
+              "remote core. Magma: S1 ends at the tower.\n\n");
+
+  struct Case {
+    const char* name;
+    sim::LinkConfig config;
+  };
+  const Case cases[] = {
+      {"fiber (5ms)", sim::fiber_backhaul()},
+      {"microwave (15ms, 0.5%)", sim::microwave_backhaul()},
+      {"satellite (300ms, 2%)", sim::satellite_backhaul()},
+  };
+
+  std::printf("%-24s %-12s %8s %14s %18s\n", "backhaul", "core", "CSR%",
+              "attach_lat(s)", "CSR during outage%");
+  double magma_sat_latency = 0;
+  double trad_sat_latency = 0;
+  double magma_outage = 0;
+  double trad_outage = 1;
+  for (const Case& c : cases) {
+    const Outcome magma = run_deployment(c.config, false);
+    const Outcome trad = run_deployment(c.config, true);
+    std::printf("%-24s %-12s %8.1f %14.3f %18.1f\n", c.name, "Magma",
+                magma.csr * 100, magma.mean_latency_s, magma.outage_csr * 100);
+    std::printf("%-24s %-12s %8.1f %14.3f %18.1f\n", "", "traditional",
+                trad.csr * 100, trad.mean_latency_s, trad.outage_csr * 100);
+    if (std::string(c.name).starts_with("satellite")) {
+      magma_sat_latency = magma.mean_latency_s;
+      trad_sat_latency = trad.mean_latency_s;
+      magma_outage = magma.outage_csr;
+      trad_outage = trad.outage_csr;
+    }
+  }
+
+  const bool holds = trad_sat_latency > 5 * magma_sat_latency &&
+                     magma_outage > 0.99 && trad_outage < 0.01;
+  std::printf("\nSHAPE %s: on satellite backhaul the traditional core pays "
+              "%.1fx the attach latency (%.2fs vs %.2fs) and loses ALL "
+              "attaches during a backhaul outage (%.0f%%), while Magma's "
+              "edge-terminated attach is unaffected (%.0f%%).\n",
+              holds ? "HOLDS" : "DIVERGES",
+              magma_sat_latency > 0 ? trad_sat_latency / magma_sat_latency : 0,
+              trad_sat_latency, magma_sat_latency, trad_outage * 100,
+              magma_outage * 100);
+  return holds ? 0 : 1;
+}

@@ -1,0 +1,140 @@
+// Figure 5: AGW CPU utilization under the maximum "typical" cell-site
+// workload.
+//
+// Paper setup (§4.1): a bare-metal Intel J3160 AGW serving a site of three
+// eNodeBs; 288 UEs attach at 3 UE/s, then each runs a 1.5 Mbps HTTP
+// download for an aggregate offered load of 432 Mbps. Expected shape: an
+// attach phase of ~1.5 minutes dominated by control-plane CPU, then a
+// steady state where throughput equals the offered (radio-limited) load and
+// total CPU sits well below saturation — "Aggregate throughput is limited
+// by radio capacity, not the AGW."
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace magma;
+
+int main() {
+  benchutil::banner("Figure 5 — AGW CPU and throughput, typical site load",
+                    "Hasan et al., NSDI'23, Figure 5 / §4.1");
+
+  core::Network net(core::NetworkConfig{.seed = 42});
+  agw::AccessGateway& agw = net.add_agw(agw::bare_metal_j3160());
+
+  // Three-sector site. The paper's aggregate offered load (432 Mbps over
+  // three 20 MHz carriers) implies ~144 Mbps/sector sustained; its own
+  // 126 Mbps figure is "ideal conditions" for a single stream. Our radio
+  // model drops (rather than queues) past the shaper, so we give each
+  // sector 5% scheduling headroom over the offered 144 Mbps — a real
+  // eNodeB's queue absorbs that variance.
+  std::vector<ran::EnodeB*> enbs;
+  for (int s = 0; s < 3; ++s) {
+    ran::EnodebConfig config;
+    config.name = "site-sector-" + std::to_string(s);
+    config.dl_capacity_bps = 151e6;
+    enbs.push_back(&net.add_enodeb(agw, config));
+  }
+  net.run_for(2 * sim::kSecond);
+
+  const int kUes = 288;          // 96 active users per sector
+  const double kAttachRate = 3;  // UE/s
+  const double kPerUeRate = 1.5e6;
+
+  std::vector<ran::UeLte*> ues = benchutil::provision_lte_ues(net, kUes);
+  benchutil::RetryingAttachDriver driver(net, agw, enbs, ues, kAttachRate,
+                                         kPerUeRate);
+
+  // Instrumentation: CPU utilization per class and delivered UE goodput.
+  ran::CpuSampler cpu(net.kernel(), agw.cpu(), 5 * sim::kSecond);
+  cpu.start();
+  ran::RateSampler goodput(
+      net.kernel(),
+      [&ues]() {
+        std::uint64_t total = 0;
+        for (const ran::UeLte* ue : ues) total += ue->traffic().rx_bytes;
+        return total;
+      },
+      5 * sim::kSecond);
+  goodput.start();
+  ran::GaugeSampler attached(
+      net.kernel(),
+      [&agw]() { return static_cast<double>(agw.sessiond().active_sessions()); },
+      5 * sim::kSecond);
+  attached.start();
+
+  const double kRunSeconds = 300;
+  net.run_for(sim::from_seconds(kRunSeconds));
+
+  std::printf("\nAGW: %s (%d cores @ %.1f GHz, flexible scheduling)\n",
+              agw.profile().name.c_str(), agw.profile().cpu.cores,
+              agw.profile().cpu.speed_ghz);
+  std::printf("Offered: %d UEs x %.1f Mbps = %.0f Mbps; attach rate %.0f UE/s\n",
+              kUes, kPerUeRate / 1e6, kUes * kPerUeRate / 1e6, kAttachRate);
+
+  std::printf("\n%8s %10s %10s %10s %12s %10s\n", "t(s)", "cpu_ctl%",
+              "cpu_usr%", "cpu_tot%", "goodput_Mbps", "sessions");
+  const auto& ctl = cpu.control_util();
+  const auto& usr = cpu.user_util();
+  const auto& tput = goodput.series();
+  const auto& sess = attached.series();
+  for (std::size_t i = 0; i < ctl.size(); ++i) {
+    std::printf("%8.0f %10.1f %10.1f %10.1f %12.1f %10.0f\n",
+                ctl[i].t_seconds, ctl[i].value * 100, usr[i].value * 100,
+                (ctl[i].value + usr[i].value) * 100,
+                i < tput.size() ? tput[i].value * 8 / 1e6 : 0.0,
+                i < sess.size() ? sess[i].value : 0.0);
+  }
+
+  const double attach_done_s = sim::to_seconds(driver.last_attach_time());
+  const double steady_tput =
+      goodput.average(attach_done_s + 20, kRunSeconds) * 8 / 1e6;
+  const double steady_cpu =
+      cpu.average_total(attach_done_s + 20, kRunSeconds) * 100;
+  const double attach_cpu = cpu.average_total(5, attach_done_s) * 100;
+  const double attach_ctl =
+      ran::timeline_average(cpu.control_util(), 5, attach_done_s) * 100;
+
+  std::printf("\nSummary\n");
+  std::printf("  attach phase: %d/%d UEs attached by t=%.0fs "
+              "(paper: ~1.5 minutes at 3 UE/s)\n",
+              driver.attached(), kUes, attach_done_s);
+  std::printf("  attach-phase CPU: %.1f%% total, of which %.1f%% control "
+              "plane (control-dominated)\n",
+              attach_cpu, attach_ctl);
+  std::printf("  steady-state goodput: %.1f Mbps of %.0f offered "
+              "(paper: sustained ~432 Mbps)\n",
+              steady_tput, kUes * kPerUeRate / 1e6);
+  std::printf("  steady-state CPU: %.1f%% — AGW is NOT the bottleneck; the "
+              "radio is\n",
+              steady_cpu);
+  std::printf("  user-plane drops at AGW (overload): %llu bytes\n",
+              static_cast<unsigned long long>(
+                  agw.user_plane_stats().dropped_overload_bytes));
+  std::printf("  [diag] agw offered=%.1fMB forwarded=%.1fMB no_match=%llu "
+              "policy=%llu meter=%llu\n",
+              agw.user_plane_stats().offered_bytes / 1e6,
+              agw.user_plane_stats().forwarded_bytes / 1e6,
+              static_cast<unsigned long long>(
+                  agw.pipelined().pipeline().stats().dropped_no_match),
+              static_cast<unsigned long long>(
+                  agw.pipelined().pipeline().stats().dropped_by_policy),
+              static_cast<unsigned long long>(
+                  agw.pipelined().pipeline().stats().dropped_by_meter));
+  for (const ran::EnodeB* enb : enbs) {
+    std::printf("  [diag] enb delivered=%.1fMB radio_drop=%.1fMB "
+                "unknown_teid=%llu active=%d\n",
+                enb->stats().dl_delivered_bytes / 1e6,
+                enb->stats().dl_dropped_radio_bytes / 1e6,
+                static_cast<unsigned long long>(
+                    enb->stats().unknown_teid_drops),
+                enb->active_ues());
+  }
+  const bool shape_holds = driver.attached() == kUes &&
+                           steady_tput > 0.90 * kUes * kPerUeRate / 1e6 &&
+                           steady_cpu < 90;
+  std::printf("  SHAPE %s: all UEs attach, throughput ~= offered, CPU "
+              "headroom remains\n",
+              shape_holds ? "HOLDS" : "DIVERGES");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,147 @@
+// Figure 9: per-hour AccessParks usage (active subscribers and hourly
+// volume) over a multi-day window.
+//
+// The paper's figure shows the production fixed-wireless network's living
+// shape: a diurnal swing in active subscribers and hourly GB. We rebuild
+// the deployment's architecture (LTE backhaul UEs = fixed wireless modems
+// feeding WiFi APs, unlimited policy because "the LTE network simply
+// serves as backhaul") across multiple sites and drive it with a synthetic
+// diurnal workload; the reported series comes from the orchestrator's
+// metrics pipeline, like a real operator dashboard would.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+
+using namespace magma;
+
+int main() {
+  benchutil::banner("Figure 9 — AccessParks-style per-hour network usage",
+                    "Hasan et al., NSDI'23, Figure 9 / §4.3.1");
+
+  core::Network net(core::NetworkConfig{.seed = 99});
+
+  // 5 sites; each an AGW + one high-gain sector serving fixed modems.
+  // (The real network: 14 sites, 200+ APs; scaled to keep the bench brisk —
+  // the per-hour shape is what the figure demonstrates.)
+  const int kSites = 5;
+  const int kModemsPerSite = 60;
+  struct Site {
+    agw::AccessGateway* agw;
+    ran::EnodeB* enb;
+    std::vector<ran::UeLte*> modems;
+    std::vector<common::Ipv4> ips;
+  };
+  std::vector<Site> sites;
+  for (int s = 0; s < kSites; ++s) {
+    Site site;
+    site.agw = &net.add_agw(agw::bare_metal_j3160());
+    ran::EnodebConfig config;
+    config.name = "site" + std::to_string(s);
+    config.max_active_ues = 96;
+    config.dl_capacity_bps = 1e9;  // backhaul links; radio not the story here
+    site.enb = &net.add_enodeb(*site.agw, config);
+    sites.push_back(site);
+  }
+  net.run_for(2 * sim::kSecond);
+
+  // Fixed wireless modems attach once and stay attached (they are
+  // infrastructure, not phones). "All UEs simply have unrestricted access."
+  for (Site& site : sites) {
+    site.modems = benchutil::provision_lte_ues(net, kModemsPerSite);
+    core::AttachRamp ramp(net, site.modems, *site.enb, 3.0);
+    net.run_for(sim::from_seconds(kModemsPerSite / 3.0 + 30));
+    for (ran::UeLte* modem : site.modems) {
+      if (modem->ip().has_value()) site.ips.push_back(*modem->ip());
+    }
+    std::printf("  site %zu: %zu/%d modems attached\n", &site - &sites[0],
+                site.ips.size(), kModemsPerSite);
+  }
+
+  // Diurnal demand behind each site's APs, peaking in the evening.
+  std::vector<std::unique_ptr<core::DiurnalWorkload>> workloads;
+  core::DiurnalConfig dcfg;
+  dcfg.subscribers = kModemsPerSite;
+  dcfg.peak_hour = 20.0;
+  dcfg.peak_active_fraction = 0.9;
+  dcfg.trough_active_fraction = 0.35;
+  dcfg.peak_rate_bps = 900e3;
+  for (Site& site : sites) {
+    workloads.push_back(std::make_unique<core::DiurnalWorkload>(
+        net, *site.agw, site.ips, dcfg, net.rng().fork()));
+    workloads.back()->start();
+  }
+
+  const int kDays = 3;
+  const std::uint64_t start_forwarded = [&sites]() {
+    std::uint64_t total = 0;
+    for (const Site& site : sites) {
+      total += site.agw->user_plane_stats().forwarded_bytes;
+    }
+    return total;
+  }();
+  (void)start_forwarded;
+
+  // Hourly sampling of delivered volume per site (AGW user plane).
+  struct Hourly {
+    double hour;
+    int active;
+    double gbytes;
+  };
+  std::vector<Hourly> series;
+  std::vector<std::uint64_t> last_forwarded(sites.size(), 0);
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    last_forwarded[s] = sites[s].agw->user_plane_stats().forwarded_bytes;
+  }
+  const double t_start_h = net.kernel().now_seconds() / 3600.0;
+  for (int hour = 0; hour < 24 * kDays; ++hour) {
+    net.run_for(1 * sim::kHour);
+    int active = 0;
+    for (const auto& workload : workloads) {
+      if (!workload->samples().empty()) {
+        active += workload->samples().back().active_subscribers;
+      }
+    }
+    double delivered = 0;
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      const std::uint64_t now_fwd =
+          sites[s].agw->user_plane_stats().forwarded_bytes;
+      delivered += static_cast<double>(now_fwd - last_forwarded[s]);
+      last_forwarded[s] = now_fwd;
+    }
+    series.push_back(Hourly{t_start_h + hour, active, delivered / 1e9});
+  }
+
+  std::printf("\n%10s %10s %18s %12s\n", "day", "hour", "active_subs",
+              "GB/hour");
+  double peak_gb = 0;
+  double trough_gb = 1e18;
+  int peak_active = 0;
+  int trough_active = 1 << 30;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const int day = static_cast<int>(i) / 24;
+    const int hod = static_cast<int>(i) % 24;
+    if (hod % 2 == 0) {  // print every other hour to keep output readable
+      std::printf("%10d %10d %18d %12.2f\n", day, hod, series[i].active,
+                  series[i].gbytes);
+    }
+    peak_gb = std::max(peak_gb, series[i].gbytes);
+    trough_gb = std::min(trough_gb, series[i].gbytes);
+    peak_active = std::max(peak_active, series[i].active);
+    trough_active = std::min(trough_active, series[i].active);
+  }
+
+  std::printf("\nSummary over %d days, %d sites, %d modems:\n", kDays,
+              kSites, kSites * kModemsPerSite);
+  std::printf("  active subscribers: %d (trough) .. %d (peak)\n",
+              trough_active, peak_active);
+  std::printf("  hourly volume: %.2f .. %.2f GB/h (%.1fx diurnal swing)\n",
+              trough_gb, peak_gb, peak_gb / std::max(trough_gb, 1e-9));
+  const bool holds = peak_active > trough_active * 2 &&
+                     peak_gb > trough_gb * 2;
+  std::printf("SHAPE %s: clear diurnal cycle in both active subscribers and "
+              "volume, as in the production network's Figure 9.\n",
+              holds ? "HOLDS" : "DIVERGES");
+  return holds ? 0 : 1;
+}

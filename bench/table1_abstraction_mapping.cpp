@@ -1,0 +1,120 @@
+// Table 1: Magma abstractions vs RAN-specific versions — demonstrated live.
+//
+// The paper's table is an architectural claim: LTE's MME/HSS/PCRF/SGW/PGW,
+// 5G's AMF/UDM/SMF/UPF, and WiFi's RADIUS AAA all map onto one generic set
+// of Magma services. This bench *executes* the claim: it attaches one UE
+// per radio technology through the same AGW and prints, per generic Magma
+// service, the per-RAT call counts proving all three dialects drove the
+// same code.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace magma;
+
+int main() {
+  benchutil::banner("Table 1 — one generic core, three radio technologies",
+                    "Hasan et al., NSDI'23, Table 1 / §3.1");
+
+  core::Network net(core::NetworkConfig{.seed = 21});
+  agw::AccessGateway& agw = net.add_agw(agw::virtual_xeon(4));
+  ran::EnodeB& enb = net.add_enodeb(agw);
+  ran::Gnb& gnb = net.add_gnb(agw);
+  ran::WifiAp& ap = net.add_wifi_ap(agw);
+  net.run_for(2 * sim::kSecond);
+
+  const agw::SubscriberData lte_sub = net.provision_subscriber();
+  const agw::SubscriberData nr_sub = net.provision_subscriber();
+  const agw::SubscriberData wifi_sub =
+      net.provision_subscriber("unlimited", "wifi-pass");
+  net.sync_all_config();
+
+  int ok = 0;
+  ran::UeLte& lte_ue = net.add_ue_lte(lte_sub);
+  lte_ue.attach(enb, [&](const ran::AttachOutcome& o) { ok += o.success; });
+  ran::UeNr& nr_ue = net.add_ue_nr(nr_sub);
+  nr_ue.attach(gnb, [&](const ran::AttachOutcome& o) { ok += o.success; });
+  ran::WifiClient& wifi_client = net.add_wifi_client(wifi_sub, "wifi-pass");
+  wifi_client.connect(ap, [&](const ran::AttachOutcome& o) { ok += o.success; });
+  net.run_for(30 * sim::kSecond);
+
+  // Push a little traffic on each so the shared data plane shows activity.
+  for (const auto& ip : {lte_ue.ip(), nr_ue.ip(), wifi_client.ip()}) {
+    if (ip.has_value()) net.inject_downlink(agw, *ip, 1400, 20);
+  }
+  net.run_for(2 * sim::kSecond);
+  agw.sessiond().poll_usage();
+
+  std::printf("\nAttached via LTE + 5G + WiFi: %d/3 successes\n\n", ok);
+  std::printf("%-28s | %-12s | %-12s | %-16s | live evidence\n",
+              "Magma abstraction", "LTE equiv.", "5G equiv.", "WiFi equiv.");
+  std::printf("%.120s\n",
+              "----------------------------------------------------------------"
+              "--------------------------------------------------------");
+
+  const agw::AccessdStats& acc = agw.accessd().stats();
+  std::printf("%-28s | %-12s | %-12s | %-16s | attach_completed: LTE=%llu "
+              "5G=%llu WiFi=%llu (same Accessd)\n",
+              "Access Control/Management", "MME", "AMF", "RADIUS AAA",
+              static_cast<unsigned long long>(acc.attach_completed[0]),
+              static_cast<unsigned long long>(acc.attach_completed[1]),
+              static_cast<unsigned long long>(acc.attach_completed[2]));
+  std::printf("%-28s | %-12s | %-12s | %-16s | auth vectors generated: %llu "
+              "(one SubscriberDb, union-of-fields rows)\n",
+              "Subscriber Management", "HSS", "UDM/AUSF", "RADIUS AAA",
+              static_cast<unsigned long long>(
+                  agw.subscriberdb().stats().vectors_generated));
+  std::printf("%-28s | %-12s | %-12s | %-16s | active sessions: %zu "
+              "(one Sessiond)\n",
+              "Session/Policy Management", "MME/PCRF", "SMF/PCF",
+              "RADIUS AAA", agw.sessiond().active_sessions());
+  std::printf("%-28s | %-12s | %-12s | %-16s | sessions programmed: %llu "
+              "(one Pipelined)\n",
+              "Data Plane Configuration", "SGW/PGW", "SMF", "WiFi data plane",
+              static_cast<unsigned long long>(
+                  agw.pipelined().stats().sessions_installed));
+  std::printf("%-28s | %-12s | %-12s | %-16s | flow entries: %zu, forwarded "
+              "pkts: %llu (one Pipeline)\n",
+              "Data Plane", "SGW/PGW", "UPF", "WiFi data plane",
+              agw.pipelined().pipeline().total_flow_entries(),
+              static_cast<unsigned long long>(
+                  agw.pipelined().pipeline().stats().forwarded_packets));
+  std::printf("%-28s | %-12s | %-12s | %-16s | orchestrator check-ins: %llu\n",
+              "Device Management", "per-box cfg", "per-box cfg", "per-box cfg",
+              static_cast<unsigned long long>(agw.magmad().stats().checkins_ok));
+  std::printf("%-28s | %-12s | %-12s | %-16s | metric reports shipped: %llu "
+              "(no 3GPP equivalent)\n",
+              "Telemetry and logging", "(none)", "(none)", "(none)",
+              static_cast<unsigned long long>(
+                  agw.magmad().stats().metric_reports_sent));
+
+  std::printf("\nRAN-specific front-ends (terminated at the edge, Figure 4 "
+              "left):\n");
+  std::printf("  LTE : S1AP setups=%llu, SMC sent=%llu, attach accepts=%llu\n",
+              static_cast<unsigned long long>(agw.lte().stats().s1_setups),
+              static_cast<unsigned long long>(agw.lte().stats().smc_sent),
+              static_cast<unsigned long long>(agw.lte().stats().attach_accepts));
+  std::printf("  5G  : NG setups=%llu, registrations=%llu, PDU sessions=%llu\n",
+              static_cast<unsigned long long>(agw.nr().stats().ng_setups),
+              static_cast<unsigned long long>(
+                  agw.nr().stats().registrations_accepted),
+              static_cast<unsigned long long>(
+                  agw.nr().stats().pdu_sessions_established));
+  std::printf("  WiFi: Access-Requests=%llu, challenges=%llu, accepts=%llu, "
+              "acct-starts=%llu\n",
+              static_cast<unsigned long long>(
+                  agw.wifi().stats().access_requests),
+              static_cast<unsigned long long>(
+                  agw.wifi().stats().challenges_sent),
+              static_cast<unsigned long long>(agw.wifi().stats().accepts),
+              static_cast<unsigned long long>(agw.wifi().stats().acct_starts));
+
+  const bool holds = ok == 3 && acc.attach_completed[0] == 1 &&
+                     acc.attach_completed[1] == 1 &&
+                     acc.attach_completed[2] == 1 &&
+                     agw.sessiond().active_sessions() == 3;
+  std::printf("\nSHAPE %s: all three RATs completed attach through the same "
+              "generic services.\n",
+              holds ? "HOLDS" : "DIVERGES");
+  return holds ? 0 : 1;
+}

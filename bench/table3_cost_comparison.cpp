@@ -1,0 +1,46 @@
+// Table 3: AccessParks per-site installed cost, traditional cellular core
+// vs Magma (-43%, driven by operational complexity reduction).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cost/cost_model.h"
+
+using namespace magma;
+
+int main() {
+  benchutil::banner("Table 3 — AccessParks per-site installed cost",
+                    "Hasan et al., NSDI'23, Table 3 / §4.3.1");
+
+  const cost::BillOfMaterials traditional = cost::accessparks_traditional();
+  const cost::BillOfMaterials magma_bom = cost::accessparks_magma();
+
+  std::printf("%-12s %13s %10s %16s\n", "Item", "Traditional($)", "Magma($)",
+              "Difference");
+  for (std::size_t i = 0; i < traditional.items.size(); ++i) {
+    const double t = traditional.items[i].total();
+    const double m = magma_bom.items[i].total();
+    if (t == m) {
+      std::printf("%-12s %13.0f %10.0f %16s\n",
+                  traditional.items[i].item.c_str(), t, m, "-");
+    } else {
+      std::printf("%-12s %13.0f %10.0f   -%5.0f (%4.0f%%)\n",
+                  traditional.items[i].item.c_str(), t, m, t - m,
+                  100 * (t - m) / t);
+    }
+  }
+  const cost::CostComparison cmp = cost::accessparks_comparison();
+  std::printf("%-12s %13.0f %10.0f   -%5.0f (%4.0f%%)\n", "Cost/Site",
+              cmp.traditional_usd, cmp.magma_usd, cmp.savings_usd(),
+              100 * cmp.savings_fraction());
+
+  std::printf("\nPaper: 'Total cost per site decreased by 43%%, driven "
+              "primarily by Magma's reduction in operational complexity for "
+              "deployment.'\n");
+  std::printf("Largest single saving: LTE engineering (planning, core "
+              "config): -$4,670 (-93%%).\n");
+  const bool holds = cmp.savings_fraction() > 0.42 &&
+                     cmp.savings_fraction() < 0.44;
+  std::printf("SHAPE %s: reproduced -%.0f%%.\n", holds ? "HOLDS" : "DIVERGES",
+              100 * cmp.savings_fraction());
+  return holds ? 0 : 1;
+}

@@ -1,0 +1,127 @@
+// Enterprise private 5G: the deployment class the paper's conclusion says
+// Magma fits next ("We believe that Magma is a good fit for other
+// deployment scenarios, including enterprise 5G networks") and §2.1's
+// observation that enterprises deploy private cellular for "industrial
+// automation, medical applications" needing "better radio efficiency,
+// authentication, and performance than WiFi".
+//
+// A factory network: two gNBs on one AGW, machine-vision cameras uploading
+// continuously under a guaranteed-rate policy, AGVs (automated guided
+// vehicles) on a low-volume policy, and the operator story — a lost/stolen
+// device is deactivated at the orchestrator and refused on its next
+// registration.
+#include <cstdio>
+
+#include "core/network.h"
+
+using namespace magma;
+
+int main() {
+  std::printf("=== Enterprise private 5G (factory) ===\n\n");
+
+  core::Network net;
+  agw::AccessGateway& agw = net.add_agw(agw::virtual_xeon(8));
+  ran::GnbConfig cell;
+  cell.dl_capacity_bps = 400e6;
+  cell.ul_capacity_bps = 400e6;  // UL-heavy industrial traffic
+  ran::Gnb& gnb_a = net.add_gnb(agw, cell);
+  ran::Gnb& gnb_b = net.add_gnb(agw, cell);
+  net.run_for(2 * sim::kSecond);
+
+  // Policies: cameras get 20 Mbps uplink; AGVs get 2 Mbps with a 100 MB
+  // monthly cap (telemetry only — a chatty AGV is a misbehaving AGV).
+  core::Policy camera = core::rate_limited_policy(5e6, 20e6);
+  camera.name = "camera-uplink";
+  net.add_policy(camera);
+  core::Policy agv;
+  agv.name = "agv-telemetry";
+  agv.charging = core::ChargingMode::kCapped;
+  agv.tiers = {core::PolicyTier{2'000'000, 2'000'000, 100ull << 20}};
+  agv.interval_ns = 30 * 24 * sim::kHour;
+  net.add_policy(agv);
+
+  std::vector<agw::SubscriberData> cameras;
+  for (int i = 0; i < 8; ++i) {
+    cameras.push_back(net.provision_subscriber("camera-uplink"));
+  }
+  std::vector<agw::SubscriberData> agvs;
+  for (int i = 0; i < 4; ++i) {
+    agvs.push_back(net.provision_subscriber("agv-telemetry"));
+  }
+  net.sync_all_config();
+
+  // Bring the fleet up: 5G registration + PDU session per device.
+  int up = 0;
+  std::vector<ran::UeNr*> devices;
+  for (std::size_t i = 0; i < cameras.size(); ++i) {
+    devices.push_back(&net.add_ue_nr(cameras[i]));
+    devices.back()->attach(i % 2 == 0 ? gnb_a : gnb_b,
+                           [&](const ran::AttachOutcome& o) { up += o.success; });
+  }
+  for (std::size_t i = 0; i < agvs.size(); ++i) {
+    devices.push_back(&net.add_ue_nr(agvs[i]));
+    devices.back()->attach(i % 2 == 0 ? gnb_a : gnb_b,
+                           [&](const ran::AttachOutcome& o) { up += o.success; });
+  }
+  net.run_for(30 * sim::kSecond);
+  std::printf("fleet up: %d/12 devices registered with PDU sessions "
+              "(5G two-step bring-up)\n",
+              up);
+  std::printf("AMF-side: registrations=%llu, PDU sessions=%llu across 2 "
+              "gNBs, one generic core\n",
+              static_cast<unsigned long long>(
+                  agw.nr().stats().registrations_accepted),
+              static_cast<unsigned long long>(
+                  agw.nr().stats().pdu_sessions_established));
+
+  // One production minute: cameras stream uplink, AGVs trickle telemetry.
+  const common::Ipv4 vision_server = common::Ipv4::from_octets(10, 50, 0, 10);
+  // 100 ms ticks so the stream is smooth against the policy's token
+  // bucket (a real camera paces its packets; one mega-burst per second
+  // would be clipped to the bucket depth).
+  for (int tick = 0; tick < 600; ++tick) {
+    net.kernel().schedule(tick * 100 * sim::kMillisecond, [&]() {
+      for (std::size_t i = 0; i < 8; ++i) {
+        // ~17 Mbps per camera: 150 x 1400 B per 100 ms.
+        devices[i]->send_uplink(vision_server, 5000, 1400, 150);
+      }
+      for (std::size_t i = 8; i < 12; ++i) {
+        devices[i]->send_uplink(vision_server, 5001, 400, 1);
+      }
+    });
+  }
+  const std::uint64_t internet_before = net.internet_rx_bytes();
+  net.run_for(65 * sim::kSecond);
+  const double delivered_mbps =
+      static_cast<double>(net.internet_rx_bytes() - internet_before) * 8 /
+      60 / 1e6;
+  std::printf("production minute: %.0f Mbps aggregate uplink delivered "
+              "(8 cameras ~17 Mbps under a 20 Mbps UL policy + AGVs)\n",
+              delivered_mbps);
+
+  agw.sessiond().poll_usage();
+  const agw::SessionRecord* cam = agw.sessiond().find(cameras[0].imsi);
+  std::printf("camera[0] metered usage: %.1f MB, ul policy %llu bps\n",
+              cam->used_bytes / 1e6,
+              static_cast<unsigned long long>(cam->flows.ul_rate_bps));
+
+  // Security incident: AGV #0 goes missing. The operator deactivates it at
+  // the orchestrator; after the next config sync its credentials are dead.
+  std::printf("\n-- AGV reported missing: deactivating at orchestrator --\n");
+  agw::SubscriberData stolen = agvs[0];
+  stolen.active = false;
+  net.orchestrator().add_subscriber(stolen);
+  net.sync_all_config();
+  net.run_for(5 * sim::kSecond);
+
+  ran::UeNr& thief = net.add_ue_nr(agvs[0]);  // correct keys, stolen device
+  bool thief_in = true;
+  thief.attach(gnb_a, [&](const ran::AttachOutcome& o) { thief_in = o.success; });
+  net.run_for(20 * sim::kSecond);
+  std::printf("stolen AGV re-registration: %s\n",
+              thief_in ? "ACCEPTED (bad!)" : "refused (deactivated centrally)");
+
+  const bool ok = up == 12 && delivered_mbps > 100 && !thief_in;
+  std::printf("\nenterprise 5G example: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,135 @@
+// Neutral host / franchised MNO extension: the FreedomFi deployment of
+// §4.3.2, built on the federation machinery of §3.6.
+//
+// Micro-operators deploy AGWs + radios; subscribers belong to a partner
+// MNO. The Federation Gateway (FeG) terminates the MNO-facing protocols:
+//  * local breakout: subscriber data fetched from the MNO's HSS, enforced
+//    at the AGW, user traffic breaking out locally;
+//  * home routing: user traffic tunneled through the GTP Aggregator
+//    (GTP-A) to the MNO's P-GW, which also allocates the UE address.
+#include <cstdio>
+
+#include "core/network.h"
+#include "feg/feg.h"
+
+using namespace magma;
+
+int main() {
+  std::printf("=== Neutral host: micro-operator AGWs + partner MNO core ===\n\n");
+
+  core::Network net;
+  agw::AccessGateway& agw = net.add_agw(agw::virtual_xeon(4));
+  ran::EnodeB& enb = net.add_enodeb(agw);
+  net.run_for(2 * sim::kSecond);
+
+  // The partner MNO: HSS with *their* subscribers + P-GW. The FeG and
+  // GTP-A sit at the single point of interconnection.
+  feg::MnoCore mno(net.kernel(), common::Ipv4::from_octets(10, 250, 0, 1));
+  feg::GtpAggregator gtpa(common::Ipv4::from_octets(10, 200, 0, 1));
+  sim::Rng feg_rng(1234);
+  net::DuplexLink gtpc_link(net.kernel(), feg_rng, sim::fiber_backhaul());
+  net::ChannelPair gtpc_channels =
+      net::make_datagram_pair(net.kernel(), gtpc_link);
+  feg::FederationGateway fed(net.kernel(), mno, gtpa, *gtpc_channels.a);
+  mno.serve_gtpc(*gtpc_channels.b);
+  fed.bind(net.orc8r_node_for(agw));  // FeG rides the orchestrator node
+  gtpa.set_pgw_sink(
+      [&mno](datapath::PacketBatch batch) { mno.ingress_from_gtpa(std::move(batch)); });
+  mno.set_gtpa_sink(
+      [&gtpa](datapath::PacketBatch batch) { gtpa.ingress_from_pgw(std::move(batch)); });
+
+  // MNO subscribers (never provisioned at the Magma orchestrator).
+  std::vector<agw::SubscriberData> roamers;
+  for (int i = 0; i < 3; ++i) {
+    agw::SubscriberData sub;
+    sub.imsi = common::Imsi::from_digits(3100260000000ULL +
+                                         static_cast<std::uint64_t>(i));
+    sub.k[0] = static_cast<std::uint8_t>(40 + i);
+    sub.opc[0] = static_cast<std::uint8_t>(80 + i);
+    sub.policy_name = "unlimited";
+    mno.hss().upsert(sub);
+    roamers.push_back(sub);
+  }
+
+  // --- Local breakout roaming ------------------------------------------------
+  // The AGW pulls the MNO's subscriber profiles through the FeG and
+  // enforces policy locally; user traffic exits at the site.
+  std::printf("-- local breakout roaming --\n");
+  // §3.6: "an AGW can obtain the policy to apply to a UE by querying the
+  // subscriber data base in the federated network, then enforce that policy
+  // in the AGW." The FeG serves the MNO's subscriber set; the AGW installs
+  // it into its local cache (FreedomFi's "customized AGW" integration).
+  const common::Bytes hss_image = mno.hss().snapshot();
+  const bool hss_synced = agw.subscriberdb().restore(hss_image).ok();
+  std::printf("  MNO HSS -> AGW subscriber cache: %s (%zu roamers)\n",
+              hss_synced ? "synced" : "FAILED", agw.subscriberdb().size());
+
+  ran::UeLte& breakout_ue = net.add_ue_lte(roamers[0]);
+  bool breakout_ok = false;
+  breakout_ue.attach(
+      enb, [&](const ran::AttachOutcome& o) { breakout_ok = o.success; });
+  net.run_for(20 * sim::kSecond);
+  net.inject_downlink(agw, *breakout_ue.ip(), 1400, 50);
+  net.run_for(2 * sim::kSecond);
+  std::printf("  roamer %s: attach %s, IP %s (Magma pool), traffic breaks "
+              "out locally (rx %llu bytes)\n\n",
+              roamers[0].imsi.value.c_str(), breakout_ok ? "OK" : "FAILED",
+              breakout_ue.ip()->to_string().c_str(),
+              static_cast<unsigned long long>(
+                  breakout_ue.traffic().rx_bytes));
+
+  // --- Home routing ------------------------------------------------------------
+  // Control: FeG creates the session at the MNO P-GW (GTP-C); user plane:
+  // AGW <-> GTP-A <-> P-GW tunnels; UE address comes from the MNO.
+  std::printf("-- home roaming (user plane anchored at the MNO) --\n");
+  agw.accessd().set_federation(
+      [&](const common::Imsi& imsi, common::Teid local_teid,
+          std::function<void(common::Result<agw::Accessd::FederatedSession>)>
+              done) {
+        fed.create_session(
+            imsi, local_teid,
+            [&agw](datapath::PacketBatch batch) {
+              agw.ingress_from_internet(std::move(batch));
+            },
+            std::move(done));
+      });
+  net.set_sgi_gtp_sink([&gtpa](datapath::PacketBatch batch) {
+    gtpa.ingress_from_agw(std::move(batch));
+  });
+
+  ran::UeLte& home_ue = net.add_ue_lte(roamers[1]);
+  bool home_ok = false;
+  home_ue.attach(enb, [&](const ran::AttachOutcome& o) { home_ok = o.success; });
+  net.run_for(20 * sim::kSecond);
+  std::printf("  roamer %s: attach %s, IP %s (MNO 100.64/10 pool!)\n",
+              roamers[1].imsi.value.c_str(), home_ok ? "OK" : "FAILED",
+              home_ue.ip()->to_string().c_str());
+
+  // Uplink: UE -> AGW -> GTP-A -> P-GW ("Internet" behind the MNO).
+  home_ue.send_uplink(common::Ipv4::from_octets(8, 8, 8, 8), 443, 1000, 40);
+  net.run_for(2 * sim::kSecond);
+  // Downlink: MNO-side Internet -> P-GW -> GTP-A -> AGW -> eNodeB -> UE.
+  mno.inject_downlink(*home_ue.ip(), 1400, 60);
+  net.run_for(2 * sim::kSecond);
+
+  const feg::MnoSession* mno_session = mno.session_by_ip(*home_ue.ip());
+  std::printf("  user plane via GTP-A: ul %llu bytes, dl %llu bytes; P-GW "
+              "session sees ul %llu / dl %llu; UE received %llu bytes\n",
+              static_cast<unsigned long long>(gtpa.stats().ul_bytes),
+              static_cast<unsigned long long>(gtpa.stats().dl_bytes),
+              static_cast<unsigned long long>(
+                  mno_session != nullptr ? mno_session->ul_bytes : 0),
+              static_cast<unsigned long long>(
+                  mno_session != nullptr ? mno_session->dl_bytes : 0),
+              static_cast<unsigned long long>(home_ue.traffic().rx_bytes));
+
+  std::printf("\n  FeG stats: sessions created %llu, failures %llu; GTP-A "
+              "is the single interconnection point the MNO wants (§3.6)\n",
+              static_cast<unsigned long long>(fed.stats().sessions_created),
+              static_cast<unsigned long long>(fed.stats().session_failures));
+
+  const bool ok = breakout_ok && home_ok && gtpa.stats().ul_bytes > 0 &&
+                  home_ue.traffic().rx_bytes > 0;
+  std::printf("\nneutral host example: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+// Rural ISP: the paper's Figure 2 deployment — a small ISP's first
+// cellular site in Peru: one LTE eNodeB, a ruggedized AGW at the tower,
+// solar power, and a *satellite* backhaul to the orchestrator.
+//
+// Demonstrates the properties that make Magma viable there:
+//  * config sync over a 300 ms / 2% loss link (gRPC-style transport);
+//  * tiered policies for sustainable economics ("X Mbps until Y GB, then
+//    Z Mbps" — §2.1);
+//  * headless operation through a multi-hour backhaul outage (§3.2);
+//  * the UEs never notice any of it (GTP terminates at the tower, §3.1).
+#include <cstdio>
+
+#include "core/network.h"
+#include "core/workload.h"
+
+using namespace magma;
+
+int main() {
+  std::printf("=== Rural ISP on satellite backhaul (the Figure-2 site) ===\n\n");
+
+  core::NetworkConfig config;
+  config.backhaul = sim::satellite_backhaul();
+  core::Network net(config);
+  agw::AccessGateway& agw = net.add_agw(agw::bare_metal_j3160());
+  ran::EnodebConfig sector;
+  sector.name = "peru-site-1";
+  sector.dl_capacity_bps = 126e6;
+  ran::EnodeB& enb = net.add_enodeb(agw, sector);
+  net.run_for(5 * sim::kSecond);
+  std::printf("site up; backhaul: satellite (300 ms one-way, 2%% loss, "
+              "20 Mbps)\n");
+
+  // The village plan: 10 Mbps until 2 GB/day, then 1 Mbps.
+  core::Policy village = core::tiered_policy(10e6, 2ull << 30, 1e6);
+  village.name = "village-fair-use";
+  village.interval_ns = 24 * sim::kHour;
+  net.add_policy(village);
+
+  std::vector<agw::SubscriberData> homes;
+  for (int i = 0; i < 25; ++i) {
+    homes.push_back(net.provision_subscriber("village-fair-use"));
+  }
+  net.sync_all_config();
+  net.run_for(20 * sim::kSecond);  // satellite RTTs: sync takes a moment
+  std::printf("%zu homes provisioned; AGW cache synced at version %llu\n",
+              homes.size(),
+              static_cast<unsigned long long>(agw.magmad().synced_version()));
+
+  // Evening: homes come online.
+  std::vector<ran::UeLte*> ues;
+  for (const auto& home : homes) ues.push_back(&net.add_ue_lte(home));
+  core::AttachRamp ramp(net, ues, enb, 1.0);
+  net.run_for(sim::from_seconds(25 + 30));
+  std::printf("attached %zu/%zu homes (all auth run locally at the tower)\n",
+              ramp.succeeded(), homes.size());
+
+  // Streaming hour: every home pulls 3 Mbps.
+  std::vector<std::unique_ptr<core::DownlinkFlow>> flows;
+  for (ran::UeLte* ue : ues) {
+    if (!ue->ip().has_value()) continue;
+    flows.push_back(std::make_unique<core::DownlinkFlow>(
+        net, agw, *ue->ip(), 3e6, 250 * sim::kMillisecond));
+    flows.back()->start();
+  }
+  net.run_for(60 * sim::kSecond);
+  std::uint64_t delivered = 0;
+  for (const ran::UeLte* ue : ues) delivered += ue->traffic().rx_bytes;
+  std::printf("streaming minute: delivered %.1f MB across the village "
+              "(offered 75 Mbps < 126 Mbps sector)\n",
+              delivered / 1e6);
+
+  // A storm takes the satellite dish out for an hour. Nobody loses
+  // service; new homes can even attach (cached profiles). Only operator
+  // config changes stall.
+  std::printf("\n-- satellite outage (60 min) --\n");
+  net.set_backhaul_up(agw, false);
+  const agw::SubscriberData late_home =
+      net.provision_subscriber("village-fair-use");  // stuck at orchestrator
+  net.run_for(30 * sim::kMinute);
+
+  ran::UeLte& cached_ue = net.add_ue_lte(homes[0]);  // phone rebooted
+  bool cached_ok = false;
+  cached_ue.attach(enb,
+                   [&](const ran::AttachOutcome& o) { cached_ok = o.success; });
+  net.run_for(30 * sim::kSecond);
+  std::printf("reboot during outage, cached subscriber: attach %s\n",
+              cached_ok ? "OK (headless operation)" : "FAILED");
+
+  ran::UeLte& new_ue = net.add_ue_lte(late_home);
+  bool new_ok = true;
+  new_ue.attach(enb, [&](const ran::AttachOutcome& o) { new_ok = o.success; });
+  net.run_for(30 * sim::kSecond);
+  std::printf("subscriber added during outage: attach %s (config cannot "
+              "reach the site yet)\n",
+              new_ok ? "OK (unexpected!)" : "refused, as expected");
+
+  net.run_for(29 * sim::kMinute);
+  net.set_backhaul_up(agw, true);
+  std::printf("\n-- backhaul restored; magmad resyncs --\n");
+  net.run_for(3 * sim::kMinute);
+  bool late_ok = false;
+  ran::UeLte& late_retry = net.add_ue_lte(late_home);
+  late_retry.attach(enb,
+                    [&](const ran::AttachOutcome& o) { late_ok = o.success; });
+  net.run_for(30 * sim::kSecond);
+  std::printf("same subscriber retries after resync: attach %s\n",
+              late_ok ? "OK" : "FAILED");
+
+  std::printf("\nsite summary: %zu sessions, config version %llu, "
+              "checkpoints shipped %llu, metric reports lost to the "
+              "satellite %llu (best-effort, as designed)\n",
+              agw.sessiond().active_sessions(),
+              static_cast<unsigned long long>(agw.magmad().synced_version()),
+              static_cast<unsigned long long>(
+                  agw.magmad().stats().checkpoints_shipped),
+              static_cast<unsigned long long>(
+                  agw.magmad().stats().metric_reports_lost));
+  return (cached_ok && !new_ok && late_ok) ? 0 : 1;
+}

@@ -1,0 +1,211 @@
+#include "agw/agw.h"
+
+#include "common/log.h"
+#include "rpc/wire.h"
+
+namespace magma::agw {
+
+AgwProfile bare_metal_j3160() {
+  AgwProfile profile;
+  profile.name = "bare-metal-j3160";
+  profile.cpu.cores = 4;
+  profile.cpu.speed_ghz = 1.6;
+  profile.cpu.user_plane_cores = -1;  // flexible
+  profile.accessd.workers = 1;        // the single-threaded MME of Figure 6
+  return profile;
+}
+
+AgwProfile virtual_xeon(int vcpus, int user_plane_cores) {
+  AgwProfile profile;
+  profile.name = "virtual-xeon-" + std::to_string(vcpus) + "c";
+  profile.cpu.cores = vcpus;
+  profile.cpu.speed_ghz = 2.6;
+  profile.cpu.user_plane_cores = user_plane_cores;
+  // The VM build parallelizes attach processing across vCPUs, keeping one
+  // vCPU's worth for the other services (§4.2: a 4 vCPU virtual AGW
+  // supports 16 attaches/second — 3 workers x 2.6 GHz / 0.5 = 15.6/s).
+  profile.accessd.workers = user_plane_cores < 0
+                                ? std::max(1, vcpus - 1)
+                                : std::max(1, vcpus - user_plane_cores);
+  return profile;
+}
+
+AccessGateway::AccessGateway(sim::Kernel& kernel, common::GatewayId id,
+                             AgwProfile profile, sim::Rng rng)
+    : kernel_(kernel),
+      id_(std::move(id)),
+      profile_(profile),
+      rng_(rng),
+      cpu_(kernel, profile.cpu),
+      subscriberdb_([this]() { return rng_.next_u64(); }),
+      mobilityd_(profile.ip_block) {
+  pipelined_.pipeline().set_local_address(profile_.address);
+  sessiond_ = std::make_unique<Sessiond>(kernel_, pipelined_, nullptr);
+  accessd_ = std::make_unique<Accessd>(kernel_, &cpu_, subscriberdb_,
+                                       policydb_, mobilityd_, *sessiond_,
+                                       profile_.accessd);
+  lte_frontend_ = std::make_unique<LteFrontend>(kernel_, *accessd_,
+                                                *sessiond_, profile_.address);
+  nr_frontend_ = std::make_unique<NrFrontend>(kernel_, *accessd_, *sessiond_,
+                                              profile_.address);
+  wifi_frontend_ =
+      std::make_unique<WifiFrontend>(kernel_, *accessd_, *sessiond_);
+  start_service_loops();
+}
+
+void AccessGateway::start_service_loops() {
+  kernel_.schedule(Sessiond::kPollInterval, [this]() {
+    sessiond_->poll_usage();
+    start_service_loops();
+  });
+}
+
+void AccessGateway::connect_orchestrator(net::Channel& channel) {
+  orc8r_node_ = std::make_unique<rpc::RpcNode>(kernel_, channel,
+                                               id_.value + "-orc8r-client");
+  magmad_ = std::make_unique<Magmad>(
+      kernel_, id_.value, orc8r_node_.get(), subscriberdb_, policydb_,
+      [this]() { return checkpoint(); },
+      [this]() { return telemetry_snapshot(); });
+}
+
+void AccessGateway::connect_ocs(net::Channel& channel) {
+  ocs_node_ = std::make_unique<rpc::RpcNode>(kernel_, channel,
+                                             id_.value + "-ocs-client");
+  sessiond_->set_ocs(ocs_node_.get());
+}
+
+// ---------------------------------------------------------------------------
+// User plane
+// ---------------------------------------------------------------------------
+
+void AccessGateway::ingress_from_ran(datapath::PacketBatch batch) {
+  ingress(std::move(batch), datapath::Direction::kUplink);
+}
+
+void AccessGateway::ingress_from_internet(datapath::PacketBatch batch) {
+  ingress(std::move(batch), datapath::Direction::kDownlink);
+}
+
+void AccessGateway::ingress(datapath::PacketBatch batch,
+                            datapath::Direction dir) {
+  ++up_stats_.offered_batches;
+  const std::uint64_t bytes = batch.bytes();
+  const std::uint64_t count = batch.count;
+  up_stats_.offered_bytes += bytes;
+
+  if (user_queue_depth_ >= profile_.user_queue_max) {
+    up_stats_.dropped_overload_bytes += bytes;
+    return;
+  }
+
+  const double cost =
+      static_cast<double>(count) * profile_.user_cost_per_packet;
+  ++user_queue_depth_;
+  const bool accepted = cpu_.submit(
+      sim::WorkClass::kUser, cost,
+      [this, batch = std::move(batch), dir, count]() mutable {
+        --user_queue_depth_;
+        datapath::PipelineResult result = pipelined_.pipeline().process_batch(
+            std::move(batch), dir, kernel_.now());
+        if (result.verdict == datapath::Verdict::kForwarded &&
+            result.out_port == datapath::kPortLocal) {
+          // Downlink for an ECM-IDLE UE: trigger paging (§3.1 — the AGW is
+          // the mobility anchor; this never leaves the gateway).
+          const auto imsi = mobilityd_.reverse_lookup(result.packet.ip.dst);
+          if (imsi.has_value()) lte_frontend_->page(*imsi);
+          return;
+        }
+        if (result.verdict == datapath::Verdict::kForwarded) {
+          // out_count can be below the ingress count: meters drop the
+          // non-conforming tail of a batch inside the pipeline.
+          const std::uint64_t out_bytes =
+              result.out_count *
+              static_cast<std::uint64_t>(result.packet.wire_size());
+          up_stats_.forwarded_bytes += out_bytes;
+          up_stats_.forwarded_packets += result.out_count;
+          if (egress_) {
+            egress_(result.out_port, datapath::PacketBatch{
+                                         std::move(result.packet),
+                                         result.out_count});
+          }
+        }
+      });
+  if (!accepted) {
+    --user_queue_depth_;
+    up_stats_.dropped_overload_bytes += bytes;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance
+// ---------------------------------------------------------------------------
+
+common::Bytes AccessGateway::checkpoint() const {
+  rpc::Writer w;
+  // The UE address block is part of the gateway's identity: a backup
+  // instance must keep handing out (and honouring) the same addresses.
+  w.u32(profile_.ip_block.base.addr);
+  w.u8(profile_.ip_block.prefix_len);
+  w.bytes(subscriberdb_.snapshot());
+  w.bytes(policydb_.snapshot());
+  w.bytes(sessiond_->checkpoint());
+  return std::move(w).take();
+}
+
+common::Status AccessGateway::restore(common::BytesView image) {
+  rpc::Reader r(image);
+  IpBlock block;
+  block.base.addr = r.u32();
+  block.prefix_len = r.u8();
+  const common::Bytes subs = r.bytes();
+  const common::Bytes policies = r.bytes();
+  const common::Bytes sessions = r.bytes();
+  if (!r.ok() || !r.at_end() || block.prefix_len > 32) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "corrupt AGW checkpoint"};
+  }
+  if (auto status = subscriberdb_.restore(subs); !status.ok()) return status;
+  if (auto status = policydb_.restore(policies); !status.ok()) return status;
+  if (auto status = sessiond_->restore(sessions); !status.ok()) return status;
+  // Take over the failed instance's address space and its assignments.
+  profile_.ip_block = block;
+  mobilityd_ = Mobilityd(block);
+  for (const common::Imsi& imsi : sessiond_->active_imsis()) {
+    const SessionRecord* session = sessiond_->find(imsi);
+    if (session != nullptr) {
+      mobilityd_.adopt(imsi, session->flows.ue_ip).ok();
+    }
+  }
+  return common::Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+std::vector<orc8r::MetricSample> AccessGateway::telemetry_snapshot() {
+  const sim::TimePoint now = kernel_.now();
+  std::vector<orc8r::MetricSample> samples;
+  auto gauge = [&](const std::string& name, double value) {
+    samples.push_back(orc8r::MetricSample{id_.value, name, value, now});
+  };
+  gauge("active_sessions", static_cast<double>(sessiond_->active_sessions()));
+  const std::uint64_t forwarded = up_stats_.forwarded_bytes;
+  gauge("forwarded_bytes_delta",
+        static_cast<double>(forwarded - last_reported_forwarded_bytes_));
+  last_reported_forwarded_bytes_ = forwarded;
+  gauge("cpu_control_busy_s",
+        sim::to_seconds(
+            cpu_.stats().busy_ns[static_cast<int>(sim::WorkClass::kControl)]));
+  gauge("cpu_user_busy_s",
+        sim::to_seconds(
+            cpu_.stats().busy_ns[static_cast<int>(sim::WorkClass::kUser)]));
+  const AccessdStats& acc = accessd_->stats();
+  gauge("attaches_completed",
+        static_cast<double>(acc.attach_completed[0] + acc.attach_completed[1] +
+                            acc.attach_completed[2]));
+  return samples;
+}
+
+}  // namespace magma::agw

@@ -1,0 +1,131 @@
+#include "agw/magmad.h"
+
+#include "common/log.h"
+#include "rpc/wire.h"
+
+namespace magma::agw {
+
+Magmad::Magmad(sim::Kernel& kernel, std::string gateway_id,
+               rpc::RpcNode* orc8r, SubscriberDb& subscribers,
+               PolicyDb& policies,
+               std::function<common::Bytes()> checkpoint_source,
+               std::function<std::vector<orc8r::MetricSample>()> metric_source,
+               MagmadConfig config)
+    : kernel_(kernel),
+      gateway_id_(std::move(gateway_id)),
+      orc8r_(orc8r),
+      subscribers_(subscribers),
+      policies_(policies),
+      checkpoint_source_(std::move(checkpoint_source)),
+      metric_source_(std::move(metric_source)),
+      config_(config) {}
+
+void Magmad::start() {
+  if (started_ || orc8r_ == nullptr) return;
+  started_ = true;
+  config_tick();
+  checkin_tick();
+  metrics_tick();
+  checkpoint_tick();
+}
+
+void Magmad::apply(const orc8r::DesiredState& state) {
+  subscribers_.replace_all(state.subscribers);
+  policies_.replace_all(state.policies);
+  synced_version_ = state.version;
+  ++stats_.config_syncs_applied;
+}
+
+void Magmad::sync_config_now(std::function<void(bool)> done) {
+  if (orc8r_ == nullptr) {
+    if (done) done(false);
+    return;
+  }
+  orc8r::GetUpdatesRequest req;
+  req.gateway_id = gateway_id_;
+  req.have_version = synced_version_;
+  orc8r_->call(
+      orc8r::kStreamerService, orc8r::kGetUpdates, req.serialize(),
+      config_.rpc_deadline, [this, done](rpc::Result<rpc::Bytes> result) {
+        if (!result.ok()) {
+          ++stats_.sync_failures;
+          reachable_ = false;
+          if (done) done(false);
+          return;
+        }
+        reachable_ = true;
+        auto state = orc8r::DesiredState::deserialize(result.value());
+        if (!state.ok()) {
+          ++stats_.sync_failures;
+          if (done) done(false);
+          return;
+        }
+        if (state.value().changed) {
+          apply(state.value());
+          if (done) done(true);
+        } else {
+          ++stats_.config_polls_noop;
+          if (done) done(false);
+        }
+      });
+}
+
+void Magmad::config_tick() {
+  sync_config_now();
+  kernel_.schedule(config_.config_poll_interval, [this]() { config_tick(); });
+}
+
+void Magmad::checkin_tick() {
+  rpc::Writer w;
+  w.str(gateway_id_);
+  w.str("agw");
+  orc8r_->call(orc8r::kBootstrapperService, orc8r::kCheckin,
+               std::move(w).take(), config_.rpc_deadline,
+               [this](rpc::Result<rpc::Bytes> result) {
+                 if (result.ok()) {
+                   ++stats_.checkins_ok;
+                   reachable_ = true;
+                 } else {
+                   ++stats_.checkin_failures;
+                   reachable_ = false;
+                 }
+               });
+  kernel_.schedule(config_.checkin_interval, [this]() { checkin_tick(); });
+}
+
+void Magmad::metrics_tick() {
+  const std::vector<orc8r::MetricSample> samples = metric_source_();
+  if (!samples.empty()) {
+    // Best effort (§3.4 metrics state): one attempt, short deadline, losses
+    // tolerated.
+    orc8r_->call(orc8r::kMetricsService, orc8r::kReportMetrics,
+                 orc8r::encode_metric_report(samples), config_.rpc_deadline,
+                 [this](rpc::Result<rpc::Bytes> result) {
+                   if (result.ok()) {
+                     ++stats_.metric_reports_sent;
+                   } else {
+                     ++stats_.metric_reports_lost;
+                   }
+                 });
+  }
+  kernel_.schedule(config_.metrics_interval, [this]() { metrics_tick(); });
+}
+
+void Magmad::checkpoint_tick() {
+  rpc::Writer w;
+  w.str(gateway_id_);
+  w.bytes(checkpoint_source_());
+  orc8r_->call(orc8r::kStateService, orc8r::kReportCheckpoint,
+               std::move(w).take(), config_.rpc_deadline,
+               [this](rpc::Result<rpc::Bytes> result) {
+                 if (result.ok()) {
+                   ++stats_.checkpoints_shipped;
+                 } else {
+                   ++stats_.checkpoint_failures;
+                 }
+               });
+  kernel_.schedule(config_.checkpoint_interval,
+                   [this]() { checkpoint_tick(); });
+}
+
+}  // namespace magma::agw

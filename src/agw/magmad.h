@@ -1,0 +1,93 @@
+// magmad — the AGW's device-management agent (Table 1 rows "Device
+// Management" and "Telemetry and logging": functions with no 3GPP
+// equivalent that Magma adds, §3.1).
+//
+// Responsibilities, all periodic and all tolerant of a disconnected
+// orchestrator (§3.2 headless operation):
+//   * config sync   — poll the streamer with our current version; apply the
+//                     full desired state (subscribers + policies) when it
+//                     changed. Retries with backoff survive backhaul loss.
+//   * check-in      — device heartbeat into the gateway inventory.
+//   * metrics       — best-effort telemetry shipping (no retries, §3.4).
+//   * checkpoint    — serialize AGW runtime state and ship it to the
+//                     orchestrator as the warm-standby image (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "agw/policydb.h"
+#include "agw/subscriberdb.h"
+#include "orc8r/metricsd.h"
+#include "orc8r/streamer.h"
+#include "rpc/rpc.h"
+#include "sim/kernel.h"
+
+namespace magma::agw {
+
+struct MagmadConfig {
+  sim::Duration config_poll_interval = 30 * sim::kSecond;
+  sim::Duration checkin_interval = 60 * sim::kSecond;
+  sim::Duration metrics_interval = 15 * sim::kSecond;
+  sim::Duration checkpoint_interval = 60 * sim::kSecond;
+  sim::Duration rpc_deadline = 10 * sim::kSecond;
+};
+
+struct MagmadStats {
+  std::uint64_t config_syncs_applied = 0;
+  std::uint64_t config_polls_noop = 0;
+  std::uint64_t sync_failures = 0;
+  std::uint64_t checkins_ok = 0;
+  std::uint64_t checkin_failures = 0;
+  std::uint64_t metric_reports_sent = 0;
+  std::uint64_t metric_reports_lost = 0;
+  std::uint64_t checkpoints_shipped = 0;
+  std::uint64_t checkpoint_failures = 0;
+};
+
+class Magmad {
+ public:
+  // `orc8r` is the RPC client toward the orchestrator; may be null for a
+  // fully standalone AGW (everything local keeps working — that is the
+  // point). `checkpoint_source` returns the AGW's serialized runtime state;
+  // `metric_source` returns the current telemetry snapshot.
+  Magmad(sim::Kernel& kernel, std::string gateway_id, rpc::RpcNode* orc8r,
+         SubscriberDb& subscribers, PolicyDb& policies,
+         std::function<common::Bytes()> checkpoint_source,
+         std::function<std::vector<orc8r::MetricSample>()> metric_source,
+         MagmadConfig config = {});
+
+  // Begin the periodic loops (idempotent).
+  void start();
+  // One immediate config sync (used at boot and by tests).
+  void sync_config_now(std::function<void(bool applied)> done = nullptr);
+
+  std::uint64_t synced_version() const { return synced_version_; }
+  bool orchestrator_reachable() const { return reachable_; }
+  const MagmadStats& stats() const { return stats_; }
+
+ private:
+  void config_tick();
+  void checkin_tick();
+  void metrics_tick();
+  void checkpoint_tick();
+  void apply(const orc8r::DesiredState& state);
+
+  sim::Kernel& kernel_;
+  std::string gateway_id_;
+  rpc::RpcNode* orc8r_;
+  SubscriberDb& subscribers_;
+  PolicyDb& policies_;
+  std::function<common::Bytes()> checkpoint_source_;
+  std::function<std::vector<orc8r::MetricSample>()> metric_source_;
+  MagmadConfig config_;
+
+  bool started_ = false;
+  bool reachable_ = false;
+  std::uint64_t synced_version_ = 0;
+  MagmadStats stats_;
+};
+
+}  // namespace magma::agw

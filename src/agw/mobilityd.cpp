@@ -1,0 +1,76 @@
+#include "agw/mobilityd.h"
+
+namespace magma::agw {
+
+Mobilityd::Mobilityd(IpBlock block, sim::Duration quarantine)
+    : block_(block), quarantine_(quarantine) {}
+
+common::Result<common::Ipv4> Mobilityd::allocate(const common::Imsi& imsi,
+                                                 sim::TimePoint now) {
+  // Re-attach with an existing allocation keeps the same address (the UE's
+  // session is simply re-established).
+  if (auto it = by_imsi_.find(imsi); it != by_imsi_.end()) {
+    return it->second;
+  }
+
+  common::Ipv4 addr;
+  if (next_fresh_ <= block_.capacity()) {
+    addr = common::Ipv4{block_.base.addr + next_fresh_};
+    ++next_fresh_;
+  } else if (!released_.empty() &&
+             now - released_.front().second >= quarantine_) {
+    addr = released_.front().first;
+    released_.pop_front();
+  } else {
+    return common::Error{common::ErrorCode::kResourceExhausted,
+                         "IP block exhausted"};
+  }
+
+  by_imsi_[imsi] = addr;
+  by_ip_[addr] = imsi;
+  return addr;
+}
+
+common::Status Mobilityd::release(const common::Imsi& imsi,
+                                  sim::TimePoint now) {
+  auto it = by_imsi_.find(imsi);
+  if (it == by_imsi_.end()) {
+    return common::Error{common::ErrorCode::kNotFound, "no allocation"};
+  }
+  released_.emplace_back(it->second, now);
+  by_ip_.erase(it->second);
+  by_imsi_.erase(it);
+  return common::Status::Ok();
+}
+
+common::Status Mobilityd::adopt(const common::Imsi& imsi, common::Ipv4 ip) {
+  if (ip.addr <= block_.base.addr ||
+      ip.addr > block_.base.addr + block_.capacity()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "address outside block"};
+  }
+  if (auto it = by_ip_.find(ip); it != by_ip_.end() && !(it->second == imsi)) {
+    return common::Error{common::ErrorCode::kAlreadyExists,
+                         "address held by another subscriber"};
+  }
+  by_imsi_[imsi] = ip;
+  by_ip_[ip] = imsi;
+  // Never hand this host part out as "fresh" again.
+  const std::uint32_t host = ip.addr - block_.base.addr;
+  if (host >= next_fresh_) next_fresh_ = host + 1;
+  return common::Status::Ok();
+}
+
+std::optional<common::Ipv4> Mobilityd::lookup(const common::Imsi& imsi) const {
+  auto it = by_imsi_.find(imsi);
+  if (it == by_imsi_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<common::Imsi> Mobilityd::reverse_lookup(common::Ipv4 ip) const {
+  auto it = by_ip_.find(ip);
+  if (it == by_ip_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace magma::agw

@@ -1,0 +1,58 @@
+// mobilityd — UE IP address management for one AGW.
+//
+// Each AGW owns an IP block and allocates addresses to UEs at session
+// establishment; because runtime state is AGW-local (§3.2), no coordination
+// with other AGWs or the orchestrator is needed on this path. Addresses
+// recycle after release, with a quarantine period so a just-released
+// address is not instantly reused (avoids misdelivery to a new UE while
+// stale downlink flows drain).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "sim/time.h"
+
+namespace magma::agw {
+
+struct IpBlock {
+  common::Ipv4 base = common::Ipv4::from_octets(192, 168, 128, 0);
+  std::uint8_t prefix_len = 24;
+
+  std::uint32_t capacity() const {
+    return prefix_len >= 31 ? 0 : (1u << (32 - prefix_len)) - 2;  // no net/bcast
+  }
+};
+
+class Mobilityd {
+ public:
+  explicit Mobilityd(IpBlock block,
+                     sim::Duration quarantine = 30 * sim::kSecond);
+
+  common::Result<common::Ipv4> allocate(const common::Imsi& imsi,
+                                        sim::TimePoint now);
+  common::Status release(const common::Imsi& imsi, sim::TimePoint now);
+  // Adopt an existing (imsi, ip) binding — used when a backup AGW instance
+  // restores sessions from a checkpoint and must honour the addresses the
+  // failed instance handed out.
+  common::Status adopt(const common::Imsi& imsi, common::Ipv4 ip);
+  std::optional<common::Ipv4> lookup(const common::Imsi& imsi) const;
+  std::optional<common::Imsi> reverse_lookup(common::Ipv4 ip) const;
+
+  std::size_t allocated() const { return by_imsi_.size(); }
+  const IpBlock& block() const { return block_; }
+
+ private:
+  IpBlock block_;
+  sim::Duration quarantine_;
+  std::uint32_t next_fresh_ = 1;  // host part of next never-used address
+  std::unordered_map<common::Imsi, common::Ipv4> by_imsi_;
+  std::unordered_map<common::Ipv4, common::Imsi> by_ip_;
+  std::deque<std::pair<common::Ipv4, sim::TimePoint>> released_;  // FIFO
+};
+
+}  // namespace magma::agw

@@ -1,0 +1,27 @@
+// Byte-buffer helpers shared by the wire format, crypto, and packet code.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace magma::common {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+// Hex encoding/decoding, used for keys and debugging output.
+std::string to_hex(BytesView data);
+Bytes from_hex(std::string_view hex);  // asserts on malformed input
+
+Bytes to_bytes(std::string_view s);
+std::string to_string(BytesView data);
+
+// Constant-time comparison (for MAC verification).
+bool constant_time_equal(BytesView a, BytesView b);
+
+// FNV-1a, used for cheap non-cryptographic hashing (flow keys, sharding).
+std::uint64_t fnv1a(BytesView data);
+
+}  // namespace magma::common

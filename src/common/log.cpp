@@ -1,0 +1,41 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace magma::common {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](std::string_view line) {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fputc('\n', stderr);
+  };
+}
+
+void Logger::set_sink(std::function<void(std::string_view)> sink) {
+  sink_ = std::move(sink);
+}
+
+void Logger::set_time_source(std::function<double()> now_seconds) {
+  now_seconds_ = std::move(now_seconds);
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view msg) {
+  if (level < level_ || level_ == LogLevel::kOff) return;
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::ostringstream line;
+  if (now_seconds_) {
+    line << '[' << std::fixed << std::setprecision(6) << now_seconds_()
+         << "] ";
+  }
+  line << kNames[static_cast<int>(level)] << ' ' << component << ": " << msg;
+  if (sink_) sink_(line.str());
+}
+
+}  // namespace magma::common

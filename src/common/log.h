@@ -1,0 +1,80 @@
+// Lightweight leveled logger.
+//
+// Magma's real AGW ships logs to the orchestrator; here logging is a local
+// concern used by services and the simulation harness. The logger is
+// deliberately synchronous and deterministic (no wall-clock timestamps by
+// default) so that test output is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace magma::common {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+// Global log configuration. Not thread-safe by design: the simulator is
+// single-threaded and deterministic.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // Redirect output (used by tests to capture logs). The sink receives fully
+  // formatted lines without a trailing newline.
+  void set_sink(std::function<void(std::string_view)> sink);
+
+  // Optional clock: when set, each line is prefixed with the simulated time.
+  void set_time_source(std::function<double()> now_seconds);
+  void clear_time_source() { now_seconds_ = nullptr; }
+
+  void log(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  std::function<void(std::string_view)> sink_;
+  std::function<double()> now_seconds_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Logger::instance().log(level_, component_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace magma::common
+
+#define MAGMA_LOG(level_, component_)                                     \
+  if (::magma::common::Logger::instance().level() <= (level_))            \
+  ::magma::common::detail::LogLine((level_), (component_))
+
+#define MLOG_DEBUG(component) \
+  MAGMA_LOG(::magma::common::LogLevel::kDebug, (component))
+#define MLOG_INFO(component) \
+  MAGMA_LOG(::magma::common::LogLevel::kInfo, (component))
+#define MLOG_WARN(component) \
+  MAGMA_LOG(::magma::common::LogLevel::kWarn, (component))
+#define MLOG_ERROR(component) \
+  MAGMA_LOG(::magma::common::LogLevel::kError, (component))

@@ -1,0 +1,136 @@
+// Result<T>: error handling without exceptions on RPC and protocol paths.
+//
+// Most failures in this codebase are *expected* outcomes (a lost message, a
+// rejected attach, a quota denial), not programming errors, so they travel as
+// values. Programming errors use assertions.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace magma::common {
+
+// Canonical error codes, loosely mirroring gRPC status codes since the real
+// Magma uses gRPC everywhere.
+enum class ErrorCode {
+  kOk = 0,
+  kCancelled,
+  kUnknown,
+  kInvalidArgument,
+  kDeadlineExceeded,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kAborted,
+  kUnavailable,
+  kUnauthenticated,
+  kInternal,
+};
+
+const char* error_code_name(ErrorCode code);
+
+struct Error {
+  ErrorCode code = ErrorCode::kUnknown;
+  std::string message;
+
+  std::string to_string() const {
+    std::string out = error_code_name(code);
+    if (!message.empty()) {
+      out += ": ";
+      out += message;
+    }
+    return out;
+  }
+};
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kCancelled: return "CANCELLED";
+    case ErrorCode::kUnknown: return "UNKNOWN";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kAborted: return "ABORTED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kUnauthenticated: return "UNAUTHENTICATED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : value_(std::move(error)) {}  // NOLINT
+  Result(ErrorCode code, std::string message)
+      : value_(Error{code, std::move(message)}) {}
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(value_);
+  }
+  ErrorCode code() const {
+    return ok() ? ErrorCode::kOk : error().code;
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(value_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), ok_(false) {}  // NOLINT
+  Status(ErrorCode code, std::string message)
+      : error_{code, std::move(message)}, ok_(false) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const Error& error() const {
+    assert(!ok_);
+    return error_;
+  }
+  ErrorCode code() const { return ok_ ? ErrorCode::kOk : error_.code; }
+  std::string to_string() const {
+    return ok_ ? std::string("OK") : error_.to_string();
+  }
+
+ private:
+  Error error_;
+  bool ok_ = true;
+};
+
+}  // namespace magma::common

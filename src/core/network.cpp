@@ -1,0 +1,322 @@
+#include "core/network.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace magma::core {
+
+Network::Network(NetworkConfig config)
+    : config_(config), kernel_(), rng_(config.seed) {
+  orchestrator_ = std::make_unique<orc8r::Orchestrator>(kernel_);
+  if (config_.with_ocs) ocs_ = std::make_unique<ocs::Ocs>();
+  add_policy(unlimited_policy());
+}
+
+Network::~Network() = default;
+
+Network::AgwNode* Network::node_for(agw::AccessGateway& agw) {
+  for (auto& node : agws_) {
+    if (node->agw.get() == &agw) return node.get();
+  }
+  return nullptr;
+}
+
+agw::AccessGateway& Network::add_agw(
+    agw::AgwProfile profile, std::optional<sim::LinkConfig> backhaul) {
+  auto node = std::make_unique<AgwNode>();
+  const std::size_t index = agws_.size();
+
+  // Distinct addressing per AGW: control address 10.<n+1>.0.1, UE block
+  // 172.16.0.0/22-sized slices (1022 UEs per AGW — several cell sites'
+  // worth, clear of RAN-node addresses).
+  profile.address =
+      common::Ipv4::from_octets(10, static_cast<std::uint8_t>(index + 1), 0, 1);
+  profile.ip_block.base = common::Ipv4{
+      common::Ipv4::from_octets(172, 16, 0, 0).addr +
+      (static_cast<std::uint32_t>(index) << 10)};
+  profile.ip_block.prefix_len = 22;
+
+  node->agw = std::make_unique<agw::AccessGateway>(
+      kernel_, common::GatewayId{"gw" + std::to_string(index)}, profile,
+      rng_.fork());
+
+  // Control backhaul to the orchestrator (reliable, gRPC-style).
+  node->backhaul = std::make_unique<net::DuplexLink>(
+      kernel_, rng_, backhaul.value_or(config_.backhaul));
+  node->control = net::make_reliable_pair(kernel_, *node->backhaul);
+  node->orc8r_server = std::make_unique<rpc::RpcNode>(
+      kernel_, *node->control.a, "orc8r-server-gw" + std::to_string(index));
+  orchestrator_->bind(*node->orc8r_server);
+  node->agw->connect_orchestrator(*node->control.b);
+  orchestrator_->register_gateway("gw" + std::to_string(index), profile.name);
+
+  if (ocs_) {
+    node->ocs_link = std::make_unique<net::DuplexLink>(
+        kernel_, rng_, backhaul.value_or(config_.backhaul));
+    node->ocs_channel = net::make_reliable_pair(kernel_, *node->ocs_link);
+    node->ocs_server = std::make_unique<rpc::RpcNode>(
+        kernel_, *node->ocs_channel.a, "ocs-server-gw" + std::to_string(index));
+    ocs_->bind(*node->ocs_server);
+    node->agw->connect_ocs(*node->ocs_channel.b);
+  }
+
+  wire_egress(*node);
+  node->agw->magmad().start();
+
+  agws_.push_back(std::move(node));
+  return *agws_.back()->agw;
+}
+
+void Network::wire_egress(AgwNode& node) {
+  AgwNode* node_ptr = &node;
+  node.agw->set_egress([this, node_ptr](std::uint32_t out_port,
+                                        datapath::PacketBatch batch) {
+    if (out_port == datapath::kPortRan) {
+      if (batch.packet.gtpu.has_value() && batch.packet.outer_ip.has_value()) {
+        const common::Ipv4 target = batch.packet.outer_ip->dst;
+        if (auto it = node_ptr->enbs_by_address.find(target);
+            it != node_ptr->enbs_by_address.end()) {
+          it->second->deliver_downlink(std::move(batch));
+          return;
+        }
+        if (auto it = node_ptr->gnbs_by_address.find(target);
+            it != node_ptr->gnbs_by_address.end()) {
+          it->second->deliver_downlink(std::move(batch));
+          return;
+        }
+        return;  // unroutable tunnel
+      }
+      // Untunneled (WiFi): the owning AP recognizes the client address.
+      for (ran::WifiAp* ap : node_ptr->aps) {
+        ap->deliver_downlink(batch);
+      }
+      return;
+    }
+    if (out_port == datapath::kPortSgi) {
+      if (batch.packet.gtpu.has_value()) {
+        // Home-routed uplink toward the GTP aggregator.
+        if (sgi_gtp_sink_) sgi_gtp_sink_(std::move(batch));
+        return;
+      }
+      internet_rx_bytes_ += batch.bytes();
+      return;
+    }
+    // kPortLocal and anything else: consumed locally.
+  });
+}
+
+ran::EnodeB& Network::add_enodeb(agw::AccessGateway& agw,
+                                 ran::EnodebConfig config,
+                                 std::optional<sim::LinkConfig> s1_link) {
+  AgwNode* node = node_for(agw);
+  assert(node != nullptr);
+
+  const std::uint32_t ran_id = next_ran_id_++;
+  if (config.id.value == 1 && ran_id != 1) config.id.value = ran_id;
+  if (config.address == ran::EnodebConfig{}.address) {
+    config.address = common::Ipv4::from_octets(
+        10, 100, static_cast<std::uint8_t>(ran_id >> 8),
+        static_cast<std::uint8_t>(ran_id & 0xFF));
+  }
+  config.plmn = config_.plmn;
+
+  // S1 rides a reliable channel over a LAN hop (the eNodeB and AGW are
+  // co-located at the site) unless the caller overrides it to model a
+  // remote, traditional core.
+  node->ran_links.push_back(std::make_unique<net::DuplexLink>(
+      kernel_, rng_, s1_link.value_or(sim::lan_link())));
+  if (s1_link.has_value()) {
+    node->wan_ran_links.push_back(node->ran_links.back().get());
+  }
+  node->ran_channels.push_back(
+      net::make_reliable_pair(kernel_, *node->ran_links.back()));
+  net::ReliablePair& pair = node->ran_channels.back();
+
+  auto enb = std::make_unique<ran::EnodeB>(kernel_, config, *pair.a);
+  agw.lte().add_enb_channel(*pair.b);
+  agw::AccessGateway* agw_ptr = &agw;
+  enb->set_uplink_sink([agw_ptr](datapath::PacketBatch batch) {
+    agw_ptr->ingress_from_ran(std::move(batch));
+  });
+  node->enbs_by_address[config.address] = enb.get();
+  enb->start();
+  enbs_.push_back(std::move(enb));
+  return *enbs_.back();
+}
+
+ran::Gnb& Network::add_gnb(agw::AccessGateway& agw, ran::GnbConfig config) {
+  AgwNode* node = node_for(agw);
+  assert(node != nullptr);
+
+  const std::uint32_t ran_id = next_ran_id_++;
+  if (config.id.value == 1 && ran_id != 1) config.id.value = ran_id;
+  if (config.address == ran::GnbConfig{}.address) {
+    config.address = common::Ipv4::from_octets(
+        10, 101, static_cast<std::uint8_t>(ran_id >> 8),
+        static_cast<std::uint8_t>(ran_id & 0xFF));
+  }
+  config.plmn = config_.plmn;
+
+  node->ran_links.push_back(
+      std::make_unique<net::DuplexLink>(kernel_, rng_, sim::lan_link()));
+  node->ran_channels.push_back(
+      net::make_reliable_pair(kernel_, *node->ran_links.back()));
+  net::ReliablePair& pair = node->ran_channels.back();
+
+  auto gnb = std::make_unique<ran::Gnb>(kernel_, config, *pair.a);
+  agw.nr().add_gnb_channel(*pair.b);
+  agw::AccessGateway* agw_ptr = &agw;
+  gnb->set_uplink_sink([agw_ptr](datapath::PacketBatch batch) {
+    agw_ptr->ingress_from_ran(std::move(batch));
+  });
+  node->gnbs_by_address[config.address] = gnb.get();
+  gnb->start();
+  gnbs_.push_back(std::move(gnb));
+  return *gnbs_.back();
+}
+
+ran::WifiAp& Network::add_wifi_ap(agw::AccessGateway& agw,
+                                  ran::WifiApConfig config) {
+  AgwNode* node = node_for(agw);
+  assert(node != nullptr);
+
+  // RADIUS rides UDP (datagram) over the site LAN, as in real deployments.
+  node->ran_links.push_back(
+      std::make_unique<net::DuplexLink>(kernel_, rng_, sim::lan_link()));
+  node->ran_datagram_channels.push_back(
+      net::make_datagram_pair(kernel_, *node->ran_links.back()));
+  net::ChannelPair& pair = node->ran_datagram_channels.back();
+
+  auto ap = std::make_unique<ran::WifiAp>(kernel_, config, *pair.a);
+  agw.wifi().add_ap_channel(*pair.b);
+  agw::AccessGateway* agw_ptr = &agw;
+  ap->set_uplink_sink([agw_ptr](datapath::PacketBatch batch) {
+    agw_ptr->ingress_from_ran(std::move(batch));
+  });
+  node->aps.push_back(ap.get());
+  aps_.push_back(std::move(ap));
+  return *aps_.back();
+}
+
+rpc::RpcNode& Network::orc8r_node_for(agw::AccessGateway& agw) {
+  AgwNode* node = node_for(agw);
+  assert(node != nullptr);
+  return *node->orc8r_server;
+}
+
+void Network::adopt_ran(agw::AccessGateway& backup,
+                        agw::AccessGateway& failed) {
+  AgwNode* to = node_for(backup);
+  AgwNode* from = node_for(failed);
+  assert(to != nullptr && from != nullptr);
+  agw::AccessGateway* backup_ptr = &backup;
+  for (auto& [addr, enb] : from->enbs_by_address) {
+    to->enbs_by_address[addr] = enb;
+    enb->set_uplink_sink([backup_ptr](datapath::PacketBatch batch) {
+      backup_ptr->ingress_from_ran(std::move(batch));
+    });
+  }
+  for (auto& [addr, gnb] : from->gnbs_by_address) {
+    to->gnbs_by_address[addr] = gnb;
+    gnb->set_uplink_sink([backup_ptr](datapath::PacketBatch batch) {
+      backup_ptr->ingress_from_ran(std::move(batch));
+    });
+  }
+  for (ran::WifiAp* ap : from->aps) {
+    to->aps.push_back(ap);
+    ap->set_uplink_sink([backup_ptr](datapath::PacketBatch batch) {
+      backup_ptr->ingress_from_ran(std::move(batch));
+    });
+  }
+}
+
+void Network::set_backhaul_up(agw::AccessGateway& agw, bool up) {
+  AgwNode* node = node_for(agw);
+  assert(node != nullptr);
+  node->backhaul->forward.set_up(up);
+  node->backhaul->reverse.set_up(up);
+  // An outage cuts everything crossing the WAN — including the S1 of a
+  // traditional (remote-core) deployment. Magma's site-local S1 is
+  // untouched, which is the point of §3.1.
+  for (net::DuplexLink* link : node->wan_ran_links) {
+    link->forward.set_up(up);
+    link->reverse.set_up(up);
+  }
+}
+
+void Network::set_backhaul_loss(agw::AccessGateway& agw,
+                                double loss_probability) {
+  AgwNode* node = node_for(agw);
+  assert(node != nullptr);
+  node->backhaul->forward.set_loss_probability(loss_probability);
+  node->backhaul->reverse.set_loss_probability(loss_probability);
+}
+
+agw::SubscriberData Network::provision_subscriber(
+    const std::string& policy_name, const std::string& wifi_password) {
+  agw::SubscriberData sub;
+  sub.imsi = common::Imsi::from_digits(1010000000000ULL + next_imsi_++);
+  for (int i = 0; i < 2; ++i) {
+    const std::uint64_t r = rng_.next_u64();
+    std::memcpy(sub.k.data() + i * 8, &r, 8);
+    const std::uint64_t r2 = rng_.next_u64();
+    std::memcpy(sub.opc.data() + i * 8, &r2, 8);
+  }
+  sub.policy_name = policy_name;
+  sub.wifi_password = wifi_password;
+  orchestrator_->add_subscriber(sub);
+  return sub;
+}
+
+void Network::add_policy(const Policy& policy) {
+  orchestrator_->add_policy(policy);
+}
+
+void Network::sync_all_config() {
+  for (auto& node : agws_) {
+    node->agw->magmad().sync_config_now();
+  }
+  // Give the RPCs time to round-trip over the slowest plausible backhaul.
+  run_for(3 * sim::kSecond);
+}
+
+ran::UeLte& Network::add_ue_lte(const agw::SubscriberData& subscriber) {
+  lte_ues_.push_back(std::make_unique<ran::UeLte>(
+      kernel_,
+      ran::Usim(subscriber.imsi, subscriber.k, subscriber.opc, config_.plmn)));
+  return *lte_ues_.back();
+}
+
+ran::UeNr& Network::add_ue_nr(const agw::SubscriberData& subscriber) {
+  nr_ues_.push_back(std::make_unique<ran::UeNr>(
+      kernel_,
+      ran::Usim(subscriber.imsi, subscriber.k, subscriber.opc, config_.plmn)));
+  return *nr_ues_.back();
+}
+
+ran::WifiClient& Network::add_wifi_client(
+    const agw::SubscriberData& subscriber, const std::string& password) {
+  wifi_clients_.push_back(
+      std::make_unique<ran::WifiClient>(kernel_, subscriber.imsi, password));
+  return *wifi_clients_.back();
+}
+
+void Network::inject_downlink(agw::AccessGateway& agw, common::Ipv4 ue_ip,
+                              std::uint32_t packet_bytes,
+                              std::uint64_t packet_count) {
+  datapath::PacketBatch batch;
+  batch.packet = datapath::make_udp(common::Ipv4::from_octets(8, 8, 8, 8),
+                                    ue_ip, 443, 40000, packet_bytes);
+  batch.count = packet_count;
+  agw.ingress_from_internet(std::move(batch));
+}
+
+void Network::run_for(sim::Duration duration) {
+  kernel_.run_until(kernel_.now() + duration);
+}
+
+void Network::run_until(sim::TimePoint deadline) {
+  kernel_.run_until(deadline);
+}
+
+}  // namespace magma::core

@@ -1,0 +1,72 @@
+// Network policy model — the "rich policy support" Magma preserves from
+// cellular cores (§1, §2.1).
+//
+// A policy names what a class of subscribers may do: rate limits (AMBR),
+// usage caps with throttling ("rate limit customer C to X Mbps until they
+// have sent Y GB in interval t1, then limit to Z Mbps" — §2.1's example is
+// expressible directly as a TieredPolicy), and volume-based quota billing
+// against an online charging system (§3.4).
+//
+// Policies are *configuration state*: authored at the orchestrator, synced
+// to AGW subscriber caches, and enforced in the AGW data plane via meters
+// and drop rules.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace magma::core {
+
+// One enforcement tier: applies `dl/ul_rate_bps` until the subscriber has
+// moved `until_usage_bytes` in the accounting interval, then the next tier
+// takes over. The last tier's `until_usage_bytes` is ignored (applies
+// forever / until interval reset).
+struct PolicyTier {
+  std::uint64_t dl_rate_bps = 0;  // 0 = unlimited
+  std::uint64_t ul_rate_bps = 0;
+  std::uint64_t until_usage_bytes = 0;
+
+  bool operator==(const PolicyTier&) const = default;
+};
+
+enum class ChargingMode : std::uint8_t {
+  kUnmetered = 0,   // no usage accounting consequences (e.g. backhaul UEs)
+  // Hard stop: traffic is blocked once usage reaches the last tier's
+  // `until_usage_bytes` (which must be non-zero for this mode).
+  kCapped,
+  kOcsQuota,        // volume billing: usage authorized in quanta by an OCS
+};
+
+struct Policy {
+  std::string name = "default";
+  std::vector<PolicyTier> tiers{PolicyTier{}};  // at least one tier
+  ChargingMode charging = ChargingMode::kUnmetered;
+  // kOcsQuota: size of each quota grant requested from the OCS.
+  std::uint64_t quota_bytes = 1 << 20;  // 1 MB, the paper's example
+  // Accounting interval after which usage (and tier position) resets.
+  std::int64_t interval_ns = 0;  // 0 = never reset
+  std::uint8_t qci = 9;          // QoS class identifier for the bearer
+
+  bool operator==(const Policy&) const = default;
+
+  // Tier in force at the given cumulative usage.
+  const PolicyTier& tier_at(std::uint64_t used_bytes) const;
+
+  common::Bytes serialize() const;
+  static common::Result<Policy> deserialize(common::BytesView data);
+};
+
+// Common presets used by examples, tests, and benches.
+Policy unlimited_policy();                       // AccessParks backhaul UEs
+Policy rate_limited_policy(std::uint64_t dl_bps, std::uint64_t ul_bps);
+// The paper's §2.1 example: X Mbps until Y bytes, then Z Mbps.
+Policy tiered_policy(std::uint64_t x_bps, std::uint64_t y_bytes,
+                     std::uint64_t z_bps);
+Policy quota_billed_policy(std::uint64_t quota_bytes);
+
+}  // namespace magma::core

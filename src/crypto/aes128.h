@@ -1,0 +1,31 @@
+// AES-128 block cipher (FIPS-197), encryption direction only.
+//
+// Milenage (the 3GPP authentication algorithm set burned into every USIM)
+// is built exclusively from AES-128 encryptions, so decryption is not
+// needed. This is a straightforward table-free implementation: it favors
+// clarity and constant code size over throughput, which is ample for
+// control-plane use (a handful of blocks per attach).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace magma::crypto {
+
+using Block = std::array<std::uint8_t, 16>;
+using Key128 = std::array<std::uint8_t, 16>;
+
+class Aes128 {
+ public:
+  explicit Aes128(const Key128& key);
+
+  Block encrypt(const Block& plaintext) const;
+
+ private:
+  // 11 round keys of 16 bytes each.
+  std::array<std::uint8_t, 176> round_keys_;
+};
+
+}  // namespace magma::crypto

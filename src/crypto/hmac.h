@@ -1,0 +1,27 @@
+// HMAC-SHA256 (RFC 2104) — the MAC underlying the 3GPP LTE/5G key
+// derivation function (TS 33.401 / TS 33.220 Annex B).
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace magma::crypto {
+
+Digest256 hmac_sha256(common::BytesView key, common::BytesView message);
+
+// 3GPP generic KDF (TS 33.220 B.2): output = HMAC-SHA256(key, S) where
+// S = FC || P0 || L0 || P1 || L1 || ... Each Pi is a parameter, Li its
+// two-byte big-endian length.
+class KdfInput {
+ public:
+  explicit KdfInput(std::uint8_t fc) { s_.push_back(fc); }
+  KdfInput& param(common::BytesView p);
+  common::BytesView view() const { return s_; }
+
+ private:
+  common::Bytes s_;
+};
+
+Digest256 kdf(common::BytesView key, const KdfInput& input);
+
+}  // namespace magma::crypto

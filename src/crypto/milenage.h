@@ -1,0 +1,50 @@
+// Milenage (3GPP TS 35.205/35.206): the authentication and key generation
+// algorithm set executed by USIMs and by the network's authentication
+// centre. Magma's subscriber management must run the same algorithms as the
+// SIM to mutually authenticate UEs, whatever the radio technology (§3.1:
+// "UE authentication and session establishment are done in a common way").
+//
+// Implemented functions: f1 (network MAC), f1* (resync MAC), f2 (RES),
+// f3 (CK), f4 (IK), f5 (AK), f5* (resync AK). Verified against the
+// TS 35.207 conformance vectors in tests/crypto_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/aes128.h"
+
+namespace magma::crypto {
+
+struct MilenageOutput {
+  std::array<std::uint8_t, 8> mac_a;   // f1
+  std::array<std::uint8_t, 8> mac_s;   // f1*
+  std::array<std::uint8_t, 8> res;     // f2
+  std::array<std::uint8_t, 16> ck;     // f3
+  std::array<std::uint8_t, 16> ik;     // f4
+  std::array<std::uint8_t, 6> ak;      // f5
+  std::array<std::uint8_t, 6> ak_s;    // f5*
+};
+
+class Milenage {
+ public:
+  // K: subscriber key; OP: operator variant algorithm configuration field.
+  Milenage(const Key128& k, const Key128& op);
+
+  // Construct from a pre-computed OPc (as provisioned on real SIMs).
+  static Milenage from_opc(const Key128& k, const Key128& opc);
+
+  const Key128& opc() const { return opc_; }
+
+  MilenageOutput compute(const std::array<std::uint8_t, 16>& rand,
+                         const std::array<std::uint8_t, 6>& sqn,
+                         const std::array<std::uint8_t, 2>& amf) const;
+
+ private:
+  Milenage(const Key128& k, const Key128& opc, bool opc_is_precomputed);
+
+  Aes128 cipher_;
+  Key128 opc_;
+};
+
+}  // namespace magma::crypto

@@ -1,0 +1,34 @@
+// SHA-256 (FIPS 180-4). Used by HMAC-SHA256, which in turn backs the 3GPP
+// key derivation function (TS 33.401 Annex A uses HMAC-SHA-256 for KASME and
+// the NAS/AS key hierarchy).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace magma::crypto {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+Digest256 sha256(common::BytesView data);
+
+// Incremental interface (needed by HMAC for the two-pass construction
+// without concatenating buffers).
+class Sha256 {
+ public:
+  Sha256();
+  void update(common::BytesView data);
+  Digest256 finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace magma::crypto

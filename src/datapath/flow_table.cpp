@@ -1,0 +1,58 @@
+#include "datapath/flow_table.h"
+
+#include <algorithm>
+
+namespace magma::datapath {
+
+bool FlowMatch::matches(const Packet& pkt, Direction dir) const {
+  if (direction && *direction != dir) return false;
+  if (ip_src && !ip_src->matches(pkt.ip.src)) return false;
+  if (ip_dst && !ip_dst->matches(pkt.ip.dst)) return false;
+  if (ip_proto && *ip_proto != pkt.ip.protocol) return false;
+  if (l4_src && *l4_src != pkt.l4.src_port) return false;
+  if (l4_dst && *l4_dst != pkt.l4.dst_port) return false;
+  if (tunnel_id) {
+    if (!pkt.gtpu || pkt.gtpu->teid != *tunnel_id) return false;
+  }
+  return true;
+}
+
+void FlowTable::add(FlowEntry entry) {
+  // Stable position: after all entries with priority >= new priority.
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const FlowEntry& e) {
+                           return e.priority < entry.priority;
+                         });
+  entries_.insert(it, std::move(entry));
+  ++generation_;
+}
+
+std::size_t FlowTable::remove_by_cookie(std::uint64_t cookie) {
+  const auto before = entries_.size();
+  entries_.remove_if(
+      [cookie](const FlowEntry& e) { return e.cookie == cookie; });
+  if (entries_.size() != before) ++generation_;
+  return before - entries_.size();
+}
+
+FlowEntry* FlowTable::lookup(const Packet& pkt, Direction dir) {
+  for (FlowEntry& entry : entries_) {
+    if (entry.match.matches(pkt, dir)) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+FlowCounters FlowTable::counters_for_cookie(std::uint64_t cookie) const {
+  FlowCounters total;
+  for (const FlowEntry& entry : entries_) {
+    if (entry.cookie == cookie) {
+      total.packets += entry.counters.packets;
+      total.bytes += entry.counters.bytes;
+    }
+  }
+  return total;
+}
+
+}  // namespace magma::datapath

@@ -1,0 +1,22 @@
+#include "datapath/gtpu.h"
+
+namespace magma::datapath {
+
+Packet gtpu_encap(Packet inner, common::Teid teid, common::Ipv4 src,
+                  common::Ipv4 dst) {
+  inner.gtpu = GtpuHeader{teid};
+  Ipv4Header outer;
+  outer.src = src;
+  outer.dst = dst;
+  outer.protocol = IpProto::kUdp;
+  inner.outer_ip = outer;
+  return inner;
+}
+
+Packet gtpu_decap(Packet outer) {
+  outer.gtpu.reset();
+  outer.outer_ip.reset();
+  return outer;
+}
+
+}  // namespace magma::datapath

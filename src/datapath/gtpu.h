@@ -1,0 +1,21 @@
+// GTP-U encapsulation helpers.
+//
+// §3.1: Magma terminates GTP locally in the AGW, so the only GTP-U hops are
+// eNodeB↔AGW (one LAN hop) and, in federation mode, AGW↔GTP-A. These
+// helpers apply/strip the tunnel header on those hops.
+#pragma once
+
+#include "common/ids.h"
+#include "datapath/packet.h"
+
+namespace magma::datapath {
+
+// Wrap `inner` in a GTP-U tunnel from `src` to `dst` with the given TEID.
+Packet gtpu_encap(Packet inner, common::Teid teid, common::Ipv4 src,
+                  common::Ipv4 dst);
+
+// Strip the tunnel header; returns the inner packet unchanged if not
+// encapsulated.
+Packet gtpu_decap(Packet outer);
+
+}  // namespace magma::datapath

@@ -1,0 +1,73 @@
+#include "datapath/meter.h"
+
+#include <algorithm>
+
+namespace magma::datapath {
+
+TokenBucket::TokenBucket(MeterConfig config, sim::TimePoint now)
+    : config_(config),
+      tokens_(static_cast<double>(config.burst_bytes)),
+      last_refill_(now) {}
+
+void TokenBucket::refill(sim::TimePoint now) {
+  if (now <= last_refill_) return;
+  const double elapsed = sim::to_seconds(now - last_refill_);
+  tokens_ = std::min(static_cast<double>(config_.burst_bytes),
+                     tokens_ + elapsed * config_.rate_bps / 8.0);
+  last_refill_ = now;
+}
+
+bool TokenBucket::allow(std::uint64_t bytes, sim::TimePoint now) {
+  if (config_.rate_bps <= 0) {  // unlimited
+    ++stats_.conformed_packets;
+    stats_.conformed_bytes += bytes;
+    return true;
+  }
+  refill(now);
+  if (tokens_ >= static_cast<double>(bytes)) {
+    tokens_ -= static_cast<double>(bytes);
+    ++stats_.conformed_packets;
+    stats_.conformed_bytes += bytes;
+    return true;
+  }
+  ++stats_.dropped_packets;
+  stats_.dropped_bytes += bytes;
+  return false;
+}
+
+std::uint64_t TokenBucket::allow_batch(std::uint64_t count,
+                                       std::uint64_t bytes_each,
+                                       sim::TimePoint now) {
+  if (count == 0 || bytes_each == 0) return count;
+  if (config_.rate_bps <= 0) {
+    stats_.conformed_packets += count;
+    stats_.conformed_bytes += count * bytes_each;
+    return count;
+  }
+  refill(now);
+  const std::uint64_t affordable =
+      static_cast<std::uint64_t>(tokens_ / static_cast<double>(bytes_each));
+  const std::uint64_t allowed = std::min(count, affordable);
+  tokens_ -= static_cast<double>(allowed * bytes_each);
+  stats_.conformed_packets += allowed;
+  stats_.conformed_bytes += allowed * bytes_each;
+  stats_.dropped_packets += count - allowed;
+  stats_.dropped_bytes += (count - allowed) * bytes_each;
+  return allowed;
+}
+
+void MeterBank::install(std::uint32_t id, MeterConfig config,
+                        sim::TimePoint now) {
+  meters_.insert_or_assign(id, TokenBucket(config, now));
+}
+
+void MeterBank::remove(std::uint32_t id) {
+  meters_.erase(id);
+}
+
+TokenBucket* MeterBank::find(std::uint32_t id) {
+  auto it = meters_.find(id);
+  return it == meters_.end() ? nullptr : &it->second;
+}
+
+}  // namespace magma::datapath

@@ -1,0 +1,65 @@
+// Token-bucket meters: the mechanism behind "rate limit customer C to
+// X Mbps" policies (§2.1). Meters are attached to flow entries by pipelined
+// and consulted per packet by the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/time.h"
+
+namespace magma::datapath {
+
+struct MeterConfig {
+  double rate_bps = 0;       // sustained rate; 0 = unlimited
+  std::uint64_t burst_bytes = 65536;
+};
+
+struct MeterStats {
+  std::uint64_t conformed_packets = 0;
+  std::uint64_t conformed_bytes = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+};
+
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(MeterConfig config, sim::TimePoint now);
+
+  // True if `bytes` conform (tokens consumed); false means drop/red.
+  bool allow(std::uint64_t bytes, sim::TimePoint now);
+
+  // Batch form: of `count` packets of `bytes_each`, returns how many
+  // conform (prefix); the rest are charged as dropped. Keeps batch
+  // processing from turning the meter into an all-or-nothing gate when a
+  // batch exceeds the bucket depth.
+  std::uint64_t allow_batch(std::uint64_t count, std::uint64_t bytes_each,
+                            sim::TimePoint now);
+
+  const MeterConfig& config() const { return config_; }
+  const MeterStats& stats() const { return stats_; }
+  double tokens() const { return tokens_; }
+
+ private:
+  void refill(sim::TimePoint now);
+
+  MeterConfig config_;
+  double tokens_ = 0;
+  sim::TimePoint last_refill_ = 0;
+  MeterStats stats_;
+};
+
+// Meter registry keyed by meter id (pipeline-scope).
+class MeterBank {
+ public:
+  void install(std::uint32_t id, MeterConfig config, sim::TimePoint now);
+  void remove(std::uint32_t id);
+  TokenBucket* find(std::uint32_t id);
+  std::size_t size() const { return meters_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, TokenBucket> meters_;
+};
+
+}  // namespace magma::datapath

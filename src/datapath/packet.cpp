@@ -1,0 +1,213 @@
+#include "datapath/packet.h"
+
+#include <cstring>
+
+namespace magma::datapath {
+
+namespace {
+
+void put_u16(common::Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(common::Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+struct Cursor {
+  common::BytesView data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (pos + 1 > data.size()) {
+      ok = false;
+      return 0;
+    }
+    return data[pos++];
+  }
+  std::uint16_t u16() {
+    const std::uint16_t hi = u8();
+    return static_cast<std::uint16_t>((hi << 8) | u8());
+  }
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  void skip(std::size_t n) {
+    if (pos + n > data.size()) {
+      ok = false;
+      return;
+    }
+    pos += n;
+  }
+};
+
+// Serialize one IPv4 header. `payload_len` covers everything after it.
+void serialize_ipv4(common::Bytes& out, const Ipv4Header& ip,
+                    std::uint16_t payload_len) {
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(static_cast<std::uint8_t>(ip.dscp << 2));
+  put_u16(out, static_cast<std::uint16_t>(Ipv4Header::kSize + payload_len));
+  put_u16(out, 0);  // identification
+  put_u16(out, 0);  // flags/fragment
+  out.push_back(ip.ttl);
+  out.push_back(static_cast<std::uint8_t>(ip.protocol));
+  put_u16(out, 0);  // checksum (not modeled)
+  put_u32(out, ip.src.addr);
+  put_u32(out, ip.dst.addr);
+}
+
+bool parse_ipv4(Cursor& c, Ipv4Header& ip, std::uint16_t& payload_len) {
+  const std::uint8_t ver_ihl = c.u8();
+  if (!c.ok || (ver_ihl >> 4) != 4 || (ver_ihl & 0x0F) != 5) return false;
+  ip.dscp = static_cast<std::uint8_t>(c.u8() >> 2);
+  const std::uint16_t total = c.u16();
+  if (total < Ipv4Header::kSize) return false;
+  payload_len = static_cast<std::uint16_t>(total - Ipv4Header::kSize);
+  ip.total_length = total;
+  c.skip(4);  // id + flags/frag
+  ip.ttl = c.u8();
+  ip.protocol = static_cast<IpProto>(c.u8());
+  c.skip(2);  // checksum
+  ip.src.addr = c.u32();
+  ip.dst.addr = c.u32();
+  return c.ok;
+}
+
+}  // namespace
+
+std::uint32_t Packet::wire_size() const {
+  std::uint32_t size = static_cast<std::uint32_t>(Ipv4Header::kSize) +
+                       static_cast<std::uint32_t>(L4Header::kSize) +
+                       payload_bytes;
+  if (gtpu.has_value()) {
+    size += static_cast<std::uint32_t>(Ipv4Header::kSize) +
+            static_cast<std::uint32_t>(L4Header::kSize) +
+            static_cast<std::uint32_t>(GtpuHeader::kSize);
+  }
+  return size;
+}
+
+common::Bytes Packet::serialize() const {
+  common::Bytes out;
+  out.reserve(wire_size());
+
+  const std::uint16_t inner_len = static_cast<std::uint16_t>(
+      L4Header::kSize + payload_bytes);
+
+  if (gtpu.has_value()) {
+    const std::uint16_t gtp_payload = static_cast<std::uint16_t>(
+        Ipv4Header::kSize + inner_len);
+    // Outer IP (UDP to port 2152) + UDP + GTP-U.
+    Ipv4Header outer = outer_ip.value_or(Ipv4Header{});
+    outer.protocol = IpProto::kUdp;
+    serialize_ipv4(out, outer,
+                   static_cast<std::uint16_t>(L4Header::kSize +
+                                              GtpuHeader::kSize + gtp_payload));
+    put_u16(out, kGtpuPort);
+    put_u16(out, kGtpuPort);
+    put_u16(out, static_cast<std::uint16_t>(L4Header::kSize +
+                                            GtpuHeader::kSize + gtp_payload));
+    put_u16(out, 0);  // udp checksum
+    // GTP-U header: flags (version 1, PT=1), type 0xFF (G-PDU), length, TEID.
+    out.push_back(0x30);
+    out.push_back(0xFF);
+    put_u16(out, gtp_payload);
+    put_u32(out, gtpu->teid.value);
+  }
+
+  serialize_ipv4(out, ip, inner_len);
+  put_u16(out, l4.src_port);
+  put_u16(out, l4.dst_port);
+  put_u16(out, inner_len);
+  put_u16(out, 0);  // checksum
+  out.resize(out.size() + payload_bytes, 0);
+  return out;
+}
+
+common::Result<Packet> Packet::parse(common::BytesView wire) {
+  Cursor c{wire};
+  Packet pkt;
+
+  Ipv4Header first;
+  std::uint16_t first_payload = 0;
+  if (!parse_ipv4(c, first, first_payload)) {
+    return common::Error{common::ErrorCode::kInvalidArgument, "bad ipv4"};
+  }
+
+  // Detect GTP-U encapsulation: UDP to port 2152.
+  bool encapsulated = false;
+  if (first.protocol == IpProto::kUdp) {
+    const std::size_t l4_start = c.pos;
+    const std::uint16_t sport = c.u16();
+    const std::uint16_t dport = c.u16();
+    (void)sport;
+    if (c.ok && dport == kGtpuPort) {
+      c.skip(4);  // udp len + checksum
+      const std::uint8_t flags = c.u8();
+      const std::uint8_t type = c.u8();
+      c.skip(2);  // gtp length
+      const std::uint32_t teid = c.u32();
+      if (!c.ok || (flags >> 5) != 1 || type != 0xFF) {
+        return common::Error{common::ErrorCode::kInvalidArgument, "bad gtpu"};
+      }
+      pkt.gtpu = GtpuHeader{common::Teid{teid}};
+      pkt.outer_ip = first;
+      encapsulated = true;
+    } else {
+      c.pos = l4_start;
+      c.ok = true;
+    }
+  }
+
+  std::uint16_t inner_payload = first_payload;
+  if (encapsulated) {
+    if (!parse_ipv4(c, pkt.ip, inner_payload)) {
+      return common::Error{common::ErrorCode::kInvalidArgument,
+                           "bad inner ipv4"};
+    }
+  } else {
+    pkt.ip = first;
+  }
+
+  pkt.l4.src_port = c.u16();
+  pkt.l4.dst_port = c.u16();
+  c.skip(4);  // len + checksum
+  if (!c.ok || inner_payload < L4Header::kSize) {
+    return common::Error{common::ErrorCode::kInvalidArgument, "bad l4"};
+  }
+  pkt.payload_bytes = static_cast<std::uint32_t>(inner_payload - L4Header::kSize);
+  c.skip(pkt.payload_bytes);
+  if (!c.ok) {
+    return common::Error{common::ErrorCode::kInvalidArgument, "truncated"};
+  }
+  // Normalize fields that serialize() fills.
+  pkt.ip.total_length = 0;
+  if (pkt.outer_ip) pkt.outer_ip->total_length = 0;
+  return pkt;
+}
+
+Packet make_udp(common::Ipv4 src, common::Ipv4 dst, std::uint16_t sport,
+                std::uint16_t dport, std::uint32_t payload_bytes) {
+  Packet pkt;
+  pkt.ip.src = src;
+  pkt.ip.dst = dst;
+  pkt.ip.protocol = IpProto::kUdp;
+  pkt.l4 = {sport, dport};
+  pkt.payload_bytes = payload_bytes;
+  return pkt;
+}
+
+Packet make_tcp(common::Ipv4 src, common::Ipv4 dst, std::uint16_t sport,
+                std::uint16_t dport, std::uint32_t payload_bytes) {
+  Packet pkt = make_udp(src, dst, sport, dport, payload_bytes);
+  pkt.ip.protocol = IpProto::kTcp;
+  return pkt;
+}
+
+}  // namespace magma::datapath

@@ -1,0 +1,80 @@
+// Packet model: real header layouts with structured access.
+//
+// The datapath (our Open vSwitch stand-in, §3.5) needs to parse flows,
+// push/pop GTP-U tunnel headers, and count bytes exactly as OVS does.
+// Packets carry parsed header structs plus an opaque payload length; the
+// serialize/parse pair produces and consumes actual wire bytes (tested by
+// round-trip), while the simulation fast-path moves the struct form.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/result.h"
+
+namespace magma::datapath {
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct Ipv4Header {
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;  // header + payload, filled by serialize
+  std::uint8_t ttl = 64;
+  IpProto protocol = IpProto::kUdp;
+  common::Ipv4 src;
+  common::Ipv4 dst;
+
+  static constexpr std::size_t kSize = 20;
+  bool operator==(const Ipv4Header&) const = default;
+};
+
+struct L4Header {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  static constexpr std::size_t kSize = 8;  // UDP-sized; TCP modeled same size
+  bool operator==(const L4Header&) const = default;
+};
+
+// GTP-U (TS 29.281): version 1, message type 0xFF (G-PDU).
+struct GtpuHeader {
+  common::Teid teid;
+  static constexpr std::size_t kSize = 8;
+  bool operator==(const GtpuHeader&) const = default;
+};
+
+constexpr std::uint16_t kGtpuPort = 2152;
+
+struct Packet {
+  // Outer tunnel, present when the packet is GTP-U encapsulated.
+  std::optional<GtpuHeader> gtpu;
+  std::optional<Ipv4Header> outer_ip;  // set together with gtpu
+
+  Ipv4Header ip;  // inner (user) IP header
+  L4Header l4;
+  std::uint32_t payload_bytes = 0;  // opaque application payload length
+
+  // Total on-the-wire size in bytes.
+  std::uint32_t wire_size() const;
+
+  // Serialize to wire bytes. Payload is filled with zeros (its content is
+  // opaque to the data plane; only its length matters).
+  common::Bytes serialize() const;
+  static common::Result<Packet> parse(common::BytesView wire);
+
+  bool operator==(const Packet&) const = default;
+};
+
+// Convenience constructors used throughout tests and workloads.
+Packet make_udp(common::Ipv4 src, common::Ipv4 dst, std::uint16_t sport,
+                std::uint16_t dport, std::uint32_t payload_bytes);
+Packet make_tcp(common::Ipv4 src, common::Ipv4 dst, std::uint16_t sport,
+                std::uint16_t dport, std::uint32_t payload_bytes);
+
+}  // namespace magma::datapath

@@ -1,0 +1,263 @@
+#include "feg/feg.h"
+
+#include "datapath/gtpu.h"
+#include "rpc/wire.h"
+
+namespace magma::feg {
+
+namespace lte = magma::proto::lte;
+
+// ---------------------------------------------------------------------------
+// GtpcEndpoint
+// ---------------------------------------------------------------------------
+
+GtpcEndpoint::GtpcEndpoint(sim::Kernel& kernel, net::Channel& channel)
+    : kernel_(kernel), channel_(channel) {
+  channel_.set_receiver(
+      [this](common::Bytes raw) { on_message(std::move(raw)); });
+}
+
+void GtpcEndpoint::send_request(
+    lte::GtpcMessage request,
+    std::function<void(common::Result<lte::GtpcMessage>)> done) {
+  const std::uint32_t sequence = next_sequence_++;
+  std::visit([sequence](auto& m) { m.sequence = sequence; }, request);
+  Pending pending;
+  pending.request = std::move(request);
+  pending.done = std::move(done);
+  pending_.emplace(sequence, std::move(pending));
+  ++stats_.requests_sent;
+  transmit(sequence);
+}
+
+void GtpcEndpoint::transmit(std::uint32_t sequence) {
+  auto it = pending_.find(sequence);
+  if (it == pending_.end()) return;
+  channel_.send(lte::encode_gtpc(it->second.request));
+  it->second.timer = kernel_.schedule(
+      lte::GtpcTimers::kT3Response_ms * sim::kMillisecond,
+      [this, sequence]() {
+        auto it = pending_.find(sequence);
+        if (it == pending_.end()) return;
+        if (++it->second.retries >= lte::GtpcTimers::kN3Requests) {
+          ++stats_.failures;
+          auto done = std::move(it->second.done);
+          pending_.erase(it);
+          done(common::Error{common::ErrorCode::kUnavailable,
+                             "GTP-C: no response after N3 retries"});
+          return;
+        }
+        ++stats_.retransmissions;
+        transmit(sequence);
+      });
+}
+
+void GtpcEndpoint::set_request_handler(
+    std::function<lte::GtpcMessage(const lte::GtpcMessage&)> handler) {
+  handler_ = std::move(handler);
+}
+
+void GtpcEndpoint::on_message(common::Bytes raw) {
+  auto decoded = lte::decode_gtpc(raw);
+  if (!decoded.ok()) return;
+  lte::GtpcMessage msg = std::move(decoded).take();
+
+  const bool is_response =
+      std::holds_alternative<lte::CreateSessionResponse>(msg) ||
+      std::holds_alternative<lte::ModifyBearerResponse>(msg) ||
+      std::holds_alternative<lte::DeleteSessionResponse>(msg);
+
+  if (is_response) {
+    const std::uint32_t sequence = lte::gtpc_sequence(msg);
+    auto it = pending_.find(sequence);
+    if (it == pending_.end()) return;  // duplicate response
+    kernel_.cancel(it->second.timer);
+    auto done = std::move(it->second.done);
+    pending_.erase(it);
+    ++stats_.responses_received;
+    done(std::move(msg));
+    return;
+  }
+
+  if (handler_) {
+    lte::GtpcMessage response = handler_(msg);
+    std::visit([&](auto& m) { m.sequence = lte::gtpc_sequence(msg); },
+               response);
+    channel_.send(lte::encode_gtpc(response));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MnoCore
+// ---------------------------------------------------------------------------
+
+MnoCore::MnoCore(sim::Kernel& kernel, common::Ipv4 pgw_address)
+    : kernel_(kernel),
+      pgw_address_(pgw_address),
+      hss_([this]() {
+        // Deterministic HSS-side RAND source derived from the kernel time
+        // and a counter (the MNO is a stub; vector quality is irrelevant).
+        static std::uint64_t counter = 0x9E3779B97F4A7C15ULL;
+        counter = counter * 6364136223846793005ULL + 1442695040888963407ULL;
+        return counter ^ static_cast<std::uint64_t>(kernel_.now());
+      }) {}
+
+void MnoCore::serve_gtpc(net::Channel& channel) {
+  gtpc_ = std::make_unique<GtpcEndpoint>(kernel_, channel);
+  gtpc_->set_request_handler(
+      [this](const lte::GtpcMessage& request) { return handle_gtpc(request); });
+}
+
+lte::GtpcMessage MnoCore::handle_gtpc(const lte::GtpcMessage& request) {
+  if (const auto* create = std::get_if<lte::CreateSessionRequest>(&request)) {
+    // Idempotency: a retransmitted CreateSession for an IMSI with a live
+    // session returns the same session (GTP-C sequence dedup would handle
+    // this in a full implementation).
+    for (const auto& [teid, session] : sessions_) {
+      if (session.imsi == create->imsi) {
+        lte::CreateSessionResponse response;
+        response.pgw_teid_c = teid;
+        response.pgw_teid_u = session.our_teid_u;
+        response.pgw_address = pgw_address_;
+        response.pdn_address = session.ue_ip;
+        return lte::GtpcMessage{response};
+      }
+    }
+    MnoSession session;
+    session.imsi = create->imsi;
+    session.our_teid_u = common::Teid{next_teid_++};
+    session.peer_teid_u = create->sender_teid_c;
+    session.peer_address = create->sender_address;
+    session.ue_ip = common::Ipv4{
+        common::Ipv4::from_octets(100, 64, 0, 0).addr + next_ip_host_++};
+    teid_by_ip_[session.ue_ip] = session.our_teid_u;
+    lte::CreateSessionResponse response;
+    response.pgw_teid_c = session.our_teid_u;
+    response.pgw_teid_u = session.our_teid_u;
+    response.pgw_address = pgw_address_;
+    response.pdn_address = session.ue_ip;
+    sessions_.emplace(session.our_teid_u, std::move(session));
+    return lte::GtpcMessage{response};
+  }
+
+  if (const auto* del = std::get_if<lte::DeleteSessionRequest>(&request)) {
+    auto it = sessions_.find(del->teid);
+    if (it != sessions_.end()) {
+      teid_by_ip_.erase(it->second.ue_ip);
+      sessions_.erase(it);
+    }
+    return lte::GtpcMessage{lte::DeleteSessionResponse{}};
+  }
+
+  if (const auto* modify = std::get_if<lte::ModifyBearerRequest>(&request)) {
+    auto it = sessions_.find(modify->teid);
+    if (it != sessions_.end()) {
+      it->second.peer_teid_u = modify->enb_teid_u;
+      it->second.peer_address = modify->enb_address;
+    }
+    return lte::GtpcMessage{lte::ModifyBearerResponse{}};
+  }
+
+  lte::CreateSessionResponse error;
+  error.cause = 0;
+  return lte::GtpcMessage{error};
+}
+
+void MnoCore::ingress_from_gtpa(datapath::PacketBatch batch) {
+  if (!batch.packet.gtpu.has_value()) return;
+  auto it = sessions_.find(batch.packet.gtpu->teid);
+  if (it == sessions_.end()) return;
+  it->second.ul_bytes += batch.bytes();
+  // Traffic breaks out to the Internet here; nothing further to model.
+}
+
+bool MnoCore::inject_downlink(common::Ipv4 ue_ip, std::uint32_t packet_bytes,
+                              std::uint64_t packet_count) {
+  auto teid_it = teid_by_ip_.find(ue_ip);
+  if (teid_it == teid_by_ip_.end() || !to_gtpa_) return false;
+  auto it = sessions_.find(teid_it->second);
+  if (it == sessions_.end()) return false;
+
+  datapath::PacketBatch batch;
+  batch.packet = datapath::make_udp(common::Ipv4::from_octets(8, 8, 8, 8),
+                                    ue_ip, 443, 40000, packet_bytes);
+  batch.count = packet_count;
+  batch.packet = datapath::gtpu_encap(std::move(batch.packet),
+                                      it->second.peer_teid_u, pgw_address_,
+                                      it->second.peer_address);
+  it->second.dl_bytes += batch.bytes();
+  to_gtpa_(std::move(batch));
+  return true;
+}
+
+const MnoSession* MnoCore::session_by_ip(common::Ipv4 ue_ip) const {
+  auto teid_it = teid_by_ip_.find(ue_ip);
+  if (teid_it == teid_by_ip_.end()) return nullptr;
+  auto it = sessions_.find(teid_it->second);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// FederationGateway
+// ---------------------------------------------------------------------------
+
+FederationGateway::FederationGateway(sim::Kernel& kernel, MnoCore& mno,
+                                     GtpAggregator& gtpa,
+                                     net::Channel& gtpc_to_pgw)
+    : kernel_(kernel), mno_(mno), gtpa_(gtpa), gtpc_(kernel, gtpc_to_pgw) {}
+
+void FederationGateway::create_session(
+    const common::Imsi& imsi, common::Teid agw_local_teid,
+    std::function<void(datapath::PacketBatch)> to_agw,
+    std::function<void(common::Result<agw::Accessd::FederatedSession>)> done) {
+  // Allocate the GTP-A binding, then create the session at the MNO P-GW,
+  // advertising the GTP-A's downlink tunnel endpoint as ours.
+  GtpaBinding& binding =
+      gtpa_.allocate_binding(agw_local_teid, std::move(to_agw));
+  const common::Teid teid_from_agw = binding.teid_from_agw;
+  const common::Teid teid_from_pgw = binding.teid_from_pgw;
+
+  lte::CreateSessionRequest request;
+  request.imsi = imsi;
+  request.sender_teid_c = teid_from_pgw;  // P-GW sends downlink here
+  request.sender_address = gtpa_.address();
+  gtpc_.send_request(
+      lte::GtpcMessage{request},
+      [this, teid_from_agw, done](common::Result<lte::GtpcMessage> result) {
+        if (!result.ok()) {
+          ++stats_.session_failures;
+          gtpa_.remove_binding(teid_from_agw);
+          done(result.error());
+          return;
+        }
+        const auto* response =
+            std::get_if<lte::CreateSessionResponse>(&result.value());
+        if (response == nullptr || response->cause != 16) {
+          ++stats_.session_failures;
+          gtpa_.remove_binding(teid_from_agw);
+          done(common::Error{common::ErrorCode::kUnavailable,
+                             "P-GW rejected session"});
+          return;
+        }
+        gtpa_.complete_binding(teid_from_agw, response->pgw_teid_u,
+                               response->pgw_address);
+        ++stats_.sessions_created;
+        agw::Accessd::FederatedSession session;
+        session.ue_ip = response->pdn_address;
+        session.home_teid_remote = teid_from_agw;
+        session.home_agg_address = gtpa_.address();
+        done(session);
+      });
+}
+
+void FederationGateway::bind(rpc::RpcNode& node) {
+  node.register_method(
+      kService, kFetchSubscribers,
+      [this](const rpc::Bytes& request, rpc::Respond respond) {
+        (void)request;
+        ++stats_.subscriber_fetches;
+        respond(mno_.hss().snapshot());
+      });
+}
+
+}  // namespace magma::feg

@@ -1,0 +1,183 @@
+// Federation Gateway (FeG) and the partner-MNO core it talks to (§3.6).
+//
+// "Much as the AGW terminates access-specific protocols from the radio
+// network, Magma introduces additional elements to terminate access-
+// specific protocols with an external core network" — the FeG speaks
+// 3GPP-defined interfaces (here: GTP-C toward the MNO's P-GW, an S6a-like
+// subscriber fetch toward its HSS) so that AGWs never have to.
+//
+// Components:
+//  * GtpcEndpoint  — GTP-C request/response over a datagram channel with the
+//                    protocol's own naive reliability (T3-RESPONSE timer, N3
+//                    retries). Reused by bench/ablation_gtp_backhaul to show
+//                    why this transport fails on bad backhaul while Magma's
+//                    gRPC-side survives.
+//  * MnoCore       — stub partner MNO: HSS (subscriber store) + P-GW
+//                    (GTP-C session management + GTP-U anchor + "Internet").
+//  * FederationGateway — orchestrator-side service: FetchSubscribers (local
+//                    breakout: subscriber data from the MNO, enforcement in
+//                    the AGW) and CreateSession (home routing: user plane
+//                    anchored at the MNO P-GW via the GTP-A).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include <memory>
+
+#include "agw/accessd.h"
+#include "agw/subscriberdb.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "datapath/pipeline.h"
+#include "feg/gtp_aggregator.h"
+#include "net/channel.h"
+#include "proto/lte/gtpc.h"
+#include "rpc/rpc.h"
+#include "sim/kernel.h"
+
+namespace magma::feg {
+
+// ---------------------------------------------------------------------------
+// GTP-C endpoint
+// ---------------------------------------------------------------------------
+
+struct GtpcStats {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t responses_received = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t failures = 0;  // gave up after N3 retries
+};
+
+class GtpcEndpoint {
+ public:
+  GtpcEndpoint(sim::Kernel& kernel, net::Channel& channel);
+
+  // Send a request; `done` receives the peer's response or an UNAVAILABLE
+  // error after N3 retransmissions.
+  void send_request(
+      proto::lte::GtpcMessage request,
+      std::function<void(common::Result<proto::lte::GtpcMessage>)> done);
+
+  // Serve the peer's requests (responses are sent back automatically).
+  void set_request_handler(
+      std::function<proto::lte::GtpcMessage(const proto::lte::GtpcMessage&)>
+          handler);
+
+  const GtpcStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    proto::lte::GtpcMessage request;
+    std::function<void(common::Result<proto::lte::GtpcMessage>)> done;
+    int retries = 0;
+    sim::EventId timer;
+  };
+
+  void transmit(std::uint32_t sequence);
+  void on_message(common::Bytes raw);
+
+  sim::Kernel& kernel_;
+  net::Channel& channel_;
+  std::function<proto::lte::GtpcMessage(const proto::lte::GtpcMessage&)>
+      handler_;
+  std::unordered_map<std::uint32_t, Pending> pending_;
+  std::uint32_t next_sequence_ = 1;
+  GtpcStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Partner MNO core (stub)
+// ---------------------------------------------------------------------------
+
+struct MnoSession {
+  common::Imsi imsi;
+  common::Teid our_teid_u;   // P-GW tunnel id for uplink
+  common::Teid peer_teid_u;  // GTP-A tunnel id for downlink
+  common::Ipv4 peer_address;
+  common::Ipv4 ue_ip;
+  std::uint64_t ul_bytes = 0;
+  std::uint64_t dl_bytes = 0;
+};
+
+class MnoCore {
+ public:
+  MnoCore(sim::Kernel& kernel, common::Ipv4 pgw_address);
+
+  // HSS: the MNO owns the subscriber base.
+  agw::SubscriberDb& hss() { return hss_; }
+
+  // Attach the GTP-C interface (the FeG's side connects the other end).
+  void serve_gtpc(net::Channel& channel);
+
+  // User plane: GTP-U from the GTP-A.
+  void ingress_from_gtpa(datapath::PacketBatch batch);
+  // Downlink injection ("the Internet behind the MNO"): routed to the UE's
+  // session and tunneled back toward the GTP-A.
+  bool inject_downlink(common::Ipv4 ue_ip, std::uint32_t packet_bytes,
+                       std::uint64_t packet_count);
+  void set_gtpa_sink(std::function<void(datapath::PacketBatch)> sink) {
+    to_gtpa_ = std::move(sink);
+  }
+
+  common::Ipv4 pgw_address() const { return pgw_address_; }
+  const MnoSession* session_by_ip(common::Ipv4 ue_ip) const;
+  std::size_t session_count() const { return sessions_.size(); }
+
+ private:
+  proto::lte::GtpcMessage handle_gtpc(const proto::lte::GtpcMessage& request);
+
+  sim::Kernel& kernel_;
+  common::Ipv4 pgw_address_;
+  agw::SubscriberDb hss_;
+  std::unique_ptr<GtpcEndpoint> gtpc_;
+  std::function<void(datapath::PacketBatch)> to_gtpa_;
+  std::unordered_map<common::Teid, MnoSession> sessions_;  // by our_teid_u
+  std::unordered_map<common::Ipv4, common::Teid> teid_by_ip_;
+  std::uint32_t next_teid_ = 0x90000;
+  std::uint32_t next_ip_host_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Federation Gateway
+// ---------------------------------------------------------------------------
+
+struct FegStats {
+  std::uint64_t subscriber_fetches = 0;
+  std::uint64_t sessions_created = 0;
+  std::uint64_t session_failures = 0;
+};
+
+class FederationGateway {
+ public:
+  // `gtpc_to_pgw` is the FeG's GTP-C leg toward the MNO (the MnoCore must
+  // serve the other end of the channel).
+  FederationGateway(sim::Kernel& kernel, MnoCore& mno, GtpAggregator& gtpa,
+                    net::Channel& gtpc_to_pgw);
+
+  // RPC surface for AGWs: "feg/FetchSubscribers" and "feg/CreateSession".
+  void bind(rpc::RpcNode& node);
+
+  // Direct (in-process) entry used by Accessd's federation hook when the
+  // FeG is reachable without an RPC hop in tests.
+  void create_session(
+      const common::Imsi& imsi, common::Teid agw_local_teid,
+      std::function<void(datapath::PacketBatch)> to_agw,
+      std::function<void(common::Result<agw::Accessd::FederatedSession>)> done);
+
+  const FegStats& stats() const { return stats_; }
+
+  static constexpr const char* kService = "feg";
+  static constexpr const char* kFetchSubscribers = "FetchSubscribers";
+
+ private:
+  sim::Kernel& kernel_;
+  MnoCore& mno_;
+  GtpAggregator& gtpa_;
+  GtpcEndpoint gtpc_;
+  FegStats stats_;
+};
+
+}  // namespace magma::feg

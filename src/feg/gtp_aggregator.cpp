@@ -1,0 +1,75 @@
+#include "feg/gtp_aggregator.h"
+
+#include "datapath/gtpu.h"
+
+namespace magma::feg {
+
+GtpaBinding& GtpAggregator::allocate_binding(
+    common::Teid agw_teid, std::function<void(datapath::PacketBatch)> to_agw) {
+  GtpaBinding binding;
+  binding.teid_from_agw = common::Teid{next_teid_++};
+  binding.teid_from_pgw = common::Teid{next_teid_++};
+  binding.agw_teid = agw_teid;
+  binding.to_agw = std::move(to_agw);
+  ++stats_.sessions;
+  auto [it, _] = by_agw_teid_.emplace(binding.teid_from_agw, std::move(binding));
+  agw_teid_by_pgw_teid_[it->second.teid_from_pgw] = it->second.teid_from_agw;
+  return it->second;
+}
+
+void GtpAggregator::complete_binding(common::Teid teid_from_agw,
+                                     common::Teid pgw_teid,
+                                     common::Ipv4 pgw_address) {
+  auto it = by_agw_teid_.find(teid_from_agw);
+  if (it == by_agw_teid_.end()) return;
+  it->second.pgw_teid = pgw_teid;
+  it->second.pgw_address = pgw_address;
+}
+
+void GtpAggregator::remove_binding(common::Teid teid_from_agw) {
+  auto it = by_agw_teid_.find(teid_from_agw);
+  if (it == by_agw_teid_.end()) return;
+  agw_teid_by_pgw_teid_.erase(it->second.teid_from_pgw);
+  by_agw_teid_.erase(it);
+}
+
+void GtpAggregator::ingress_from_agw(datapath::PacketBatch batch) {
+  if (!batch.packet.gtpu.has_value()) {
+    ++stats_.unknown_teid_drops;
+    return;
+  }
+  auto it = by_agw_teid_.find(batch.packet.gtpu->teid);
+  if (it == by_agw_teid_.end() || it->second.pgw_teid.value == 0 || !to_pgw_) {
+    ++stats_.unknown_teid_drops;
+    return;
+  }
+  stats_.ul_bytes += batch.bytes();
+  batch.packet = datapath::gtpu_encap(
+      datapath::gtpu_decap(std::move(batch.packet)), it->second.pgw_teid,
+      address_, it->second.pgw_address);
+  to_pgw_(std::move(batch));
+}
+
+void GtpAggregator::ingress_from_pgw(datapath::PacketBatch batch) {
+  if (!batch.packet.gtpu.has_value()) {
+    ++stats_.unknown_teid_drops;
+    return;
+  }
+  auto teid_it = agw_teid_by_pgw_teid_.find(batch.packet.gtpu->teid);
+  if (teid_it == agw_teid_by_pgw_teid_.end()) {
+    ++stats_.unknown_teid_drops;
+    return;
+  }
+  auto it = by_agw_teid_.find(teid_it->second);
+  if (it == by_agw_teid_.end() || !it->second.to_agw) {
+    ++stats_.unknown_teid_drops;
+    return;
+  }
+  stats_.dl_bytes += batch.bytes();
+  batch.packet = datapath::gtpu_encap(
+      datapath::gtpu_decap(std::move(batch.packet)), it->second.agw_teid,
+      address_, common::Ipv4{0});
+  it->second.to_agw(std::move(batch));
+}
+
+}  // namespace magma::feg

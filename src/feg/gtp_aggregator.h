@@ -1,0 +1,69 @@
+// GTP Aggregator (GTP-A) — the centralized user-plane concentrator for
+// federation (§3.6): "User data-plane traffic is tunneled to an analogous
+// component, the GTP Aggregator (GTP-A), which in turn connects to the
+// MNO's existing P-GW." Traditional MNOs want a single interconnection
+// point between their core and the extension network — that is exactly why
+// this box exists and why it is the scaling choke-point §4.3.2 discusses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "datapath/pipeline.h"
+#include "sim/kernel.h"
+
+namespace magma::feg {
+
+struct GtpaBinding {
+  common::Teid teid_from_agw;   // our tunnel id for uplink from the AGW
+  common::Teid teid_from_pgw;   // our tunnel id for downlink from the P-GW
+  common::Teid agw_teid;        // AGW's tunnel id for downlink toward it
+  common::Teid pgw_teid;        // P-GW's tunnel id for uplink toward it
+  common::Ipv4 pgw_address;
+  std::function<void(datapath::PacketBatch)> to_agw;
+};
+
+struct GtpaStats {
+  std::uint64_t ul_bytes = 0;
+  std::uint64_t dl_bytes = 0;
+  std::uint64_t unknown_teid_drops = 0;
+  std::uint64_t sessions = 0;
+};
+
+class GtpAggregator {
+ public:
+  explicit GtpAggregator(common::Ipv4 address) : address_(address) {}
+
+  common::Ipv4 address() const { return address_; }
+
+  // Phase 1 (before the P-GW answers): allocate our two tunnel ids.
+  GtpaBinding& allocate_binding(common::Teid agw_teid,
+                                std::function<void(datapath::PacketBatch)> to_agw);
+  // Phase 2: fill in the P-GW side once CreateSessionResponse arrives.
+  void complete_binding(common::Teid teid_from_agw, common::Teid pgw_teid,
+                        common::Ipv4 pgw_address);
+  void remove_binding(common::Teid teid_from_agw);
+
+  void set_pgw_sink(std::function<void(datapath::PacketBatch)> sink) {
+    to_pgw_ = std::move(sink);
+  }
+
+  // GTP-U in from an AGW (uplink): re-tunnel toward the P-GW.
+  void ingress_from_agw(datapath::PacketBatch batch);
+  // GTP-U in from the P-GW (downlink): re-tunnel toward the owning AGW.
+  void ingress_from_pgw(datapath::PacketBatch batch);
+
+  const GtpaStats& stats() const { return stats_; }
+
+ private:
+  common::Ipv4 address_;
+  std::function<void(datapath::PacketBatch)> to_pgw_;
+  std::unordered_map<common::Teid, GtpaBinding> by_agw_teid_;
+  std::unordered_map<common::Teid, common::Teid> agw_teid_by_pgw_teid_;
+  std::uint32_t next_teid_ = 0x40000;
+  GtpaStats stats_;
+};
+
+}  // namespace magma::feg

@@ -1,0 +1,211 @@
+#include "net/channel.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+
+namespace magma::net {
+
+namespace {
+
+constexpr std::uint64_t kDatagramOverhead = 28;  // IP + UDP headers
+
+// ---------------------------------------------------------------------------
+// Datagram transport
+// ---------------------------------------------------------------------------
+
+class DatagramEndpoint final : public Channel {
+ public:
+  explicit DatagramEndpoint(sim::Link& tx) : tx_(tx) {}
+
+  void set_peer(DatagramEndpoint* peer) { peer_ = peer; }
+
+  void send(common::Bytes message) override {
+    const std::uint64_t wire_size = message.size() + kDatagramOverhead;
+    tx_.transmit(wire_size, [peer = peer_, msg = std::move(message)]() mutable {
+      if (peer && peer->receiver_) peer->receiver_(std::move(msg));
+    });
+  }
+
+  void set_receiver(std::function<void(common::Bytes)> receiver) override {
+    receiver_ = std::move(receiver);
+  }
+
+ private:
+  sim::Link& tx_;
+  DatagramEndpoint* peer_ = nullptr;
+  std::function<void(common::Bytes)> receiver_;
+};
+
+// ---------------------------------------------------------------------------
+// Reliable transport
+// ---------------------------------------------------------------------------
+//
+// Discrete-message simplification of TCP: every DATA segment carries a
+// sequence number; the peer responds with a cumulative ACK; unacked segments
+// retransmit on an exponentially backed-off RTO. Messages deliver in order.
+
+struct Segment {
+  std::uint64_t epoch;  // connection incarnation (bumped on reset)
+  std::uint64_t seq;
+  bool is_ack;
+  std::uint64_t ack;  // cumulative: all seq < ack received
+  common::Bytes payload;
+};
+
+class ReliableEndpoint final : public ReliableChannel {
+ public:
+  ReliableEndpoint(sim::Kernel& kernel, sim::Link& tx, ReliableConfig config)
+      : kernel_(kernel), tx_(tx), config_(config) {}
+
+  void set_peer(ReliableEndpoint* peer) { peer_ = peer; }
+
+  void send(common::Bytes message) override {
+    ++stats_.messages_sent;
+    const std::uint64_t seq = next_seq_++;
+    auto& pending = outstanding_[seq];
+    pending.payload = std::move(message);
+    pending.rto = config_.initial_rto;
+    pending.retries = 0;
+    transmit_data(seq);
+  }
+
+  void set_receiver(std::function<void(common::Bytes)> receiver) override {
+    receiver_ = std::move(receiver);
+  }
+
+  const ReliableStats& stats() const override { return stats_; }
+
+ private:
+  struct Pending {
+    common::Bytes payload;
+    sim::Duration rto;
+    int retries;
+    sim::EventId timer;
+  };
+
+  void transmit_data(std::uint64_t seq) {
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) return;  // already acked
+    const std::uint64_t wire =
+        it->second.payload.size() + config_.header_overhead;
+    // Copy the payload into the in-flight segment; the original stays in
+    // `outstanding_` for retransmission.
+    Segment seg{epoch_, seq, false, 0, it->second.payload};
+    tx_.transmit(wire, [this, seg = std::move(seg)]() mutable {
+      if (peer_) peer_->on_segment(std::move(seg));
+    });
+    arm_timer(seq);
+  }
+
+  void arm_timer(std::uint64_t seq) {
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) return;
+    Pending& p = it->second;
+    p.timer = kernel_.schedule(p.rto, [this, seq]() { on_timeout(seq); });
+  }
+
+  void on_timeout(std::uint64_t seq) {
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) return;
+    Pending& p = it->second;
+    if (++p.retries > config_.max_retries) {
+      // Connection reset (the TCP analogue of RST after repeated RTO):
+      // every unacknowledged message on this incarnation is lost, and a
+      // fresh epoch starts so post-outage traffic isn't wedged behind the
+      // sequence gap. Callers above (RPC) see deadline failures and retry.
+      stats_.failures += outstanding_.size();
+      for (auto& [_, pending] : outstanding_) {
+        kernel_.cancel(pending.timer);
+      }
+      outstanding_.clear();
+      ++epoch_;
+      next_seq_ = 0;
+      return;
+    }
+    ++stats_.retransmissions;
+    p.rto = std::min<sim::Duration>(p.rto * 2, config_.max_rto);
+    transmit_data(seq);
+  }
+
+  void send_ack() {
+    Segment seg{recv_epoch_, 0, true, recv_next_, {}};
+    tx_.transmit(config_.header_overhead, [this, seg]() {
+      if (peer_) peer_->on_segment(seg);
+    });
+  }
+
+  void on_segment(Segment seg) {
+    if (seg.is_ack) {
+      if (seg.epoch != epoch_) return;  // stale incarnation
+      // Cumulative ACK: everything below seg.ack is delivered.
+      for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+        if (it->first < seg.ack) {
+          kernel_.cancel(it->second.timer);
+          it = outstanding_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      return;
+    }
+    // DATA path.
+    if (seg.epoch < recv_epoch_) return;  // stale incarnation
+    if (seg.epoch > recv_epoch_) {
+      // Peer reset the connection: adopt the new incarnation.
+      recv_epoch_ = seg.epoch;
+      recv_next_ = 0;
+      reorder_.clear();
+    }
+    if (seg.seq >= recv_next_) {
+      reorder_.emplace(seg.seq, std::move(seg.payload));
+      // Drain in-order prefix.
+      while (!reorder_.empty() && reorder_.begin()->first == recv_next_) {
+        auto node = reorder_.extract(reorder_.begin());
+        ++recv_next_;
+        ++stats_.messages_delivered;
+        if (receiver_) receiver_(std::move(node.mapped()));
+      }
+    }
+    send_ack();
+  }
+
+  sim::Kernel& kernel_;
+  sim::Link& tx_;
+  ReliableConfig config_;
+  ReliableEndpoint* peer_ = nullptr;
+  std::function<void(common::Bytes)> receiver_;
+
+  std::uint64_t epoch_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::map<std::uint64_t, Pending> outstanding_;
+
+  std::uint64_t recv_epoch_ = 0;
+  std::uint64_t recv_next_ = 0;
+  std::map<std::uint64_t, common::Bytes> reorder_;
+
+  ReliableStats stats_;
+};
+
+}  // namespace
+
+ChannelPair make_datagram_pair(sim::Kernel& kernel, DuplexLink& path) {
+  (void)kernel;
+  auto a = std::make_unique<DatagramEndpoint>(path.forward);
+  auto b = std::make_unique<DatagramEndpoint>(path.reverse);
+  a->set_peer(b.get());
+  b->set_peer(a.get());
+  return ChannelPair{std::move(a), std::move(b)};
+}
+
+ReliablePair make_reliable_pair(sim::Kernel& kernel, DuplexLink& path,
+                                ReliableConfig config) {
+  auto a = std::make_unique<ReliableEndpoint>(kernel, path.forward, config);
+  auto b = std::make_unique<ReliableEndpoint>(kernel, path.reverse, config);
+  a->set_peer(b.get());
+  b->set_peer(a.get());
+  return ReliablePair{std::move(a), std::move(b)};
+}
+
+}  // namespace magma::net

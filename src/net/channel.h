@@ -1,0 +1,81 @@
+// Message channels over simulated links.
+//
+// Two transports, mirroring the distinction the paper draws in §3.1:
+//  * DatagramChannel — UDP-like, lossy, unordered. This is what 3GPP's GTP
+//    runs over; it is fragile on bad backhaul.
+//  * ReliableChannel — TCP-like: retransmission, cumulative ACKs, in-order
+//    delivery. This is what gRPC inherits and why Magma's control traffic
+//    survives satellite backhaul.
+//
+// Channels carry discrete messages (the RPC layer does its own framing).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/bytes.h"
+#include "sim/kernel.h"
+#include "sim/link.h"
+#include "sim/random.h"
+
+namespace magma::net {
+
+// One side of a bidirectional message pipe.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  // Fire-and-forget. Delivery semantics depend on the transport.
+  virtual void send(common::Bytes message) = 0;
+  virtual void set_receiver(std::function<void(common::Bytes)> receiver) = 0;
+};
+
+// A duplex path: two unidirectional links with independent queues.
+struct DuplexLink {
+  DuplexLink(sim::Kernel& kernel, sim::Rng& rng, const sim::LinkConfig& cfg)
+      : forward(kernel, rng.fork(), cfg), reverse(kernel, rng.fork(), cfg) {}
+  sim::Link forward;
+  sim::Link reverse;
+};
+
+struct ChannelPair {
+  std::unique_ptr<Channel> a;  // sends on forward, receives on reverse
+  std::unique_ptr<Channel> b;  // sends on reverse, receives on forward
+};
+
+// Unreliable transport. Per-message overhead models IP+UDP headers.
+ChannelPair make_datagram_pair(sim::Kernel& kernel, DuplexLink& path);
+
+struct ReliableConfig {
+  sim::Duration initial_rto = 200 * sim::kMillisecond;
+  sim::Duration max_rto = 30 * sim::kSecond;
+  int max_retries = 12;  // after this, the message is dropped (conn reset)
+  std::uint64_t header_overhead = 40;  // IP+TCP
+};
+
+struct ReliableStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t failures = 0;  // messages abandoned after max_retries
+};
+
+// Reliable, in-order transport (simplified TCP). Returned channels expose
+// stats via reliable_stats().
+class ReliableChannel : public Channel {
+ public:
+  virtual const ReliableStats& stats() const = 0;
+};
+
+struct ReliablePair {
+  std::unique_ptr<ReliableChannel> a;
+  std::unique_ptr<ReliableChannel> b;
+};
+
+ReliablePair make_reliable_pair(sim::Kernel& kernel, DuplexLink& path,
+                                ReliableConfig config = {});
+
+}  // namespace magma::net

@@ -1,0 +1,147 @@
+#include "orc8r/metricsd.h"
+
+#include <algorithm>
+
+#include "rpc/wire.h"
+
+namespace magma::orc8r {
+
+common::Bytes encode_metric_report(const std::vector<MetricSample>& samples) {
+  rpc::Writer w;
+  w.u64(samples.size());
+  for (const MetricSample& s : samples) {
+    w.str(s.gateway_id);
+    w.str(s.name);
+    w.f64(s.value);
+    w.i64(s.time);
+  }
+  return std::move(w).take();
+}
+
+common::Result<std::vector<MetricSample>> decode_metric_report(
+    common::BytesView data) {
+  rpc::Reader r(data);
+  const std::uint64_t count = r.u64();
+  std::vector<MetricSample> samples;
+  // The count is attacker-controlled wire data: never reserve it blindly
+  // (each sample needs ≥20 bytes on the wire, so cap by what could fit).
+  samples.reserve(std::min<std::uint64_t>(count, r.remaining() / 20 + 1));
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    MetricSample s;
+    s.gateway_id = r.str();
+    s.name = r.str();
+    s.value = r.f64();
+    s.time = r.i64();
+    samples.push_back(std::move(s));
+  }
+  if (!r.ok() || !r.at_end()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "corrupt metric report"};
+  }
+  return samples;
+}
+
+void Metricsd::add_alert_rule(AlertRule rule) {
+  remove_alert_rule(rule.name);
+  rules_.push_back(std::move(rule));
+}
+
+void Metricsd::remove_alert_rule(const std::string& name) {
+  std::erase_if(rules_, [&](const AlertRule& r) { return r.name == name; });
+  std::erase_if(firing_, [&](const auto& kv) { return kv.first.first == name; });
+}
+
+std::vector<ActiveAlert> Metricsd::active_alerts() const {
+  std::vector<ActiveAlert> out;
+  out.reserve(firing_.size());
+  for (const auto& [_, alert] : firing_) out.push_back(alert);
+  return out;
+}
+
+void Metricsd::evaluate_alerts(const MetricSample& sample) {
+  for (const AlertRule& rule : rules_) {
+    if (rule.metric != sample.name) continue;
+    const bool breached = rule.fire_above ? sample.value > rule.threshold
+                                          : sample.value < rule.threshold;
+    const auto key = std::make_pair(rule.name, sample.gateway_id);
+    auto it = firing_.find(key);
+    if (breached) {
+      if (it == firing_.end()) {
+        firing_[key] =
+            ActiveAlert{rule.name, sample.gateway_id, sample.value,
+                        sample.time};
+        ++alerts_fired_;
+      } else {
+        it->second.value = sample.value;  // still firing; refresh value
+      }
+    } else if (it != firing_.end()) {
+      firing_.erase(it);  // recovered
+    }
+  }
+}
+
+void Metricsd::ingest(const MetricSample& sample) {
+  evaluate_alerts(sample);
+  auto& series = by_name_[sample.name];
+  // Reports arrive roughly time-ordered; keep the invariant strictly.
+  if (!series.empty() && series.back().time > sample.time) {
+    auto pos = std::upper_bound(
+        series.begin(), series.end(), sample,
+        [](const MetricSample& a, const MetricSample& b) {
+          return a.time < b.time;
+        });
+    series.insert(pos, sample);
+  } else {
+    series.push_back(sample);
+  }
+  ++total_;
+}
+
+void Metricsd::ingest(const std::vector<MetricSample>& samples) {
+  for (const MetricSample& s : samples) ingest(s);
+}
+
+std::vector<MetricSample> Metricsd::series(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? std::vector<MetricSample>{} : it->second;
+}
+
+double Metricsd::sum_latest(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return 0;
+  std::map<std::string, double> latest;
+  for (const MetricSample& s : it->second) latest[s.gateway_id] = s.value;
+  double sum = 0;
+  for (const auto& [_, v] : latest) sum += v;
+  return sum;
+}
+
+std::optional<double> Metricsd::latest(const std::string& gateway_id,
+                                       const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (rit->gateway_id == gateway_id) return rit->value;
+  }
+  return std::nullopt;
+}
+
+double Metricsd::sum_in_window(const std::string& name, sim::TimePoint from,
+                               sim::TimePoint to) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return 0;
+  double sum = 0;
+  for (const MetricSample& s : it->second) {
+    if (s.time >= from && s.time < to) sum += s.value;
+  }
+  return sum;
+}
+
+std::vector<std::string> Metricsd::metric_names() const {
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, _] : by_name_) names.push_back(name);
+  return names;
+}
+
+}  // namespace magma::orc8r

@@ -1,0 +1,91 @@
+// metricsd — central telemetry collection (§3.1: "telemetry and logging"
+// has "no equivalent defined" in 3GPP; Magma makes it a first-class
+// responsibility, which §4.3.1 credits for much of the operational-cost
+// reduction).
+//
+// AGWs report samples best-effort (§3.4: metrics state); metricsd stores
+// time series and answers simple aggregate queries, playing the role of the
+// paper's Prometheus. Lost reports are simply absent points.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "sim/time.h"
+
+namespace magma::orc8r {
+
+struct MetricSample {
+  std::string gateway_id;
+  std::string name;
+  double value = 0;
+  sim::TimePoint time = 0;
+};
+
+common::Bytes encode_metric_report(const std::vector<MetricSample>& samples);
+common::Result<std::vector<MetricSample>> decode_metric_report(
+    common::BytesView data);
+
+// Threshold alert rule (the "metrics, alerting, and monitoring" systems
+// §3.2 says consume the northbound API — a minimal Prometheus-alertmanager
+// stand-in).
+struct AlertRule {
+  std::string name;          // rule name (unique)
+  std::string metric;        // metric it watches
+  double threshold = 0;
+  bool fire_above = true;    // fire when value > threshold (else <)
+};
+
+struct ActiveAlert {
+  std::string rule;
+  std::string gateway_id;
+  double value = 0;
+  sim::TimePoint since = 0;
+};
+
+class Metricsd {
+ public:
+  void ingest(const MetricSample& sample);
+  void ingest(const std::vector<MetricSample>& samples);
+
+  // --- alerting ------------------------------------------------------------
+  void add_alert_rule(AlertRule rule);
+  void remove_alert_rule(const std::string& name);
+  // Alerts currently firing (per gateway, latest sample crossing the
+  // threshold; clears when a sample comes back within bounds).
+  std::vector<ActiveAlert> active_alerts() const;
+  std::uint64_t alerts_fired() const { return alerts_fired_; }
+
+  // All samples of `name` across gateways, time-ordered.
+  std::vector<MetricSample> series(const std::string& name) const;
+  // Latest value per gateway for `name`, summed (e.g. network-wide
+  // active-subscriber count).
+  double sum_latest(const std::string& name) const;
+  std::optional<double> latest(const std::string& gateway_id,
+                               const std::string& name) const;
+  // Sum of all values of `name` in [from, to) (e.g. bytes per hour).
+  double sum_in_window(const std::string& name, sim::TimePoint from,
+                       sim::TimePoint to) const;
+
+  std::size_t total_samples() const { return total_; }
+  std::vector<std::string> metric_names() const;
+
+ private:
+  void evaluate_alerts(const MetricSample& sample);
+
+  // name -> time-ordered samples.
+  std::map<std::string, std::vector<MetricSample>> by_name_;
+  std::size_t total_ = 0;
+
+  std::vector<AlertRule> rules_;
+  // (rule name, gateway) -> alert
+  std::map<std::pair<std::string, std::string>, ActiveAlert> firing_;
+  std::uint64_t alerts_fired_ = 0;
+};
+
+}  // namespace magma::orc8r

@@ -1,0 +1,173 @@
+#include "orc8r/orchestrator.h"
+
+#include "common/log.h"
+#include "rpc/wire.h"
+
+namespace magma::orc8r {
+
+Orchestrator::Orchestrator(sim::Kernel& kernel, std::string network_name)
+    : kernel_(kernel), network_name_(std::move(network_name)) {}
+
+// ---------------------------------------------------------------------------
+// Northbound API
+// ---------------------------------------------------------------------------
+
+void Orchestrator::add_subscriber(const agw::SubscriberData& subscriber) {
+  store_.put(subscriber_key(subscriber.imsi), subscriber.serialize());
+}
+
+void Orchestrator::remove_subscriber(const common::Imsi& imsi) {
+  store_.erase(subscriber_key(imsi));
+}
+
+std::optional<agw::SubscriberData> Orchestrator::get_subscriber(
+    const common::Imsi& imsi) const {
+  const auto raw = store_.get(subscriber_key(imsi));
+  if (!raw.has_value()) return std::nullopt;
+  auto parsed = agw::SubscriberData::deserialize(*raw);
+  if (!parsed.ok()) return std::nullopt;
+  return std::move(parsed).take();
+}
+
+std::size_t Orchestrator::subscriber_count() const {
+  return store_.scan("sub/").size();
+}
+
+void Orchestrator::add_policy(const core::Policy& policy) {
+  store_.put(policy_key(policy.name), policy.serialize());
+}
+
+void Orchestrator::remove_policy(const std::string& name) {
+  store_.erase(policy_key(name));
+}
+
+std::optional<core::Policy> Orchestrator::get_policy(
+    const std::string& name) const {
+  const auto raw = store_.get(policy_key(name));
+  if (!raw.has_value()) return std::nullopt;
+  auto parsed = core::Policy::deserialize(*raw);
+  if (!parsed.ok()) return std::nullopt;
+  return std::move(parsed).take();
+}
+
+void Orchestrator::register_gateway(const std::string& gateway_id,
+                                    const std::string& description) {
+  auto& record = gateways_[gateway_id];
+  record.id = gateway_id;
+  record.description = description;
+}
+
+std::optional<GatewayRecord> Orchestrator::gateway(
+    const std::string& gateway_id) const {
+  auto it = gateways_.find(gateway_id);
+  if (it == gateways_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<GatewayRecord> Orchestrator::gateways() const {
+  std::vector<GatewayRecord> out;
+  out.reserve(gateways_.size());
+  for (const auto& [_, record] : gateways_) out.push_back(record);
+  return out;
+}
+
+std::optional<common::Bytes> Orchestrator::stored_checkpoint(
+    const std::string& gateway_id) const {
+  auto it = checkpoints_.find(gateway_id);
+  if (it == checkpoints_.end()) return std::nullopt;
+  return it->second;
+}
+
+DesiredState Orchestrator::desired_state(std::uint64_t have_version) const {
+  DesiredState state;
+  state.version = store_.version();
+  if (have_version == state.version) {
+    state.changed = false;
+    return state;
+  }
+  state.changed = true;
+  for (const auto& [key, value] : store_.scan("sub/")) {
+    auto sub = agw::SubscriberData::deserialize(value);
+    if (sub.ok()) state.subscribers.push_back(std::move(sub).take());
+  }
+  for (const auto& [key, value] : store_.scan("policy/")) {
+    auto policy = core::Policy::deserialize(value);
+    if (policy.ok()) state.policies.push_back(std::move(policy).take());
+  }
+  return state;
+}
+
+// ---------------------------------------------------------------------------
+// Southbound RPC surface
+// ---------------------------------------------------------------------------
+
+void Orchestrator::bind(rpc::RpcNode& node) {
+  node.register_method(
+      kStreamerService, kGetUpdates,
+      [this](const rpc::Bytes& request, rpc::Respond respond) {
+        auto req = GetUpdatesRequest::deserialize(request);
+        if (!req.ok()) {
+          respond(rpc::Error{req.error()});
+          return;
+        }
+        const DesiredState state = desired_state(req.value().have_version);
+        if (state.changed) {
+          ++stats_.config_pushes;
+        } else {
+          ++stats_.noop_polls;
+        }
+        respond(state.serialize());
+      });
+
+  node.register_method(
+      kBootstrapperService, kCheckin,
+      [this](const rpc::Bytes& request, rpc::Respond respond) {
+        rpc::Reader r(request);
+        const std::string gateway_id = r.str();
+        const std::string description = r.str();
+        if (!r.ok()) {
+          respond(rpc::Error{rpc::ErrorCode::kInvalidArgument, "bad checkin"});
+          return;
+        }
+        auto& record = gateways_[gateway_id];
+        record.id = gateway_id;
+        if (record.description.empty()) record.description = description;
+        record.last_checkin = kernel_.now();
+        ++record.checkin_count;
+        ++stats_.checkins;
+        rpc::Writer w;
+        w.boolean(true);
+        respond(std::move(w).take());
+      });
+
+  node.register_method(
+      kStateService, kReportCheckpoint,
+      [this](const rpc::Bytes& request, rpc::Respond respond) {
+        rpc::Reader r(request);
+        const std::string gateway_id = r.str();
+        common::Bytes blob = r.bytes();
+        if (!r.ok()) {
+          respond(
+              rpc::Error{rpc::ErrorCode::kInvalidArgument, "bad checkpoint"});
+          return;
+        }
+        checkpoints_[gateway_id] = std::move(blob);
+        ++stats_.checkpoints_stored;
+        respond(rpc::Bytes{});
+      });
+
+  node.register_method(
+      kMetricsService, kReportMetrics,
+      [this](const rpc::Bytes& request, rpc::Respond respond) {
+        auto samples = decode_metric_report(request);
+        if (!samples.ok()) {
+          respond(rpc::Error{samples.error()});
+          return;
+        }
+        metricsd_.ingest(samples.value());
+        ++stats_.metric_reports;
+        respond(rpc::Bytes{});
+      });
+}
+
+}  // namespace magma::orc8r

@@ -1,0 +1,106 @@
+// Orchestrator — Magma's central point of control (§3.2).
+//
+// Holds authoritative configuration state in a durable WAL store (the
+// paper's Postgres), exposes a northbound API for operators (subscriber and
+// policy management, gateway inventory, metrics queries), and serves the
+// southbound RPC surface AGWs poll: desired-state config sync, device
+// check-in (device management, §3.1), best-effort metrics ingestion, and
+// checkpoint backup storage (§3.3: an AGW's runtime state "may be copied to
+// a backup instance ... running as a cloud service").
+//
+// Runtime UE state never lives here — that is the hierarchical control
+// plane split: the orchestrator scales with configuration churn and
+// gateway count, not with subscriber activity (§3.2, §4.3.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agw/subscriberdb.h"
+#include "common/result.h"
+#include "core/policy.h"
+#include "orc8r/metricsd.h"
+#include "orc8r/streamer.h"
+#include "rpc/rpc.h"
+#include "sim/kernel.h"
+#include "store/wal_store.h"
+
+namespace magma::orc8r {
+
+struct GatewayRecord {
+  std::string id;
+  std::string description;
+  sim::TimePoint last_checkin = -1;  // -1: never checked in
+  std::uint64_t checkin_count = 0;
+};
+
+struct OrchestratorStats {
+  std::uint64_t config_pushes = 0;      // GetUpdates answered with changes
+  std::uint64_t noop_polls = 0;         // GetUpdates answered "current"
+  std::uint64_t checkins = 0;
+  std::uint64_t checkpoints_stored = 0;
+  std::uint64_t metric_reports = 0;
+};
+
+class Orchestrator {
+ public:
+  explicit Orchestrator(sim::Kernel& kernel, std::string network_name = "net");
+
+  // --- Northbound API (operator-facing) ---------------------------------
+  void add_subscriber(const agw::SubscriberData& subscriber);
+  void remove_subscriber(const common::Imsi& imsi);
+  std::optional<agw::SubscriberData> get_subscriber(
+      const common::Imsi& imsi) const;
+  std::size_t subscriber_count() const;
+
+  void add_policy(const core::Policy& policy);
+  void remove_policy(const std::string& name);
+  std::optional<core::Policy> get_policy(const std::string& name) const;
+
+  void register_gateway(const std::string& gateway_id,
+                        const std::string& description);
+  std::optional<GatewayRecord> gateway(const std::string& gateway_id) const;
+  std::vector<GatewayRecord> gateways() const;
+
+  // Stored AGW checkpoint (for bringing up a backup instance).
+  std::optional<common::Bytes> stored_checkpoint(
+      const std::string& gateway_id) const;
+
+  Metricsd& metrics() { return metricsd_; }
+  const Metricsd& metrics() const { return metricsd_; }
+
+  // Current config version (changes on every northbound mutation).
+  std::uint64_t config_version() const { return store_.version(); }
+
+  // Desired state for a gateway at its reported version.
+  DesiredState desired_state(std::uint64_t have_version) const;
+
+  // --- Southbound RPC surface -------------------------------------------
+  // Bind streamer/bootstrapper/state/metricsd handlers onto a node (one per
+  // connected AGW link; handlers share this orchestrator's state).
+  void bind(rpc::RpcNode& node);
+
+  // Crash model for the durable store (tests).
+  store::WalStore& store() { return store_; }
+  const OrchestratorStats& stats() const { return stats_; }
+
+ private:
+  static std::string subscriber_key(const common::Imsi& imsi) {
+    return "sub/" + imsi.value;
+  }
+  static std::string policy_key(const std::string& name) {
+    return "policy/" + name;
+  }
+
+  sim::Kernel& kernel_;
+  std::string network_name_;
+  store::WalStore store_;  // durable config: subscribers + policies
+  std::map<std::string, GatewayRecord> gateways_;
+  std::map<std::string, common::Bytes> checkpoints_;
+  Metricsd metricsd_;
+  OrchestratorStats stats_;
+};
+
+}  // namespace magma::orc8r

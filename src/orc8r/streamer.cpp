@@ -1,0 +1,62 @@
+#include "orc8r/streamer.h"
+
+#include "rpc/wire.h"
+
+namespace magma::orc8r {
+
+common::Bytes GetUpdatesRequest::serialize() const {
+  rpc::Writer w;
+  w.str(gateway_id);
+  w.u64(have_version);
+  return std::move(w).take();
+}
+
+common::Result<GetUpdatesRequest> GetUpdatesRequest::deserialize(
+    common::BytesView d) {
+  rpc::Reader r(d);
+  GetUpdatesRequest req;
+  req.gateway_id = r.str();
+  req.have_version = r.u64();
+  if (!r.ok()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "corrupt GetUpdatesRequest"};
+  }
+  return req;
+}
+
+common::Bytes DesiredState::serialize() const {
+  rpc::Writer w;
+  w.u64(version);
+  w.boolean(changed);
+  w.u64(subscribers.size());
+  for (const agw::SubscriberData& s : subscribers) w.bytes(s.serialize());
+  w.u64(policies.size());
+  for (const core::Policy& p : policies) w.bytes(p.serialize());
+  return std::move(w).take();
+}
+
+common::Result<DesiredState> DesiredState::deserialize(common::BytesView d) {
+  rpc::Reader r(d);
+  DesiredState state;
+  state.version = r.u64();
+  state.changed = r.boolean();
+  const std::uint64_t sub_count = r.u64();
+  for (std::uint64_t i = 0; i < sub_count; ++i) {
+    auto sub = agw::SubscriberData::deserialize(r.bytes());
+    if (!sub.ok()) return sub.error();
+    state.subscribers.push_back(std::move(sub).take());
+  }
+  const std::uint64_t pol_count = r.u64();
+  for (std::uint64_t i = 0; i < pol_count; ++i) {
+    auto policy = core::Policy::deserialize(r.bytes());
+    if (!policy.ok()) return policy.error();
+    state.policies.push_back(std::move(policy).take());
+  }
+  if (!r.ok() || !r.at_end()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "corrupt DesiredState"};
+  }
+  return state;
+}
+
+}  // namespace magma::orc8r

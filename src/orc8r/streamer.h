@@ -1,0 +1,53 @@
+// Streamer wire types: desired-state configuration sync (§3.4).
+//
+// The orchestrator is the sole writer of configuration state; AGWs poll
+// GetUpdates with the version they have, and the streamer answers with the
+// *entire* desired state when anything changed ("the set of sessions is now
+// X, Y, Z" generalized to config). Idempotent full-set transfer is what
+// makes the sync self-healing after lost messages or AGW restarts — the
+// property bench/ablation_state_sync measures against a CRUD baseline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agw/subscriberdb.h"
+#include "common/bytes.h"
+#include "common/result.h"
+#include "core/policy.h"
+
+namespace magma::orc8r {
+
+struct GetUpdatesRequest {
+  std::string gateway_id;
+  std::uint64_t have_version = 0;
+
+  common::Bytes serialize() const;
+  static common::Result<GetUpdatesRequest> deserialize(common::BytesView d);
+};
+
+struct DesiredState {
+  std::uint64_t version = 0;
+  bool changed = false;  // false: caller's version is current; blobs empty
+  std::vector<agw::SubscriberData> subscribers;
+  std::vector<core::Policy> policies;
+
+  common::Bytes serialize() const;
+  static common::Result<DesiredState> deserialize(common::BytesView d);
+};
+
+// Service/method names (orchestrator-side RPC surface).
+inline constexpr const char* kStreamerService = "streamer";
+inline constexpr const char* kGetUpdates = "GetUpdates";
+
+inline constexpr const char* kBootstrapperService = "bootstrapper";
+inline constexpr const char* kCheckin = "Checkin";
+
+inline constexpr const char* kStateService = "state";
+inline constexpr const char* kReportCheckpoint = "ReportCheckpoint";
+
+inline constexpr const char* kMetricsService = "metricsd";
+inline constexpr const char* kReportMetrics = "Report";
+
+}  // namespace magma::orc8r

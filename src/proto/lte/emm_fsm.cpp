@@ -1,0 +1,92 @@
+#include "proto/lte/emm_fsm.h"
+
+namespace magma::proto::lte {
+
+const char* emm_state_name(EmmState state) {
+  switch (state) {
+    case EmmState::kDeregistered: return "DEREGISTERED";
+    case EmmState::kAuthPending: return "AUTH_PENDING";
+    case EmmState::kSecurityPending: return "SECURITY_PENDING";
+    case EmmState::kContextPending: return "CONTEXT_PENDING";
+    case EmmState::kRegistered: return "REGISTERED";
+    case EmmState::kDeregisterPending: return "DEREGISTER_PENDING";
+  }
+  return "?";
+}
+
+const char* emm_event_name(EmmEvent event) {
+  switch (event) {
+    case EmmEvent::kAttachRequested: return "ATTACH_REQUESTED";
+    case EmmEvent::kAuthSucceeded: return "AUTH_SUCCEEDED";
+    case EmmEvent::kAuthFailed: return "AUTH_FAILED";
+    case EmmEvent::kSecurityEstablished: return "SECURITY_ESTABLISHED";
+    case EmmEvent::kSecurityRejected: return "SECURITY_REJECTED";
+    case EmmEvent::kContextEstablished: return "CONTEXT_ESTABLISHED";
+    case EmmEvent::kContextFailed: return "CONTEXT_FAILED";
+    case EmmEvent::kDetachRequested: return "DETACH_REQUESTED";
+    case EmmEvent::kDetachComplete: return "DETACH_COMPLETE";
+    case EmmEvent::kImplicitDetach: return "IMPLICIT_DETACH";
+  }
+  return "?";
+}
+
+bool EmmFsm::valid(EmmState from, EmmEvent event, EmmState* to) {
+  EmmState next = from;
+  bool ok = true;
+  switch (event) {
+    case EmmEvent::kAttachRequested:
+      ok = from == EmmState::kDeregistered;
+      next = EmmState::kAuthPending;
+      break;
+    case EmmEvent::kAuthSucceeded:
+      ok = from == EmmState::kAuthPending;
+      next = EmmState::kSecurityPending;
+      break;
+    case EmmEvent::kAuthFailed:
+      ok = from == EmmState::kAuthPending;
+      next = EmmState::kDeregistered;
+      break;
+    case EmmEvent::kSecurityEstablished:
+      ok = from == EmmState::kSecurityPending;
+      next = EmmState::kContextPending;
+      break;
+    case EmmEvent::kSecurityRejected:
+      ok = from == EmmState::kSecurityPending;
+      next = EmmState::kDeregistered;
+      break;
+    case EmmEvent::kContextEstablished:
+      ok = from == EmmState::kContextPending;
+      next = EmmState::kRegistered;
+      break;
+    case EmmEvent::kContextFailed:
+      ok = from == EmmState::kContextPending;
+      next = EmmState::kDeregistered;
+      break;
+    case EmmEvent::kDetachRequested:
+      ok = from == EmmState::kRegistered;
+      next = EmmState::kDeregisterPending;
+      break;
+    case EmmEvent::kDetachComplete:
+      ok = from == EmmState::kDeregisterPending;
+      next = EmmState::kDeregistered;
+      break;
+    case EmmEvent::kImplicitDetach:
+      ok = true;  // always allowed: the network can give up on any UE
+      next = EmmState::kDeregistered;
+      break;
+  }
+  if (ok && to != nullptr) *to = next;
+  return ok;
+}
+
+bool EmmFsm::handle(EmmEvent event) {
+  EmmState next;
+  if (!valid(state_, event, &next)) {
+    ++invalid_;
+    return false;
+  }
+  state_ = next;
+  return true;
+}
+
+}  // namespace magma::proto::lte

@@ -1,0 +1,130 @@
+#include "ran/scenario.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace magma::ran {
+
+// ---------------------------------------------------------------------------
+// RateSampler
+// ---------------------------------------------------------------------------
+
+RateSampler::RateSampler(sim::Kernel& kernel,
+                         std::function<std::uint64_t()> counter,
+                         sim::Duration interval)
+    : kernel_(kernel), counter_(std::move(counter)), interval_(interval) {}
+
+void RateSampler::start() {
+  last_ = counter_();
+  primed_ = true;
+  kernel_.schedule(interval_, [this]() { tick(); });
+}
+
+void RateSampler::tick() {
+  const std::uint64_t current = counter_();
+  const double rate = static_cast<double>(current - last_) /
+                      sim::to_seconds(interval_);
+  last_ = current;
+  series_.push_back(TimelinePoint{kernel_.now_seconds(), rate});
+  kernel_.schedule(interval_, [this]() { tick(); });
+}
+
+double RateSampler::average(double from_s, double to_s) const {
+  return timeline_average(series_, from_s, to_s);
+}
+
+double RateSampler::peak() const {
+  double best = 0;
+  for (const TimelinePoint& p : series_) best = std::max(best, p.value);
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// CpuSampler
+// ---------------------------------------------------------------------------
+
+CpuSampler::CpuSampler(sim::Kernel& kernel, sim::CpuModel& cpu,
+                       sim::Duration interval)
+    : kernel_(kernel), cpu_(cpu), interval_(interval) {}
+
+void CpuSampler::start() {
+  for (int i = 0; i < 2; ++i) last_busy_[i] = cpu_.stats().busy_ns[i];
+  kernel_.schedule(interval_, [this]() { tick(); });
+}
+
+void CpuSampler::tick() {
+  const double window = sim::to_seconds(interval_) * cpu_.config().cores;
+  double util[2];
+  for (int i = 0; i < 2; ++i) {
+    const sim::Duration busy = cpu_.stats().busy_ns[i];
+    util[i] = sim::to_seconds(busy - last_busy_[i]) / window;
+    last_busy_[i] = busy;
+  }
+  const double t = kernel_.now_seconds();
+  control_.push_back(TimelinePoint{t, util[0]});
+  user_.push_back(TimelinePoint{t, util[1]});
+  total_.push_back(TimelinePoint{t, util[0] + util[1]});
+  kernel_.schedule(interval_, [this]() { tick(); });
+}
+
+double CpuSampler::average_total(double from_s, double to_s) const {
+  return timeline_average(total_, from_s, to_s);
+}
+
+// ---------------------------------------------------------------------------
+// GaugeSampler
+// ---------------------------------------------------------------------------
+
+GaugeSampler::GaugeSampler(sim::Kernel& kernel, std::function<double()> gauge,
+                           sim::Duration interval)
+    : kernel_(kernel), gauge_(std::move(gauge)), interval_(interval) {}
+
+void GaugeSampler::start() {
+  kernel_.schedule(interval_, [this]() { tick(); });
+}
+
+void GaugeSampler::tick() {
+  series_.push_back(TimelinePoint{kernel_.now_seconds(), gauge_()});
+  kernel_.schedule(interval_, [this]() { tick(); });
+}
+
+// ---------------------------------------------------------------------------
+// Formatting
+// ---------------------------------------------------------------------------
+
+double timeline_average(const std::vector<TimelinePoint>& series,
+                        double from_s, double to_s) {
+  double sum = 0;
+  int n = 0;
+  for (const TimelinePoint& p : series) {
+    if (p.t_seconds >= from_s && p.t_seconds < to_s) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0 : sum / n;
+}
+
+std::string format_timeline(const std::string& t_label,
+                            const std::string& v_label,
+                            const std::vector<TimelinePoint>& series,
+                            double value_scale, int max_rows) {
+  std::string out;
+  char line[128];
+  std::snprintf(line, sizeof(line), "  %12s %14s\n", t_label.c_str(),
+                v_label.c_str());
+  out += line;
+  // Thin the series to at most max_rows evenly spaced rows.
+  std::size_t step = 1;
+  if (max_rows > 0 && series.size() > static_cast<std::size_t>(max_rows)) {
+    step = series.size() / static_cast<std::size_t>(max_rows);
+  }
+  for (std::size_t i = 0; i < series.size(); i += step) {
+    std::snprintf(line, sizeof(line), "  %12.1f %14.2f\n",
+                  series[i].t_seconds, series[i].value * value_scale);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace magma::ran

@@ -1,0 +1,93 @@
+// Measurement instrumentation for experiments (the "test equipment" side
+// of the Landslide substitution): periodic samplers that turn simulation
+// state into the timelines the paper's figures plot.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/kernel.h"
+
+namespace magma::ran {
+
+struct TimelinePoint {
+  double t_seconds = 0;
+  double value = 0;
+};
+
+// Samples a user-supplied cumulative counter and reports per-interval rates
+// (e.g. forwarded bytes -> Mbps).
+class RateSampler {
+ public:
+  RateSampler(sim::Kernel& kernel, std::function<std::uint64_t()> counter,
+              sim::Duration interval = sim::kSecond);
+  void start();
+  // Rate in units/second for each interval.
+  const std::vector<TimelinePoint>& series() const { return series_; }
+  double average(double from_s, double to_s) const;
+  double peak() const;
+
+ private:
+  void tick();
+
+  sim::Kernel& kernel_;
+  std::function<std::uint64_t()> counter_;
+  sim::Duration interval_;
+  std::uint64_t last_ = 0;
+  bool primed_ = false;
+  std::vector<TimelinePoint> series_;
+};
+
+// Samples a CpuModel's cumulative busy time and reports utilization (0..1,
+// normalized to total cores) per class and overall.
+class CpuSampler {
+ public:
+  CpuSampler(sim::Kernel& kernel, sim::CpuModel& cpu,
+             sim::Duration interval = sim::kSecond);
+  void start();
+  const std::vector<TimelinePoint>& control_util() const { return control_; }
+  const std::vector<TimelinePoint>& user_util() const { return user_; }
+  const std::vector<TimelinePoint>& total_util() const { return total_; }
+  double average_total(double from_s, double to_s) const;
+
+ private:
+  void tick();
+
+  sim::Kernel& kernel_;
+  sim::CpuModel& cpu_;
+  sim::Duration interval_;
+  sim::Duration last_busy_[2] = {0, 0};
+  std::vector<TimelinePoint> control_;
+  std::vector<TimelinePoint> user_;
+  std::vector<TimelinePoint> total_;
+};
+
+// Generic gauge sampler (active sessions, queue depths, ...).
+class GaugeSampler {
+ public:
+  GaugeSampler(sim::Kernel& kernel, std::function<double()> gauge,
+               sim::Duration interval = sim::kSecond);
+  void start();
+  const std::vector<TimelinePoint>& series() const { return series_; }
+
+ private:
+  void tick();
+
+  sim::Kernel& kernel_;
+  std::function<double()> gauge_;
+  sim::Duration interval_;
+  std::vector<TimelinePoint> series_;
+};
+
+// Helpers for printing figure data as aligned columns.
+std::string format_timeline(const std::string& t_label,
+                            const std::string& v_label,
+                            const std::vector<TimelinePoint>& series,
+                            double value_scale = 1.0, int max_rows = 0);
+double timeline_average(const std::vector<TimelinePoint>& series,
+                        double from_s, double to_s);
+
+}  // namespace magma::ran

@@ -1,0 +1,151 @@
+#include "rpc/rpc.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace magma::rpc {
+
+namespace {
+constexpr std::uint8_t kRequest = 1;
+constexpr std::uint8_t kResponse = 2;
+}  // namespace
+
+RpcNode::RpcNode(sim::Kernel& kernel, net::Channel& channel, std::string name)
+    : kernel_(kernel), channel_(channel), name_(std::move(name)) {
+  channel_.set_receiver([this](Bytes raw) { on_message(std::move(raw)); });
+}
+
+void RpcNode::register_method(const std::string& service,
+                              const std::string& method, Handler handler) {
+  handlers_[{service, method}] = std::move(handler);
+}
+
+void RpcNode::call(const std::string& service, const std::string& method,
+                   Bytes request, sim::Duration deadline,
+                   std::function<void(Result<Bytes>)> on_done) {
+  const std::uint64_t id = next_call_id_++;
+  ++stats_.calls_sent;
+
+  PendingCall pc;
+  pc.on_done = std::move(on_done);
+  pc.timeout = kernel_.schedule(deadline, [this, id]() {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    auto cb = std::move(it->second.on_done);
+    pending_.erase(it);
+    ++stats_.calls_timed_out;
+    cb(Error{ErrorCode::kDeadlineExceeded, "rpc deadline exceeded"});
+  });
+  pending_.emplace(id, std::move(pc));
+
+  Writer w;
+  w.u8(kRequest);
+  w.u64(id);
+  w.str(service);
+  w.str(method);
+  w.bytes(request);
+  channel_.send(std::move(w).take());
+}
+
+void RpcNode::call_with_retries(const std::string& service,
+                                const std::string& method, Bytes request,
+                                sim::Duration deadline, int retries,
+                                sim::Duration backoff,
+                                std::function<void(Result<Bytes>)> on_done) {
+  call(service, method, request, deadline,
+       [this, service, method, request, deadline, retries, backoff,
+        on_done = std::move(on_done)](Result<Bytes> result) mutable {
+         const bool retryable = !result.ok() &&
+                                (result.code() == ErrorCode::kUnavailable ||
+                                 result.code() == ErrorCode::kDeadlineExceeded);
+         if (retryable && retries > 0) {
+           kernel_.schedule(backoff, [this, service, method,
+                                      request = std::move(request), deadline,
+                                      retries, backoff,
+                                      on_done = std::move(on_done)]() mutable {
+             call_with_retries(service, method, std::move(request), deadline,
+                               retries - 1, backoff * 2, std::move(on_done));
+           });
+           return;
+         }
+         on_done(std::move(result));
+       });
+}
+
+void RpcNode::on_message(Bytes raw) {
+  Reader r(raw);
+  const std::uint8_t type = r.u8();
+  if (!r.ok()) return;
+  switch (type) {
+    case kRequest:
+      handle_request(r);
+      break;
+    case kResponse:
+      handle_response(r);
+      break;
+    default:
+      MLOG_WARN("rpc") << name_ << ": unknown frame type "
+                       << static_cast<int>(type);
+  }
+}
+
+void RpcNode::handle_request(Reader& r) {
+  const std::uint64_t id = r.u64();
+  const std::string service = r.str();
+  const std::string method = r.str();
+  const Bytes payload = r.bytes();
+  if (!r.ok()) return;
+
+  auto it = handlers_.find({service, method});
+  if (it == handlers_.end()) {
+    send_response(id, Error{ErrorCode::kNotFound,
+                            "no handler for " + service + "/" + method});
+    return;
+  }
+  ++stats_.calls_served;
+  it->second(payload, [this, id](Result<Bytes> result) {
+    send_response(id, result);
+  });
+}
+
+void RpcNode::send_response(std::uint64_t call_id,
+                            const Result<Bytes>& result) {
+  Writer w;
+  w.u8(kResponse);
+  w.u64(call_id);
+  if (result.ok()) {
+    w.u8(static_cast<std::uint8_t>(ErrorCode::kOk));
+    w.str("");
+    w.bytes(result.value());
+  } else {
+    w.u8(static_cast<std::uint8_t>(result.error().code));
+    w.str(result.error().message);
+    w.bytes({});
+  }
+  channel_.send(std::move(w).take());
+}
+
+void RpcNode::handle_response(Reader& r) {
+  const std::uint64_t id = r.u64();
+  const auto code = static_cast<ErrorCode>(r.u8());
+  const std::string message = r.str();
+  const Bytes payload = r.bytes();
+  if (!r.ok()) return;
+
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // late duplicate or already timed out
+  kernel_.cancel(it->second.timeout);
+  auto cb = std::move(it->second.on_done);
+  pending_.erase(it);
+
+  if (code == ErrorCode::kOk) {
+    ++stats_.calls_ok;
+    cb(payload);
+  } else {
+    ++stats_.calls_failed;
+    cb(Error{code, message});
+  }
+}
+
+}  // namespace magma::rpc

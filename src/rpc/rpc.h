@@ -1,0 +1,99 @@
+// RPC framework over net::Channel — the repository's stand-in for gRPC.
+//
+// All Magma-internal communication (RAN front-end ↔ generic AGW services,
+// AGW ↔ orchestrator, FeG ↔ MNO core) goes through this layer, mirroring
+// §3.1's "all communication ... uses gRPC". An RpcNode is symmetric: either
+// end of a channel can expose services and originate calls, which is how the
+// orchestrator's streamer pushes and the AGW's poller both work over one
+// long-lived connection.
+//
+// Semantics (like gRPC over TCP):
+//  * calls carry a deadline; a lost transport means DEADLINE_EXCEEDED, not a
+//    hang;
+//  * responses are matched to calls by id; duplicates are ignored;
+//  * handlers respond asynchronously, so a service can charge CPU time to a
+//    sim::CpuModel before answering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "net/channel.h"
+#include "rpc/wire.h"
+#include "sim/kernel.h"
+
+namespace magma::rpc {
+
+using common::Bytes;
+using common::Error;
+using common::ErrorCode;
+using common::Result;
+
+// A handler receives the request payload and a `respond` callback it must
+// invoke exactly once (possibly later, after simulated work).
+using Respond = std::function<void(Result<Bytes>)>;
+using Handler = std::function<void(const Bytes& request, Respond respond)>;
+
+struct RpcStats {
+  std::uint64_t calls_sent = 0;
+  std::uint64_t calls_ok = 0;
+  std::uint64_t calls_failed = 0;     // error status from the peer
+  std::uint64_t calls_timed_out = 0;  // deadline exceeded locally
+  std::uint64_t calls_served = 0;
+};
+
+class RpcNode {
+ public:
+  // The node does not own the channel; the caller keeps both alive.
+  RpcNode(sim::Kernel& kernel, net::Channel& channel, std::string name);
+
+  RpcNode(const RpcNode&) = delete;
+  RpcNode& operator=(const RpcNode&) = delete;
+
+  // --- server side -------------------------------------------------------
+  void register_method(const std::string& service, const std::string& method,
+                       Handler handler);
+
+  // --- client side -------------------------------------------------------
+  void call(const std::string& service, const std::string& method,
+            Bytes request, sim::Duration deadline,
+            std::function<void(Result<Bytes>)> on_done);
+
+  // Convenience: call with automatic retries on UNAVAILABLE/DEADLINE, spaced
+  // by `backoff` (doubling). Used by AGW→orchestrator sync paths that must
+  // survive backhaul outages.
+  void call_with_retries(const std::string& service, const std::string& method,
+                         Bytes request, sim::Duration deadline, int retries,
+                         sim::Duration backoff,
+                         std::function<void(Result<Bytes>)> on_done);
+
+  const RpcStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+  sim::Kernel& kernel() { return kernel_; }
+
+ private:
+  struct PendingCall {
+    std::function<void(Result<Bytes>)> on_done;
+    sim::EventId timeout;
+  };
+
+  void on_message(Bytes raw);
+  void handle_request(Reader& r);
+  void handle_response(Reader& r);
+  void send_response(std::uint64_t call_id, const Result<Bytes>& result);
+
+  sim::Kernel& kernel_;
+  net::Channel& channel_;
+  std::string name_;
+  std::uint64_t next_call_id_ = 1;
+  std::map<std::pair<std::string, std::string>, Handler> handlers_;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  RpcStats stats_;
+};
+
+}  // namespace magma::rpc

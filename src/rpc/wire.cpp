@@ -1,0 +1,94 @@
+#include "rpc/wire.h"
+
+#include <cstring>
+
+namespace magma::rpc {
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Writer::bytes(common::BytesView data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void Writer::str(std::string_view s) {
+  bytes(common::BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                          s.size()));
+}
+
+bool Reader::take(std::size_t n, const std::uint8_t** out) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t Reader::u8() {
+  const std::uint8_t* p;
+  return take(1, &p) ? *p : 0;
+}
+
+std::uint16_t Reader::u16() {
+  const std::uint8_t* p;
+  if (!take(2, &p)) return 0;
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t Reader::u32() {
+  const std::uint8_t* p;
+  if (!take(4, &p)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  const std::uint8_t* p;
+  if (!take(8, &p)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+double Reader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return ok_ ? v : 0.0;
+}
+
+common::Bytes Reader::bytes() {
+  const std::uint32_t len = u32();
+  const std::uint8_t* p;
+  if (!take(len, &p)) return {};
+  return common::Bytes(p, p + len);
+}
+
+std::string Reader::str() {
+  const std::uint32_t len = u32();
+  const std::uint8_t* p;
+  if (!take(len, &p)) return {};
+  return std::string(reinterpret_cast<const char*>(p), len);
+}
+
+}  // namespace magma::rpc

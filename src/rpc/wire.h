@@ -1,0 +1,65 @@
+// Compact binary wire format used by every protocol in the repository.
+//
+// The real Magma serializes with protobuf; we use a hand-rolled
+// length-prefixed little-endian format with the same purpose: explicit,
+// versionable message encodings that round-trip exactly. Reader is
+// fail-soft: reads past the end return zero values and latch an error flag
+// the caller must check — malformed input must never crash a gateway.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace magma::rpc {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  // Length-prefixed byte string (u32 length).
+  void bytes(common::BytesView data);
+  void str(std::string_view s);
+
+  const common::Bytes& data() const& { return buf_; }
+  common::Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  common::Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(common::BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  bool boolean() { return u8() != 0; }
+  common::Bytes bytes();
+  std::string str();
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool take(std::size_t n, const std::uint8_t** out);
+
+  common::BytesView data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace magma::rpc

@@ -1,0 +1,102 @@
+#include "sim/cpu.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace magma::sim {
+
+CpuModel::CpuModel(Kernel& kernel, CpuConfig config)
+    : kernel_(kernel), config_(config) {
+  assert(config_.cores > 0);
+  assert(config_.speed_ghz > 0);
+  assert(config_.user_plane_cores <= config_.cores);
+  cores_.resize(static_cast<std::size_t>(config_.cores));
+}
+
+bool CpuModel::core_eligible(int core, WorkClass cls) const {
+  if (config_.user_plane_cores < 0) return true;  // shared / flexible
+  // Cores [0, user_plane_cores) are user-plane; the rest are control-plane.
+  const bool is_user_core = core < config_.user_plane_cores;
+  return (cls == WorkClass::kUser) == is_user_core;
+}
+
+int CpuModel::cores_for(WorkClass cls) const {
+  if (config_.user_plane_cores < 0) return config_.cores;
+  return cls == WorkClass::kUser ? config_.user_plane_cores
+                                 : config_.cores - config_.user_plane_cores;
+}
+
+bool CpuModel::submit(WorkClass cls, double reference_seconds,
+                      std::function<void()> done) {
+  const auto idx = static_cast<std::size_t>(cls);
+  if (cores_for(cls) == 0) {
+    ++stats_.rejected[idx];
+    return false;
+  }
+  Work work{cls, from_seconds(reference_seconds / config_.speed_ghz),
+            std::move(done)};
+  // Try to find an idle eligible core.
+  for (int c = 0; c < config_.cores; ++c) {
+    if (!cores_[static_cast<std::size_t>(c)].busy && core_eligible(c, cls)) {
+      start(c, std::move(work));
+      return true;
+    }
+  }
+  if (config_.max_queue_depth != 0 &&
+      queue_[idx].size() >= config_.max_queue_depth) {
+    ++stats_.rejected[idx];
+    return false;
+  }
+  queue_[idx].push_back(std::move(work));
+  stats_.queue_depth[idx] = queue_[idx].size();
+  return true;
+}
+
+void CpuModel::start(int core, Work work) {
+  auto& c = cores_[static_cast<std::size_t>(core)];
+  assert(!c.busy);
+  c.busy = true;
+  const auto idx = static_cast<std::size_t>(work.cls);
+  stats_.busy_ns[idx] += work.cost;
+  auto done = std::move(work.done);
+  kernel_.schedule(work.cost, [this, core, idx, done = std::move(done)]() {
+    cores_[static_cast<std::size_t>(core)].busy = false;
+    ++stats_.completed[idx];
+    if (done) done();
+    on_core_idle(core);
+  });
+}
+
+void CpuModel::on_core_idle(int core) {
+  if (cores_[static_cast<std::size_t>(core)].busy) return;
+  // Serve control first only if its queue is older? Simpler and fair enough:
+  // alternate by picking the class whose head has waited longest is overkill;
+  // drain user-plane first when shared would starve control, so pick the
+  // class with the larger backlog-normalized queue. In the partitioned case
+  // only one class is eligible anyway.
+  WorkClass order[2];
+  if (queue_[0].size() >= queue_[1].size()) {
+    order[0] = WorkClass::kControl;
+    order[1] = WorkClass::kUser;
+  } else {
+    order[0] = WorkClass::kUser;
+    order[1] = WorkClass::kControl;
+  }
+  for (WorkClass cls : order) {
+    const auto idx = static_cast<std::size_t>(cls);
+    if (queue_[idx].empty() || !core_eligible(core, cls)) continue;
+    Work next = std::move(queue_[idx].front());
+    queue_[idx].pop_front();
+    stats_.queue_depth[idx] = queue_[idx].size();
+    start(core, std::move(next));
+    return;
+  }
+}
+
+double CpuModel::instantaneous_utilization() const {
+  int busy = 0;
+  for (const auto& c : cores_) busy += c.busy ? 1 : 0;
+  return static_cast<double>(busy) / static_cast<double>(config_.cores);
+}
+
+}  // namespace magma::sim

@@ -1,0 +1,92 @@
+// CPU model for simulated hosts.
+//
+// The paper's evaluation turns on where CPU time goes inside an AGW: attach
+// storms are control-plane (crypto + session setup) heavy, steady state is
+// user-plane (forwarding) heavy, and Figures 7/8 statically partition cores
+// between the two. This model reproduces exactly that mechanism: a host has
+// N cores; services submit work items tagged control/user; cores drain
+// per-class FIFO queues. Cores can be shared (the kernel scheduler case in
+// the paper) or statically pinned per class.
+//
+// Work costs are expressed in seconds on a 1 GHz reference core; a host's
+// `speed_ghz` scales them, letting the same service code run on the paper's
+// Intel J3160 (1.6 GHz) and Xeon 6126 (2.6 GHz) AGWs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.h"
+#include "sim/time.h"
+
+namespace magma::sim {
+
+enum class WorkClass : std::uint8_t { kControl = 0, kUser = 1 };
+
+struct CpuConfig {
+  int cores = 4;
+  double speed_ghz = 1.6;  // relative to the 1 GHz reference core
+  // Static partition: number of cores reserved for user-plane work. The
+  // remaining cores serve control-plane work. -1 means no partition: all
+  // cores serve both classes (work-conserving, the "flexible" case).
+  int user_plane_cores = -1;
+  // Bound on queued-but-not-running work per class; further submissions are
+  // rejected (models overload drops, e.g. attach requests beyond the MME's
+  // socket backlog). 0 means unbounded.
+  std::size_t max_queue_depth = 0;
+};
+
+// Cumulative counters; utilization over a window is computed from deltas.
+struct CpuStats {
+  Duration busy_ns[2] = {0, 0};  // indexed by WorkClass
+  std::uint64_t completed[2] = {0, 0};
+  std::uint64_t rejected[2] = {0, 0};
+  std::size_t queue_depth[2] = {0, 0};  // instantaneous
+};
+
+class CpuModel {
+ public:
+  CpuModel(Kernel& kernel, CpuConfig config);
+
+  // Submit `reference_seconds` of work. `done` runs when the work completes;
+  // it is not called if the submission is rejected (returns false).
+  bool submit(WorkClass cls, double reference_seconds,
+              std::function<void()> done);
+
+  // Instantaneous view: fraction of cores currently busy, [0,1].
+  double instantaneous_utilization() const;
+
+  const CpuStats& stats() const { return stats_; }
+  const CpuConfig& config() const { return config_; }
+  Kernel& kernel() { return kernel_; }
+
+  // Number of cores eligible to run `cls` under the current partition.
+  int cores_for(WorkClass cls) const;
+
+ private:
+  struct Work {
+    WorkClass cls;
+    Duration cost;
+    std::function<void()> done;
+  };
+  struct Core {
+    bool busy = false;
+  };
+
+  bool core_eligible(int core, WorkClass cls) const;
+  // Start `work` on `core` now.
+  void start(int core, Work work);
+  // Called when a core finishes; pulls the next eligible queued item.
+  void on_core_idle(int core);
+
+  Kernel& kernel_;
+  CpuConfig config_;
+  std::vector<Core> cores_;
+  std::deque<Work> queue_[2];
+  CpuStats stats_;
+};
+
+}  // namespace magma::sim

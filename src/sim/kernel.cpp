@@ -1,0 +1,61 @@
+#include "sim/kernel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace magma::sim {
+
+EventId Kernel::schedule(Duration delay, std::function<void()> fn) {
+  return schedule_at(now_ + std::max<Duration>(delay, 0), std::move(fn));
+}
+
+EventId Kernel::schedule_at(TimePoint when, std::function<void()> fn) {
+  assert(fn);
+  const std::uint64_t id = next_id_++;
+  heap_.push(Event{std::max(when, now_), next_seq_++, id, std::move(fn)});
+  pending_.insert(id);
+  return EventId{id};
+}
+
+bool Kernel::cancel(EventId id) {
+  // Lazy deletion: remove from the pending set; the heap entry is skipped
+  // when it reaches the top.
+  return pending_.erase(id.value) > 0;
+}
+
+void Kernel::skim() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+bool Kernel::step() {
+  skim();
+  if (heap_.empty()) return false;
+  Event ev = heap_.top();
+  heap_.pop();
+  pending_.erase(ev.id);
+  assert(ev.when >= now_);
+  now_ = ev.when;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+TimePoint Kernel::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+TimePoint Kernel::run_until(TimePoint deadline) {
+  for (;;) {
+    skim();
+    if (heap_.empty() || heap_.top().when > deadline) break;
+    step();
+  }
+  now_ = std::max(now_, deadline);
+  return now_;
+}
+
+}  // namespace magma::sim

@@ -1,0 +1,80 @@
+// Discrete-event simulation kernel.
+//
+// Replaces the paper's physical testbed clock. Components schedule callbacks
+// at virtual times; the kernel executes them in (time, sequence) order, so a
+// run is fully deterministic given its seed. Everything in the repository —
+// links, CPUs, protocol timers, traffic generators — is driven off this one
+// event loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace magma::sim {
+
+// Handle used to cancel a scheduled event (e.g. a protocol retransmission
+// timer that fires only if no answer arrived).
+struct EventId {
+  std::uint64_t value = 0;
+  bool operator==(const EventId&) const = default;
+};
+
+class Kernel {
+ public:
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  TimePoint now() const { return now_; }
+  double now_seconds() const { return to_seconds(now_); }
+
+  // Schedule `fn` to run `delay` from now (delay < 0 is clamped to 0).
+  EventId schedule(Duration delay, std::function<void()> fn);
+  // Schedule `fn` at absolute time `when` (in the past is clamped to now).
+  EventId schedule_at(TimePoint when, std::function<void()> fn);
+
+  // Cancel a pending event. Returns false if it already ran or was cancelled.
+  bool cancel(EventId id);
+
+  // Run until the event queue empties. Returns the final time.
+  TimePoint run();
+  // Run until `deadline` (inclusive); later events stay queued. Advances the
+  // clock to `deadline` even if the queue empties first.
+  TimePoint run_until(TimePoint deadline);
+  // Execute at most one event. Returns false if the queue is empty.
+  bool step();
+
+  std::size_t pending_events() const { return pending_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;  // tiebreak: FIFO among same-time events
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drop cancelled events sitting at the top of the heap.
+  void skim();
+
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<std::uint64_t> pending_;  // ids not yet run or cancelled
+};
+
+}  // namespace magma::sim

@@ -1,0 +1,53 @@
+#include "sim/link.h"
+
+#include <algorithm>
+
+namespace magma::sim {
+
+LinkConfig lan_link() {
+  return LinkConfig{1e9, 200 * kMicrosecond, 0, 0.0, "lan"};
+}
+LinkConfig fiber_backhaul() {
+  return LinkConfig{1e9, 5 * kMillisecond, 0, 0.0, "fiber"};
+}
+LinkConfig microwave_backhaul() {
+  return LinkConfig{100e6, 15 * kMillisecond, 3 * kMillisecond, 0.005,
+                    "microwave"};
+}
+LinkConfig satellite_backhaul() {
+  return LinkConfig{20e6, 300 * kMillisecond, 20 * kMillisecond, 0.02,
+                    "satellite"};
+}
+
+Link::Link(Kernel& kernel, Rng rng, LinkConfig config)
+    : kernel_(kernel), rng_(rng), config_(config) {}
+
+void Link::transmit(std::uint64_t size_bytes, std::function<void()> deliver,
+                    std::function<void()> on_drop) {
+  ++stats_.packets_sent;
+  const TimePoint start = std::max(kernel_.now(), next_free_);
+  const Duration ser = transmission_time(size_bytes, config_.bandwidth_bps);
+  const TimePoint departure = start + ser;
+  next_free_ = departure;
+
+  const bool lost = !up_ || rng_.bernoulli(config_.loss_probability);
+  if (lost) {
+    ++stats_.packets_dropped;
+    if (on_drop) {
+      kernel_.schedule_at(departure, std::move(on_drop));
+    }
+    return;
+  }
+
+  Duration jitter = 0;
+  if (config_.jitter > 0) {
+    jitter = static_cast<Duration>(
+        rng_.uniform_int(static_cast<std::uint64_t>(config_.jitter)));
+  }
+  const TimePoint arrival = departure + config_.latency + jitter;
+  ++stats_.packets_delivered;
+  stats_.bytes_delivered += size_bytes;
+  kernel_.schedule_at(arrival, std::move(deliver));
+}
+
+}  // namespace magma::sim

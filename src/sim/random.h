@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every stochastic element of the simulation (link loss, workload arrivals,
+// traffic sizes) draws from an Rng seeded explicitly, so experiments are
+// replicable — the property the paper gets from Spirent Landslide.
+#pragma once
+
+#include <cstdint>
+
+namespace magma::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  bool bernoulli(double p);
+
+  // Exponential with the given mean (for Poisson arrivals).
+  double exponential(double mean);
+
+  // Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal(double mean, double stddev);
+
+  // Derive an independent stream (for per-entity RNGs).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace magma::sim

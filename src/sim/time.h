@@ -1,0 +1,38 @@
+// Simulated time.
+//
+// All timing in the repository uses integer nanoseconds on a virtual clock
+// owned by sim::Kernel. Integer time keeps runs bit-for-bit deterministic
+// across platforms, which the test suite depends on.
+#pragma once
+
+#include <cstdint>
+
+namespace magma::sim {
+
+// Nanoseconds since simulation start.
+using TimePoint = std::int64_t;
+// Nanoseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+constexpr Duration kMinute = 60 * kSecond;
+constexpr Duration kHour = 60 * kMinute;
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+// Duration to transmit `bytes` at `bits_per_second`.
+constexpr Duration transmission_time(std::uint64_t bytes,
+                                     double bits_per_second) {
+  if (bits_per_second <= 0) return 0;
+  return from_seconds(static_cast<double>(bytes) * 8.0 / bits_per_second);
+}
+
+}  // namespace magma::sim

@@ -1,0 +1,71 @@
+#include "store/state_store.h"
+
+#include "rpc/wire.h"
+
+namespace magma::store {
+
+void StateStore::put(const std::string& key, common::Bytes value) {
+  map_[key] = std::move(value);
+}
+
+void StateStore::erase(const std::string& key) {
+  map_.erase(key);
+}
+
+std::optional<common::Bytes> StateStore::get(const std::string& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool StateStore::contains(const std::string& key) const {
+  return map_.contains(key);
+}
+
+std::vector<std::pair<std::string, common::Bytes>> StateStore::scan(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, common::Bytes>> out;
+  for (auto it = map_.lower_bound(prefix); it != map_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+std::size_t StateStore::erase_prefix(const std::string& prefix) {
+  std::size_t removed = 0;
+  auto it = map_.lower_bound(prefix);
+  while (it != map_.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0) {
+    it = map_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+common::Bytes StateStore::snapshot() const {
+  rpc::Writer w;
+  w.u64(map_.size());
+  for (const auto& [key, value] : map_) {
+    w.str(key);
+    w.bytes(value);
+  }
+  return std::move(w).take();
+}
+
+common::Result<StateStore> StateStore::restore(common::BytesView image) {
+  rpc::Reader r(image);
+  StateStore store;
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    std::string key = r.str();
+    store.map_[std::move(key)] = r.bytes();
+  }
+  if (!r.ok() || !r.at_end()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "corrupt StateStore image"};
+  }
+  return store;
+}
+
+}  // namespace magma::store

@@ -1,0 +1,46 @@
+// In-memory state store with whole-image snapshot/restore.
+//
+// Stands in for the Redis instance Magma runs on each AGW: critical services
+// keep per-process state *outside* the process (§3.4 footnote), so a service
+// restart is a crash-recovery, not a state loss. §3.3: "runtime state stored
+// in an AGW is checkpointed regularly and may be copied to a backup instance
+// of the AGW running as a cloud service" — `snapshot()` produces exactly
+// that image, and `restore()` brings a cold standby up from it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace magma::store {
+
+class StateStore {
+ public:
+  void put(const std::string& key, common::Bytes value);
+  void erase(const std::string& key);
+  std::optional<common::Bytes> get(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  std::size_t size() const { return map_.size(); }
+  void clear() { map_.clear(); }
+
+  std::vector<std::pair<std::string, common::Bytes>> scan(
+      const std::string& prefix) const;
+  // Erase every key with the given prefix; returns how many were removed.
+  std::size_t erase_prefix(const std::string& prefix);
+
+  // Serialized full image for checkpoint shipping.
+  common::Bytes snapshot() const;
+  static common::Result<StateStore> restore(common::BytesView image);
+
+  bool operator==(const StateStore& other) const { return map_ == other.map_; }
+
+ private:
+  std::map<std::string, common::Bytes> map_;
+};
+
+}  // namespace magma::store

@@ -1,0 +1,77 @@
+// Cost model: the paper's Table 2/3 arithmetic and the scale-down claim.
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+
+namespace magma::cost {
+namespace {
+
+TEST(CostModel, Table2LineItems) {
+  const BillOfMaterials bom = typical_site_capex();
+  // 3 eNodeBs at $4000, 1 AGW at $450, 3 accessory kits at $450.
+  EXPECT_DOUBLE_EQ(bom.total(), 12000 + 450 + 1350);
+  // AGW is under 3% of the active-equipment cost (§4.1).
+  EXPECT_LT(450.0 / bom.total(), 0.035);
+}
+
+TEST(CostModel, Table3ComparisonMatchesPaper) {
+  const CostComparison cmp = accessparks_comparison();
+  EXPECT_DOUBLE_EQ(cmp.traditional_usd, 16350);
+  EXPECT_DOUBLE_EQ(cmp.magma_usd, 9380);
+  EXPECT_DOUBLE_EQ(cmp.savings_usd(), 6970);
+  // "-43%" — the paper rounds 42.6%.
+  EXPECT_NEAR(cmp.savings_fraction(), 0.43, 0.01);
+}
+
+TEST(CostModel, Table3LargestSavingIsEngineering) {
+  // §4.3.1: the reduction is "largely driven by a reduction in support
+  // costs and engineering time".
+  const auto traditional = accessparks_traditional();
+  const auto magma = accessparks_magma();
+  double best_saving = 0;
+  std::string best_item;
+  for (std::size_t i = 0; i < traditional.items.size(); ++i) {
+    const double saving =
+        traditional.items[i].total() - magma.items[i].total();
+    if (saving > best_saving) {
+      best_saving = saving;
+      best_item = traditional.items[i].item;
+    }
+  }
+  EXPECT_EQ(best_item, "LTE Eng.");
+  EXPECT_DOUBLE_EQ(best_saving, 4670);
+}
+
+TEST(CostModel, ScaleDownCrossover) {
+  // Magma should be dramatically cheaper per site at small scale (§2.2:
+  // traditional cores "do not scale down") and remain competitive at large
+  // scale.
+  const CoreCostModel model;
+  EXPECT_GT(traditional_per_site_cost(model, 1),
+            10 * magma_per_site_cost(model, 1) / 3);
+  EXPECT_GT(traditional_per_site_cost(model, 5),
+            magma_per_site_cost(model, 5));
+  // Per-site cost decreases monotonically with scale for both.
+  for (int sites : {1, 2, 5, 10, 50, 100}) {
+    EXPECT_GE(traditional_per_site_cost(model, sites),
+              traditional_per_site_cost(model, sites * 2));
+    EXPECT_GE(magma_per_site_cost(model, sites),
+              magma_per_site_cost(model, sites * 2));
+  }
+}
+
+TEST(CostModel, TableFormatting) {
+  const std::string table = typical_site_capex().to_table();
+  EXPECT_NE(table.find("LTE eNodeB"), std::string::npos);
+  EXPECT_NE(table.find("TOTAL"), std::string::npos);
+  EXPECT_NE(table.find("13800"), std::string::npos);
+}
+
+TEST(CostModel, ZeroSitesIsSafe) {
+  const CoreCostModel model;
+  EXPECT_DOUBLE_EQ(traditional_per_site_cost(model, 0), 0);
+  EXPECT_DOUBLE_EQ(magma_per_site_cost(model, 0), 0);
+}
+
+}  // namespace
+}  // namespace magma::cost

@@ -1,0 +1,499 @@
+// Data plane: packet codec, flow matching, meters, pipeline walks.
+#include <gtest/gtest.h>
+
+#include "datapath/flow_table.h"
+#include "datapath/gtpu.h"
+#include "datapath/meter.h"
+#include "datapath/packet.h"
+#include "datapath/pipeline.h"
+#include "sim/random.h"
+
+namespace magma::datapath {
+namespace {
+
+const common::Ipv4 kUe = common::Ipv4::from_octets(172, 16, 0, 5);
+const common::Ipv4 kServer = common::Ipv4::from_octets(8, 8, 8, 8);
+const common::Ipv4 kEnb = common::Ipv4::from_octets(10, 100, 0, 1);
+const common::Ipv4 kAgw = common::Ipv4::from_octets(10, 1, 0, 1);
+
+// --- Packet codec --------------------------------------------------------------
+
+TEST(Packet, PlainSerializeParseRoundTrip) {
+  Packet pkt = make_udp(kUe, kServer, 40000, 443, 987);
+  pkt.ip.dscp = 12;
+  const common::Bytes wire = pkt.serialize();
+  EXPECT_EQ(wire.size(), pkt.wire_size());
+  auto parsed = Packet::parse(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), pkt);
+}
+
+TEST(Packet, GtpuSerializeParseRoundTrip) {
+  Packet inner = make_tcp(kServer, kUe, 443, 40000, 1400);
+  Packet pkt = gtpu_encap(inner, common::Teid{0x1234}, kAgw, kEnb);
+  const common::Bytes wire = pkt.serialize();
+  auto parsed = Packet::parse(wire);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.value().gtpu.has_value());
+  EXPECT_EQ(parsed.value().gtpu->teid.value, 0x1234u);
+  EXPECT_EQ(parsed.value().ip.src, kServer);
+  EXPECT_EQ(parsed.value().payload_bytes, 1400u);
+  EXPECT_EQ(parsed.value(), pkt);
+}
+
+TEST(Packet, WireSizeIncludesTunnelOverhead) {
+  Packet plain = make_udp(kUe, kServer, 1, 2, 100);
+  Packet tunneled = gtpu_encap(plain, common::Teid{1}, kAgw, kEnb);
+  EXPECT_EQ(tunneled.wire_size() - plain.wire_size(),
+            Ipv4Header::kSize + L4Header::kSize + GtpuHeader::kSize);
+}
+
+TEST(Packet, ParseRejectsGarbage) {
+  EXPECT_FALSE(Packet::parse(common::to_bytes("garbage")).ok());
+  EXPECT_FALSE(Packet::parse({}).ok());
+}
+
+TEST(Packet, ParseRejectsTruncated) {
+  const common::Bytes wire = make_udp(kUe, kServer, 1, 2, 100).serialize();
+  for (std::size_t keep : {5u, 19u, 25u}) {
+    EXPECT_FALSE(
+        Packet::parse(common::BytesView(wire.data(), keep)).ok())
+        << keep;
+  }
+}
+
+TEST(Packet, DecapRestoresInner) {
+  Packet inner = make_udp(kUe, kServer, 7, 8, 55);
+  Packet round = gtpu_decap(gtpu_encap(inner, common::Teid{9}, kAgw, kEnb));
+  EXPECT_EQ(round, inner);
+}
+
+// --- IpPrefix / FlowMatch ---------------------------------------------------------
+
+TEST(IpPrefix, PrefixMatching) {
+  IpPrefix block{common::Ipv4::from_octets(172, 16, 0, 0), 24};
+  EXPECT_TRUE(block.matches(common::Ipv4::from_octets(172, 16, 0, 200)));
+  EXPECT_FALSE(block.matches(common::Ipv4::from_octets(172, 16, 1, 1)));
+  IpPrefix host{kUe, 32};
+  EXPECT_TRUE(host.matches(kUe));
+  EXPECT_FALSE(host.matches(common::Ipv4{kUe.addr + 1}));
+  IpPrefix any{common::Ipv4{0}, 0};
+  EXPECT_TRUE(any.matches(kServer));
+}
+
+TEST(FlowMatch, WildcardsMatchEverything) {
+  FlowMatch match;  // all fields absent
+  EXPECT_TRUE(match.matches(make_udp(kUe, kServer, 1, 2, 3),
+                            Direction::kUplink));
+  EXPECT_TRUE(match.matches(make_tcp(kServer, kUe, 1, 2, 3),
+                            Direction::kDownlink));
+}
+
+TEST(FlowMatch, EachFieldFilters) {
+  Packet pkt = make_udp(kUe, kServer, 1000, 443, 10);
+
+  FlowMatch dir;
+  dir.direction = Direction::kUplink;
+  EXPECT_TRUE(dir.matches(pkt, Direction::kUplink));
+  EXPECT_FALSE(dir.matches(pkt, Direction::kDownlink));
+
+  FlowMatch proto;
+  proto.ip_proto = IpProto::kTcp;
+  EXPECT_FALSE(proto.matches(pkt, Direction::kUplink));
+
+  FlowMatch port;
+  port.l4_dst = 443;
+  EXPECT_TRUE(port.matches(pkt, Direction::kUplink));
+  port.l4_dst = 80;
+  EXPECT_FALSE(port.matches(pkt, Direction::kUplink));
+
+  FlowMatch tunnel;
+  tunnel.tunnel_id = common::Teid{5};
+  EXPECT_FALSE(tunnel.matches(pkt, Direction::kUplink));  // not encapsulated
+  Packet enc = gtpu_encap(pkt, common::Teid{5}, kAgw, kEnb);
+  EXPECT_TRUE(tunnel.matches(enc, Direction::kUplink));
+}
+
+// --- FlowTable ----------------------------------------------------------------------
+
+TEST(FlowTable, PriorityOrder) {
+  FlowTable table;
+  FlowEntry low;
+  low.priority = 1;
+  low.cookie = 1;
+  low.actions = {Action::output(1)};
+  FlowEntry high;
+  high.priority = 10;
+  high.cookie = 2;
+  high.actions = {Action::output(2)};
+  table.add(low);
+  table.add(high);
+
+  FlowEntry* hit = table.lookup(make_udp(kUe, kServer, 1, 2, 3),
+                                Direction::kUplink);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cookie, 2u);
+}
+
+TEST(FlowTable, FirstAddedWinsOnTie) {
+  FlowTable table;
+  FlowEntry a;
+  a.priority = 5;
+  a.cookie = 1;
+  FlowEntry b;
+  b.priority = 5;
+  b.cookie = 2;
+  table.add(a);
+  table.add(b);
+  EXPECT_EQ(table.lookup(make_udp(kUe, kServer, 1, 2, 3),
+                         Direction::kUplink)->cookie,
+            1u);
+}
+
+TEST(FlowTable, RemoveByCookie) {
+  FlowTable table;
+  for (int i = 0; i < 5; ++i) {
+    FlowEntry e;
+    e.cookie = static_cast<std::uint64_t>(i % 2);
+    table.add(e);
+  }
+  EXPECT_EQ(table.remove_by_cookie(0), 3u);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.remove_by_cookie(0), 0u);
+}
+
+// --- TokenBucket --------------------------------------------------------------------
+
+TEST(TokenBucket, EnforcesRateOverTime) {
+  sim::TimePoint now = 0;
+  TokenBucket bucket(MeterConfig{8000.0, 1000}, now);  // 1000 B/s, 1000 B burst
+  // Burst drains immediately.
+  EXPECT_TRUE(bucket.allow(1000, now));
+  EXPECT_FALSE(bucket.allow(1, now));
+  // After one second, 1000 bytes of tokens are back.
+  now += sim::kSecond;
+  EXPECT_TRUE(bucket.allow(1000, now));
+  EXPECT_FALSE(bucket.allow(1000, now));
+}
+
+TEST(TokenBucket, BurstCapped) {
+  TokenBucket bucket(MeterConfig{8000.0, 500}, 0);
+  // Long idle must not accumulate beyond the burst.
+  EXPECT_FALSE(bucket.allow(501, 100 * sim::kSecond));
+  EXPECT_TRUE(bucket.allow(500, 100 * sim::kSecond));
+}
+
+TEST(TokenBucket, UnlimitedWhenRateZero) {
+  TokenBucket bucket(MeterConfig{0, 1}, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.allow(1 << 20, 0));
+}
+
+TEST(TokenBucket, LongRunRateAccuracy) {
+  TokenBucket bucket(MeterConfig{1e6, 12500}, 0);  // 1 Mbps
+  std::uint64_t passed = 0;
+  sim::TimePoint now = 0;
+  for (int i = 0; i < 10000; ++i) {
+    now += sim::kMillisecond;
+    if (bucket.allow(1250, now)) passed += 1250;  // offering 10 Mbps
+  }
+  // 10 s at 1 Mbps = 1.25 MB (+ burst).
+  EXPECT_NEAR(static_cast<double>(passed), 1.25e6, 0.05e6);
+}
+
+// --- Pipeline -------------------------------------------------------------------------
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void install_session(std::uint64_t cookie, common::Ipv4 ue,
+                       common::Teid ul_teid, std::uint32_t meter = 0) {
+    // Minimal 3-table session like pipelined installs.
+    FlowEntry classify_ul;
+    classify_ul.priority = 10;
+    classify_ul.cookie = cookie;
+    classify_ul.match.direction = Direction::kUplink;
+    classify_ul.match.tunnel_id = ul_teid;
+    classify_ul.actions = {Action::pop_gtpu(),
+                           Action::goto_table(kTableEnforce)};
+    pipeline.table(kTableClassify).add(classify_ul);
+
+    FlowEntry classify_dl;
+    classify_dl.priority = 10;
+    classify_dl.cookie = cookie;
+    classify_dl.match.direction = Direction::kDownlink;
+    classify_dl.match.ip_dst = IpPrefix{ue, 32};
+    classify_dl.actions = {Action::goto_table(kTableEnforce)};
+    pipeline.table(kTableClassify).add(classify_dl);
+
+    FlowEntry enforce;
+    enforce.priority = 10;
+    enforce.cookie = cookie;
+    if (meter != 0) enforce.actions.push_back(Action::set_meter(meter));
+    enforce.actions.push_back(Action::goto_table(kTableEgress));
+    pipeline.table(kTableEnforce).add(enforce);
+
+    FlowEntry egress_ul;
+    egress_ul.priority = 10;
+    egress_ul.cookie = cookie;
+    egress_ul.match.direction = Direction::kUplink;
+    egress_ul.actions = {Action::output(kPortSgi)};
+    pipeline.table(kTableEgress).add(egress_ul);
+
+    FlowEntry egress_dl;
+    egress_dl.priority = 10;
+    egress_dl.cookie = cookie;
+    egress_dl.match.direction = Direction::kDownlink;
+    egress_dl.actions = {Action::push_gtpu(common::Teid{0x99}, kEnb),
+                         Action::output(kPortRan)};
+    pipeline.table(kTableEgress).add(egress_dl);
+  }
+
+  Pipeline pipeline;
+};
+
+TEST_F(PipelineTest, UplinkDecapsAndForwards) {
+  install_session(1, kUe, common::Teid{0x10});
+  Packet pkt = gtpu_encap(make_udp(kUe, kServer, 1, 2, 100),
+                          common::Teid{0x10}, kEnb, kAgw);
+  const PipelineResult result =
+      pipeline.process(pkt, Direction::kUplink, 0);
+  EXPECT_EQ(result.verdict, Verdict::kForwarded);
+  EXPECT_EQ(result.out_port, kPortSgi);
+  EXPECT_FALSE(result.packet.gtpu.has_value());
+}
+
+TEST_F(PipelineTest, DownlinkEncapsTowardRan) {
+  install_session(1, kUe, common::Teid{0x10});
+  const PipelineResult result = pipeline.process(
+      make_udp(kServer, kUe, 443, 40000, 100), Direction::kDownlink, 0);
+  EXPECT_EQ(result.verdict, Verdict::kForwarded);
+  EXPECT_EQ(result.out_port, kPortRan);
+  ASSERT_TRUE(result.packet.gtpu.has_value());
+  EXPECT_EQ(result.packet.gtpu->teid.value, 0x99u);
+  EXPECT_EQ(result.packet.outer_ip->dst, kEnb);
+}
+
+TEST_F(PipelineTest, TableMissDrops) {
+  install_session(1, kUe, common::Teid{0x10});
+  const PipelineResult result = pipeline.process(
+      make_udp(kServer, common::Ipv4::from_octets(172, 16, 0, 99), 1, 2, 10),
+      Direction::kDownlink, 0);
+  EXPECT_EQ(result.verdict, Verdict::kDroppedNoMatch);
+  EXPECT_EQ(pipeline.stats().dropped_no_match, 1u);
+}
+
+TEST_F(PipelineTest, MeterDropsExcess) {
+  pipeline.meters().install(7, MeterConfig{8000.0, 1000}, 0);
+  install_session(1, kUe, common::Teid{0x10}, 7);
+  // First ~1000 bytes conform; the rest exceed the bucket.
+  int forwarded = 0;
+  int dropped = 0;
+  for (int i = 0; i < 10; ++i) {
+    const PipelineResult r = pipeline.process(
+        make_udp(kServer, kUe, 1, 2, 172), Direction::kDownlink, 0);
+    if (r.verdict == Verdict::kForwarded) ++forwarded;
+    if (r.verdict == Verdict::kDroppedByMeter) ++dropped;
+  }
+  EXPECT_GT(forwarded, 0);
+  EXPECT_GT(dropped, 0);
+  EXPECT_EQ(forwarded + dropped, 10);
+}
+
+TEST_F(PipelineTest, BatchChargesCountersOnce) {
+  install_session(1, kUe, common::Teid{0x10});
+  PacketBatch batch;
+  batch.packet = make_udp(kServer, kUe, 1, 2, 1000);
+  batch.count = 64;
+  const PipelineResult result =
+      pipeline.process_batch(batch, Direction::kDownlink, 0);
+  EXPECT_EQ(result.verdict, Verdict::kForwarded);
+  EXPECT_EQ(pipeline.stats().forwarded_packets, 64u);
+  const FlowCounters counters =
+      pipeline.table(kTableEnforce).counters_for_cookie(1);
+  EXPECT_EQ(counters.packets, 64u);
+  EXPECT_EQ(counters.bytes, 64u * batch.packet.wire_size());
+}
+
+TEST_F(PipelineTest, RemoveSessionRulesClearsAllTables) {
+  install_session(1, kUe, common::Teid{0x10});
+  EXPECT_EQ(pipeline.total_flow_entries(), 5u);
+  EXPECT_EQ(pipeline.remove_session_rules(1), 5u);
+  EXPECT_EQ(pipeline.total_flow_entries(), 0u);
+}
+
+TEST_F(PipelineTest, DropActionIsExplicit) {
+  FlowEntry blocker;
+  blocker.priority = 100;
+  blocker.cookie = 9;
+  blocker.actions = {Action::drop()};
+  pipeline.table(kTableClassify).add(blocker);
+  const PipelineResult result = pipeline.process(
+      make_udp(kUe, kServer, 1, 2, 3), Direction::kUplink, 0);
+  EXPECT_EQ(result.verdict, Verdict::kDroppedByPolicy);
+}
+
+TEST_F(PipelineTest, DscpRewrite) {
+  FlowEntry mark;
+  mark.priority = 10;
+  mark.actions = {Action::set_dscp(46), Action::output(kPortSgi)};
+  pipeline.table(kTableClassify).add(mark);
+  const PipelineResult result = pipeline.process(
+      make_udp(kUe, kServer, 1, 2, 3), Direction::kUplink, 0);
+  EXPECT_EQ(result.packet.ip.dscp, 46);
+}
+
+// --- Microflow cache -----------------------------------------------------------
+
+TEST_F(PipelineTest, CacheHitsOnRepeatedFlow) {
+  install_session(1, kUe, common::Teid{0x10});
+  const Packet pkt = make_udp(kServer, kUe, 443, 40000, 100);
+  for (int i = 0; i < 10; ++i) {
+    pipeline.process(pkt, Direction::kDownlink, 0);
+  }
+  EXPECT_EQ(pipeline.stats().cache_misses, 1u);
+  EXPECT_EQ(pipeline.stats().cache_hits, 9u);
+  // Counters identical to ten slow-path walks.
+  EXPECT_EQ(pipeline.table(kTableEnforce).counters_for_cookie(1).packets,
+            10u);
+}
+
+TEST_F(PipelineTest, CacheInvalidatedByRuleChange) {
+  install_session(1, kUe, common::Teid{0x10});
+  const Packet pkt = make_udp(kServer, kUe, 443, 40000, 100);
+  EXPECT_EQ(pipeline.process(pkt, Direction::kDownlink, 0).verdict,
+            Verdict::kForwarded);
+  // Remove the session: the cached path must not survive.
+  pipeline.remove_session_rules(1);
+  EXPECT_EQ(pipeline.process(pkt, Direction::kDownlink, 0).verdict,
+            Verdict::kDroppedNoMatch);
+  // Reinstall: forwarding resumes (fresh fill).
+  install_session(1, kUe, common::Teid{0x10});
+  EXPECT_EQ(pipeline.process(pkt, Direction::kDownlink, 0).verdict,
+            Verdict::kForwarded);
+}
+
+TEST_F(PipelineTest, CacheNegativeEntriesInvalidateToo) {
+  const Packet pkt = make_udp(kServer, kUe, 443, 40000, 100);
+  // Miss on an empty pipeline gets cached as no-match...
+  EXPECT_EQ(pipeline.process(pkt, Direction::kDownlink, 0).verdict,
+            Verdict::kDroppedNoMatch);
+  EXPECT_EQ(pipeline.process(pkt, Direction::kDownlink, 0).verdict,
+            Verdict::kDroppedNoMatch);
+  // ...until a session is installed.
+  install_session(1, kUe, common::Teid{0x10});
+  EXPECT_EQ(pipeline.process(pkt, Direction::kDownlink, 0).verdict,
+            Verdict::kForwarded);
+}
+
+TEST_F(PipelineTest, MeterExhaustionNotFrozenByCache) {
+  pipeline.meters().install(7, MeterConfig{8000.0, 400}, 0);
+  install_session(1, kUe, common::Teid{0x10}, 7);
+  const Packet pkt = make_udp(kServer, kUe, 443, 40000, 172);  // 200B wire
+  sim::TimePoint now = 0;
+  // Drain the bucket (2 packets), then see drops.
+  EXPECT_EQ(pipeline.process(pkt, Direction::kDownlink, now).verdict,
+            Verdict::kForwarded);
+  EXPECT_EQ(pipeline.process(pkt, Direction::kDownlink, now).verdict,
+            Verdict::kForwarded);
+  EXPECT_EQ(pipeline.process(pkt, Direction::kDownlink, now).verdict,
+            Verdict::kDroppedByMeter);
+  // After refill, the flow forwards again (a meter-drop was not cached as
+  // the flow's permanent fate).
+  now += 10 * sim::kSecond;
+  EXPECT_EQ(pipeline.process(pkt, Direction::kDownlink, now).verdict,
+            Verdict::kForwarded);
+}
+
+// Equivalence sweep: identical traffic through cache-on and cache-off
+// pipelines must produce identical verdicts, stats, and usage counters.
+class CacheEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheEquivalence, CacheIsBehaviorallyTransparent) {
+  sim::Rng rng(GetParam());
+  Pipeline cached;
+  Pipeline uncached;
+  uncached.set_flow_cache_enabled(false);
+
+  auto install = [](Pipeline& p, std::uint64_t cookie, common::Ipv4 ue,
+                    std::uint32_t meter_rate) {
+    if (meter_rate > 0) {
+      p.meters().install(static_cast<std::uint32_t>(cookie),
+                         MeterConfig{static_cast<double>(meter_rate), 5000},
+                         0);
+    }
+    FlowEntry dl;
+    dl.priority = 10;
+    dl.cookie = cookie;
+    dl.match.direction = Direction::kDownlink;
+    dl.match.ip_dst = IpPrefix{ue, 32};
+    if (meter_rate > 0) {
+      dl.actions.push_back(
+          Action::set_meter(static_cast<std::uint32_t>(cookie)));
+    }
+    dl.actions.push_back(Action::push_gtpu(common::Teid{9}, kEnb));
+    dl.actions.push_back(Action::output(kPortRan));
+    p.table(kTableClassify).add(dl);
+  };
+
+  for (std::uint64_t c = 1; c <= 8; ++c) {
+    const common::Ipv4 ue{kUe.addr + static_cast<std::uint32_t>(c)};
+    const std::uint32_t rate = c % 2 == 0 ? 80000u : 0u;
+    install(cached, c, ue, rate);
+    install(uncached, c, ue, rate);
+  }
+
+  sim::TimePoint now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    now += static_cast<sim::Duration>(rng.uniform_int(5 * sim::kMillisecond));
+    const common::Ipv4 dst{kUe.addr +
+                           static_cast<std::uint32_t>(rng.uniform_int(10))};
+    PacketBatch batch;
+    batch.packet = make_udp(kServer, dst, 443, 40000,
+                            100 + static_cast<std::uint32_t>(
+                                      rng.uniform_int(1300)));
+    batch.count = 1 + rng.uniform_int(16);
+    const PipelineResult a =
+        cached.process_batch(batch, Direction::kDownlink, now);
+    const PipelineResult b =
+        uncached.process_batch(batch, Direction::kDownlink, now);
+    ASSERT_EQ(a.verdict, b.verdict) << "iteration " << i;
+    ASSERT_EQ(a.out_count, b.out_count) << "iteration " << i;
+    ASSERT_EQ(a.out_port, b.out_port) << "iteration " << i;
+    ASSERT_EQ(a.packet, b.packet) << "iteration " << i;
+  }
+  EXPECT_EQ(cached.stats().forwarded_packets,
+            uncached.stats().forwarded_packets);
+  EXPECT_EQ(cached.stats().forwarded_bytes, uncached.stats().forwarded_bytes);
+  EXPECT_EQ(cached.stats().dropped_by_meter,
+            uncached.stats().dropped_by_meter);
+  EXPECT_EQ(cached.stats().dropped_no_match,
+            uncached.stats().dropped_no_match);
+  for (std::uint64_t c = 1; c <= 8; ++c) {
+    EXPECT_EQ(cached.table(kTableClassify).counters_for_cookie(c).bytes,
+              uncached.table(kTableClassify).counters_for_cookie(c).bytes);
+  }
+  EXPECT_GT(cached.stats().cache_hits, 1000u);
+  EXPECT_EQ(uncached.stats().cache_hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST_F(PipelineTest, GotoMustIncreaseTableId) {
+  // An entry in table 1 pointing back to table 0 must not loop: the
+  // backward goto is ignored and the entry (having no terminal action)
+  // drops the packet.
+  FlowEntry fwd;
+  fwd.priority = 10;
+  fwd.actions = {Action::goto_table(kTableEnforce)};
+  pipeline.table(kTableClassify).add(fwd);
+  FlowEntry back;
+  back.priority = 10;
+  back.actions = {Action::goto_table(kTableClassify)};
+  pipeline.table(kTableEnforce).add(back);
+  const PipelineResult result = pipeline.process(
+      make_udp(kUe, kServer, 1, 2, 3), Direction::kUplink, 0);
+  EXPECT_EQ(result.verdict, Verdict::kDroppedByPolicy);
+}
+
+}  // namespace
+}  // namespace magma::datapath

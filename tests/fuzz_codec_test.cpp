@@ -1,0 +1,146 @@
+// Robustness fuzzing: every decoder must survive arbitrary bytes — a
+// malformed or malicious PDU from the RAN side must never crash a gateway
+// (fail-soft is a stated property of the wire layer; this enforces it for
+// all codecs and store images).
+#include <gtest/gtest.h>
+
+#include "agw/lte_frontend.h"
+#include "agw/pipelined.h"
+#include "agw/subscriberdb.h"
+#include "core/policy.h"
+#include "datapath/packet.h"
+#include "orc8r/metricsd.h"
+#include "orc8r/streamer.h"
+#include "proto/lte/gtpc.h"
+#include "proto/lte/nas.h"
+#include "proto/lte/s1ap.h"
+#include "proto/nr5g/nas5g.h"
+#include "proto/nr5g/ngap.h"
+#include "proto/wifi/radius.h"
+#include "sim/random.h"
+#include "store/state_store.h"
+#include "store/wal_store.h"
+
+namespace magma {
+namespace {
+
+common::Bytes random_bytes(sim::Rng& rng, std::size_t max_len) {
+  common::Bytes out(rng.uniform_int(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+// Decoders under test, applied to the same inputs.
+void decode_everything(common::BytesView data) {
+  (void)proto::lte::decode_nas(data);
+  (void)proto::lte::decode_s1ap(data);
+  (void)proto::lte::decode_gtpc(data);
+  (void)proto::nr5g::decode_nas5g(data);
+  (void)proto::nr5g::decode_ngap(data);
+  (void)proto::wifi::decode_radius(data);
+  (void)datapath::Packet::parse(data);
+  (void)store::WalStore::deserialize(data);
+  (void)store::StateStore::restore(data);
+  (void)agw::SessionFlows::deserialize(data);
+  (void)agw::SubscriberData::deserialize(data);
+  (void)core::Policy::deserialize(data);
+  (void)orc8r::DesiredState::deserialize(data);
+  (void)orc8r::decode_metric_report(data);
+}
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, RandomBytesNeverCrashAnyDecoder) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    decode_everything(random_bytes(rng, 256));
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+// Structured mutation: take valid encodings and flip bytes / truncate.
+// Decoders must reject or produce *some* valid object — never crash — and
+// an unmodified prefix-truncation must never round-trip as valid-and-equal.
+TEST(FuzzMutation, BitFlipsOnValidMessages) {
+  sim::Rng rng(99);
+
+  proto::lte::AttachAccept accept;
+  accept.m_tmsi = 7;
+  accept.bearer.pdn_address = common::Ipv4::from_octets(172, 16, 0, 3);
+  const common::Bytes nas =
+      proto::lte::encode_nas(proto::lte::NasMessage{accept});
+
+  proto::lte::InitialContextSetupRequest ics;
+  ics.nas_pdu = nas;
+  const common::Bytes s1ap =
+      proto::lte::encode_s1ap(proto::lte::S1apMessage{ics});
+
+  for (const common::Bytes& base : {nas, s1ap}) {
+    for (int round = 0; round < 500; ++round) {
+      common::Bytes mutated = base;
+      const int flips = 1 + static_cast<int>(rng.uniform_int(4));
+      for (int f = 0; f < flips; ++f) {
+        mutated[rng.uniform_int(mutated.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+      }
+      decode_everything(mutated);
+    }
+    for (std::size_t keep = 0; keep < base.size(); ++keep) {
+      decode_everything(common::BytesView(base.data(), keep));
+    }
+  }
+  SUCCEED();
+}
+
+TEST(FuzzMutation, TruncatedDesiredStateAlwaysRejected) {
+  orc8r::DesiredState state;
+  state.version = 3;
+  state.changed = true;
+  agw::SubscriberData sub;
+  sub.imsi = common::Imsi::from_digits(1010000000001ULL);
+  state.subscribers.push_back(sub);
+  state.policies.push_back(core::unlimited_policy());
+  const common::Bytes wire = state.serialize();
+  for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+    EXPECT_FALSE(orc8r::DesiredState::deserialize(
+                     common::BytesView(wire.data(), keep))
+                     .ok())
+        << "prefix " << keep << " parsed as valid";
+  }
+}
+
+// A hostile RAN peer sprays garbage at a live front-end; the AGW must keep
+// serving (the §3.1 "terminate protocols at the edge" boundary is also a
+// robustness boundary).
+TEST(FuzzFrontend, GarbageOnS1DoesNotKillTheAgw) {
+  sim::Kernel kernel;
+  sim::Rng rng(7);
+  net::DuplexLink link(kernel, rng, sim::lan_link());
+  net::ReliablePair channels = net::make_reliable_pair(kernel, link);
+
+  sim::Rng db_rng(8);
+  agw::SubscriberDb subscribers([&db_rng]() { return db_rng.next_u64(); });
+  agw::PolicyDb policies;
+  agw::Mobilityd mobilityd{agw::IpBlock{}};
+  agw::Pipelined pipelined;
+  agw::Sessiond sessiond(kernel, pipelined, nullptr);
+  agw::Accessd accessd(kernel, nullptr, subscribers, policies, mobilityd,
+                       sessiond);
+  agw::LteFrontend frontend(kernel, accessd, sessiond,
+                            common::Ipv4::from_octets(10, 1, 0, 1));
+  frontend.add_enb_channel(*channels.b);
+
+  sim::Rng fuzz(123);
+  for (int i = 0; i < 1000; ++i) {
+    channels.a->send(random_bytes(fuzz, 128));
+  }
+  kernel.run();
+  EXPECT_GE(frontend.stats().decode_errors, 0u);  // alive to report stats
+  EXPECT_EQ(sessiond.active_sessions(), 0u);      // and nothing leaked in
+}
+
+}  // namespace
+}  // namespace magma

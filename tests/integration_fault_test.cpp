@@ -1,0 +1,149 @@
+// Fault tolerance (§3.3): small fault domains, checkpoint/restore onto a
+// backup AGW, crash-recovery invariants.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+
+namespace magma {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<core::Network>();
+    agw0_ = &net_->add_agw(agw::bare_metal_j3160());
+    agw1_ = &net_->add_agw(agw::bare_metal_j3160());
+    enb0_ = &net_->add_enodeb(*agw0_);
+    enb1_ = &net_->add_enodeb(*agw1_);
+    net_->run_for(2 * sim::kSecond);
+  }
+
+  ran::UeLte& attach_ue(ran::EnodeB& enb) {
+    const agw::SubscriberData sub = net_->provision_subscriber();
+    net_->sync_all_config();
+    ran::UeLte& ue = net_->add_ue_lte(sub);
+    bool ok = false;
+    ue.attach(enb, [&](const ran::AttachOutcome& o) { ok = o.success; });
+    net_->run_for(20 * sim::kSecond);
+    EXPECT_TRUE(ok);
+    return ue;
+  }
+
+  std::unique_ptr<core::Network> net_;
+  agw::AccessGateway* agw0_ = nullptr;
+  agw::AccessGateway* agw1_ = nullptr;
+  ran::EnodeB* enb0_ = nullptr;
+  ran::EnodeB* enb1_ = nullptr;
+};
+
+// §3.3: "The failure of a single AGW would impact the set of UEs currently
+// served by the attached base stations, but has no impact on the rest of
+// the network."
+TEST_F(FaultTest, AgwFailureIsContainedToItsFaultDomain) {
+  ran::UeLte& ue0 = attach_ue(*enb0_);
+  ran::UeLte& ue1 = attach_ue(*enb1_);
+
+  // "Fail" agw0's backhaul AND stop serving: simulate by cutting its
+  // backhaul and clearing its data plane (a crash wipes the process).
+  net_->set_backhaul_up(*agw0_, false);
+  agw0_->sessiond().end_session(ue0.usim().imsi()).ok();
+
+  // UE1 on agw1 is completely unaffected.
+  net_->inject_downlink(*agw1_, *ue1.ip(), 1400, 100);
+  net_->run_for(2 * sim::kSecond);
+  EXPECT_EQ(ue1.traffic().rx_packets, 100u);
+
+  // And new attaches on agw1 still work (orchestrator reachable there).
+  const agw::SubscriberData sub = net_->provision_subscriber();
+  net_->sync_all_config();
+  ran::UeLte& ue2 = net_->add_ue_lte(sub);
+  bool ok = false;
+  ue2.attach(*enb1_, [&](const ran::AttachOutcome& o) { ok = o.success; });
+  net_->run_for(20 * sim::kSecond);
+  EXPECT_TRUE(ok);
+}
+
+// §3.3: checkpointed runtime state brings a backup instance into service.
+TEST_F(FaultTest, BackupAgwResumesFromShippedCheckpoint) {
+  ran::UeLte& ue = attach_ue(*enb0_);
+  net_->inject_downlink(*agw0_, *ue.ip(), 1400, 50);
+  net_->run_for(3 * sim::kSecond);
+  agw0_->sessiond().poll_usage();
+  const std::uint64_t used =
+      agw0_->sessiond().find(ue.usim().imsi())->used_bytes;
+  ASSERT_GT(used, 0u);
+
+  // Wait for magmad to ship a checkpoint to the orchestrator.
+  net_->run_for(2 * sim::kMinute);
+  const auto image = net_->orchestrator().stored_checkpoint("gw0");
+  ASSERT_TRUE(image.has_value());
+
+  // Bring up a brand-new AGW from the image (the "backup cloud instance").
+  agw::AccessGateway& backup = net_->add_agw(agw::virtual_xeon(4));
+  ASSERT_TRUE(backup.restore(*image).ok());
+
+  // The session exists on the backup with its usage intact, the subscriber
+  // cache is warm, and the data plane forwards for the UE immediately.
+  const agw::SessionRecord* session =
+      backup.sessiond().find(ue.usim().imsi());
+  ASSERT_NE(session, nullptr);
+  EXPECT_GE(session->used_bytes, used);
+  EXPECT_TRUE(backup.subscriberdb().get(ue.usim().imsi()).has_value());
+  EXPECT_EQ(backup.mobilityd().lookup(ue.usim().imsi()).value(), *ue.ip());
+
+  datapath::PacketBatch batch;
+  batch.packet = datapath::make_udp(common::Ipv4::from_octets(8, 8, 8, 8),
+                                    *ue.ip(), 443, 40000, 1000);
+  batch.count = 10;
+  const auto result = backup.pipelined().pipeline().process_batch(
+      batch, datapath::Direction::kDownlink, net_->kernel().now());
+  EXPECT_EQ(result.verdict, datapath::Verdict::kForwarded);
+}
+
+TEST_F(FaultTest, RestoredStateIsByteIdenticalOnRecheckpoint) {
+  attach_ue(*enb0_);
+  attach_ue(*enb0_);
+  agw0_->sessiond().poll_usage();
+  const common::Bytes image = agw0_->checkpoint();
+
+  agw::AccessGateway& backup = net_->add_agw(agw::virtual_xeon(2));
+  ASSERT_TRUE(backup.restore(image).ok());
+  // Checkpoint of the restored instance equals the original image
+  // (checkpointing is a pure function of the state it captures).
+  EXPECT_EQ(backup.checkpoint(), image);
+}
+
+TEST_F(FaultTest, RestoreRejectsCorruptImage) {
+  agw::AccessGateway& backup = net_->add_agw(agw::virtual_xeon(2));
+  EXPECT_FALSE(backup.restore(common::to_bytes("not a checkpoint")).ok());
+  common::Bytes truncated = agw0_->checkpoint();
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(backup.restore(truncated).ok());
+}
+
+// A UE whose AGW lost state simply re-attaches (§3.4: "most runtime state
+// is both ephemeral and recoverable in the event of failure").
+TEST_F(FaultTest, UeRecoversByReattaching) {
+  ran::UeLte& ue = attach_ue(*enb0_);
+  // Simulate total AGW state loss (crash without checkpoint restore):
+  agw0_->sessiond().end_session(ue.usim().imsi()).ok();
+  ASSERT_EQ(agw0_->sessiond().active_sessions(), 0u);
+
+  // Downlink now drops (no session)...
+  const auto before = agw0_->pipelined().pipeline().stats().dropped_no_match;
+  net_->inject_downlink(*agw0_, *ue.ip(), 1400, 10);
+  net_->run_for(1 * sim::kSecond);
+  EXPECT_GT(agw0_->pipelined().pipeline().stats().dropped_no_match, before);
+
+  // ...until the UE re-attaches.
+  bool ok = false;
+  ue.attach(*enb0_, [&](const ran::AttachOutcome& o) { ok = o.success; });
+  net_->run_for(20 * sim::kSecond);
+  ASSERT_TRUE(ok);
+  net_->inject_downlink(*agw0_, *ue.ip(), 1400, 10);
+  net_->run_for(1 * sim::kSecond);
+  EXPECT_GT(ue.traffic().rx_packets, 0u);
+}
+
+}  // namespace
+}  // namespace magma

@@ -1,0 +1,132 @@
+// Headless operation (§3.2): local control keeps working while the
+// orchestrator is unreachable; config changes stall until reconnection;
+// lossy backhaul degrades nothing that matters locally.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+
+namespace magma {
+namespace {
+
+class HeadlessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::NetworkConfig config;
+    config.backhaul = sim::satellite_backhaul();  // the hard case
+    net_ = std::make_unique<core::Network>(config);
+    agw_ = &net_->add_agw(agw::bare_metal_j3160());
+    enb_ = &net_->add_enodeb(*agw_);
+    net_->run_for(5 * sim::kSecond);
+  }
+
+  ran::AttachOutcome attach(ran::UeLte& ue) {
+    ran::AttachOutcome outcome;
+    bool done = false;
+    ue.attach(*enb_, [&](const ran::AttachOutcome& o) {
+      outcome = o;
+      done = true;
+    });
+    net_->run_for(20 * sim::kSecond);
+    EXPECT_TRUE(done);
+    return outcome;
+  }
+
+  std::unique_ptr<core::Network> net_;
+  agw::AccessGateway* agw_ = nullptr;
+  ran::EnodeB* enb_ = nullptr;
+};
+
+TEST_F(HeadlessTest, ConfigSyncWorksOverSatelliteBackhaul) {
+  const agw::SubscriberData sub = net_->provision_subscriber();
+  net_->sync_all_config();
+  net_->run_for(10 * sim::kSecond);  // satellite RTTs are long
+  EXPECT_TRUE(agw_->subscriberdb().get(sub.imsi).has_value());
+}
+
+TEST_F(HeadlessTest, AttachSucceedsWhileOrchestratorUnreachable) {
+  // Provision and sync while connected.
+  const agw::SubscriberData sub = net_->provision_subscriber();
+  net_->sync_all_config();
+  net_->run_for(10 * sim::kSecond);
+  ASSERT_TRUE(agw_->subscriberdb().get(sub.imsi).has_value());
+
+  // Cut the backhaul entirely. The cached subscriber profile lets the AGW
+  // run the whole attach locally.
+  net_->set_backhaul_up(*agw_, false);
+  net_->run_for(120 * sim::kSecond);
+
+  ran::UeLte& ue = net_->add_ue_lte(sub);
+  const ran::AttachOutcome outcome = attach(ue);
+  ASSERT_TRUE(outcome.success) << outcome.failure_reason;
+
+  // Traffic flows; nothing on the user path touches the orchestrator.
+  net_->inject_downlink(*agw_, *ue.ip(), 1400, 40);
+  net_->run_for(2 * sim::kSecond);
+  EXPECT_EQ(ue.traffic().rx_packets, 40u);
+}
+
+TEST_F(HeadlessTest, NewSubscribersWaitForReconnection) {
+  net_->set_backhaul_up(*agw_, false);
+  // Operator adds a subscriber while the AGW is headless.
+  const agw::SubscriberData sub = net_->provision_subscriber();
+  net_->sync_all_config();
+  net_->run_for(60 * sim::kSecond);
+  // The AGW cannot know about it yet...
+  EXPECT_FALSE(agw_->subscriberdb().get(sub.imsi).has_value());
+  ran::UeLte& early = net_->add_ue_lte(sub);
+  EXPECT_FALSE(attach(early).success);
+
+  // ...but converges after the backhaul returns (periodic magmad sync).
+  net_->set_backhaul_up(*agw_, true);
+  net_->run_for(2 * sim::kMinute);
+  EXPECT_TRUE(agw_->subscriberdb().get(sub.imsi).has_value());
+  ran::UeLte& late = net_->add_ue_lte(sub);
+  EXPECT_TRUE(attach(late).success);
+}
+
+TEST_F(HeadlessTest, MetricsAreBestEffortUnderLoss) {
+  const agw::SubscriberData sub = net_->provision_subscriber();
+  net_->sync_all_config();
+  net_->run_for(10 * sim::kSecond);
+
+  // Very lossy (but up) backhaul: some metric reports die, magmad soldiers
+  // on, and no control function is harmed.
+  net_->set_backhaul_loss(*agw_, 0.30);
+  ran::UeLte& ue = net_->add_ue_lte(sub);
+  ASSERT_TRUE(attach(ue).success);
+  net_->run_for(5 * sim::kMinute);
+
+  const agw::MagmadStats& stats = agw_->magmad().stats();
+  EXPECT_GT(stats.metric_reports_sent + stats.metric_reports_lost, 0u);
+  // The reliable-channel-backed config/checkin path still works overall.
+  EXPECT_GT(stats.checkins_ok, 0u);
+}
+
+TEST_F(HeadlessTest, StaleStateTradeoffIsBounded) {
+  // §3.2: "state stored in an AGW [may] be stale during times of
+  // disconnection, which might allow a UE to temporarily consume resources
+  // beyond its quota" — deactivating a subscriber doesn't bite until the
+  // next successful sync.
+  agw::SubscriberData sub = net_->provision_subscriber();
+  net_->sync_all_config();
+  net_->run_for(10 * sim::kSecond);
+
+  net_->set_backhaul_up(*agw_, false);
+  sub.active = false;
+  net_->orchestrator().add_subscriber(sub);  // deactivate centrally
+
+  // Headless AGW still serves the (now centrally-deactivated) subscriber.
+  ran::UeLte& ue = net_->add_ue_lte(sub);
+  ASSERT_TRUE(attach(ue).success);
+
+  // After reconnection and sync, fresh attaches are refused.
+  net_->set_backhaul_up(*agw_, true);
+  net_->run_for(2 * sim::kMinute);
+  ue.detach(false);
+  net_->run_for(10 * sim::kSecond);
+  ran::UeLte& again = net_->add_ue_lte(sub);
+  EXPECT_FALSE(attach(again).success);
+}
+
+}  // namespace
+}  // namespace magma

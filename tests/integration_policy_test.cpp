@@ -1,0 +1,168 @@
+// Policy enforcement end-to-end: rate limits, tiers, caps, and OCS quota
+// billing over the network (§2.1's example policy, §3.4's billing story).
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "core/workload.h"
+
+namespace magma {
+namespace {
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::NetworkConfig config;
+    config.with_ocs = true;
+    net_ = std::make_unique<core::Network>(config);
+    agw_ = &net_->add_agw(agw::virtual_xeon(4));
+    // Plenty of radio so the policy, not the radio, is the limiter.
+    ran::EnodebConfig big;
+    big.dl_capacity_bps = 500e6;
+    enb_ = &net_->add_enodeb(*agw_, big);
+    net_->run_for(2 * sim::kSecond);
+  }
+
+  ran::UeLte& attach_with_policy(const core::Policy& policy,
+                                 std::uint64_t ocs_balance = 0) {
+    net_->add_policy(policy);
+    const agw::SubscriberData sub = net_->provision_subscriber(policy.name);
+    if (ocs_balance > 0) net_->ocs()->create_account(sub.imsi, ocs_balance);
+    net_->sync_all_config();
+    ran::UeLte& ue = net_->add_ue_lte(sub);
+    bool ok = false;
+    ue.attach(*enb_, [&](const ran::AttachOutcome& o) { ok = o.success; });
+    net_->run_for(20 * sim::kSecond);
+    EXPECT_TRUE(ok);
+    return ue;
+  }
+
+  // Offer `rate_bps` downlink for `seconds`; returns UE goodput in bps.
+  double offer_and_measure(ran::UeLte& ue, double rate_bps, double seconds) {
+    const std::uint64_t rx_before = ue.traffic().rx_bytes;
+    core::DownlinkFlow flow(*net_, *agw_, *ue.ip(), rate_bps);
+    flow.start();
+    net_->run_for(sim::from_seconds(seconds));
+    flow.stop();
+    net_->run_for(1 * sim::kSecond);
+    return static_cast<double>(ue.traffic().rx_bytes - rx_before) * 8.0 /
+           seconds;
+  }
+
+  std::unique_ptr<core::Network> net_;
+  agw::AccessGateway* agw_ = nullptr;
+  ran::EnodeB* enb_ = nullptr;
+};
+
+TEST_F(PolicyTest, RateLimitEnforced) {
+  core::Policy policy = core::rate_limited_policy(2'000'000, 1'000'000);
+  policy.name = "limited-2m";
+  ran::UeLte& ue = attach_with_policy(policy);
+
+  // Offer 10 Mbps against a 2 Mbps policy.
+  const double goodput = offer_and_measure(ue, 10e6, 30);
+  EXPECT_LT(goodput, 2.6e6);  // limit + burst slack
+  EXPECT_GT(goodput, 1.4e6);  // but the limit itself is achievable
+}
+
+TEST_F(PolicyTest, UnlimitedPolicyPassesOfferedLoad) {
+  ran::UeLte& ue = attach_with_policy(core::unlimited_policy());
+  const double goodput = offer_and_measure(ue, 10e6, 10);
+  EXPECT_GT(goodput, 9e6);
+}
+
+TEST_F(PolicyTest, TieredPolicyThrottlesAfterThreshold) {
+  // 8 Mbps until 5 MB, then 1 Mbps — the §2.1 example.
+  core::Policy policy = core::tiered_policy(8'000'000, 5'000'000, 1'000'000);
+  policy.name = "tiered";
+  ran::UeLte& ue = attach_with_policy(policy);
+
+  // Phase 1: under the threshold the fast tier applies.
+  const double early = offer_and_measure(ue, 10e6, 4);
+  EXPECT_GT(early, 5e6);
+
+  // Burn past the 5 MB threshold, then measure again.
+  offer_and_measure(ue, 10e6, 10);
+  net_->run_for(5 * sim::kSecond);  // let sessiond poll and retier
+  const double late = offer_and_measure(ue, 10e6, 20);
+  EXPECT_LT(late, 1.6e6);
+  EXPECT_GE(agw_->sessiond().stats().tier_transitions, 1u);
+}
+
+TEST_F(PolicyTest, HardCapCutsOffService) {
+  core::Policy policy;
+  policy.name = "capped-3mb";
+  policy.charging = core::ChargingMode::kCapped;
+  policy.tiers = {core::PolicyTier{0, 0, 3'000'000}};
+  ran::UeLte& ue = attach_with_policy(policy);
+
+  offer_and_measure(ue, 10e6, 10);  // blow through the 3 MB cap
+  net_->run_for(5 * sim::kSecond);
+  const double after_cap = offer_and_measure(ue, 10e6, 10);
+  EXPECT_LT(after_cap, 0.2e6);  // essentially nothing gets through
+  EXPECT_GE(agw_->sessiond().stats().caps_enforced, 1u);
+}
+
+TEST_F(PolicyTest, QuotaBillingDrainsOcsBalance) {
+  core::Policy policy = core::quota_billed_policy(1 << 20);  // 1 MB grants
+  policy.name = "billed";
+  ran::UeLte& ue = attach_with_policy(policy, 5 << 20);  // 5 MB balance
+
+  // Use ~3 MB: several grant cycles.
+  offer_and_measure(ue, 4e6, 6);
+  net_->run_for(10 * sim::kSecond);
+  const agw::SessionRecord* session =
+      agw_->sessiond().find(ue.usim().imsi());
+  ASSERT_NE(session, nullptr);
+  EXPECT_GE(session->quota_granted, 2u << 20);
+  EXPECT_GE(agw_->sessiond().stats().quota_requests, 2u);
+  const ocs::OcsAccount* account = net_->ocs()->account(ue.usim().imsi());
+  ASSERT_NE(account, nullptr);
+  EXPECT_LT(account->balance_bytes, 5u << 20);
+}
+
+TEST_F(PolicyTest, QuotaExhaustionBlocksUntilDenied) {
+  core::Policy policy = core::quota_billed_policy(1 << 20);
+  policy.name = "small-balance";
+  ran::UeLte& ue = attach_with_policy(policy, 2 << 20);  // 2 MB total
+
+  // Try to move 20 MB; only ~2 MB can ever be authorized.
+  offer_and_measure(ue, 8e6, 20);
+  net_->run_for(20 * sim::kSecond);
+
+  const agw::SessionRecord* session =
+      agw_->sessiond().find(ue.usim().imsi());
+  ASSERT_NE(session, nullptr);
+  EXPECT_TRUE(session->quota_denied);
+  EXPECT_TRUE(session->flows.blocked);
+  // Delivered volume is bounded by the balance plus poll-interval slack
+  // (the availability-over-consistency window of §3.4).
+  EXPECT_LT(ue.traffic().rx_bytes, (2u << 20) + 3'000'000u);
+  EXPECT_GE(agw_->sessiond().stats().quota_denials, 1u);
+}
+
+TEST_F(PolicyTest, PolicyChangeAtOrchestratorPropagates) {
+  core::Policy policy = core::rate_limited_policy(8'000'000, 8'000'000);
+  policy.name = "adjustable";
+  ran::UeLte& ue = attach_with_policy(policy);
+  const double before = offer_and_measure(ue, 10e6, 10);
+  EXPECT_GT(before, 5e6);
+
+  // Operator tightens the policy to 1 Mbps at the orchestrator. Existing
+  // session behaviour: after config sync + re-attach the new policy binds.
+  core::Policy tightened = core::rate_limited_policy(1'000'000, 1'000'000);
+  tightened.name = "adjustable";
+  net_->add_policy(tightened);
+  net_->sync_all_config();
+  ue.detach(false);
+  net_->run_for(5 * sim::kSecond);
+  bool ok = false;
+  ue.attach(*enb_, [&](const ran::AttachOutcome& o) { ok = o.success; });
+  net_->run_for(20 * sim::kSecond);
+  ASSERT_TRUE(ok);
+
+  const double after = offer_and_measure(ue, 10e6, 20);
+  EXPECT_LT(after, 1.6e6);
+}
+
+}  // namespace
+}  // namespace magma

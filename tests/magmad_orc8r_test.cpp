@@ -1,0 +1,185 @@
+// Orchestrator + magmad: northbound API, desired-state config sync over
+// realistic backhaul, check-in, checkpoint shipping, durability.
+#include <gtest/gtest.h>
+
+#include "agw/magmad.h"
+#include "net/channel.h"
+#include "orc8r/orchestrator.h"
+
+namespace magma {
+namespace {
+
+using agw::SubscriberData;
+
+common::Imsi imsi(std::uint64_t n) {
+  return common::Imsi::from_digits(1010000000000ULL + n);
+}
+
+SubscriberData subscriber(std::uint64_t n, const std::string& policy) {
+  SubscriberData sub;
+  sub.imsi = imsi(n);
+  sub.k[0] = static_cast<std::uint8_t>(n);
+  sub.policy_name = policy;
+  return sub;
+}
+
+TEST(Orchestrator, NorthboundSubscriberCrud) {
+  sim::Kernel kernel;
+  orc8r::Orchestrator orc8r(kernel);
+  orc8r.add_subscriber(subscriber(1, "gold"));
+  orc8r.add_subscriber(subscriber(2, "silver"));
+  EXPECT_EQ(orc8r.subscriber_count(), 2u);
+  EXPECT_EQ(orc8r.get_subscriber(imsi(1))->policy_name, "gold");
+  orc8r.remove_subscriber(imsi(1));
+  EXPECT_EQ(orc8r.subscriber_count(), 1u);
+  EXPECT_FALSE(orc8r.get_subscriber(imsi(1)).has_value());
+}
+
+TEST(Orchestrator, PolicyCrudAndVersionBump) {
+  sim::Kernel kernel;
+  orc8r::Orchestrator orc8r(kernel);
+  const std::uint64_t v0 = orc8r.config_version();
+  orc8r.add_policy(core::rate_limited_policy(1e6, 1e6));
+  EXPECT_GT(orc8r.config_version(), v0);
+  EXPECT_TRUE(orc8r.get_policy("rate_limited").has_value());
+  orc8r.remove_policy("rate_limited");
+  EXPECT_FALSE(orc8r.get_policy("rate_limited").has_value());
+}
+
+TEST(Orchestrator, DesiredStateVersioned) {
+  sim::Kernel kernel;
+  orc8r::Orchestrator orc8r(kernel);
+  orc8r.add_subscriber(subscriber(1, "p"));
+  const orc8r::DesiredState fresh = orc8r.desired_state(0);
+  EXPECT_TRUE(fresh.changed);
+  EXPECT_EQ(fresh.subscribers.size(), 1u);
+
+  // A caller that already has the current version gets a cheap no-op.
+  const orc8r::DesiredState current = orc8r.desired_state(fresh.version);
+  EXPECT_FALSE(current.changed);
+  EXPECT_TRUE(current.subscribers.empty());
+}
+
+TEST(Orchestrator, ConfigSurvivesCrash) {
+  sim::Kernel kernel;
+  orc8r::Orchestrator orc8r(kernel);
+  orc8r.add_subscriber(subscriber(1, "p"));
+  orc8r.store().checkpoint();
+  orc8r.add_subscriber(subscriber(2, "q"));
+  orc8r.store().simulate_crash_and_recover();
+  EXPECT_EQ(orc8r.subscriber_count(), 2u);
+}
+
+TEST(DesiredState, SerializeRoundTrip) {
+  orc8r::DesiredState state;
+  state.version = 42;
+  state.changed = true;
+  state.subscribers.push_back(subscriber(1, "gold"));
+  state.policies.push_back(core::tiered_policy(1e7, 1 << 30, 1e6));
+  auto round = orc8r::DesiredState::deserialize(state.serialize());
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value().version, 42u);
+  EXPECT_EQ(round.value().subscribers, state.subscribers);
+  EXPECT_EQ(round.value().policies, state.policies);
+}
+
+// --- Magmad over a link -------------------------------------------------------
+
+class MagmadTest : public ::testing::Test {
+ protected:
+  MagmadTest()
+      : rng_(5),
+        orc8r_(kernel_),
+        link_(kernel_, rng_, sim::fiber_backhaul()),
+        channels_(net::make_reliable_pair(kernel_, link_)),
+        server_node_(kernel_, *channels_.a, "orc8r-server"),
+        client_node_(kernel_, *channels_.b, "agw-client"),
+        subscribers_([this]() { return rng_.next_u64(); }),
+        magmad_(kernel_, "gw0", &client_node_, subscribers_, policies_,
+                [this]() { return checkpoint_payload_; },
+                [this]() { return metrics_payload_; }) {
+    orc8r_.bind(server_node_);
+  }
+
+  sim::Kernel kernel_;
+  sim::Rng rng_;
+  orc8r::Orchestrator orc8r_;
+  net::DuplexLink link_;
+  net::ReliablePair channels_;
+  rpc::RpcNode server_node_;
+  rpc::RpcNode client_node_;
+  agw::SubscriberDb subscribers_;
+  agw::PolicyDb policies_;
+  common::Bytes checkpoint_payload_ = common::to_bytes("ckpt");
+  std::vector<orc8r::MetricSample> metrics_payload_;
+  agw::Magmad magmad_;
+};
+
+TEST_F(MagmadTest, ConfigSyncAppliesSubscribersAndPolicies) {
+  orc8r_.add_subscriber(subscriber(1, "gold"));
+  orc8r_.add_policy(core::rate_limited_policy(2e6, 1e6));
+
+  bool applied = false;
+  magmad_.sync_config_now([&](bool a) { applied = a; });
+  kernel_.run_until(5 * sim::kSecond);
+  EXPECT_TRUE(applied);
+  EXPECT_TRUE(subscribers_.get(imsi(1)).has_value());
+  EXPECT_TRUE(policies_.get("rate_limited").has_value());
+  EXPECT_EQ(magmad_.synced_version(), orc8r_.config_version());
+
+  // Second sync with no changes is a no-op.
+  bool applied_again = true;
+  magmad_.sync_config_now([&](bool a) { applied_again = a; });
+  kernel_.run_until(10 * sim::kSecond);
+  EXPECT_FALSE(applied_again);
+  EXPECT_EQ(magmad_.stats().config_polls_noop, 1u);
+}
+
+TEST_F(MagmadTest, ConfigRemovalPropagates) {
+  orc8r_.add_subscriber(subscriber(1, "p"));
+  orc8r_.add_subscriber(subscriber(2, "p"));
+  magmad_.sync_config_now();
+  kernel_.run_until(5 * sim::kSecond);
+  ASSERT_EQ(subscribers_.size(), 2u);
+
+  orc8r_.remove_subscriber(imsi(1));
+  magmad_.sync_config_now();
+  kernel_.run_until(10 * sim::kSecond);
+  EXPECT_EQ(subscribers_.size(), 1u);
+  EXPECT_FALSE(subscribers_.get(imsi(1)).has_value());
+}
+
+TEST_F(MagmadTest, SyncFailsGracefullyWhenDisconnected) {
+  link_.forward.set_up(false);
+  link_.reverse.set_up(false);
+  bool applied = true;
+  magmad_.sync_config_now([&](bool a) { applied = a; });
+  kernel_.run_until(30 * sim::kSecond);
+  EXPECT_FALSE(applied);
+  EXPECT_GE(magmad_.stats().sync_failures, 1u);
+  EXPECT_FALSE(magmad_.orchestrator_reachable());
+}
+
+TEST_F(MagmadTest, PeriodicLoopsShipEverything) {
+  orc8r_.add_subscriber(subscriber(1, "p"));
+  metrics_payload_ = {
+      orc8r::MetricSample{"gw0", "active_sessions", 3.0, kernel_.now()}};
+  magmad_.start();
+  kernel_.run_until(3 * sim::kMinute);
+
+  EXPECT_GE(magmad_.stats().config_syncs_applied, 1u);
+  EXPECT_GE(magmad_.stats().checkins_ok, 2u);
+  EXPECT_GE(magmad_.stats().metric_reports_sent, 2u);
+  EXPECT_GE(magmad_.stats().checkpoints_shipped, 2u);
+
+  // Orchestrator side saw all of it.
+  EXPECT_GE(orc8r_.stats().checkins, 2u);
+  ASSERT_TRUE(orc8r_.gateway("gw0").has_value());
+  EXPECT_GT(orc8r_.gateway("gw0")->checkin_count, 0u);
+  EXPECT_EQ(orc8r_.stored_checkpoint("gw0").value(),
+            common::to_bytes("ckpt"));
+  EXPECT_GT(orc8r_.metrics().total_samples(), 0u);
+}
+
+}  // namespace
+}  // namespace magma

@@ -1,0 +1,136 @@
+// Telemetry collection: ingestion, ordering, aggregate queries, codec.
+#include <gtest/gtest.h>
+
+#include "orc8r/metricsd.h"
+
+namespace magma::orc8r {
+namespace {
+
+MetricSample sample(const std::string& gw, const std::string& name,
+                    double value, sim::TimePoint t) {
+  return MetricSample{gw, name, value, t};
+}
+
+TEST(Metricsd, SeriesAccumulatesInTimeOrder) {
+  Metricsd m;
+  m.ingest(sample("gw0", "sessions", 1, 10));
+  m.ingest(sample("gw0", "sessions", 2, 30));
+  m.ingest(sample("gw0", "sessions", 3, 20));  // out of order
+  const auto series = m.series("sessions");
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].time, 10);
+  EXPECT_EQ(series[1].time, 20);
+  EXPECT_EQ(series[2].time, 30);
+}
+
+TEST(Metricsd, SumLatestAcrossGateways) {
+  Metricsd m;
+  m.ingest(sample("gw0", "sessions", 5, 10));
+  m.ingest(sample("gw1", "sessions", 7, 10));
+  m.ingest(sample("gw0", "sessions", 6, 20));  // gw0 updated
+  EXPECT_DOUBLE_EQ(m.sum_latest("sessions"), 13.0);
+  EXPECT_DOUBLE_EQ(m.sum_latest("missing"), 0.0);
+}
+
+TEST(Metricsd, LatestPerGateway) {
+  Metricsd m;
+  m.ingest(sample("gw0", "cpu", 0.5, 10));
+  m.ingest(sample("gw0", "cpu", 0.9, 20));
+  EXPECT_DOUBLE_EQ(m.latest("gw0", "cpu").value(), 0.9);
+  EXPECT_FALSE(m.latest("gw1", "cpu").has_value());
+  EXPECT_FALSE(m.latest("gw0", "nope").has_value());
+}
+
+TEST(Metricsd, SumInWindow) {
+  Metricsd m;
+  for (int h = 0; h < 10; ++h) {
+    m.ingest(sample("gw0", "bytes", 100, h * sim::kHour));
+  }
+  EXPECT_DOUBLE_EQ(m.sum_in_window("bytes", 0, 5 * sim::kHour), 500.0);
+  EXPECT_DOUBLE_EQ(m.sum_in_window("bytes", 5 * sim::kHour, 10 * sim::kHour),
+                   500.0);
+  EXPECT_DOUBLE_EQ(m.sum_in_window("bytes", 20 * sim::kHour, 30 * sim::kHour),
+                   0.0);
+}
+
+TEST(Metricsd, MetricNames) {
+  Metricsd m;
+  m.ingest(sample("gw0", "a", 1, 0));
+  m.ingest(sample("gw0", "b", 1, 0));
+  const auto names = m.metric_names();
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(MetricsdAlerts, FireAndRecoverPerGateway) {
+  Metricsd m;
+  m.add_alert_rule(AlertRule{"cpu-high", "cpu_total", 0.9, true});
+
+  m.ingest(sample("gw0", "cpu_total", 0.5, 10));
+  EXPECT_TRUE(m.active_alerts().empty());
+
+  m.ingest(sample("gw0", "cpu_total", 0.95, 20));
+  m.ingest(sample("gw1", "cpu_total", 0.97, 20));
+  ASSERT_EQ(m.active_alerts().size(), 2u);
+  EXPECT_EQ(m.alerts_fired(), 2u);
+
+  // gw0 recovers; gw1 keeps firing with a refreshed value.
+  m.ingest(sample("gw0", "cpu_total", 0.4, 30));
+  m.ingest(sample("gw1", "cpu_total", 0.99, 30));
+  const auto alerts = m.active_alerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].gateway_id, "gw1");
+  EXPECT_DOUBLE_EQ(alerts[0].value, 0.99);
+  EXPECT_EQ(m.alerts_fired(), 2u);  // refresh is not a new firing
+}
+
+TEST(MetricsdAlerts, FireBelowThreshold) {
+  Metricsd m;
+  m.add_alert_rule(AlertRule{"gw-offline", "checkin_ok", 0.5, false});
+  m.ingest(sample("gw0", "checkin_ok", 1.0, 10));
+  EXPECT_TRUE(m.active_alerts().empty());
+  m.ingest(sample("gw0", "checkin_ok", 0.0, 20));
+  EXPECT_EQ(m.active_alerts().size(), 1u);
+}
+
+TEST(MetricsdAlerts, RemoveRuleClearsFiring) {
+  Metricsd m;
+  m.add_alert_rule(AlertRule{"r", "x", 1.0, true});
+  m.ingest(sample("gw0", "x", 5.0, 10));
+  ASSERT_EQ(m.active_alerts().size(), 1u);
+  m.remove_alert_rule("r");
+  EXPECT_TRUE(m.active_alerts().empty());
+  // Samples after removal do not fire.
+  m.ingest(sample("gw0", "x", 9.0, 20));
+  EXPECT_TRUE(m.active_alerts().empty());
+}
+
+TEST(MetricsdAlerts, ReAddReplacesRule) {
+  Metricsd m;
+  m.add_alert_rule(AlertRule{"r", "x", 10.0, true});
+  m.ingest(sample("gw0", "x", 5.0, 10));
+  EXPECT_TRUE(m.active_alerts().empty());
+  m.add_alert_rule(AlertRule{"r", "x", 1.0, true});  // tightened
+  m.ingest(sample("gw0", "x", 5.0, 20));
+  EXPECT_EQ(m.active_alerts().size(), 1u);
+}
+
+TEST(MetricReport, CodecRoundTrip) {
+  std::vector<MetricSample> samples = {
+      sample("gw0", "sessions", 42.5, 123456789),
+      sample("gw1", "cpu_user", 0.33, 987654321),
+  };
+  auto decoded = decode_metric_report(encode_metric_report(samples));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), 2u);
+  EXPECT_EQ(decoded.value()[0].gateway_id, "gw0");
+  EXPECT_EQ(decoded.value()[0].name, "sessions");
+  EXPECT_DOUBLE_EQ(decoded.value()[0].value, 42.5);
+  EXPECT_EQ(decoded.value()[1].time, 987654321);
+}
+
+TEST(MetricReport, CodecRejectsGarbage) {
+  EXPECT_FALSE(decode_metric_report(common::to_bytes("zz")).ok());
+}
+
+}  // namespace
+}  // namespace magma::orc8r

@@ -1,0 +1,130 @@
+// IP address management: uniqueness, recycling, quarantine, adoption.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "agw/mobilityd.h"
+
+namespace magma::agw {
+namespace {
+
+common::Imsi imsi(std::uint64_t n) {
+  return common::Imsi::from_digits(1010000000000ULL + n);
+}
+
+TEST(Mobilityd, AllocatesDistinctAddressesFromBlock) {
+  Mobilityd mob(IpBlock{common::Ipv4::from_octets(192, 168, 0, 0), 24});
+  std::set<std::uint32_t> seen;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    auto ip = mob.allocate(imsi(i), 0);
+    ASSERT_TRUE(ip.ok());
+    EXPECT_TRUE(seen.insert(ip.value().addr).second);
+    // Inside the block, not network/broadcast.
+    EXPECT_EQ(ip.value().addr >> 8, common::Ipv4::from_octets(192, 168, 0, 0).addr >> 8);
+    EXPECT_NE(ip.value().addr & 0xFF, 0u);
+  }
+  EXPECT_EQ(mob.allocated(), 50u);
+}
+
+TEST(Mobilityd, ReallocateSameImsiKeepsAddress) {
+  Mobilityd mob(IpBlock{});
+  const auto first = mob.allocate(imsi(1), 0).value();
+  const auto second = mob.allocate(imsi(1), 0).value();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(mob.allocated(), 1u);
+}
+
+TEST(Mobilityd, ExhaustionReturnsResourceExhausted) {
+  Mobilityd mob(IpBlock{common::Ipv4::from_octets(10, 0, 0, 0), 30});  // 2 hosts
+  ASSERT_TRUE(mob.allocate(imsi(1), 0).ok());
+  ASSERT_TRUE(mob.allocate(imsi(2), 0).ok());
+  EXPECT_EQ(mob.allocate(imsi(3), 0).code(),
+            common::ErrorCode::kResourceExhausted);
+}
+
+TEST(Mobilityd, QuarantineDelaysReuse) {
+  Mobilityd mob(IpBlock{common::Ipv4::from_octets(10, 0, 0, 0), 30},
+                30 * sim::kSecond);
+  const auto a = mob.allocate(imsi(1), 0).value();
+  mob.allocate(imsi(2), 0).value();
+  ASSERT_TRUE(mob.release(imsi(1), 0).ok());
+
+  // Immediately after release, the freed address is quarantined.
+  EXPECT_FALSE(mob.allocate(imsi(3), 1 * sim::kSecond).ok());
+  // After the quarantine it is recycled.
+  const auto reused = mob.allocate(imsi(3), 31 * sim::kSecond);
+  ASSERT_TRUE(reused.ok());
+  EXPECT_EQ(reused.value(), a);
+}
+
+TEST(Mobilityd, ReleaseUnknownFails) {
+  Mobilityd mob(IpBlock{});
+  EXPECT_EQ(mob.release(imsi(9), 0).code(), common::ErrorCode::kNotFound);
+}
+
+TEST(Mobilityd, LookupAndReverseLookup) {
+  Mobilityd mob(IpBlock{});
+  const auto ip = mob.allocate(imsi(5), 0).value();
+  EXPECT_EQ(mob.lookup(imsi(5)).value(), ip);
+  EXPECT_EQ(mob.reverse_lookup(ip).value(), imsi(5));
+  EXPECT_FALSE(mob.lookup(imsi(6)).has_value());
+  EXPECT_FALSE(mob.reverse_lookup(common::Ipv4{1}).has_value());
+}
+
+TEST(Mobilityd, AdoptRestoresBindingAndBlocksFreshReuse) {
+  Mobilityd mob(IpBlock{common::Ipv4::from_octets(10, 0, 0, 0), 24});
+  const common::Ipv4 taken = common::Ipv4::from_octets(10, 0, 0, 5);
+  ASSERT_TRUE(mob.adopt(imsi(1), taken).ok());
+  EXPECT_EQ(mob.lookup(imsi(1)).value(), taken);
+  // Fresh allocations skip past the adopted host part.
+  for (int i = 0; i < 10; ++i) {
+    const auto ip = mob.allocate(imsi(static_cast<std::uint64_t>(i + 10)), 0);
+    ASSERT_TRUE(ip.ok());
+    EXPECT_NE(ip.value(), taken);
+  }
+}
+
+TEST(Mobilityd, AdoptRejectsOutOfBlockAndConflicts) {
+  Mobilityd mob(IpBlock{common::Ipv4::from_octets(10, 0, 0, 0), 24});
+  EXPECT_EQ(mob.adopt(imsi(1), common::Ipv4::from_octets(10, 0, 1, 5)).code(),
+            common::ErrorCode::kInvalidArgument);
+  ASSERT_TRUE(mob.adopt(imsi(1), common::Ipv4::from_octets(10, 0, 0, 5)).ok());
+  EXPECT_EQ(mob.adopt(imsi(2), common::Ipv4::from_octets(10, 0, 0, 5)).code(),
+            common::ErrorCode::kAlreadyExists);
+  // Re-adopting the same binding is idempotent.
+  EXPECT_TRUE(mob.adopt(imsi(1), common::Ipv4::from_octets(10, 0, 0, 5)).ok());
+}
+
+// Property sweep: allocate/release cycles never hand out a duplicate among
+// live allocations, across several block sizes.
+class MobilitydChurn : public ::testing::TestWithParam<int> {};
+
+TEST_P(MobilitydChurn, NoLiveDuplicates) {
+  const int prefix = GetParam();
+  Mobilityd mob(IpBlock{common::Ipv4::from_octets(10, 9, 0, 0),
+                        static_cast<std::uint8_t>(prefix)},
+                0 /* no quarantine */);
+  std::map<std::uint64_t, common::Ipv4> live;
+  sim::TimePoint now = 0;
+  for (std::uint64_t round = 0; round < 300; ++round) {
+    now += sim::kSecond;
+    const std::uint64_t id = round % 37;
+    if (live.contains(id)) {
+      ASSERT_TRUE(mob.release(imsi(id), now).ok());
+      live.erase(id);
+    } else {
+      auto ip = mob.allocate(imsi(id), now);
+      if (!ip.ok()) continue;  // small blocks may exhaust transiently
+      for (const auto& [other, addr] : live) {
+        EXPECT_NE(addr, ip.value()) << "duplicate with " << other;
+      }
+      live[id] = ip.value();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, MobilitydChurn,
+                         ::testing::Values(26, 25, 24));
+
+}  // namespace
+}  // namespace magma::agw

@@ -1,0 +1,174 @@
+// Transport semantics: datagram loss-through vs reliable in-order delivery
+// under loss — the TCP/gRPC-vs-GTP distinction of §3.1.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "net/channel.h"
+
+namespace magma::net {
+namespace {
+
+using common::Bytes;
+using common::to_bytes;
+using common::to_string;
+
+struct Harness {
+  sim::Kernel kernel;
+  sim::Rng rng{42};
+};
+
+TEST(DatagramChannel, DeliversBothDirections) {
+  Harness h;
+  DuplexLink path(h.kernel, h.rng, sim::lan_link());
+  ChannelPair pair = make_datagram_pair(h.kernel, path);
+
+  std::vector<std::string> at_b, at_a;
+  pair.b->set_receiver([&](Bytes m) { at_b.push_back(to_string(m)); });
+  pair.a->set_receiver([&](Bytes m) { at_a.push_back(to_string(m)); });
+
+  pair.a->send(to_bytes("hello"));
+  pair.b->send(to_bytes("world"));
+  h.kernel.run();
+  ASSERT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(at_b[0], "hello");
+  ASSERT_EQ(at_a.size(), 1u);
+  EXPECT_EQ(at_a[0], "world");
+}
+
+TEST(DatagramChannel, LosesOnLossyLink) {
+  Harness h;
+  sim::LinkConfig lossy = sim::lan_link();
+  lossy.loss_probability = 0.5;
+  DuplexLink path(h.kernel, h.rng, lossy);
+  ChannelPair pair = make_datagram_pair(h.kernel, path);
+
+  int received = 0;
+  pair.b->set_receiver([&](Bytes) { ++received; });
+  for (int i = 0; i < 1000; ++i) pair.a->send(to_bytes("x"));
+  h.kernel.run();
+  EXPECT_GT(received, 300);
+  EXPECT_LT(received, 700);
+}
+
+TEST(ReliableChannel, InOrderDeliveryOnCleanLink) {
+  Harness h;
+  DuplexLink path(h.kernel, h.rng, sim::lan_link());
+  ReliablePair pair = make_reliable_pair(h.kernel, path);
+
+  std::vector<std::string> received;
+  pair.b->set_receiver([&](Bytes m) { received.push_back(to_string(m)); });
+  for (int i = 0; i < 50; ++i) {
+    pair.a->send(to_bytes("msg" + std::to_string(i)));
+  }
+  h.kernel.run();
+  ASSERT_EQ(received.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(received[static_cast<size_t>(i)], "msg" + std::to_string(i));
+  }
+  EXPECT_EQ(pair.a->stats().retransmissions, 0u);
+}
+
+TEST(ReliableChannel, SurvivesHeavyLossInOrder) {
+  Harness h;
+  sim::LinkConfig lossy = sim::lan_link();
+  lossy.loss_probability = 0.3;
+  DuplexLink path(h.kernel, h.rng, lossy);
+  ReliablePair pair = make_reliable_pair(h.kernel, path);
+
+  std::vector<std::string> received;
+  pair.b->set_receiver([&](Bytes m) { received.push_back(to_string(m)); });
+  const int kMessages = 200;
+  for (int i = 0; i < kMessages; ++i) {
+    pair.a->send(to_bytes("m" + std::to_string(i)));
+  }
+  h.kernel.run();
+  ASSERT_EQ(received.size(), static_cast<size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(received[static_cast<size_t>(i)], "m" + std::to_string(i));
+  }
+  EXPECT_GT(pair.a->stats().retransmissions, 0u);
+  EXPECT_EQ(pair.a->stats().failures, 0u);
+}
+
+TEST(ReliableChannel, SurvivesSatelliteBackhaul) {
+  // The §3.1 scenario: control traffic over satellite (300 ms, 2% loss).
+  Harness h;
+  DuplexLink path(h.kernel, h.rng, sim::satellite_backhaul());
+  ReliablePair pair = make_reliable_pair(h.kernel, path);
+
+  int received = 0;
+  pair.b->set_receiver([&](Bytes) { ++received; });
+  for (int i = 0; i < 100; ++i) pair.a->send(to_bytes("config-update"));
+  h.kernel.run();
+  EXPECT_EQ(received, 100);
+}
+
+TEST(ReliableChannel, GivesUpAfterMaxRetriesOnDeadLink) {
+  Harness h;
+  DuplexLink path(h.kernel, h.rng, sim::lan_link());
+  path.forward.set_up(false);  // one-way outage: data never arrives
+  ReliableConfig config;
+  config.max_retries = 3;
+  ReliablePair pair = make_reliable_pair(h.kernel, path, config);
+
+  int received = 0;
+  pair.b->set_receiver([&](Bytes) { ++received; });
+  pair.a->send(to_bytes("doomed"));
+  h.kernel.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(pair.a->stats().failures, 1u);
+  EXPECT_EQ(pair.a->stats().retransmissions, 3u);
+}
+
+TEST(ReliableChannel, ResetAfterGiveUpDoesNotWedgeDelivery) {
+  // Regression: abandoning a message after max_retries must not leave a
+  // permanent sequence gap. The connection resets (new epoch) and traffic
+  // sent after the outage flows again.
+  Harness h;
+  DuplexLink path(h.kernel, h.rng, sim::lan_link());
+  ReliableConfig config;
+  config.max_retries = 3;
+  ReliablePair pair = make_reliable_pair(h.kernel, path, config);
+
+  std::vector<std::string> received;
+  pair.b->set_receiver([&](Bytes m) { received.push_back(to_string(m)); });
+
+  // Long outage: these messages are abandoned (connection reset).
+  path.forward.set_up(false);
+  for (int i = 0; i < 5; ++i) pair.a->send(to_bytes("lost" + std::to_string(i)));
+  h.kernel.run_until(h.kernel.now() + 30 * sim::kSecond);
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(pair.a->stats().failures, 5u);
+
+  // Link returns; fresh messages must be delivered despite the gap.
+  path.forward.set_up(true);
+  for (int i = 0; i < 3; ++i) pair.a->send(to_bytes("post" + std::to_string(i)));
+  h.kernel.run();
+  ASSERT_EQ(received.size(), 3u);
+  EXPECT_EQ(received[0], "post0");
+  EXPECT_EQ(received[2], "post2");
+}
+
+TEST(ReliableChannel, RecoversAfterOutage) {
+  Harness h;
+  DuplexLink path(h.kernel, h.rng, sim::lan_link());
+  ReliableConfig config;
+  config.max_retries = 20;
+  ReliablePair pair = make_reliable_pair(h.kernel, path, config);
+
+  std::vector<std::string> received;
+  pair.b->set_receiver([&](Bytes m) { received.push_back(to_string(m)); });
+
+  path.forward.set_up(false);
+  pair.a->send(to_bytes("queued-during-outage"));
+  h.kernel.run_until(2 * sim::kSecond);
+  EXPECT_TRUE(received.empty());
+
+  path.forward.set_up(true);
+  h.kernel.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "queued-during-outage");
+}
+
+}  // namespace
+}  // namespace magma::net

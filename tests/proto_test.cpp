@@ -1,0 +1,326 @@
+// Protocol codecs (NAS, S1AP, NGAP, 5G NAS, RADIUS, GTP-C) and the EMM FSM.
+#include <gtest/gtest.h>
+
+#include "proto/lte/emm_fsm.h"
+#include "proto/lte/gtpc.h"
+#include "proto/lte/nas.h"
+#include "proto/lte/s1ap.h"
+#include "proto/nr5g/nas5g.h"
+#include "proto/nr5g/ngap.h"
+#include "proto/wifi/radius.h"
+
+namespace magma::proto {
+namespace {
+
+// --- LTE NAS --------------------------------------------------------------
+
+TEST(NasCodec, AllMessagesRoundTrip) {
+  lte::AttachRequest attach;
+  attach.imsi = common::Imsi::from_digits(1010000000001ULL);
+
+  lte::AuthenticationRequest auth;
+  auth.rand.fill(0xAA);
+  auth.autn.fill(0xBB);
+
+  lte::AuthenticationResponse auth_resp;
+  auth_resp.res.fill(0xCC);
+
+  lte::AuthenticationFailure auth_fail;
+  auth_fail.auts.fill(0xDD);
+
+  lte::SecurityModeCommand smc;
+  smc.mac = 0x12345678;
+
+  lte::AttachAccept accept;
+  accept.m_tmsi = 42;
+  accept.bearer.pdn_address = common::Ipv4::from_octets(172, 16, 0, 9);
+  accept.bearer.ambr_dl_bps = 5'000'000;
+  accept.mac = 7;
+
+  const std::vector<lte::NasMessage> messages = {
+      attach,
+      auth,
+      auth_resp,
+      auth_fail,
+      smc,
+      lte::SecurityModeComplete{99},
+      accept,
+      lte::AttachComplete{3},
+      lte::AttachReject{lte::EmmCause::kCongestion},
+      lte::DetachRequest{true},
+      lte::DetachAccept{},
+      lte::ServiceRequest{42, 8},
+      lte::ServiceReject{lte::EmmCause::kIllegalUe},
+  };
+  for (const auto& msg : messages) {
+    auto decoded = lte::decode_nas(lte::encode_nas(msg));
+    ASSERT_TRUE(decoded.ok()) << lte::nas_message_name(msg);
+    EXPECT_EQ(decoded.value(), msg) << lte::nas_message_name(msg);
+  }
+}
+
+TEST(NasCodec, RejectsEmptyAndGarbage) {
+  EXPECT_FALSE(lte::decode_nas({}).ok());
+  EXPECT_FALSE(lte::decode_nas(common::to_bytes("\xFFgarbage")).ok());
+}
+
+TEST(NasCodec, RejectsInvalidImsi) {
+  lte::AttachRequest attach;
+  attach.imsi.value = "NOT_AN_IMSI";
+  EXPECT_FALSE(lte::decode_nas(lte::encode_nas(lte::NasMessage{attach})).ok());
+}
+
+TEST(NasCodec, RejectsTruncated) {
+  lte::AuthenticationRequest auth;
+  auth.rand.fill(1);
+  const common::Bytes wire = lte::encode_nas(lte::NasMessage{auth});
+  for (std::size_t keep = 1; keep < wire.size(); keep += 7) {
+    EXPECT_FALSE(
+        lte::decode_nas(common::BytesView(wire.data(), keep)).ok());
+  }
+}
+
+// --- S1AP ------------------------------------------------------------------
+
+TEST(S1apCodec, AllMessagesRoundTrip) {
+  lte::InitialContextSetupRequest ics;
+  ics.enb_ue_s1ap_id = 1;
+  ics.mme_ue_s1ap_id = 2;
+  ics.agw_teid_ul = common::Teid{0x777};
+  ics.agw_address = common::Ipv4::from_octets(10, 1, 0, 1);
+  ics.kenb.fill(0x5A);
+  ics.nas_pdu = common::to_bytes("piggyback");
+
+  const std::vector<lte::S1apMessage> messages = {
+      lte::S1SetupRequest{common::RanNodeId{7}, "enb7", "00101", 3},
+      lte::S1SetupResponse{"mme", 255},
+      lte::S1SetupFailure{"overload"},
+      lte::InitialUeMessage{10, 3, common::to_bytes("nas")},
+      lte::UplinkNasTransport{10, 20, common::to_bytes("ul")},
+      lte::DownlinkNasTransport{10, 20, common::to_bytes("dl")},
+      ics,
+      lte::InitialContextSetupResponse{10, 20, common::Teid{0x888},
+                                       common::Ipv4::from_octets(10, 100, 0, 1)},
+      lte::InitialContextSetupFailure{10, 20, "no-resources"},
+      lte::UeContextReleaseCommand{10, 20, "detach"},
+      lte::UeContextReleaseComplete{10, 20},
+  };
+  for (const auto& msg : messages) {
+    auto decoded = lte::decode_s1ap(lte::encode_s1ap(msg));
+    ASSERT_TRUE(decoded.ok()) << lte::s1ap_message_name(msg);
+    EXPECT_EQ(decoded.value(), msg) << lte::s1ap_message_name(msg);
+  }
+}
+
+// --- 5G -----------------------------------------------------------------------
+
+TEST(Nas5gCodec, AllMessagesRoundTrip) {
+  nr5g::RegistrationRequest reg;
+  reg.supi = common::Imsi::from_digits(1010000000002ULL);
+
+  nr5g::PduSessionEstablishmentAccept accept;
+  accept.ue_address = common::Ipv4::from_octets(172, 16, 1, 10);
+  accept.ambr_dl_bps = 10'000'000;
+
+  nr5g::AuthenticationRequest5g auth;
+  auth.rand.fill(0x11);
+  auth.autn.fill(0x22);
+
+  nr5g::AuthenticationResponse5g auth_resp;
+  auth_resp.res_star.fill(0x33);
+
+  const std::vector<nr5g::Nas5gMessage> messages = {
+      reg,
+      auth,
+      auth_resp,
+      nr5g::SecurityModeCommand5g{2, 2, 77},
+      nr5g::SecurityModeComplete5g{88},
+      nr5g::RegistrationAccept{0x5001, 5},
+      nr5g::RegistrationComplete{6},
+      nr5g::RegistrationReject{nr5g::FgmmCause::kCongestion},
+      nr5g::PduSessionEstablishmentRequest{1, "internet"},
+      accept,
+      nr5g::PduSessionEstablishmentReject{1, nr5g::FgmmCause::kNetworkFailure},
+      nr5g::DeregistrationRequest5g{false},
+      nr5g::DeregistrationAccept5g{},
+  };
+  for (const auto& msg : messages) {
+    auto decoded = nr5g::decode_nas5g(nr5g::encode_nas5g(msg));
+    ASSERT_TRUE(decoded.ok()) << nr5g::nas5g_message_name(msg);
+    EXPECT_EQ(decoded.value(), msg) << nr5g::nas5g_message_name(msg);
+  }
+}
+
+TEST(NgapCodec, AllMessagesRoundTrip) {
+  nr5g::PduSessionResourceSetupRequest setup;
+  setup.ran_ue_ngap_id = 4;
+  setup.amf_ue_ngap_id = 5;
+  setup.agw_teid_ul = common::Teid{0xABC};
+  setup.agw_address = common::Ipv4::from_octets(10, 2, 0, 1);
+  setup.nas_pdu = common::to_bytes("accept");
+
+  const std::vector<nr5g::NgapMessage> messages = {
+      nr5g::NgSetupRequest{common::RanNodeId{9}, "gnb9", "00101"},
+      nr5g::NgSetupResponse{"amf"},
+      nr5g::InitialUeMessage5g{4, common::to_bytes("reg")},
+      nr5g::UplinkNasTransport5g{4, 5, common::to_bytes("ul")},
+      nr5g::DownlinkNasTransport5g{4, 5, common::to_bytes("dl")},
+      setup,
+      nr5g::PduSessionResourceSetupResponse{4, 5, 1, common::Teid{0xDEF},
+                                            common::Ipv4::from_octets(10, 101, 0, 1)},
+      nr5g::UeContextReleaseCommand5g{4, 5, "dereg"},
+      nr5g::UeContextReleaseComplete5g{4, 5},
+  };
+  for (const auto& msg : messages) {
+    auto decoded = nr5g::decode_ngap(nr5g::encode_ngap(msg));
+    ASSERT_TRUE(decoded.ok()) << nr5g::ngap_message_name(msg);
+    EXPECT_EQ(decoded.value(), msg) << nr5g::ngap_message_name(msg);
+  }
+}
+
+// --- RADIUS -----------------------------------------------------------------------
+
+TEST(RadiusCodec, FullAttributeRoundTrip) {
+  wifi::RadiusPacket pkt;
+  pkt.code = wifi::RadiusCode::kAccountingRequest;
+  pkt.identifier = 77;
+  pkt.attributes.user_name = "IMSI001010000000001";
+  pkt.attributes.chap_password = common::from_hex("0011223344556677");
+  pkt.attributes.framed_ip = common::Ipv4::from_octets(172, 16, 0, 50);
+  pkt.attributes.calling_station_id = "02:aa:bb:cc:dd:ee";
+  pkt.attributes.acct_status = wifi::AcctStatus::kInterimUpdate;
+  pkt.attributes.acct_input_octets = 123456;
+  pkt.attributes.acct_output_octets = 654321;
+  pkt.attributes.acct_session_id = "ap1/sess42";
+  pkt.attributes.chap_challenge = common::from_hex("ffee");
+
+  auto decoded = wifi::decode_radius(wifi::encode_radius(pkt));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), pkt);
+}
+
+TEST(RadiusCodec, MinimalPacketRoundTrip) {
+  wifi::RadiusPacket pkt;
+  pkt.code = wifi::RadiusCode::kAccessReject;
+  pkt.identifier = 1;
+  auto decoded = wifi::decode_radius(wifi::encode_radius(pkt));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), pkt);
+}
+
+TEST(RadiusCodec, RejectsBadLength) {
+  wifi::RadiusPacket pkt;
+  pkt.attributes.user_name = "user";
+  common::Bytes wire = wifi::encode_radius(pkt);
+  wire[3] = static_cast<std::uint8_t>(wire[3] + 1);  // wrong total length
+  EXPECT_FALSE(wifi::decode_radius(wire).ok());
+  EXPECT_FALSE(wifi::decode_radius(common::to_bytes("xy")).ok());
+}
+
+TEST(RadiusCodec, SkipsUnknownAttributes) {
+  wifi::RadiusPacket pkt;
+  pkt.attributes.user_name = "user";
+  common::Bytes wire = wifi::encode_radius(pkt);
+  // Append an unknown attribute (type 200, len 4, two value bytes) and fix
+  // the length field.
+  wire.push_back(200);
+  wire.push_back(4);
+  wire.push_back(0xDE);
+  wire.push_back(0xAD);
+  wire[2] = static_cast<std::uint8_t>(wire.size() >> 8);
+  wire[3] = static_cast<std::uint8_t>(wire.size());
+  auto decoded = wifi::decode_radius(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().attributes.user_name, "user");
+}
+
+// --- GTP-C -------------------------------------------------------------------------
+
+TEST(GtpcCodec, AllMessagesRoundTrip) {
+  lte::CreateSessionRequest create;
+  create.imsi = common::Imsi::from_digits(1010000000003ULL);
+  create.sender_teid_c = common::Teid{0x42};
+  create.sender_address = common::Ipv4::from_octets(10, 200, 0, 1);
+  create.sequence = 9;
+
+  lte::CreateSessionResponse response;
+  response.pgw_teid_u = common::Teid{0x43};
+  response.pdn_address = common::Ipv4::from_octets(100, 64, 0, 1);
+  response.sequence = 9;
+
+  const std::vector<lte::GtpcMessage> messages = {
+      create,
+      response,
+      lte::ModifyBearerRequest{common::Teid{1}, common::Teid{2},
+                               common::Ipv4::from_octets(10, 100, 0, 1), 10},
+      lte::ModifyBearerResponse{16, 10},
+      lte::DeleteSessionRequest{common::Teid{1}, 11},
+      lte::DeleteSessionResponse{16, 11},
+  };
+  for (const auto& msg : messages) {
+    auto decoded = lte::decode_gtpc(lte::encode_gtpc(msg));
+    ASSERT_TRUE(decoded.ok()) << lte::gtpc_message_name(msg);
+    EXPECT_EQ(decoded.value(), msg) << lte::gtpc_message_name(msg);
+    EXPECT_EQ(lte::gtpc_sequence(decoded.value()), lte::gtpc_sequence(msg));
+  }
+}
+
+// --- EMM FSM ----------------------------------------------------------------------
+
+TEST(EmmFsm, HappyPathAttach) {
+  lte::EmmFsm fsm;
+  EXPECT_EQ(fsm.state(), lte::EmmState::kDeregistered);
+  EXPECT_TRUE(fsm.handle(lte::EmmEvent::kAttachRequested));
+  EXPECT_TRUE(fsm.handle(lte::EmmEvent::kAuthSucceeded));
+  EXPECT_TRUE(fsm.handle(lte::EmmEvent::kSecurityEstablished));
+  EXPECT_TRUE(fsm.handle(lte::EmmEvent::kContextEstablished));
+  EXPECT_EQ(fsm.state(), lte::EmmState::kRegistered);
+  EXPECT_TRUE(fsm.handle(lte::EmmEvent::kDetachRequested));
+  EXPECT_TRUE(fsm.handle(lte::EmmEvent::kDetachComplete));
+  EXPECT_EQ(fsm.state(), lte::EmmState::kDeregistered);
+  EXPECT_EQ(fsm.invalid_transitions(), 0u);
+}
+
+TEST(EmmFsm, InvalidTransitionsRejectedAndCounted) {
+  lte::EmmFsm fsm;
+  EXPECT_FALSE(fsm.handle(lte::EmmEvent::kAuthSucceeded));
+  EXPECT_FALSE(fsm.handle(lte::EmmEvent::kContextEstablished));
+  EXPECT_EQ(fsm.state(), lte::EmmState::kDeregistered);
+  EXPECT_EQ(fsm.invalid_transitions(), 2u);
+}
+
+TEST(EmmFsm, ImplicitDetachFromAnyState) {
+  for (lte::EmmState from :
+       {lte::EmmState::kDeregistered, lte::EmmState::kAuthPending,
+        lte::EmmState::kSecurityPending, lte::EmmState::kContextPending,
+        lte::EmmState::kRegistered, lte::EmmState::kDeregisterPending}) {
+    lte::EmmState to;
+    EXPECT_TRUE(lte::EmmFsm::valid(from, lte::EmmEvent::kImplicitDetach, &to));
+    EXPECT_EQ(to, lte::EmmState::kDeregistered);
+  }
+}
+
+// Exhaustive transition-table sweep: every (state, event) pair either moves
+// to the documented target or is rejected; no pair misbehaves.
+class EmmFsmSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EmmFsmSweep, TotalAndClosed) {
+  const auto from = static_cast<lte::EmmState>(std::get<0>(GetParam()));
+  const auto event = static_cast<lte::EmmEvent>(std::get<1>(GetParam()));
+  lte::EmmState to = from;
+  const bool valid = lte::EmmFsm::valid(from, event, &to);
+  if (valid) {
+    // Target must be one of the six defined states.
+    EXPECT_LE(static_cast<int>(to), 5);
+  } else {
+    EXPECT_EQ(to, from);  // untouched on rejection
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, EmmFsmSweep,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Range(0, 10)));
+
+}  // namespace
+}  // namespace magma::proto

@@ -1,0 +1,225 @@
+// RPC layer: wire format round-trips, call semantics, deadlines, retries.
+#include <gtest/gtest.h>
+
+#include "net/channel.h"
+#include "rpc/rpc.h"
+#include "rpc/wire.h"
+
+namespace magma::rpc {
+namespace {
+
+// --- Wire format -------------------------------------------------------------
+
+TEST(Wire, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.str("magma");
+  w.bytes(common::from_hex("00ff10"));
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.str(), "magma");
+  EXPECT_EQ(r.bytes(), common::from_hex("00ff10"));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Wire, TruncatedReadLatchesError) {
+  Writer w;
+  w.u32(7);
+  Reader r(w.data());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_EQ(r.u64(), 0u);  // past the end
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // stays failed
+}
+
+TEST(Wire, OversizedLengthPrefixFails) {
+  Writer w;
+  w.u32(1000000);  // claims a 1 MB string that is not there
+  Reader r(w.data());
+  EXPECT_TRUE(r.str().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, EmptyStringAndBytes) {
+  Writer w;
+  w.str("");
+  w.bytes({});
+  Reader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.ok());
+}
+
+// --- RpcNode -----------------------------------------------------------------
+
+struct RpcHarness {
+  sim::Kernel kernel;
+  sim::Rng rng{7};
+  net::DuplexLink path{kernel, rng, sim::lan_link()};
+  net::ReliablePair channels = net::make_reliable_pair(kernel, path);
+  RpcNode server{kernel, *channels.a, "server"};
+  RpcNode client{kernel, *channels.b, "client"};
+};
+
+TEST(RpcNode, UnaryCallRoundTrip) {
+  RpcHarness h;
+  h.server.register_method("echo", "Echo",
+                           [](const Bytes& request, Respond respond) {
+                             respond(request);
+                           });
+  std::string reply;
+  h.client.call("echo", "Echo", common::to_bytes("ping"), sim::kSecond,
+                [&](Result<Bytes> result) {
+                  ASSERT_TRUE(result.ok());
+                  reply = common::to_string(result.value());
+                });
+  h.kernel.run();
+  EXPECT_EQ(reply, "ping");
+  EXPECT_EQ(h.client.stats().calls_ok, 1u);
+  EXPECT_EQ(h.server.stats().calls_served, 1u);
+}
+
+TEST(RpcNode, UnknownMethodReturnsNotFound) {
+  RpcHarness h;
+  ErrorCode code = ErrorCode::kOk;
+  h.client.call("nope", "Nothing", {}, sim::kSecond,
+                [&](Result<Bytes> result) { code = result.code(); });
+  h.kernel.run();
+  EXPECT_EQ(code, ErrorCode::kNotFound);
+}
+
+TEST(RpcNode, HandlerErrorPropagates) {
+  RpcHarness h;
+  h.server.register_method("svc", "Fail",
+                           [](const Bytes&, Respond respond) {
+                             respond(Error{ErrorCode::kPermissionDenied,
+                                           "not allowed"});
+                           });
+  Error received;
+  h.client.call("svc", "Fail", {}, sim::kSecond, [&](Result<Bytes> result) {
+    ASSERT_FALSE(result.ok());
+    received = result.error();
+  });
+  h.kernel.run();
+  EXPECT_EQ(received.code, ErrorCode::kPermissionDenied);
+  EXPECT_EQ(received.message, "not allowed");
+}
+
+TEST(RpcNode, DeadlineExceededOnSilentServer) {
+  RpcHarness h;
+  h.server.register_method("svc", "Never",
+                           [](const Bytes&, Respond) { /* no respond */ });
+  ErrorCode code = ErrorCode::kOk;
+  h.client.call("svc", "Never", {}, 2 * sim::kSecond,
+                [&](Result<Bytes> result) { code = result.code(); });
+  h.kernel.run();
+  EXPECT_EQ(code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(h.client.stats().calls_timed_out, 1u);
+}
+
+TEST(RpcNode, DelayedResponseWithinDeadline) {
+  RpcHarness h;
+  h.server.register_method(
+      "svc", "Slow", [&h](const Bytes&, Respond respond) {
+        h.kernel.schedule(500 * sim::kMillisecond,
+                          [respond]() { respond(Bytes{}); });
+      });
+  bool ok = false;
+  h.client.call("svc", "Slow", {}, 2 * sim::kSecond,
+                [&](Result<Bytes> result) { ok = result.ok(); });
+  h.kernel.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(RpcNode, SymmetricCalls) {
+  RpcHarness h;
+  h.server.register_method("a", "M", [](const Bytes&, Respond respond) {
+    respond(common::to_bytes("from-server"));
+  });
+  h.client.register_method("b", "M", [](const Bytes&, Respond respond) {
+    respond(common::to_bytes("from-client"));
+  });
+  std::string r1, r2;
+  h.client.call("a", "M", {}, sim::kSecond, [&](Result<Bytes> result) {
+    r1 = common::to_string(result.value());
+  });
+  h.server.call("b", "M", {}, sim::kSecond, [&](Result<Bytes> result) {
+    r2 = common::to_string(result.value());
+  });
+  h.kernel.run();
+  EXPECT_EQ(r1, "from-server");
+  EXPECT_EQ(r2, "from-client");
+}
+
+TEST(RpcNode, ManyConcurrentCallsMatchById) {
+  RpcHarness h;
+  h.server.register_method("svc", "Echo",
+                           [](const Bytes& request, Respond respond) {
+                             respond(request);
+                           });
+  int correct = 0;
+  for (int i = 0; i < 100; ++i) {
+    h.client.call("svc", "Echo", common::to_bytes(std::to_string(i)),
+                  sim::kSecond, [&correct, i](Result<Bytes> result) {
+                    if (result.ok() &&
+                        common::to_string(result.value()) ==
+                            std::to_string(i)) {
+                      ++correct;
+                    }
+                  });
+  }
+  h.kernel.run();
+  EXPECT_EQ(correct, 100);
+}
+
+TEST(RpcNode, RetriesSurviveTransientOutage) {
+  RpcHarness h;
+  h.server.register_method("svc", "Get", [](const Bytes&, Respond respond) {
+    respond(common::to_bytes("data"));
+  });
+  // Take the link down; bring it back after 5 s.
+  h.path.forward.set_up(false);
+  h.path.reverse.set_up(false);
+  h.kernel.schedule(5 * sim::kSecond, [&h]() {
+    h.path.forward.set_up(true);
+    h.path.reverse.set_up(true);
+  });
+
+  bool ok = false;
+  h.client.call_with_retries("svc", "Get", {}, 2 * sim::kSecond, 5,
+                             sim::kSecond, [&](Result<Bytes> result) {
+                               ok = result.ok();
+                             });
+  h.kernel.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(RpcNode, RetriesExhaustOnPermanentOutage) {
+  RpcHarness h;
+  h.path.forward.set_up(false);
+  ErrorCode code = ErrorCode::kOk;
+  h.client.call_with_retries("svc", "Get", {}, sim::kSecond, 3,
+                             100 * sim::kMillisecond,
+                             [&](Result<Bytes> result) {
+                               code = result.code();
+                             });
+  h.kernel.run();
+  EXPECT_EQ(code, ErrorCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace magma::rpc

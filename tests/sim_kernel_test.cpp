@@ -1,0 +1,166 @@
+// Event-kernel semantics: ordering, cancellation, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/kernel.h"
+#include "sim/random.h"
+
+namespace magma::sim {
+namespace {
+
+TEST(Kernel, ExecutesInTimeOrder) {
+  Kernel kernel;
+  std::vector<int> order;
+  kernel.schedule(3 * kSecond, [&]() { order.push_back(3); });
+  kernel.schedule(1 * kSecond, [&]() { order.push_back(1); });
+  kernel.schedule(2 * kSecond, [&]() { order.push_back(2); });
+  kernel.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(kernel.now(), 3 * kSecond);
+}
+
+TEST(Kernel, FifoAmongSameTimeEvents) {
+  Kernel kernel;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    kernel.schedule(kSecond, [&order, i]() { order.push_back(i); });
+  }
+  kernel.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Kernel, NestedSchedulingAdvancesTime) {
+  Kernel kernel;
+  TimePoint inner_time = -1;
+  kernel.schedule(kSecond, [&]() {
+    kernel.schedule(kSecond, [&]() { inner_time = kernel.now(); });
+  });
+  kernel.run();
+  EXPECT_EQ(inner_time, 2 * kSecond);
+}
+
+TEST(Kernel, ZeroAndNegativeDelaysClampToNow) {
+  Kernel kernel;
+  bool ran = false;
+  kernel.schedule(5 * kSecond, [&]() {
+    kernel.schedule(-100, [&]() {
+      ran = true;
+      EXPECT_EQ(kernel.now(), 5 * kSecond);
+    });
+  });
+  kernel.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Kernel, CancelPreventsExecution) {
+  Kernel kernel;
+  bool ran = false;
+  const EventId id = kernel.schedule(kSecond, [&]() { ran = true; });
+  EXPECT_TRUE(kernel.cancel(id));
+  kernel.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Kernel, CancelTwiceReturnsFalse) {
+  Kernel kernel;
+  const EventId id = kernel.schedule(kSecond, []() {});
+  EXPECT_TRUE(kernel.cancel(id));
+  EXPECT_FALSE(kernel.cancel(id));
+}
+
+TEST(Kernel, CancelAfterExecutionReturnsFalse) {
+  Kernel kernel;
+  const EventId id = kernel.schedule(kSecond, []() {});
+  kernel.run();
+  EXPECT_FALSE(kernel.cancel(id));
+}
+
+TEST(Kernel, RunUntilLeavesLaterEventsQueued) {
+  Kernel kernel;
+  int ran = 0;
+  kernel.schedule(1 * kSecond, [&]() { ++ran; });
+  kernel.schedule(10 * kSecond, [&]() { ++ran; });
+  kernel.run_until(5 * kSecond);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(kernel.now(), 5 * kSecond);
+  EXPECT_EQ(kernel.pending_events(), 1u);
+  kernel.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Kernel, RunUntilAdvancesClockOnEmptyQueue) {
+  Kernel kernel;
+  kernel.run_until(7 * kSecond);
+  EXPECT_EQ(kernel.now(), 7 * kSecond);
+}
+
+TEST(Kernel, PendingEventsCountsCancellations) {
+  Kernel kernel;
+  const EventId a = kernel.schedule(kSecond, []() {});
+  kernel.schedule(2 * kSecond, []() {});
+  EXPECT_EQ(kernel.pending_events(), 2u);
+  kernel.cancel(a);
+  EXPECT_EQ(kernel.pending_events(), 1u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(1);
+  Rng fork = a.fork();
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.next_u64() != fork.next_u64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntUnbiasedish) {
+  Rng rng(11);
+  int counts[10] = {0};
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_int(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits, 3000, 300);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(5);
+  double sum = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kDraws, 2.0, 0.1);
+}
+
+TEST(Time, TransmissionTime) {
+  // 1250 bytes at 10 Mbps = 1 ms.
+  EXPECT_EQ(transmission_time(1250, 10e6), 1 * kMillisecond);
+  EXPECT_EQ(transmission_time(1250, 0), 0);
+}
+
+}  // namespace
+}  // namespace magma::sim

@@ -1,0 +1,111 @@
+// Link model: serialization delay, FIFO, loss, outage.
+#include <gtest/gtest.h>
+
+#include "sim/link.h"
+
+namespace magma::sim {
+namespace {
+
+TEST(Link, SerializationPlusPropagation) {
+  Kernel kernel;
+  LinkConfig config;
+  config.bandwidth_bps = 10e6;
+  config.latency = 5 * kMillisecond;
+  Link link(kernel, Rng(1), config);
+
+  TimePoint arrival = -1;
+  link.transmit(1250, [&]() { arrival = kernel.now(); });  // 1 ms ser.
+  kernel.run();
+  EXPECT_EQ(arrival, 6 * kMillisecond);
+}
+
+TEST(Link, FifoQueueing) {
+  Kernel kernel;
+  LinkConfig config;
+  config.bandwidth_bps = 10e6;
+  config.latency = 0;
+  Link link(kernel, Rng(1), config);
+
+  std::vector<TimePoint> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    link.transmit(1250, [&]() { arrivals.push_back(kernel.now()); });
+  }
+  kernel.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], 1 * kMillisecond);
+  EXPECT_EQ(arrivals[1], 2 * kMillisecond);
+  EXPECT_EQ(arrivals[2], 3 * kMillisecond);
+}
+
+TEST(Link, LossRateApproximatelyRespected) {
+  Kernel kernel;
+  LinkConfig config;
+  config.bandwidth_bps = 1e12;
+  config.latency = 0;
+  config.loss_probability = 0.2;
+  Link link(kernel, Rng(99), config);
+
+  int delivered = 0;
+  int dropped = 0;
+  for (int i = 0; i < 10000; ++i) {
+    link.transmit(100, [&]() { ++delivered; }, [&]() { ++dropped; });
+  }
+  kernel.run();
+  EXPECT_EQ(delivered + dropped, 10000);
+  EXPECT_NEAR(dropped, 2000, 200);
+  EXPECT_EQ(link.stats().packets_dropped, static_cast<std::uint64_t>(dropped));
+}
+
+TEST(Link, DownLinkDropsEverything) {
+  Kernel kernel;
+  Link link(kernel, Rng(1), lan_link());
+  link.set_up(false);
+  int delivered = 0;
+  int dropped = 0;
+  for (int i = 0; i < 10; ++i) {
+    link.transmit(100, [&]() { ++delivered; }, [&]() { ++dropped; });
+  }
+  kernel.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(dropped, 10);
+
+  link.set_up(true);
+  link.transmit(100, [&]() { ++delivered; });
+  kernel.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Link, JitterBoundsArrival) {
+  Kernel kernel;
+  LinkConfig config;
+  config.bandwidth_bps = 1e12;
+  config.latency = 10 * kMillisecond;
+  config.jitter = 5 * kMillisecond;
+  Link link(kernel, Rng(5), config);
+
+  std::vector<TimePoint> arrivals;
+  // One packet at a time to avoid queueing effects.
+  for (int i = 0; i < 100; ++i) {
+    Kernel k2;
+    Link l2(k2, Rng(static_cast<std::uint64_t>(i)), config);
+    TimePoint t = 0;
+    l2.transmit(100, [&]() { t = k2.now(); });
+    k2.run();
+    arrivals.push_back(t);
+  }
+  for (TimePoint t : arrivals) {
+    EXPECT_GE(t, 10 * kMillisecond);
+    EXPECT_LT(t, 15 * kMillisecond + kMicrosecond);
+  }
+}
+
+TEST(Link, Profiles) {
+  EXPECT_GT(satellite_backhaul().latency, microwave_backhaul().latency);
+  EXPECT_GT(satellite_backhaul().loss_probability,
+            fiber_backhaul().loss_probability);
+  EXPECT_GT(fiber_backhaul().bandwidth_bps,
+            satellite_backhaul().bandwidth_bps);
+}
+
+}  // namespace
+}  // namespace magma::sim

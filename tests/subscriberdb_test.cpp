@@ -1,0 +1,206 @@
+// Subscriber management: auth vectors, SQN handling, resync, desired-state
+// replacement, snapshots — including the USIM↔network symmetry property.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "agw/subscriberdb.h"
+#include "ran/ue.h"
+#include "sim/random.h"
+
+namespace magma::agw {
+namespace {
+
+SubscriberData make_subscriber(std::uint64_t n, sim::Rng& rng) {
+  SubscriberData sub;
+  sub.imsi = common::Imsi::from_digits(1010000000000ULL + n);
+  for (int i = 0; i < 2; ++i) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    std::memcpy(sub.k.data() + i * 8, &a, 8);
+    std::memcpy(sub.opc.data() + i * 8, &b, 8);
+  }
+  return sub;
+}
+
+class SubscriberDbTest : public ::testing::Test {
+ protected:
+  SubscriberDbTest() : rng_(1), db_([this]() { return rng_.next_u64(); }) {}
+  sim::Rng rng_;
+  SubscriberDb db_;
+};
+
+TEST_F(SubscriberDbTest, CrudAndLookupStats) {
+  sim::Rng source(2);
+  SubscriberData sub = make_subscriber(1, source);
+  db_.upsert(sub);
+  EXPECT_EQ(db_.size(), 1u);
+  EXPECT_TRUE(db_.get(sub.imsi).has_value());
+  EXPECT_FALSE(db_.get(common::Imsi::from_digits(999)).has_value());
+  EXPECT_EQ(db_.stats().lookups, 2u);
+  EXPECT_EQ(db_.stats().misses, 1u);
+  db_.remove(sub.imsi);
+  EXPECT_EQ(db_.size(), 0u);
+}
+
+TEST_F(SubscriberDbTest, VectorGenerationAdvancesSqn) {
+  sim::Rng source(2);
+  SubscriberData sub = make_subscriber(1, source);
+  db_.upsert(sub);
+  ASSERT_TRUE(db_.generate_auth_vector(sub.imsi).ok());
+  ASSERT_TRUE(db_.generate_auth_vector(sub.imsi).ok());
+  EXPECT_EQ(db_.get(sub.imsi)->sqn, 2u);
+  EXPECT_EQ(db_.stats().vectors_generated, 2u);
+}
+
+TEST_F(SubscriberDbTest, VectorsDifferEachTime) {
+  sim::Rng source(2);
+  SubscriberData sub = make_subscriber(1, source);
+  db_.upsert(sub);
+  const AuthVector v1 = db_.generate_auth_vector(sub.imsi).value();
+  const AuthVector v2 = db_.generate_auth_vector(sub.imsi).value();
+  EXPECT_NE(v1.rand, v2.rand);
+  EXPECT_NE(v1.xres, v2.xres);
+  EXPECT_NE(v1.kasme, v2.kasme);
+}
+
+TEST_F(SubscriberDbTest, DeactivatedSubscriberRefused) {
+  sim::Rng source(2);
+  SubscriberData sub = make_subscriber(1, source);
+  sub.active = false;
+  db_.upsert(sub);
+  EXPECT_EQ(db_.generate_auth_vector(sub.imsi).code(),
+            common::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(SubscriberDbTest, UnknownSubscriberNotFound) {
+  EXPECT_EQ(db_.generate_auth_vector(common::Imsi::from_digits(7)).code(),
+            common::ErrorCode::kNotFound);
+}
+
+// The central property: a USIM with the same credentials accepts the
+// network's vector and computes the same RES and KASME.
+TEST_F(SubscriberDbTest, UsimNetworkSymmetry) {
+  sim::Rng source(3);
+  SubscriberData sub = make_subscriber(1, source);
+  db_.upsert(sub);
+  ran::Usim usim(sub.imsi, sub.k, sub.opc);
+
+  for (int round = 0; round < 5; ++round) {
+    const AuthVector vector = db_.generate_auth_vector(sub.imsi).value();
+    const ran::UsimOutcome outcome = usim.authenticate(vector.rand, vector.autn);
+    const auto* success = std::get_if<ran::UsimAuthSuccess>(&outcome);
+    ASSERT_NE(success, nullptr) << "round " << round;
+    EXPECT_TRUE(common::constant_time_equal(
+        common::BytesView(success->res.data(), 8),
+        common::BytesView(vector.xres.data(), 8)));
+    EXPECT_EQ(success->kasme, vector.kasme);
+  }
+}
+
+TEST_F(SubscriberDbTest, UsimRejectsWrongKeyVector) {
+  sim::Rng source(3);
+  SubscriberData sub = make_subscriber(1, source);
+  db_.upsert(sub);
+  crypto::Key128 wrong_k = sub.k;
+  wrong_k[0] ^= 1;
+  ran::Usim usim(sub.imsi, wrong_k, sub.opc);
+  const AuthVector vector = db_.generate_auth_vector(sub.imsi).value();
+  const ran::UsimOutcome outcome = usim.authenticate(vector.rand, vector.autn);
+  EXPECT_NE(std::get_if<ran::UsimMacFailure>(&outcome), nullptr);
+}
+
+TEST_F(SubscriberDbTest, UsimDetectsStaleSqnAndResyncRecovers) {
+  sim::Rng source(3);
+  SubscriberData sub = make_subscriber(1, source);
+  db_.upsert(sub);
+  ran::Usim usim(sub.imsi, sub.k, sub.opc);
+  usim.force_sqn(100);  // UE is far ahead of the network
+
+  const AuthVector stale = db_.generate_auth_vector(sub.imsi).value();
+  const ran::UsimOutcome outcome = usim.authenticate(stale.rand, stale.autn);
+  const auto* resync = std::get_if<ran::UsimSyncFailure>(&outcome);
+  ASSERT_NE(resync, nullptr);
+
+  ASSERT_TRUE(db_.resync(sub.imsi, resync->auts, stale.rand).ok());
+  EXPECT_GT(db_.get(sub.imsi)->sqn, 100u);
+  EXPECT_EQ(db_.stats().resyncs, 1u);
+
+  // The next vector is fresh and accepted.
+  const AuthVector fresh = db_.generate_auth_vector(sub.imsi).value();
+  const ran::UsimOutcome second = usim.authenticate(fresh.rand, fresh.autn);
+  EXPECT_NE(std::get_if<ran::UsimAuthSuccess>(&second), nullptr);
+}
+
+TEST_F(SubscriberDbTest, ResyncRejectsForgedAuts) {
+  sim::Rng source(3);
+  SubscriberData sub = make_subscriber(1, source);
+  db_.upsert(sub);
+  const AuthVector vector = db_.generate_auth_vector(sub.imsi).value();
+  std::array<std::uint8_t, 14> forged{};
+  forged.fill(0x42);
+  EXPECT_EQ(db_.resync(sub.imsi, forged, vector.rand).code(),
+            common::ErrorCode::kUnauthenticated);
+}
+
+TEST_F(SubscriberDbTest, ReplaceAllPreservesSqn) {
+  sim::Rng source(4);
+  SubscriberData a = make_subscriber(1, source);
+  SubscriberData b = make_subscriber(2, source);
+  db_.upsert(a);
+  db_.upsert(b);
+  db_.generate_auth_vector(a.imsi).value();
+  db_.generate_auth_vector(a.imsi).value();
+
+  // Config push: a (still present, SQN must survive), c (new); b removed.
+  SubscriberData c = make_subscriber(3, source);
+  db_.replace_all({a, c});
+  EXPECT_EQ(db_.size(), 2u);
+  EXPECT_FALSE(db_.get(b.imsi).has_value());
+  EXPECT_EQ(db_.get(a.imsi)->sqn, 2u);  // not rewound by the push
+  EXPECT_TRUE(db_.get(c.imsi).has_value());
+}
+
+TEST_F(SubscriberDbTest, SnapshotRestoreRoundTrip) {
+  sim::Rng source(5);
+  for (std::uint64_t i = 0; i < 10; ++i) db_.upsert(make_subscriber(i, source));
+  const common::Bytes image = db_.snapshot();
+
+  sim::Rng rng2(9);
+  SubscriberDb other([&rng2]() { return rng2.next_u64(); });
+  ASSERT_TRUE(other.restore(image).ok());
+  EXPECT_EQ(other.size(), 10u);
+  EXPECT_EQ(other.snapshot(), image);  // canonical ordering => identical
+}
+
+TEST(SubscriberData, SerializeDeserializeRoundTrip) {
+  sim::Rng rng(6);
+  SubscriberData sub = make_subscriber(42, rng);
+  sub.policy_name = "gold";
+  sub.wifi_password = "hunter2";
+  sub.sqn = 77;
+  sub.active = false;
+  auto round = SubscriberData::deserialize(sub.serialize());
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value(), sub);
+}
+
+TEST(SubscriberData, DeserializeRejectsCorrupt) {
+  EXPECT_FALSE(SubscriberData::deserialize(common::to_bytes("junk")).ok());
+}
+
+TEST(Imsi, Validation) {
+  EXPECT_TRUE(common::Imsi::from_digits(1010000000001ULL).valid());
+  EXPECT_FALSE(common::Imsi{"123456"}.valid());
+  EXPECT_FALSE(common::Imsi{"IMSIabc"}.valid());
+  EXPECT_FALSE(common::Imsi{""}.valid());
+}
+
+TEST(SqnBytes, RoundTrip) {
+  for (std::uint64_t sqn : {0ULL, 1ULL, 255ULL, 0xFFFFFFFFFFFFULL}) {
+    EXPECT_EQ(sqn_from_bytes(sqn_to_bytes(sqn)), sqn);
+  }
+}
+
+}  // namespace
+}  // namespace magma::agw

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_double_spend.dir/ablation_double_spend.cpp.o"
+  "CMakeFiles/ablation_double_spend.dir/ablation_double_spend.cpp.o.d"
+  "ablation_double_spend"
+  "ablation_double_spend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_double_spend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fault_domains.dir/ablation_fault_domains.cpp.o"
+  "CMakeFiles/ablation_fault_domains.dir/ablation_fault_domains.cpp.o.d"
+  "ablation_fault_domains"
+  "ablation_fault_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fault_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_gtp_backhaul.
+# This may be replaced when dependencies are built.

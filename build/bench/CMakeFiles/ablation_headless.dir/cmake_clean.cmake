@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_headless.dir/ablation_headless.cpp.o"
+  "CMakeFiles/ablation_headless.dir/ablation_headless.cpp.o.d"
+  "ablation_headless"
+  "ablation_headless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_headless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_state_sync.dir/ablation_state_sync.cpp.o"
+  "CMakeFiles/ablation_state_sync.dir/ablation_state_sync.cpp.o.d"
+  "ablation_state_sync"
+  "ablation_state_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_state_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

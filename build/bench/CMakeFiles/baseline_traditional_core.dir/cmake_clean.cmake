@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_traditional_core.dir/baseline_traditional_core.cpp.o"
+  "CMakeFiles/baseline_traditional_core.dir/baseline_traditional_core.cpp.o.d"
+  "baseline_traditional_core"
+  "baseline_traditional_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_traditional_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_typical_site.dir/fig5_typical_site.cpp.o"
+  "CMakeFiles/fig5_typical_site.dir/fig5_typical_site.cpp.o.d"
+  "fig5_typical_site"
+  "fig5_typical_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_typical_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_attach_rate.dir/fig6_attach_rate.cpp.o"
+  "CMakeFiles/fig6_attach_rate.dir/fig6_attach_rate.cpp.o.d"
+  "fig6_attach_rate"
+  "fig6_attach_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_attach_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_throughput_vs_cpu.dir/fig7_throughput_vs_cpu.cpp.o"
+  "CMakeFiles/fig7_throughput_vs_cpu.dir/fig7_throughput_vs_cpu.cpp.o.d"
+  "fig7_throughput_vs_cpu"
+  "fig7_throughput_vs_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_throughput_vs_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_csr_vs_cpu.dir/fig8_csr_vs_cpu.cpp.o"
+  "CMakeFiles/fig8_csr_vs_cpu.dir/fig8_csr_vs_cpu.cpp.o.d"
+  "fig8_csr_vs_cpu"
+  "fig8_csr_vs_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_csr_vs_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

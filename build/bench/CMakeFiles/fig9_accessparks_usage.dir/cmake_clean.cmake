@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_accessparks_usage.dir/fig9_accessparks_usage.cpp.o"
+  "CMakeFiles/fig9_accessparks_usage.dir/fig9_accessparks_usage.cpp.o.d"
+  "fig9_accessparks_usage"
+  "fig9_accessparks_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_accessparks_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaleout_agws.dir/scaleout_agws.cpp.o"
+  "CMakeFiles/scaleout_agws.dir/scaleout_agws.cpp.o.d"
+  "scaleout_agws"
+  "scaleout_agws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaleout_agws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scaleout_agws.
+# This may be replaced when dependencies are built.

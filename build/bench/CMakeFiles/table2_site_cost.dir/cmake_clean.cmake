@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_site_cost.dir/table2_site_cost.cpp.o"
+  "CMakeFiles/table2_site_cost.dir/table2_site_cost.cpp.o.d"
+  "table2_site_cost"
+  "table2_site_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_site_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

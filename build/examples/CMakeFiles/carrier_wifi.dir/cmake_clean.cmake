@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carrier_wifi.dir/carrier_wifi.cpp.o"
+  "CMakeFiles/carrier_wifi.dir/carrier_wifi.cpp.o.d"
+  "carrier_wifi"
+  "carrier_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carrier_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

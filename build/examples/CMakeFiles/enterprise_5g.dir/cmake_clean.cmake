@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_5g.dir/enterprise_5g.cpp.o"
+  "CMakeFiles/enterprise_5g.dir/enterprise_5g.cpp.o.d"
+  "enterprise_5g"
+  "enterprise_5g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_5g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neutral_host.dir/neutral_host.cpp.o"
+  "CMakeFiles/neutral_host.dir/neutral_host.cpp.o.d"
+  "neutral_host"
+  "neutral_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neutral_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

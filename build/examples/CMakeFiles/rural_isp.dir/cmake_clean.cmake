@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rural_isp.dir/rural_isp.cpp.o"
+  "CMakeFiles/rural_isp.dir/rural_isp.cpp.o.d"
+  "rural_isp"
+  "rural_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rural_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

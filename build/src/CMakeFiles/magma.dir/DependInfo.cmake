@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agw/accessd.cpp" "src/CMakeFiles/magma.dir/agw/accessd.cpp.o" "gcc" "src/CMakeFiles/magma.dir/agw/accessd.cpp.o.d"
+  "/root/repo/src/agw/agw.cpp" "src/CMakeFiles/magma.dir/agw/agw.cpp.o" "gcc" "src/CMakeFiles/magma.dir/agw/agw.cpp.o.d"
+  "/root/repo/src/agw/lte_frontend.cpp" "src/CMakeFiles/magma.dir/agw/lte_frontend.cpp.o" "gcc" "src/CMakeFiles/magma.dir/agw/lte_frontend.cpp.o.d"
+  "/root/repo/src/agw/magmad.cpp" "src/CMakeFiles/magma.dir/agw/magmad.cpp.o" "gcc" "src/CMakeFiles/magma.dir/agw/magmad.cpp.o.d"
+  "/root/repo/src/agw/mobilityd.cpp" "src/CMakeFiles/magma.dir/agw/mobilityd.cpp.o" "gcc" "src/CMakeFiles/magma.dir/agw/mobilityd.cpp.o.d"
+  "/root/repo/src/agw/nr_frontend.cpp" "src/CMakeFiles/magma.dir/agw/nr_frontend.cpp.o" "gcc" "src/CMakeFiles/magma.dir/agw/nr_frontend.cpp.o.d"
+  "/root/repo/src/agw/pipelined.cpp" "src/CMakeFiles/magma.dir/agw/pipelined.cpp.o" "gcc" "src/CMakeFiles/magma.dir/agw/pipelined.cpp.o.d"
+  "/root/repo/src/agw/sessiond.cpp" "src/CMakeFiles/magma.dir/agw/sessiond.cpp.o" "gcc" "src/CMakeFiles/magma.dir/agw/sessiond.cpp.o.d"
+  "/root/repo/src/agw/subscriberdb.cpp" "src/CMakeFiles/magma.dir/agw/subscriberdb.cpp.o" "gcc" "src/CMakeFiles/magma.dir/agw/subscriberdb.cpp.o.d"
+  "/root/repo/src/agw/wifi_frontend.cpp" "src/CMakeFiles/magma.dir/agw/wifi_frontend.cpp.o" "gcc" "src/CMakeFiles/magma.dir/agw/wifi_frontend.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/magma.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/magma.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/magma.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/magma.dir/common/log.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/CMakeFiles/magma.dir/core/network.cpp.o" "gcc" "src/CMakeFiles/magma.dir/core/network.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/CMakeFiles/magma.dir/core/policy.cpp.o" "gcc" "src/CMakeFiles/magma.dir/core/policy.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/CMakeFiles/magma.dir/core/workload.cpp.o" "gcc" "src/CMakeFiles/magma.dir/core/workload.cpp.o.d"
+  "/root/repo/src/cost/cost_model.cpp" "src/CMakeFiles/magma.dir/cost/cost_model.cpp.o" "gcc" "src/CMakeFiles/magma.dir/cost/cost_model.cpp.o.d"
+  "/root/repo/src/crypto/aes128.cpp" "src/CMakeFiles/magma.dir/crypto/aes128.cpp.o" "gcc" "src/CMakeFiles/magma.dir/crypto/aes128.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/magma.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/magma.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/kdf.cpp" "src/CMakeFiles/magma.dir/crypto/kdf.cpp.o" "gcc" "src/CMakeFiles/magma.dir/crypto/kdf.cpp.o.d"
+  "/root/repo/src/crypto/milenage.cpp" "src/CMakeFiles/magma.dir/crypto/milenage.cpp.o" "gcc" "src/CMakeFiles/magma.dir/crypto/milenage.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/magma.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/magma.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/datapath/flow_table.cpp" "src/CMakeFiles/magma.dir/datapath/flow_table.cpp.o" "gcc" "src/CMakeFiles/magma.dir/datapath/flow_table.cpp.o.d"
+  "/root/repo/src/datapath/gtpu.cpp" "src/CMakeFiles/magma.dir/datapath/gtpu.cpp.o" "gcc" "src/CMakeFiles/magma.dir/datapath/gtpu.cpp.o.d"
+  "/root/repo/src/datapath/meter.cpp" "src/CMakeFiles/magma.dir/datapath/meter.cpp.o" "gcc" "src/CMakeFiles/magma.dir/datapath/meter.cpp.o.d"
+  "/root/repo/src/datapath/packet.cpp" "src/CMakeFiles/magma.dir/datapath/packet.cpp.o" "gcc" "src/CMakeFiles/magma.dir/datapath/packet.cpp.o.d"
+  "/root/repo/src/datapath/pipeline.cpp" "src/CMakeFiles/magma.dir/datapath/pipeline.cpp.o" "gcc" "src/CMakeFiles/magma.dir/datapath/pipeline.cpp.o.d"
+  "/root/repo/src/feg/feg.cpp" "src/CMakeFiles/magma.dir/feg/feg.cpp.o" "gcc" "src/CMakeFiles/magma.dir/feg/feg.cpp.o.d"
+  "/root/repo/src/feg/gtp_aggregator.cpp" "src/CMakeFiles/magma.dir/feg/gtp_aggregator.cpp.o" "gcc" "src/CMakeFiles/magma.dir/feg/gtp_aggregator.cpp.o.d"
+  "/root/repo/src/net/channel.cpp" "src/CMakeFiles/magma.dir/net/channel.cpp.o" "gcc" "src/CMakeFiles/magma.dir/net/channel.cpp.o.d"
+  "/root/repo/src/ocs/ocs.cpp" "src/CMakeFiles/magma.dir/ocs/ocs.cpp.o" "gcc" "src/CMakeFiles/magma.dir/ocs/ocs.cpp.o.d"
+  "/root/repo/src/orc8r/metricsd.cpp" "src/CMakeFiles/magma.dir/orc8r/metricsd.cpp.o" "gcc" "src/CMakeFiles/magma.dir/orc8r/metricsd.cpp.o.d"
+  "/root/repo/src/orc8r/orchestrator.cpp" "src/CMakeFiles/magma.dir/orc8r/orchestrator.cpp.o" "gcc" "src/CMakeFiles/magma.dir/orc8r/orchestrator.cpp.o.d"
+  "/root/repo/src/orc8r/streamer.cpp" "src/CMakeFiles/magma.dir/orc8r/streamer.cpp.o" "gcc" "src/CMakeFiles/magma.dir/orc8r/streamer.cpp.o.d"
+  "/root/repo/src/proto/lte/emm_fsm.cpp" "src/CMakeFiles/magma.dir/proto/lte/emm_fsm.cpp.o" "gcc" "src/CMakeFiles/magma.dir/proto/lte/emm_fsm.cpp.o.d"
+  "/root/repo/src/proto/lte/gtpc.cpp" "src/CMakeFiles/magma.dir/proto/lte/gtpc.cpp.o" "gcc" "src/CMakeFiles/magma.dir/proto/lte/gtpc.cpp.o.d"
+  "/root/repo/src/proto/lte/nas.cpp" "src/CMakeFiles/magma.dir/proto/lte/nas.cpp.o" "gcc" "src/CMakeFiles/magma.dir/proto/lte/nas.cpp.o.d"
+  "/root/repo/src/proto/lte/s1ap.cpp" "src/CMakeFiles/magma.dir/proto/lte/s1ap.cpp.o" "gcc" "src/CMakeFiles/magma.dir/proto/lte/s1ap.cpp.o.d"
+  "/root/repo/src/proto/nr5g/nas5g.cpp" "src/CMakeFiles/magma.dir/proto/nr5g/nas5g.cpp.o" "gcc" "src/CMakeFiles/magma.dir/proto/nr5g/nas5g.cpp.o.d"
+  "/root/repo/src/proto/nr5g/ngap.cpp" "src/CMakeFiles/magma.dir/proto/nr5g/ngap.cpp.o" "gcc" "src/CMakeFiles/magma.dir/proto/nr5g/ngap.cpp.o.d"
+  "/root/repo/src/proto/wifi/radius.cpp" "src/CMakeFiles/magma.dir/proto/wifi/radius.cpp.o" "gcc" "src/CMakeFiles/magma.dir/proto/wifi/radius.cpp.o.d"
+  "/root/repo/src/ran/enodeb.cpp" "src/CMakeFiles/magma.dir/ran/enodeb.cpp.o" "gcc" "src/CMakeFiles/magma.dir/ran/enodeb.cpp.o.d"
+  "/root/repo/src/ran/gnb.cpp" "src/CMakeFiles/magma.dir/ran/gnb.cpp.o" "gcc" "src/CMakeFiles/magma.dir/ran/gnb.cpp.o.d"
+  "/root/repo/src/ran/scenario.cpp" "src/CMakeFiles/magma.dir/ran/scenario.cpp.o" "gcc" "src/CMakeFiles/magma.dir/ran/scenario.cpp.o.d"
+  "/root/repo/src/ran/ue.cpp" "src/CMakeFiles/magma.dir/ran/ue.cpp.o" "gcc" "src/CMakeFiles/magma.dir/ran/ue.cpp.o.d"
+  "/root/repo/src/ran/wifi_ap.cpp" "src/CMakeFiles/magma.dir/ran/wifi_ap.cpp.o" "gcc" "src/CMakeFiles/magma.dir/ran/wifi_ap.cpp.o.d"
+  "/root/repo/src/rpc/rpc.cpp" "src/CMakeFiles/magma.dir/rpc/rpc.cpp.o" "gcc" "src/CMakeFiles/magma.dir/rpc/rpc.cpp.o.d"
+  "/root/repo/src/rpc/wire.cpp" "src/CMakeFiles/magma.dir/rpc/wire.cpp.o" "gcc" "src/CMakeFiles/magma.dir/rpc/wire.cpp.o.d"
+  "/root/repo/src/sim/cpu.cpp" "src/CMakeFiles/magma.dir/sim/cpu.cpp.o" "gcc" "src/CMakeFiles/magma.dir/sim/cpu.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/CMakeFiles/magma.dir/sim/kernel.cpp.o" "gcc" "src/CMakeFiles/magma.dir/sim/kernel.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/CMakeFiles/magma.dir/sim/link.cpp.o" "gcc" "src/CMakeFiles/magma.dir/sim/link.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/magma.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/magma.dir/sim/random.cpp.o.d"
+  "/root/repo/src/store/state_store.cpp" "src/CMakeFiles/magma.dir/store/state_store.cpp.o" "gcc" "src/CMakeFiles/magma.dir/store/state_store.cpp.o.d"
+  "/root/repo/src/store/wal_store.cpp" "src/CMakeFiles/magma.dir/store/wal_store.cpp.o" "gcc" "src/CMakeFiles/magma.dir/store/wal_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accessd_test.dir/accessd_test.cpp.o"
+  "CMakeFiles/accessd_test.dir/accessd_test.cpp.o.d"
+  "accessd_test"
+  "accessd_test.pdb"
+  "accessd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accessd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agw_test.dir/agw_test.cpp.o"
+  "CMakeFiles/agw_test.dir/agw_test.cpp.o.d"
+  "agw_test"
+  "agw_test.pdb"
+  "agw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

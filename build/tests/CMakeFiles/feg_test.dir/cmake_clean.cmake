@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feg_test.dir/feg_test.cpp.o"
+  "CMakeFiles/feg_test.dir/feg_test.cpp.o.d"
+  "feg_test"
+  "feg_test.pdb"
+  "feg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_attach_test.dir/integration_attach_test.cpp.o"
+  "CMakeFiles/integration_attach_test.dir/integration_attach_test.cpp.o.d"
+  "integration_attach_test"
+  "integration_attach_test.pdb"
+  "integration_attach_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_attach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

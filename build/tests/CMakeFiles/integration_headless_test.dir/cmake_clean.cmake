@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_headless_test.dir/integration_headless_test.cpp.o"
+  "CMakeFiles/integration_headless_test.dir/integration_headless_test.cpp.o.d"
+  "integration_headless_test"
+  "integration_headless_test.pdb"
+  "integration_headless_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_headless_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

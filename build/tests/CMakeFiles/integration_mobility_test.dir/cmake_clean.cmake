@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_mobility_test.dir/integration_mobility_test.cpp.o"
+  "CMakeFiles/integration_mobility_test.dir/integration_mobility_test.cpp.o.d"
+  "integration_mobility_test"
+  "integration_mobility_test.pdb"
+  "integration_mobility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_mobility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

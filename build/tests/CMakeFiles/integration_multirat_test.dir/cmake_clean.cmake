@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_multirat_test.dir/integration_multirat_test.cpp.o"
+  "CMakeFiles/integration_multirat_test.dir/integration_multirat_test.cpp.o.d"
+  "integration_multirat_test"
+  "integration_multirat_test.pdb"
+  "integration_multirat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_multirat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_policy_test.dir/integration_policy_test.cpp.o"
+  "CMakeFiles/integration_policy_test.dir/integration_policy_test.cpp.o.d"
+  "integration_policy_test"
+  "integration_policy_test.pdb"
+  "integration_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magmad_orc8r_test.dir/magmad_orc8r_test.cpp.o"
+  "CMakeFiles/magmad_orc8r_test.dir/magmad_orc8r_test.cpp.o.d"
+  "magmad_orc8r_test"
+  "magmad_orc8r_test.pdb"
+  "magmad_orc8r_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magmad_orc8r_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metricsd_test.dir/metricsd_test.cpp.o"
+  "CMakeFiles/metricsd_test.dir/metricsd_test.cpp.o.d"
+  "metricsd_test"
+  "metricsd_test.pdb"
+  "metricsd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metricsd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobilityd_test.dir/mobilityd_test.cpp.o"
+  "CMakeFiles/mobilityd_test.dir/mobilityd_test.cpp.o.d"
+  "mobilityd_test"
+  "mobilityd_test.pdb"
+  "mobilityd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobilityd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipelined_test.dir/pipelined_test.cpp.o"
+  "CMakeFiles/pipelined_test.dir/pipelined_test.cpp.o.d"
+  "pipelined_test"
+  "pipelined_test.pdb"
+  "pipelined_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipelined_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

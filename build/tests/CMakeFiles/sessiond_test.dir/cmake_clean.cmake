@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sessiond_test.dir/sessiond_test.cpp.o"
+  "CMakeFiles/sessiond_test.dir/sessiond_test.cpp.o.d"
+  "sessiond_test"
+  "sessiond_test.pdb"
+  "sessiond_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sessiond_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscriberdb_test.dir/subscriberdb_test.cpp.o"
+  "CMakeFiles/subscriberdb_test.dir/subscriberdb_test.cpp.o.d"
+  "subscriberdb_test"
+  "subscriberdb_test.pdb"
+  "subscriberdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscriberdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

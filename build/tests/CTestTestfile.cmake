@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_link_test[1]_include.cmake")
+include("/root/repo/build/tests/net_channel_test[1]_include.cmake")
+include("/root/repo/build/tests/rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/datapath_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_test[1]_include.cmake")
+include("/root/repo/build/tests/subscriberdb_test[1]_include.cmake")
+include("/root/repo/build/tests/mobilityd_test[1]_include.cmake")
+include("/root/repo/build/tests/pipelined_test[1]_include.cmake")
+include("/root/repo/build/tests/sessiond_test[1]_include.cmake")
+include("/root/repo/build/tests/accessd_test[1]_include.cmake")
+include("/root/repo/build/tests/agw_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/magmad_orc8r_test[1]_include.cmake")
+include("/root/repo/build/tests/metricsd_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_test[1]_include.cmake")
+include("/root/repo/build/tests/feg_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_attach_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_multirat_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_fault_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_headless_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_mobility_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")

@@ -7,6 +7,7 @@
 // successes (no retries: CSR measures the network, not UE persistence),
 // and report CSR per rate plus 5-second bins for one overloaded rate.
 #include <cstdio>
+#include <utility>
 
 #include "bench_util.h"
 
@@ -67,6 +68,61 @@ RatePoint run_rate(double rate) {
                    latency_n > 0 ? latency_sum / latency_n : 0};
 }
 
+// --- Control-transport ablation over satellite backhaul ----------------------
+//
+// The paper's rural deployments run the orchestrator link over satellite
+// (§3.1). With a fixed sub-RTT retransmission timeout the reliable control
+// transport spends the whole run retransmitting segments that were never
+// lost; the adaptive RFC 6298 estimator converges on the path RTT and the
+// spurious retransmissions disappear. Attach itself terminates at the AGW,
+// so CSR should be indifferent — the win is control-channel efficiency.
+
+struct SatellitePoint {
+  double csr;
+  double mean_latency_s;
+  net::ReliableStats orc8r;  // orchestrator-side endpoint of the control pair
+  net::ReliableStats agw;    // AGW-side endpoint
+};
+
+SatellitePoint run_satellite(bool adaptive) {
+  core::NetworkConfig config;
+  config.seed = 11;
+  // Acceptance geometry: >= 500 ms RTT at 1% loss.
+  config.backhaul = sim::LinkConfig{20e6, 300 * sim::kMillisecond,
+                                    20 * sim::kMillisecond, 0.01, "sat-1pct"};
+  if (!adaptive) {
+    // The pre-estimator transport: 200 ms fixed timeout, a third of the RTT.
+    config.transport.adaptive_rto = false;
+    config.transport.initial_rto = 200 * sim::kMillisecond;
+  }
+  core::Network net(config);
+  agw::AccessGateway& agw = net.add_agw(agw::virtual_xeon(4));
+  ran::EnodebConfig big;
+  big.max_active_ues = 200;
+  ran::EnodeB& enb = net.add_enodeb(agw, big);
+  net.run_for(5 * sim::kSecond);
+
+  const int kUes = 40;
+  std::vector<ran::UeLte*> ues = benchutil::provision_lte_ues(net, kUes);
+  net.run_for(60 * sim::kSecond);  // config push lands over the backhaul
+  core::AttachRamp ramp(net, ues, enb, 2.0);
+  net.run_for(sim::from_seconds(kUes / 2.0 + 40));
+  net.run_for(2 * sim::kMinute);  // periodic check-in/metrics/sync traffic
+
+  double latency_sum = 0;
+  int latency_n = 0;
+  for (const core::AttachRecord& record : ramp.records()) {
+    if (record.done && record.outcome.success) {
+      latency_sum += sim::to_seconds(record.outcome.latency);
+      ++latency_n;
+    }
+  }
+  return SatellitePoint{ramp.csr(),
+                        latency_n > 0 ? latency_sum / latency_n : 0,
+                        net.control_stats_orc8r(agw),
+                        net.control_stats_agw(agw)};
+}
+
 }  // namespace
 
 int main() {
@@ -108,10 +164,48 @@ int main() {
     }
   }
 
+  // Control-transport ablation: same attach workload, satellite backhaul
+  // (600 ms RTT, 1% loss), adaptive RFC 6298 RTO vs the old 200 ms fixed RTO.
+  std::printf("\nControl transport over satellite backhaul (600 ms RTT, "
+              "1%% loss), 40 UEs @ 2 UE/s:\n");
+  std::printf("%-14s %6s %8s %8s %8s %10s %8s %8s %8s\n", "transport", "CSR%",
+              "lat(s)", "srtt(s)", "rto(s)", "retrans", "fast_rt", "spurious",
+              "resets");
+  const SatellitePoint fixed = run_satellite(false);
+  const SatellitePoint adaptive = run_satellite(true);
+  for (const auto& [name, p] :
+       {std::pair<const char*, const SatellitePoint&>{"fixed 200ms", fixed},
+        {"adaptive", adaptive}}) {
+    // Sender-side counters summed over both directions; spurious
+    // retransmissions are what the receivers saw arrive twice.
+    std::printf("%-14s %6.1f %8.2f %8.3f %8.3f %10llu %8llu %8llu %8llu\n",
+                name, p.csr * 100, p.mean_latency_s,
+                sim::to_seconds(p.agw.srtt), sim::to_seconds(p.agw.rto),
+                static_cast<unsigned long long>(p.orc8r.retransmissions +
+                                                p.agw.retransmissions),
+                static_cast<unsigned long long>(p.orc8r.fast_retransmits +
+                                                p.agw.fast_retransmits),
+                static_cast<unsigned long long>(p.orc8r.spurious_retransmits +
+                                                p.agw.spurious_retransmits),
+                static_cast<unsigned long long>(p.orc8r.resets +
+                                                p.agw.resets));
+  }
+  const std::uint64_t fixed_spurious =
+      fixed.orc8r.spurious_retransmits + fixed.agw.spurious_retransmits;
+  const std::uint64_t adaptive_spurious =
+      adaptive.orc8r.spurious_retransmits + adaptive.agw.spurious_retransmits;
+  const bool transport_holds =
+      adaptive_spurious < 10 && fixed_spurious > 10 * adaptive_spurious;
+
   const bool shape_holds = csr_at_2 > 0.95 && csr_at_8 < 0.6;
   std::printf("\nSHAPE %s: CSR ~100%% at 2 UE/s (%.1f%%), degraded at "
               "8 UE/s (%.1f%%); knee near 2 UE/s as in the paper\n",
               shape_holds ? "HOLDS" : "DIVERGES", csr_at_2 * 100,
               csr_at_8 * 100);
-  return shape_holds ? 0 : 1;
+  std::printf("TRANSPORT %s: adaptive RTO cuts spurious retransmissions on "
+              "satellite control links to near zero (%llu vs %llu fixed)\n",
+              transport_holds ? "HOLDS" : "DIVERGES",
+              static_cast<unsigned long long>(adaptive_spurious),
+              static_cast<unsigned long long>(fixed_spurious));
+  return (shape_holds && transport_holds) ? 0 : 1;
 }

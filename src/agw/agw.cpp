@@ -61,6 +61,7 @@ void AccessGateway::start_service_loops() {
 }
 
 void AccessGateway::connect_orchestrator(net::Channel& channel) {
+  control_transport_ = dynamic_cast<net::ReliableChannel*>(&channel);
   orc8r_node_ = std::make_unique<rpc::RpcNode>(kernel_, channel,
                                                id_.value + "-orc8r-client");
   magmad_ = std::make_unique<Magmad>(
@@ -205,6 +206,25 @@ std::vector<orc8r::MetricSample> AccessGateway::telemetry_snapshot() {
   gauge("attaches_completed",
         static_cast<double>(acc.attach_completed[0] + acc.attach_completed[1] +
                             acc.attach_completed[2]));
+  gauge("accessd_overload_rejections",
+        static_cast<double>(acc.overload_rejections));
+  gauge("accessd_queued_work", static_cast<double>(accessd_->queued_work()));
+  if (control_transport_ != nullptr) {
+    // Transport health of the orchestrator control channel (§3.1: control
+    // traffic must survive degraded backhaul; a too-short RTO shows up here
+    // as spurious retransmissions at the far end and retransmissions at
+    // ours).
+    const net::ReliableStats& t = control_transport_->stats();
+    gauge("transport_srtt_s", sim::to_seconds(t.srtt));
+    gauge("transport_rto_s", sim::to_seconds(t.rto));
+    gauge("transport_retransmissions", static_cast<double>(t.retransmissions));
+    gauge("transport_fast_retransmits",
+          static_cast<double>(t.fast_retransmits));
+    gauge("transport_spurious_retransmits",
+          static_cast<double>(t.spurious_retransmits));
+    gauge("transport_send_failures", static_cast<double>(t.failures));
+    gauge("transport_resets", static_cast<double>(t.resets));
+  }
   return samples;
 }
 

@@ -134,6 +134,9 @@ class AccessGateway {
   std::unique_ptr<Sessiond> sessiond_;
   std::unique_ptr<Accessd> accessd_;
   std::unique_ptr<rpc::RpcNode> orc8r_node_;
+  // Non-owning view of the control channel's transport stats (set when the
+  // orchestrator channel is reliable); feeds telemetry_snapshot().
+  net::ReliableChannel* control_transport_ = nullptr;
   std::unique_ptr<Magmad> magmad_;
   std::unique_ptr<LteFrontend> lte_frontend_;
   std::unique_ptr<NrFrontend> nr_frontend_;

@@ -43,7 +43,8 @@ agw::AccessGateway& Network::add_agw(
   // Control backhaul to the orchestrator (reliable, gRPC-style).
   node->backhaul = std::make_unique<net::DuplexLink>(
       kernel_, rng_, backhaul.value_or(config_.backhaul));
-  node->control = net::make_reliable_pair(kernel_, *node->backhaul);
+  node->control =
+      net::make_reliable_pair(kernel_, *node->backhaul, config_.transport);
   node->orc8r_server = std::make_unique<rpc::RpcNode>(
       kernel_, *node->control.a, "orc8r-server-gw" + std::to_string(index));
   orchestrator_->bind(*node->orc8r_server);
@@ -53,7 +54,8 @@ agw::AccessGateway& Network::add_agw(
   if (ocs_) {
     node->ocs_link = std::make_unique<net::DuplexLink>(
         kernel_, rng_, backhaul.value_or(config_.backhaul));
-    node->ocs_channel = net::make_reliable_pair(kernel_, *node->ocs_link);
+    node->ocs_channel =
+        net::make_reliable_pair(kernel_, *node->ocs_link, config_.transport);
     node->ocs_server = std::make_unique<rpc::RpcNode>(
         kernel_, *node->ocs_channel.a, "ocs-server-gw" + std::to_string(index));
     ocs_->bind(*node->ocs_server);
@@ -250,6 +252,19 @@ void Network::set_backhaul_loss(agw::AccessGateway& agw,
   assert(node != nullptr);
   node->backhaul->forward.set_loss_probability(loss_probability);
   node->backhaul->reverse.set_loss_probability(loss_probability);
+}
+
+const net::ReliableStats& Network::control_stats_orc8r(
+    agw::AccessGateway& agw) {
+  AgwNode* node = node_for(agw);
+  assert(node != nullptr);
+  return node->control.a->stats();
+}
+
+const net::ReliableStats& Network::control_stats_agw(agw::AccessGateway& agw) {
+  AgwNode* node = node_for(agw);
+  assert(node != nullptr);
+  return node->control.b->stats();
 }
 
 agw::SubscriberData Network::provision_subscriber(

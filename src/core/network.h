@@ -38,6 +38,11 @@ struct NetworkConfig {
   std::uint64_t seed = 42;
   // Default AGW↔orchestrator backhaul (per-AGW override available).
   sim::LinkConfig backhaul = sim::fiber_backhaul();
+  // Reliable-transport tuning for the control channels riding the backhaul
+  // (AGW↔orchestrator, AGW↔OCS). The default is the RFC 6298 adaptive-RTO
+  // transport; benches flip adaptive_rto off to measure the fixed-RTO
+  // baseline.
+  net::ReliableConfig transport = {};
   bool with_ocs = false;
   std::string plmn = "00101";
 };
@@ -82,6 +87,12 @@ class Network {
   // Administrative backhaul control (headless-operation experiments).
   void set_backhaul_up(agw::AccessGateway& agw, bool up);
   void set_backhaul_loss(agw::AccessGateway& agw, double loss_probability);
+
+  // Transport stats of an AGW's orchestrator control channel, per side
+  // (retransmissions are counted at the sender, spurious retransmissions at
+  // the receiver of the duplicated data).
+  const net::ReliableStats& control_stats_orc8r(agw::AccessGateway& agw);
+  const net::ReliableStats& control_stats_agw(agw::AccessGateway& agw);
 
   // --- provisioning ----------------------------------------------------------
   // Creates a subscriber with fresh USIM credentials, registers it at the

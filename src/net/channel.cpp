@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <vector>
 
 #include "common/log.h"
 
@@ -11,6 +12,9 @@ namespace {
 
 constexpr std::uint64_t kDatagramOverhead = 28;  // IP + UDP headers
 
+// Clock granularity G of RFC 6298: the minimum variance term in the RTO.
+constexpr sim::Duration kRtoGranularity = 1 * sim::kMillisecond;
+
 // ---------------------------------------------------------------------------
 // Datagram transport
 // ---------------------------------------------------------------------------
@@ -19,12 +23,21 @@ class DatagramEndpoint final : public Channel {
  public:
   explicit DatagramEndpoint(sim::Link& tx) : tx_(tx) {}
 
-  void set_peer(DatagramEndpoint* peer) { peer_ = peer; }
+  void set_peer(DatagramEndpoint* peer) {
+    peer_ = peer;
+    peer_alive_ = peer ? std::weak_ptr<const void>(peer->alive_)
+                       : std::weak_ptr<const void>();
+  }
 
   void send(common::Bytes message) override {
     const std::uint64_t wire_size = message.size() + kDatagramOverhead;
-    tx_.transmit(wire_size, [peer = peer_, msg = std::move(message)]() mutable {
-      if (peer && peer->receiver_) peer->receiver_(std::move(msg));
+    // The delivery closure outlives this call (it sits in the kernel's event
+    // queue for the link's latency); the peer's liveness token turns a
+    // delivery to a destroyed endpoint into a silent drop.
+    tx_.transmit(wire_size, [peer = peer_, guard = peer_alive_,
+                             msg = std::move(message)]() mutable {
+      if (peer == nullptr || guard.expired()) return;
+      if (peer->receiver_) peer->receiver_(std::move(msg));
     });
   }
 
@@ -35,6 +48,10 @@ class DatagramEndpoint final : public Channel {
  private:
   sim::Link& tx_;
   DatagramEndpoint* peer_ = nullptr;
+  // Liveness token: in-flight segments hold a weak reference and drop
+  // themselves if the destination died before arrival.
+  std::shared_ptr<const void> alive_ = std::make_shared<int>(0);
+  std::weak_ptr<const void> peer_alive_;
   std::function<void(common::Bytes)> receiver_;
 };
 
@@ -44,12 +61,15 @@ class DatagramEndpoint final : public Channel {
 //
 // Discrete-message simplification of TCP: every DATA segment carries a
 // sequence number; the peer responds with a cumulative ACK; unacked segments
-// retransmit on an exponentially backed-off RTO. Messages deliver in order.
+// retransmit on an RFC 6298 adaptive RTO (see channel.h for the estimator,
+// Karn's rule, fast retransmit, and reset semantics). Messages deliver in
+// order, exactly once per epoch.
 
 struct Segment {
   std::uint64_t epoch;  // connection incarnation (bumped on reset)
   std::uint64_t seq;
   bool is_ack;
+  bool is_rst;        // reset notification: peer drops the dead epoch's state
   std::uint64_t ack;  // cumulative: all seq < ack received
   common::Bytes payload;
 };
@@ -57,17 +77,30 @@ struct Segment {
 class ReliableEndpoint final : public ReliableChannel {
  public:
   ReliableEndpoint(sim::Kernel& kernel, sim::Link& tx, ReliableConfig config)
-      : kernel_(kernel), tx_(tx), config_(config) {}
+      : kernel_(kernel), tx_(tx), config_(config) {
+    stats_.rto = config_.initial_rto;
+  }
 
-  void set_peer(ReliableEndpoint* peer) { peer_ = peer; }
+  ~ReliableEndpoint() override {
+    // In-flight link deliveries are defused by the liveness token; the
+    // retransmission timers still reference `this` and must be cancelled.
+    for (auto& [seq, pending] : outstanding_) kernel_.cancel(pending.timer);
+  }
+
+  void set_peer(ReliableEndpoint* peer) {
+    peer_ = peer;
+    peer_alive_ = peer ? std::weak_ptr<const void>(peer->alive_)
+                       : std::weak_ptr<const void>();
+  }
 
   void send(common::Bytes message) override {
     ++stats_.messages_sent;
     const std::uint64_t seq = next_seq_++;
     auto& pending = outstanding_[seq];
     pending.payload = std::move(message);
-    pending.rto = config_.initial_rto;
+    pending.rto = current_rto();
     pending.retries = 0;
+    pending.retransmitted = false;
     transmit_data(seq);
   }
 
@@ -75,26 +108,62 @@ class ReliableEndpoint final : public ReliableChannel {
     receiver_ = std::move(receiver);
   }
 
+  void set_send_failure_handler(
+      std::function<void(common::Bytes)> handler) override {
+    on_send_failed_ = std::move(handler);
+  }
+
   const ReliableStats& stats() const override { return stats_; }
+
+  std::size_t reorder_backlog() const override { return reorder_.size(); }
 
  private:
   struct Pending {
     common::Bytes payload;
     sim::Duration rto;
     int retries;
+    bool retransmitted;       // Karn's rule: ambiguous ACK, never sample
+    sim::TimePoint sent_at;   // last (re)transmission time
     sim::EventId timer;
   };
+
+  sim::Duration current_rto() const {
+    if (!config_.adaptive_rto || stats_.rtt_samples == 0) {
+      return config_.initial_rto;
+    }
+    return stats_.rto;
+  }
+
+  void sample_rtt(sim::Duration r) {
+    if (!config_.adaptive_rto) return;
+    if (stats_.rtt_samples == 0) {
+      stats_.srtt = r;
+      stats_.rttvar = r / 2;
+    } else {
+      const sim::Duration err =
+          stats_.srtt > r ? stats_.srtt - r : r - stats_.srtt;
+      stats_.rttvar = (3 * stats_.rttvar + err) / 4;
+      stats_.srtt = (7 * stats_.srtt + r) / 8;
+    }
+    ++stats_.rtt_samples;
+    stats_.rto = std::clamp(
+        stats_.srtt + std::max(kRtoGranularity, 4 * stats_.rttvar),
+        config_.min_rto, config_.max_rto);
+  }
 
   void transmit_data(std::uint64_t seq) {
     auto it = outstanding_.find(seq);
     if (it == outstanding_.end()) return;  // already acked
     const std::uint64_t wire =
         it->second.payload.size() + config_.header_overhead;
+    it->second.sent_at = kernel_.now();
     // Copy the payload into the in-flight segment; the original stays in
     // `outstanding_` for retransmission.
-    Segment seg{epoch_, seq, false, 0, it->second.payload};
-    tx_.transmit(wire, [this, seg = std::move(seg)]() mutable {
-      if (peer_) peer_->on_segment(std::move(seg));
+    Segment seg{epoch_, seq, false, false, 0, it->second.payload};
+    tx_.transmit(wire, [peer = peer_, guard = peer_alive_,
+                        seg = std::move(seg)]() mutable {
+      if (peer == nullptr || guard.expired()) return;
+      peer->on_segment(std::move(seg));
     });
     arm_timer(seq);
   }
@@ -111,42 +180,116 @@ class ReliableEndpoint final : public ReliableChannel {
     if (it == outstanding_.end()) return;
     Pending& p = it->second;
     if (++p.retries > config_.max_retries) {
-      // Connection reset (the TCP analogue of RST after repeated RTO):
-      // every unacknowledged message on this incarnation is lost, and a
-      // fresh epoch starts so post-outage traffic isn't wedged behind the
-      // sequence gap. Callers above (RPC) see deadline failures and retry.
-      stats_.failures += outstanding_.size();
-      for (auto& [_, pending] : outstanding_) {
-        kernel_.cancel(pending.timer);
-      }
-      outstanding_.clear();
-      ++epoch_;
-      next_seq_ = 0;
+      reset_connection();
       return;
     }
     ++stats_.retransmissions;
+    p.retransmitted = true;
     p.rto = std::min<sim::Duration>(p.rto * 2, config_.max_rto);
     transmit_data(seq);
   }
 
+  // Connection reset (the TCP analogue of RST after repeated RTO): every
+  // unacknowledged message on this incarnation is handed to the failure
+  // callback — never silently dropped — and a fresh epoch starts so
+  // post-outage traffic isn't wedged behind the sequence gap. An RST
+  // notification tells the peer to discard reorder state buffered for the
+  // dead epoch. Callers above (RPC) fail outstanding calls immediately.
+  void reset_connection() {
+    stats_.failures += outstanding_.size();
+    ++stats_.resets;
+    std::vector<common::Bytes> failed;
+    failed.reserve(outstanding_.size());
+    for (auto& [seq, pending] : outstanding_) {
+      kernel_.cancel(pending.timer);
+      failed.push_back(std::move(pending.payload));
+    }
+    outstanding_.clear();
+    ++epoch_;
+    next_seq_ = 0;
+    highest_ack_ = 0;
+    dup_acks_ = 0;
+    send_rst();
+    if (on_send_failed_) {
+      // After the state above is clean: the handler may re-send.
+      for (auto& payload : failed) on_send_failed_(std::move(payload));
+    }
+  }
+
+  void send_rst() {
+    Segment seg{epoch_, 0, false, true, 0, {}};
+    tx_.transmit(config_.header_overhead,
+                 [peer = peer_, guard = peer_alive_, seg]() {
+                   if (peer == nullptr || guard.expired()) return;
+                   peer->on_segment(seg);
+                 });
+  }
+
   void send_ack() {
-    Segment seg{recv_epoch_, 0, true, recv_next_, {}};
-    tx_.transmit(config_.header_overhead, [this, seg]() {
-      if (peer_) peer_->on_segment(seg);
-    });
+    Segment seg{recv_epoch_, 0, true, false, recv_next_, {}};
+    tx_.transmit(config_.header_overhead,
+                 [peer = peer_, guard = peer_alive_, seg]() {
+                   if (peer == nullptr || guard.expired()) return;
+                   peer->on_segment(seg);
+                 });
+  }
+
+  void on_ack(const Segment& seg) {
+    if (seg.epoch != epoch_) return;  // stale incarnation
+    // Cumulative ACK: everything below seg.ack is confirmed delivered.
+    bool advanced = false;
+    for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+      if (it->first < seg.ack) {
+        kernel_.cancel(it->second.timer);
+        if (!it->second.retransmitted) {
+          sample_rtt(kernel_.now() - it->second.sent_at);
+        }
+        ++stats_.messages_acked;
+        it = outstanding_.erase(it);
+        advanced = true;
+      } else {
+        ++it;
+      }
+    }
+    if (seg.ack > highest_ack_ || advanced) {
+      highest_ack_ = std::max(highest_ack_, seg.ack);
+      dup_acks_ = 0;
+      return;
+    }
+    if (seg.ack < highest_ack_) return;  // reordered old ACK
+    // Duplicate cumulative ACK for data still outstanding: the peer is
+    // receiving *later* segments while this one is missing.
+    if (outstanding_.find(seg.ack) == outstanding_.end()) return;
+    if (++dup_acks_ == config_.dupack_threshold) {
+      fast_retransmit(seg.ack);
+    }
+  }
+
+  void fast_retransmit(std::uint64_t seq) {
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) return;
+    Pending& p = it->second;
+    kernel_.cancel(p.timer);
+    p.retransmitted = true;
+    ++stats_.retransmissions;
+    ++stats_.fast_retransmits;
+    // No RTO backoff: loss was detected by dupacks, not by the timer.
+    transmit_data(seq);
   }
 
   void on_segment(Segment seg) {
     if (seg.is_ack) {
-      if (seg.epoch != epoch_) return;  // stale incarnation
-      // Cumulative ACK: everything below seg.ack is delivered.
-      for (auto it = outstanding_.begin(); it != outstanding_.end();) {
-        if (it->first < seg.ack) {
-          kernel_.cancel(it->second.timer);
-          it = outstanding_.erase(it);
-        } else {
-          ++it;
-        }
+      on_ack(seg);
+      return;
+    }
+    if (seg.is_rst) {
+      // Peer reset: drop everything buffered for the dead epoch so stale
+      // payloads can't linger (they would otherwise sit in reorder_ until
+      // the next DATA arrival, potentially forever on a quiet channel).
+      if (seg.epoch > recv_epoch_) {
+        recv_epoch_ = seg.epoch;
+        recv_next_ = 0;
+        reorder_.clear();
       }
       return;
     }
@@ -157,6 +300,11 @@ class ReliableEndpoint final : public ReliableChannel {
       recv_epoch_ = seg.epoch;
       recv_next_ = 0;
       reorder_.clear();
+    }
+    if (seg.seq < recv_next_ || reorder_.find(seg.seq) != reorder_.end()) {
+      // Duplicate of data we already hold: the sender's RTO fired although
+      // the original arrived (or its ACK is still in flight).
+      ++stats_.spurious_retransmits;
     }
     if (seg.seq >= recv_next_) {
       reorder_.emplace(seg.seq, std::move(seg.payload));
@@ -175,11 +323,19 @@ class ReliableEndpoint final : public ReliableChannel {
   sim::Link& tx_;
   ReliableConfig config_;
   ReliableEndpoint* peer_ = nullptr;
+  // Liveness token (see DatagramEndpoint): segments in flight toward an
+  // endpoint destroyed before arrival are dropped instead of dereferencing
+  // a dangling pointer.
+  std::shared_ptr<const void> alive_ = std::make_shared<int>(0);
+  std::weak_ptr<const void> peer_alive_;
   std::function<void(common::Bytes)> receiver_;
+  std::function<void(common::Bytes)> on_send_failed_;
 
   std::uint64_t epoch_ = 0;
   std::uint64_t next_seq_ = 0;
   std::map<std::uint64_t, Pending> outstanding_;
+  std::uint64_t highest_ack_ = 0;
+  int dup_acks_ = 0;
 
   std::uint64_t recv_epoch_ = 0;
   std::uint64_t recv_next_ = 0;

@@ -7,6 +7,39 @@
 //    delivery. This is what gRPC inherits and why Magma's control traffic
 //    survives satellite backhaul.
 //
+// The reliable transport is RFC 6298-faithful so that the backhaul
+// experiments measure real TCP behaviour rather than a caricature:
+//
+//  * RTT estimation — every cumulative ACK of a never-retransmitted segment
+//    yields a sample R. The first sample seeds SRTT = R, RTTVAR = R/2;
+//    later samples update RTTVAR = 3/4·RTTVAR + 1/4·|SRTT − R| and
+//    SRTT = 7/8·SRTT + 1/8·R (the RFC's alpha = 1/8, beta = 1/4).
+//  * RTO — SRTT + max(G, 4·RTTVAR), clamped to [min_rto, max_rto]. Until
+//    the first sample arrives, `initial_rto` is used. A segment whose timer
+//    fires backs its own RTO off exponentially (bounded by max_rto);
+//    fresh sends always start from the connection's current estimate.
+//  * Karn's rule — segments that were ever retransmitted never contribute
+//    RTT samples (their ACK is ambiguous between original and retry), so
+//    one outage cannot poison the estimator.
+//  * Fast retransmit — the receiver acks every DATA segment cumulatively;
+//    `dupack_threshold` (default 3) duplicate ACKs for the same sequence
+//    trigger one immediate retransmission of that segment without waiting
+//    for the RTO, once per duplicate burst.
+//  * Reset semantics — a segment exhausting `max_retries` resets the
+//    connection (the RST-after-repeated-RTO analogue): every outstanding
+//    message is handed to the `set_send_failure_handler` callback (never
+//    silently dropped), the epoch is bumped, and an RST notification is
+//    sent so the peer clears its reorder buffer for the dead epoch. Traffic
+//    sent after the reset flows on the fresh epoch.
+//
+// Accounting invariant (property-tested): at quiescence every sent message
+// is either acked or failed, i.e. messages_sent == messages_acked +
+// failures on the sending endpoint, and everything acked was delivered
+// in order, exactly once, at the peer. (A message can be *delivered* yet
+// counted failed if its ACK was lost before a reset — TCP has the same
+// ambiguity — so receiver-side messages_delivered >= sender-side
+// messages_acked.)
+//
 // Channels carry discrete messages (the RPC layer does its own framing).
 #pragma once
 
@@ -31,6 +64,13 @@ class Channel {
   // Fire-and-forget. Delivery semantics depend on the transport.
   virtual void send(common::Bytes message) = 0;
   virtual void set_receiver(std::function<void(common::Bytes)> receiver) = 0;
+  // Invoked once per message the transport gives up on (connection reset),
+  // with the original payload. Transports without failure detection
+  // (datagrams) never invoke it; the default sink discards.
+  virtual void set_send_failure_handler(
+      std::function<void(common::Bytes)> handler) {
+    (void)handler;
+  }
 };
 
 // A duplex path: two unidirectional links with independent queues.
@@ -50,24 +90,57 @@ struct ChannelPair {
 ChannelPair make_datagram_pair(sim::Kernel& kernel, DuplexLink& path);
 
 struct ReliableConfig {
-  sim::Duration initial_rto = 200 * sim::kMillisecond;
+  // RTO before the first RTT sample (and forever when adaptive_rto=false).
+  // RFC 6298 §2.1 mandates 1 s, and the value matters more than it looks:
+  // with Karn's rule, an initial RTO below the path RTT retransmits every
+  // segment before its ACK can arrive, so no segment ever yields a sample
+  // and the estimator never seeds — the old fixed 200 ms default locked
+  // satellite links (≥500 ms RTT) into a permanent spurious-retransmission
+  // storm.
+  sim::Duration initial_rto = 1 * sim::kSecond;
+  // Clamp for the adaptive RTO estimate (RFC 6298 §2.4 uses 1 s for the
+  // lower bound; we default lower because simulated control links are
+  // cleaner than the 2004 Internet, and it is configurable).
+  sim::Duration min_rto = 100 * sim::kMillisecond;
   sim::Duration max_rto = 30 * sim::kSecond;
-  int max_retries = 12;  // after this, the message is dropped (conn reset)
+  int max_retries = 12;  // after this, the connection resets
   std::uint64_t header_overhead = 40;  // IP+TCP
+  // RFC 6298 SRTT/RTTVAR estimator with Karn's rule. false = the fixed-RTO
+  // baseline (pure exponential backoff from initial_rto), kept for the
+  // ablation benches.
+  bool adaptive_rto = true;
+  // Duplicate cumulative ACKs that trigger a fast retransmit.
+  int dupack_threshold = 3;
 };
 
 struct ReliableStats {
   std::uint64_t messages_sent = 0;
+  // Receiver side: messages handed to the application (in order, once).
   std::uint64_t messages_delivered = 0;
+  // Sender side: messages confirmed by a cumulative ACK.
+  std::uint64_t messages_acked = 0;
   std::uint64_t retransmissions = 0;
-  std::uint64_t failures = 0;  // messages abandoned after max_retries
+  std::uint64_t fast_retransmits = 0;  // subset of retransmissions
+  // Receiver side: DATA segments that duplicated already-received data —
+  // the wire-visible cost of a too-short RTO.
+  std::uint64_t spurious_retransmits = 0;
+  std::uint64_t failures = 0;  // messages abandoned by a connection reset
+  std::uint64_t resets = 0;    // connection resets (epoch bumps)
+  std::uint64_t rtt_samples = 0;
+  sim::Duration srtt = 0;      // smoothed RTT; 0 until the first sample
+  sim::Duration rttvar = 0;
+  sim::Duration rto = 0;       // current connection RTO
 };
 
 // Reliable, in-order transport (simplified TCP). Returned channels expose
-// stats via reliable_stats().
+// stats via stats().
 class ReliableChannel : public Channel {
  public:
   virtual const ReliableStats& stats() const = 0;
+  // Out-of-order payloads currently buffered awaiting the in-order prefix.
+  // A peer reset purges this via the RST notification; tests and telemetry
+  // use it to catch stale payloads lingering from a dead epoch.
+  virtual std::size_t reorder_backlog() const = 0;
 };
 
 struct ReliablePair {

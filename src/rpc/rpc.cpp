@@ -14,6 +14,11 @@ constexpr std::uint8_t kResponse = 2;
 RpcNode::RpcNode(sim::Kernel& kernel, net::Channel& channel, std::string name)
     : kernel_(kernel), channel_(channel), name_(std::move(name)) {
   channel_.set_receiver([this](Bytes raw) { on_message(std::move(raw)); });
+  // Fail fast when the transport gives up on a frame (connection reset)
+  // instead of letting the caller wait out its deadline — gRPC maps a TCP
+  // RST to UNAVAILABLE the same way.
+  channel_.set_send_failure_handler(
+      [this](Bytes raw) { on_send_failed(std::move(raw)); });
 }
 
 void RpcNode::register_method(const std::string& service,
@@ -88,6 +93,22 @@ void RpcNode::on_message(Bytes raw) {
       MLOG_WARN("rpc") << name_ << ": unknown frame type "
                        << static_cast<int>(type);
   }
+}
+
+void RpcNode::on_send_failed(Bytes raw) {
+  Reader r(raw);
+  const std::uint8_t type = r.u8();
+  const std::uint64_t id = r.u64();
+  if (!r.ok()) return;
+  if (type != kRequest) return;  // a dead response: the caller's deadline
+                                 // (or its own send failure) covers it
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // already timed out or answered
+  kernel_.cancel(it->second.timeout);
+  auto cb = std::move(it->second.on_done);
+  pending_.erase(it);
+  ++stats_.calls_send_failed;
+  cb(Error{ErrorCode::kUnavailable, "transport reset: request not delivered"});
 }
 
 void RpcNode::handle_request(Reader& r) {

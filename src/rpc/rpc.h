@@ -44,6 +44,9 @@ struct RpcStats {
   std::uint64_t calls_ok = 0;
   std::uint64_t calls_failed = 0;     // error status from the peer
   std::uint64_t calls_timed_out = 0;  // deadline exceeded locally
+  // Transport reported the request undeliverable (connection reset): the
+  // call failed UNAVAILABLE immediately instead of waiting out its deadline.
+  std::uint64_t calls_send_failed = 0;
   std::uint64_t calls_served = 0;
 };
 
@@ -83,6 +86,7 @@ class RpcNode {
   };
 
   void on_message(Bytes raw);
+  void on_send_failed(Bytes raw);
   void handle_request(Reader& r);
   void handle_response(Reader& r);
   void send_response(std::uint64_t call_id, const Result<Bytes>& result);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "agw/magmad.h"
+#include "core/network.h"
 #include "net/channel.h"
 #include "orc8r/orchestrator.h"
 
@@ -179,6 +180,34 @@ TEST_F(MagmadTest, PeriodicLoopsShipEverything) {
   EXPECT_EQ(orc8r_.stored_checkpoint("gw0").value(),
             common::to_bytes("ckpt"));
   EXPECT_GT(orc8r_.metrics().total_samples(), 0u);
+}
+
+// --- Transport telemetry end to end ------------------------------------------
+
+TEST(TransportTelemetry, ControlChannelStatsReachMetricsd) {
+  // The AGW's control-channel transport health (SRTT, RTO, retransmission
+  // counters) must flow through magmad's periodic metrics report into the
+  // orchestrator's metricsd, per gateway.
+  core::NetworkConfig config;
+  config.backhaul = sim::satellite_backhaul();
+  core::Network net(config);
+  net.add_agw(agw::virtual_xeon(2));
+  net.run_for(2 * sim::kMinute);
+
+  const orc8r::Metricsd& metrics = net.orchestrator().metrics();
+  const auto srtt = metrics.latest("gw0", "transport_srtt_s");
+  const auto rto = metrics.latest("gw0", "transport_rto_s");
+  ASSERT_TRUE(srtt.has_value());
+  ASSERT_TRUE(rto.has_value());
+  // The estimator converged on the satellite RTT (~0.64 s) and the RTO sits
+  // above it — no spurious-retransmission storm on this incarnation.
+  EXPECT_GT(*srtt, 0.5);
+  EXPECT_LT(*srtt, 1.0);
+  EXPECT_GE(*rto, *srtt);
+  ASSERT_TRUE(metrics.latest("gw0", "transport_retransmissions").has_value());
+  ASSERT_TRUE(
+      metrics.latest("gw0", "transport_spurious_retransmits").has_value());
+  ASSERT_TRUE(metrics.latest("gw0", "transport_send_failures").has_value());
 }
 
 }  // namespace

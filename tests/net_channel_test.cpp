@@ -149,6 +149,229 @@ TEST(ReliableChannel, ResetAfterGiveUpDoesNotWedgeDelivery) {
   EXPECT_EQ(received[2], "post2");
 }
 
+TEST(ReliableChannel, AdaptiveRtoEliminatesSpuriousRetransmitsOnSatellite) {
+  // The §3.1 satellite scenario with the acceptance-criteria link: ≥500 ms
+  // RTT, 1% loss. A fixed 200 ms RTO fires before the first ACK can possibly
+  // arrive, so nearly every segment retransmits spuriously; the RFC 6298
+  // estimator converges on the real RTT and stops the storm.
+  auto run = [](bool adaptive) {
+    Harness h;
+    sim::LinkConfig sat = sim::satellite_backhaul();
+    sat.loss_probability = 0.01;
+    DuplexLink path(h.kernel, h.rng, sat);
+    ReliableConfig config;
+    config.adaptive_rto = adaptive;
+    // The fixed baseline is the old transport: 200 ms RTO, pure backoff.
+    if (!adaptive) config.initial_rto = 200 * sim::kMillisecond;
+    ReliablePair pair = make_reliable_pair(h.kernel, path, config);
+
+    int received = 0;
+    pair.b->set_receiver([&](Bytes) { ++received; });
+    for (int i = 0; i < 200; ++i) {
+      h.kernel.schedule(i * 100 * sim::kMillisecond,
+                        [&pair]() { pair.a->send(to_bytes("ctrl")); });
+    }
+    h.kernel.run();
+    EXPECT_EQ(received, 200);
+    // Spurious retransmissions are observed at the receiving endpoint.
+    return std::pair<ReliableStats, ReliableStats>{pair.a->stats(),
+                                                   pair.b->stats()};
+  };
+
+  const auto [fixed_a, fixed_b] = run(false);
+  const auto [adaptive_a, adaptive_b] = run(true);
+
+  // Fixed 200 ms RTO vs ~640 ms RTT: a storm of useless retransmissions.
+  EXPECT_GT(fixed_b.spurious_retransmits, 100u);
+  // Adaptive: only genuinely lost segments (~1%) retransmit. "Near zero."
+  EXPECT_LT(adaptive_b.spurious_retransmits, 10u);
+  EXPECT_LT(adaptive_a.retransmissions, fixed_a.retransmissions / 5);
+
+  // The estimator converged on the real RTT: 600 ms propagation + jitter +
+  // serialization.
+  EXPECT_GT(adaptive_a.srtt, 550 * sim::kMillisecond);
+  EXPECT_LT(adaptive_a.srtt, 800 * sim::kMillisecond);
+  EXPECT_GE(adaptive_a.rto, adaptive_a.srtt);
+}
+
+TEST(ReliableChannel, KarnsRuleKeepsEstimatorCleanAcrossOutage) {
+  Harness h;
+  DuplexLink path(h.kernel, h.rng, sim::lan_link());
+  ReliableConfig config;
+  config.max_retries = 20;
+  ReliablePair pair = make_reliable_pair(h.kernel, path, config);
+  pair.b->set_receiver([](Bytes) {});
+
+  // Let the estimator converge on the LAN RTT (~0.4 ms).
+  for (int i = 0; i < 20; ++i) {
+    h.kernel.schedule(i * 10 * sim::kMillisecond,
+                      [&pair]() { pair.a->send(to_bytes("warm")); });
+  }
+  h.kernel.run();
+  const std::uint64_t samples_before = pair.a->stats().rtt_samples;
+  ASSERT_GT(samples_before, 0u);
+  EXPECT_LT(pair.a->stats().srtt, 2 * sim::kMillisecond);
+
+  // A 3-second outage: the message retransmits repeatedly, and its eventual
+  // ACK covers a multi-second span. Karn's rule must discard that sample.
+  path.forward.set_up(false);
+  pair.a->send(to_bytes("outage"));
+  h.kernel.run_until(h.kernel.now() + 3 * sim::kSecond);
+  path.forward.set_up(true);
+  h.kernel.run();
+  EXPECT_GT(pair.a->stats().retransmissions, 0u);
+  EXPECT_EQ(pair.a->stats().rtt_samples, samples_before);
+  EXPECT_LT(pair.a->stats().srtt, 2 * sim::kMillisecond);
+
+  // Fresh unretransmitted traffic samples again.
+  pair.a->send(to_bytes("fresh"));
+  h.kernel.run();
+  EXPECT_EQ(pair.a->stats().rtt_samples, samples_before + 1);
+}
+
+TEST(ReliableChannel, FastRetransmitOnThreeDupAcks) {
+  Harness h;
+  DuplexLink path(h.kernel, h.rng, sim::lan_link());
+  ReliableConfig config;
+  config.initial_rto = 10 * sim::kSecond;  // the RTO must not be the rescuer
+  ReliablePair pair = make_reliable_pair(h.kernel, path, config);
+
+  std::vector<std::string> received;
+  pair.b->set_receiver([&](Bytes m) { received.push_back(to_string(m)); });
+
+  // Lose exactly the first segment, deliver the next three: the receiver
+  // dup-acks seq 0 three times, triggering one immediate retransmission.
+  path.forward.set_up(false);
+  pair.a->send(to_bytes("m0"));
+  path.forward.set_up(true);
+  for (int i = 1; i <= 3; ++i) {
+    pair.a->send(to_bytes("m" + std::to_string(i)));
+  }
+  h.kernel.run();
+
+  ASSERT_EQ(received.size(), 4u);
+  EXPECT_EQ(received[0], "m0");
+  EXPECT_EQ(received[3], "m3");
+  EXPECT_EQ(pair.a->stats().fast_retransmits, 1u);
+  EXPECT_EQ(pair.a->stats().retransmissions, 1u);
+  // Recovery happened in a few link RTTs, far below the 10 s RTO.
+  EXPECT_LT(h.kernel.now(), sim::kSecond);
+}
+
+TEST(ReliableChannel, SendFailureHandlerReceivesEveryAbandonedMessage) {
+  // Regression for the silent-drop bug: messages outstanding at reset time
+  // (including ones sent an instant before, never retransmitted once) must
+  // reach the failure callback, not vanish with a counter bump.
+  Harness h;
+  DuplexLink path(h.kernel, h.rng, sim::lan_link());
+  path.forward.set_up(false);
+  ReliableConfig config;
+  config.initial_rto = 100 * sim::kMillisecond;
+  config.max_retries = 3;
+  ReliablePair pair = make_reliable_pair(h.kernel, path, config);
+
+  std::vector<std::string> failed;
+  pair.a->set_send_failure_handler(
+      [&](Bytes m) { failed.push_back(to_string(m)); });
+  int received = 0;
+  pair.b->set_receiver([&](Bytes) { ++received; });
+
+  // "first" resets at 1500 ms (100+200+400+800 of backoff); "last-moment"
+  // goes out at 1400 ms, an instant before, with zero retransmissions of
+  // its own — the old code silently dropped exactly this message.
+  pair.a->send(to_bytes("first"));
+  h.kernel.schedule(1400 * sim::kMillisecond,
+                    [&pair]() { pair.a->send(to_bytes("last-moment")); });
+  h.kernel.run();
+
+  EXPECT_EQ(received, 0);
+  ASSERT_EQ(failed.size(), 2u);
+  EXPECT_EQ(failed[0], "first");
+  EXPECT_EQ(failed[1], "last-moment");
+  const ReliableStats& s = pair.a->stats();
+  EXPECT_EQ(s.failures, 2u);
+  EXPECT_EQ(s.resets, 1u);
+  EXPECT_EQ(s.messages_sent, s.messages_acked + s.failures);
+}
+
+TEST(ReliableChannel, ResetClearsStaleReorderBufferAtPeer) {
+  // seq 0 is lost and never recovers (reset); seq 1 arrived and sits in the
+  // peer's reorder buffer. The RST must purge it — it may neither linger
+  // forever nor be delivered once post-reset traffic flows.
+  Harness h;
+  DuplexLink path(h.kernel, h.rng, sim::lan_link());
+  ReliableConfig config;
+  config.max_retries = 0;  // first timeout resets, with the link back up
+  ReliablePair pair = make_reliable_pair(h.kernel, path, config);
+
+  std::vector<std::string> received;
+  pair.b->set_receiver([&](Bytes m) { received.push_back(to_string(m)); });
+  std::vector<std::string> failed;
+  pair.a->set_send_failure_handler(
+      [&](Bytes m) { failed.push_back(to_string(m)); });
+
+  path.forward.set_up(false);
+  pair.a->send(to_bytes("head-lost"));  // seq 0: dropped
+  path.forward.set_up(true);
+  pair.a->send(to_bytes("buffered"));   // seq 1: arrives, waits for seq 0
+  h.kernel.run_until(h.kernel.now() + 100 * sim::kMillisecond);
+  EXPECT_EQ(pair.b->reorder_backlog(), 1u);
+
+  // seq 0's timer fires at 1 s → reset; the RST crosses the (healthy) link
+  // and purges the dead epoch's buffered payload at the peer.
+  h.kernel.run_until(h.kernel.now() + 2 * sim::kSecond);
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(pair.a->stats().resets, 1u);
+  ASSERT_EQ(failed.size(), 2u);  // both epoch-0 messages failed
+  EXPECT_EQ(pair.b->reorder_backlog(), 0u);
+
+  // Fresh traffic flows on the new epoch; "buffered" must never surface.
+  pair.a->send(to_bytes("post-reset"));
+  h.kernel.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "post-reset");
+}
+
+TEST(ReliableChannel, DestroyWithSegmentsInFlightIsSafe) {
+  // Regression for the use-after-free hazard: segments (and ACKs) already
+  // in the kernel's event queue when an endpoint dies must drop harmlessly.
+  Harness h;
+  DuplexLink path(h.kernel, h.rng, sim::satellite_backhaul());
+  {
+    ReliablePair pair = make_reliable_pair(h.kernel, path);
+    pair.b->set_receiver([](Bytes) {});
+    for (int i = 0; i < 20; ++i) pair.a->send(to_bytes("in-flight"));
+    // 300 ms one-way: everything is still on the wire when the pair dies.
+    h.kernel.run_until(50 * sim::kMillisecond);
+    EXPECT_GT(h.kernel.pending_events(), 0u);
+  }
+  h.kernel.run();  // deliveries and retransmission timers must not explode
+
+  // Asymmetric destruction: the receiver dies first, the sender keeps
+  // retransmitting into the void for a while, then dies with timers armed.
+  {
+    ReliablePair pair = make_reliable_pair(h.kernel, path);
+    for (int i = 0; i < 5; ++i) pair.a->send(to_bytes("x"));
+    h.kernel.run_until(h.kernel.now() + 50 * sim::kMillisecond);
+    pair.b.reset();
+    h.kernel.run_until(h.kernel.now() + 2 * sim::kSecond);
+    pair.a.reset();
+  }
+  h.kernel.run();
+}
+
+TEST(DatagramChannel, DestroyWithPacketsInFlightIsSafe) {
+  Harness h;
+  DuplexLink path(h.kernel, h.rng, sim::satellite_backhaul());
+  {
+    ChannelPair pair = make_datagram_pair(h.kernel, path);
+    pair.b->set_receiver([](Bytes) {});
+    for (int i = 0; i < 20; ++i) pair.a->send(to_bytes("in-flight"));
+    EXPECT_GT(h.kernel.pending_events(), 0u);
+  }
+  h.kernel.run();
+}
+
 TEST(ReliableChannel, RecoversAfterOutage) {
   Harness h;
   DuplexLink path(h.kernel, h.rng, sim::lan_link());

@@ -47,6 +47,94 @@ TEST_P(ReliableLossSweep, AllMessagesInOrder) {
 INSTANTIATE_TEST_SUITE_P(LossRates, ReliableLossSweep,
                          ::testing::Values(0.0, 0.05, 0.15, 0.3, 0.5));
 
+// --- Transport conformance under randomized loss / reorder / reset ------------
+//
+// Chaos harness for the reliable endpoint: random i.i.d. loss, enough jitter
+// to reorder segments on the wire, random outage windows long enough to
+// force connection resets, and randomized send times. Invariants, per the
+// channel.h contract:
+//  * delivery is exactly-once and in sent order (an ordered subsequence of
+//    what was sent — resets may punch holes, never reorder or duplicate);
+//  * every sent message is accounted for: messages_sent == messages_acked +
+//    failures at the sender, and each message is either delivered or handed
+//    to the failure callback (delivered ∧ failed is possible only when the
+//    ACK was lost across a reset);
+//  * everything acked was delivered.
+
+class ReliableChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReliableChaosSweep, ExactlyOnceInOrderAndFullyAccounted) {
+  sim::Rng rng(GetParam());
+  sim::Kernel kernel;
+  sim::LinkConfig chaos = sim::lan_link();
+  chaos.loss_probability = 0.05 + 0.3 * rng.uniform();
+  chaos.latency = 2 * sim::kMillisecond;
+  chaos.jitter = 5 * sim::kMillisecond;  // enough to reorder the wire
+  sim::Rng link_rng = rng.fork();
+  net::DuplexLink path(kernel, link_rng, chaos);
+
+  net::ReliableConfig rel;
+  rel.max_retries = static_cast<int>(2 + rng.uniform_int(4));
+  net::ReliablePair pair = net::make_reliable_pair(kernel, path, rel);
+
+  std::vector<int> delivered;
+  pair.b->set_receiver([&](common::Bytes m) {
+    delivered.push_back(std::stoi(common::to_string(m)));
+  });
+  std::vector<int> failed;
+  pair.a->set_send_failure_handler([&](common::Bytes m) {
+    failed.push_back(std::stoi(common::to_string(m)));
+  });
+
+  // Random outage windows (forward direction, where the data flows).
+  sim::TimePoint t = 0;
+  for (int i = 0; i < 6; ++i) {
+    t += static_cast<sim::Duration>(rng.uniform_int(4 * sim::kSecond));
+    const sim::TimePoint down = t;
+    t += static_cast<sim::Duration>(rng.uniform_int(8 * sim::kSecond));
+    const sim::TimePoint up = t;
+    kernel.schedule_at(down, [&path]() { path.forward.set_up(false); });
+    kernel.schedule_at(up, [&path]() { path.forward.set_up(true); });
+  }
+
+  const int kMessages = 250;
+  sim::TimePoint send_at = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    send_at +=
+        static_cast<sim::Duration>(rng.uniform_int(150 * sim::kMillisecond));
+    kernel.schedule_at(send_at, [&pair, i]() {
+      pair.a->send(common::to_bytes(std::to_string(i)));
+    });
+  }
+  kernel.run();  // quiescence: nothing outstanding, no timers pending
+
+  const net::ReliableStats& tx = pair.a->stats();
+  const net::ReliableStats& rx = pair.b->stats();
+  ASSERT_EQ(tx.messages_sent, static_cast<std::uint64_t>(kMessages));
+
+  // Full accounting at the sender.
+  EXPECT_EQ(tx.messages_sent, tx.messages_acked + tx.failures);
+  EXPECT_EQ(failed.size(), static_cast<std::size_t>(tx.failures));
+  EXPECT_EQ(delivered.size(), static_cast<std::size_t>(rx.messages_delivered));
+  EXPECT_GE(rx.messages_delivered, tx.messages_acked);
+
+  // Exactly-once, in-order: strictly increasing message ids.
+  for (std::size_t i = 1; i < delivered.size(); ++i) {
+    ASSERT_LT(delivered[i - 1], delivered[i]) << "at position " << i;
+  }
+  // Every message reached the application or the failure callback.
+  std::vector<bool> seen(kMessages, false);
+  for (int id : delivered) seen[static_cast<std::size_t>(id)] = true;
+  for (int id : failed) seen[static_cast<std::size_t>(id)] = true;
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_TRUE(seen[static_cast<std::size_t>(i)]) << "message " << i
+        << " vanished without delivery or failure";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReliableChaosSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
 // --- Desired-state convergence from arbitrary interleavings --------------------
 
 class DesiredStateSweep : public ::testing::TestWithParam<std::uint64_t> {};

@@ -208,6 +208,34 @@ TEST(RpcNode, RetriesSurviveTransientOutage) {
   EXPECT_TRUE(ok);
 }
 
+TEST(RpcNode, TransportResetFailsCallsFastNotAtDeadline) {
+  // A connection reset must surface as UNAVAILABLE the moment the transport
+  // gives up — not as DEADLINE_EXCEEDED a minute later. The old transport
+  // silently dropped the frame and left the call waiting out its deadline.
+  sim::Kernel kernel;
+  sim::Rng rng{7};
+  net::DuplexLink path{kernel, rng, sim::lan_link()};
+  net::ReliableConfig rel;
+  rel.max_retries = 2;  // transport resets after 1+2+4 s of backoff
+  net::ReliablePair channels = net::make_reliable_pair(kernel, path, rel);
+  RpcNode server{kernel, *channels.a, "server"};
+  RpcNode client{kernel, *channels.b, "client"};
+  path.reverse.set_up(false);  // client→server direction is dead
+
+  ErrorCode code = ErrorCode::kOk;
+  sim::TimePoint failed_at = 0;
+  client.call("svc", "Get", {}, 60 * sim::kSecond, [&](Result<Bytes> result) {
+    code = result.code();
+    failed_at = kernel.now();
+  });
+  kernel.run();
+
+  EXPECT_EQ(code, ErrorCode::kUnavailable);
+  EXPECT_LT(failed_at, 10 * sim::kSecond);  // ~7 s, far below the deadline
+  EXPECT_EQ(client.stats().calls_send_failed, 1u);
+  EXPECT_EQ(client.stats().calls_timed_out, 0u);
+}
+
 TEST(RpcNode, RetriesExhaustOnPermanentOutage) {
   RpcHarness h;
   h.path.forward.set_up(false);

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build and run the transport-facing test suites under ASan+UBSan.
+#
+# The reliable transport keeps segments (and their retransmission timers)
+# in flight across the event loop; this is where lifetime bugs live. A
+# plain build can pass tests while reading freed endpoints — run this
+# before touching src/net or src/rpc.
+#
+# Usage: tests/run_sanitized.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)" --target \
+  net_channel_test property_test rpc_test magmad_orc8r_test
+
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+ctest --test-dir build-asan --output-on-failure \
+  -R 'Channel|Reliable|Datagram|Rpc|Wire|Magmad|Orchestrator|DesiredState|TransportTelemetry' \
+  "$@"
+echo "sanitized transport suite: OK"

@@ -32,6 +32,11 @@ Accessd::Accessd(sim::Kernel& kernel, sim::CpuModel* cpu,
       sessiond_(sessiond),
       config_(config) {}
 
+void Accessd::set_observability(obs::Tracer* tracer, std::string node) {
+  tracer_ = tracer;
+  node_ = std::move(node);
+}
+
 // ---------------------------------------------------------------------------
 // Control-plane work scheduling
 // ---------------------------------------------------------------------------
@@ -288,10 +293,12 @@ void Accessd::do_establish(
     // UE address; the data plane tunnels via the GTP aggregator.
     const common::Teid home_teid_local{next_teid_++};
     const common::Imsi imsi = req.imsi;
+    const obs::TraceContext parent = obs::current_context(tracer_);
     federation_(
         imsi, home_teid_local,
-        [this, req, policy, agw_teid, home_teid_local,
+        [this, req, policy, agw_teid, home_teid_local, parent,
          done](common::Result<FederatedSession> fed) {
+          const obs::Tracer::Scope scope(tracer_, parent);
           auto it = contexts_.find(req.imsi);
           if (it == contexts_.end()) {
             done(common::Error{common::ErrorCode::kFailedPrecondition,
@@ -312,14 +319,21 @@ void Accessd::do_establish(
     return;
   }
 
+  // mobilityd runs synchronously in sim time; the span still documents the
+  // allocation (and its outcome) as a step of the attach tree.
+  const obs::TraceContext ip_span =
+      obs::begin_span(tracer_, "allocate_ip", "mobilityd", node_);
   auto ip = mobilityd_.allocate(req.imsi, kernel_.now());
   if (!ip.ok()) {
+    obs::tag_span(tracer_, ip_span, "error", ip.error().message);
+    obs::end_span(tracer_, ip_span);
     ++stats_.attach_rejected[static_cast<std::size_t>(ctx.rat)];
     ctx.fsm.handle(EmmEvent::kContextFailed);
     drop_context(req.imsi);
     done(ip.error());
     return;
   }
+  obs::end_span(tracer_, ip_span);
   done(finish_establish(req, ctx, policy, ip.value(), false,
                         FederatedSession{}, agw_teid, common::Teid{0}));
 }
@@ -371,12 +385,25 @@ common::Result<SessionInfo> Accessd::finish_establish(
 void Accessd::begin_attach(
     const common::Imsi& imsi, RanType rat,
     std::function<void(common::Result<AuthChallenge>)> done) {
+  // The stage span opens at submission, so it covers queue wait + CPU
+  // charge + logic — the components of the MME bottleneck of Figure 6.
+  const obs::TraceContext span =
+      obs::begin_span(tracer_, "begin_attach", "accessd", node_);
+  auto finish = [this, span,
+                 done = std::move(done)](common::Result<AuthChallenge> r) {
+    obs::end_span(tracer_, span);
+    done(std::move(r));
+  };
   submit_work(
       config_.cost_begin_attach,
-      [this, imsi, rat, done]() { done(do_begin(imsi, rat)); },
-      [done]() {
-        done(common::Error{common::ErrorCode::kResourceExhausted,
-                           "control plane overloaded"});
+      [this, imsi, rat, span, finish]() {
+        obs::Tracer::Scope scope(tracer_, span);
+        finish(do_begin(imsi, rat));
+      },
+      [this, span, finish]() {
+        obs::tag_span(tracer_, span, "error", "overload");
+        finish(common::Error{common::ErrorCode::kResourceExhausted,
+                             "control plane overloaded"});
       });
 }
 
@@ -384,26 +411,46 @@ void Accessd::verify_auth(
     const common::Imsi& imsi, common::BytesView response,
     std::function<void(common::Result<SecurityKeys>)> done) {
   common::Bytes copy(response.begin(), response.end());
+  const obs::TraceContext span =
+      obs::begin_span(tracer_, "verify_auth", "accessd", node_);
+  auto finish = [this, span,
+                 done = std::move(done)](common::Result<SecurityKeys> r) {
+    obs::end_span(tracer_, span);
+    done(std::move(r));
+  };
   submit_work(
       config_.cost_verify_auth,
-      [this, imsi, copy = std::move(copy), done]() {
-        done(do_verify(imsi, copy));
+      [this, imsi, copy = std::move(copy), span, finish]() {
+        obs::Tracer::Scope scope(tracer_, span);
+        finish(do_verify(imsi, copy));
       },
-      [done]() {
-        done(common::Error{common::ErrorCode::kResourceExhausted,
-                           "control plane overloaded"});
+      [this, span, finish]() {
+        obs::tag_span(tracer_, span, "error", "overload");
+        finish(common::Error{common::ErrorCode::kResourceExhausted,
+                             "control plane overloaded"});
       });
 }
 
 void Accessd::establish(
     const EstablishRequest& req,
     std::function<void(common::Result<SessionInfo>)> done) {
+  const obs::TraceContext span =
+      obs::begin_span(tracer_, "establish", "accessd", node_);
+  auto finish = [this, span,
+                 done = std::move(done)](common::Result<SessionInfo> r) {
+    obs::end_span(tracer_, span);
+    done(std::move(r));
+  };
   submit_work(
       config_.cost_establish,
-      [this, req, done]() { do_establish(req, done); },
-      [done]() {
-        done(common::Error{common::ErrorCode::kResourceExhausted,
-                           "control plane overloaded"});
+      [this, req, span, finish]() {
+        obs::Tracer::Scope scope(tracer_, span);
+        do_establish(req, finish);
+      },
+      [this, span, finish]() {
+        obs::tag_span(tracer_, span, "error", "overload");
+        finish(common::Error{common::ErrorCode::kResourceExhausted,
+                             "control plane overloaded"});
       });
 }
 

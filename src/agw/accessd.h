@@ -31,6 +31,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "crypto/kdf.h"
+#include "obs/trace.h"
 #include "proto/lte/emm_fsm.h"
 #include "sim/cpu.h"
 #include "sim/kernel.h"
@@ -143,6 +144,11 @@ class Accessd {
       std::function<void(common::Result<FederatedSession>)>)>;
   void set_federation(FederationHook hook) { federation_ = std::move(hook); }
 
+  // Tracing (optional): stage spans cover queueing + CPU charge + logic,
+  // parented on the context current at the entry point (the front-end's
+  // attach root). `node` names this gateway in span records.
+  void set_observability(obs::Tracer* tracer, std::string node);
+
   // Attach-context state, for tests and the AGW checkpoint.
   std::optional<proto::lte::EmmState> ue_state(const common::Imsi& imsi) const;
   std::size_t pending_contexts() const { return contexts_.size(); }
@@ -200,6 +206,8 @@ class Accessd {
 
   FederationHook federation_;
   AccessdStats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  std::string node_;
 };
 
 }  // namespace magma::agw

@@ -50,7 +50,58 @@ AccessGateway::AccessGateway(sim::Kernel& kernel, common::GatewayId id,
                                               profile_.address);
   wifi_frontend_ =
       std::make_unique<WifiFrontend>(kernel_, *accessd_, *sessiond_);
+  // Ship WARN/ERROR log lines as structured events. The logger is global,
+  // so every gateway of a multi-AGW simulation records process-wide
+  // warnings under its own id — the orchestrator dedups by message if it
+  // cares; losing attribution beats losing the warning.
+  log_hook_id_ = common::Logger::instance().add_event_hook(
+      [this](common::LogLevel level, std::string_view component,
+             std::string_view message) {
+        obs::Event event;
+        event.time = kernel_.now();
+        event.gateway_id = id_.value;
+        event.type = "log";
+        event.source = std::string(component);
+        event.message = std::string(message);
+        event.severity = level >= common::LogLevel::kError
+                             ? obs::EventSeverity::kError
+                             : obs::EventSeverity::kWarn;
+        event.trace = obs::current_context(tracer_);
+        events_.push(std::move(event));
+      });
   start_service_loops();
+}
+
+AccessGateway::~AccessGateway() {
+  common::Logger::instance().remove_event_hook(log_hook_id_);
+  if (tracer_ != nullptr && finish_hook_id_ != 0) {
+    tracer_->remove_finish_hook(finish_hook_id_);
+  }
+}
+
+void AccessGateway::set_tracer(obs::Tracer* tracer) {
+  if (tracer_ == tracer) return;
+  if (tracer_ != nullptr && finish_hook_id_ != 0) {
+    tracer_->remove_finish_hook(finish_hook_id_);
+    finish_hook_id_ = 0;
+  }
+  tracer_ = tracer;
+  accessd_->set_observability(tracer_, id_.value);
+  sessiond_->set_observability(tracer_, id_.value);
+  lte_frontend_->set_observability(tracer_, id_.value, &events_);
+  if (orc8r_node_ != nullptr) orc8r_node_->set_tracer(tracer_, id_.value);
+  if (ocs_node_ != nullptr) ocs_node_->set_tracer(tracer_, id_.value);
+  if (tracer_ == nullptr) return;
+  // Aggregate every finished stage span of this gateway into a latency
+  // histogram; magmad ships the buckets with each metrics tick.
+  finish_hook_id_ = tracer_->add_finish_hook([this](
+                                                 const obs::SpanRecord& span) {
+    if (span.node != id_.value || span.kind != obs::SpanKind::kInternal) {
+      return;
+    }
+    latency_hist_["span_" + span.service + "_" + span.name + "_s"].observe(
+        sim::to_seconds(span.duration()));
+  });
 }
 
 void AccessGateway::start_service_loops() {
@@ -64,15 +115,18 @@ void AccessGateway::connect_orchestrator(net::Channel& channel) {
   control_transport_ = dynamic_cast<net::ReliableChannel*>(&channel);
   orc8r_node_ = std::make_unique<rpc::RpcNode>(kernel_, channel,
                                                id_.value + "-orc8r-client");
+  if (tracer_ != nullptr) orc8r_node_->set_tracer(tracer_, id_.value);
   magmad_ = std::make_unique<Magmad>(
       kernel_, id_.value, orc8r_node_.get(), subscriberdb_, policydb_,
       [this]() { return checkpoint(); },
-      [this]() { return telemetry_snapshot(); });
+      [this]() { return telemetry_snapshot(); }, MagmadConfig{}, &events_,
+      [this]() { return histogram_snapshot(); });
 }
 
 void AccessGateway::connect_ocs(net::Channel& channel) {
   ocs_node_ = std::make_unique<rpc::RpcNode>(kernel_, channel,
                                              id_.value + "-ocs-client");
+  if (tracer_ != nullptr) ocs_node_->set_tracer(tracer_, id_.value);
   sessiond_->set_ocs(ocs_node_.get());
 }
 
@@ -226,6 +280,23 @@ std::vector<orc8r::MetricSample> AccessGateway::telemetry_snapshot() {
     gauge("transport_resets", static_cast<double>(t.resets));
   }
   return samples;
+}
+
+std::vector<orc8r::HistogramSnapshot> AccessGateway::histogram_snapshot()
+    const {
+  std::vector<orc8r::HistogramSnapshot> snapshots;
+  snapshots.reserve(latency_hist_.size());
+  for (const auto& [name, hist] : latency_hist_) {
+    orc8r::HistogramSnapshot snap;
+    snap.gateway_id = id_.value;
+    snap.name = name;
+    snap.bounds = hist.bounds();
+    snap.counts = hist.counts();
+    snap.sum = hist.sum();
+    snap.time = kernel_.now();
+    snapshots.push_back(std::move(snap));
+  }
+  return snapshots;
 }
 
 }  // namespace magma::agw

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +33,9 @@
 #include "agw/subscriberdb.h"
 #include "agw/wifi_frontend.h"
 #include "net/channel.h"
+#include "obs/events.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 #include "rpc/rpc.h"
 #include "sim/cpu.h"
 #include "sim/kernel.h"
@@ -72,6 +76,9 @@ class AccessGateway {
  public:
   AccessGateway(sim::Kernel& kernel, common::GatewayId id, AgwProfile profile,
                 sim::Rng rng);
+  ~AccessGateway();
+  AccessGateway(const AccessGateway&) = delete;
+  AccessGateway& operator=(const AccessGateway&) = delete;
 
   // --- wiring -------------------------------------------------------------
   // Give the AGW its control channel to the orchestrator (magmad's RPC
@@ -79,6 +86,10 @@ class AccessGateway {
   void connect_orchestrator(net::Channel& channel);
   // Give sessiond its OCS channel (volume billing deployments only).
   void connect_ocs(net::Channel& channel);
+  // Attach the (network-wide) tracer: instruments every service on this
+  // gateway and starts aggregating per-stage attach latency histograms.
+  // Call before or after connect_orchestrator — both orders work.
+  void set_tracer(obs::Tracer* tracer);
 
   // --- user plane ----------------------------------------------------------
   // Uplink traffic arriving from the RAN side (GTP-encapsulated for LTE/5G,
@@ -98,6 +109,12 @@ class AccessGateway {
 
   // --- telemetry -------------------------------------------------------------
   std::vector<orc8r::MetricSample> telemetry_snapshot();
+  // Cumulative per-stage latency histograms ("span_<service>_<name>_s"),
+  // ready for magmad to ship to metricsd.
+  std::vector<orc8r::HistogramSnapshot> histogram_snapshot() const;
+  // Structured events awaiting shipment (attach outcomes, WARN/ERROR logs).
+  obs::EventBuffer& events() { return events_; }
+  obs::Tracer* tracer() { return tracer_; }
 
   // --- component access -------------------------------------------------------
   const common::GatewayId& id() const { return id_; }
@@ -146,6 +163,14 @@ class AccessGateway {
   std::size_t user_queue_depth_ = 0;
   UserPlaneStats up_stats_;
   std::uint64_t last_reported_forwarded_bytes_ = 0;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::EventBuffer events_{1024};
+  // Per-stage attach latency, keyed "span_<service>_<name>_s". std::map:
+  // snapshots ship in deterministic order.
+  std::map<std::string, obs::Histogram> latency_hist_;
+  std::uint64_t finish_hook_id_ = 0;
+  std::uint64_t log_hook_id_ = 0;
 };
 
 }  // namespace magma::agw

@@ -44,6 +44,36 @@ LteFrontend::LteFrontend(sim::Kernel& kernel, Accessd& accessd,
       agw_address_(agw_address),
       mme_name_(std::move(mme_name)) {}
 
+void LteFrontend::set_observability(obs::Tracer* tracer, std::string node,
+                                    obs::EventBuffer* events) {
+  tracer_ = tracer;
+  node_ = std::move(node);
+  events_ = events;
+}
+
+void LteFrontend::finish_attach_trace(UeCtx& ue, const char* outcome,
+                                      const char* type,
+                                      const std::string& detail) {
+  if (!ue.trace.valid()) return;
+  obs::tag_span(tracer_, ue.trace, "outcome", outcome);
+  if (!detail.empty()) obs::tag_span(tracer_, ue.trace, "detail", detail);
+  obs::end_span(tracer_, ue.trace);
+  if (events_ != nullptr) {
+    obs::Event event;
+    event.time = kernel_.now();
+    event.gateway_id = node_;
+    event.type = type;
+    event.source = "lte_frontend";
+    event.message = ue.imsi.value + (detail.empty() ? "" : ": " + detail);
+    event.severity = std::string_view(outcome) == "success"
+                         ? obs::EventSeverity::kInfo
+                         : obs::EventSeverity::kWarn;
+    event.trace = ue.trace;
+    events_->push(std::move(event));
+  }
+  ue.trace = obs::TraceContext{};
+}
+
 void LteFrontend::add_enb_channel(net::Channel& channel) {
   auto conn = std::make_unique<EnbConn>();
   conn->channel = &channel;
@@ -78,11 +108,14 @@ void LteFrontend::send_nas(UeCtx& ue, const lte::NasMessage& nas) {
 
 void LteFrontend::reject(UeCtx& ue, lte::EmmCause cause) {
   ++stats_.attach_rejects;
+  finish_attach_trace(ue, "reject", "attach_reject",
+                      "emm-cause-" + std::to_string(static_cast<int>(cause)));
   send_nas(ue, lte::NasMessage{lte::AttachReject{cause}});
   release_ue(ue, "attach-reject");
 }
 
 void LteFrontend::release_ue(UeCtx& ue, const std::string& cause) {
+  finish_attach_trace(ue, "abort", "attach_abort", cause);
   if (ue.conn != nullptr) {
     lte::UeContextReleaseCommand release;
     release.enb_ue_s1ap_id = ue.enb_ue_id;
@@ -156,6 +189,13 @@ void LteFrontend::handle(EnbConn& conn, lte::S1apMessage msg) {
     ue.mme_ue_id = mme_ue_id;
     conn.enb_to_mme[ue.enb_ue_id] = mme_ue_id;
     imsi_to_mme_id_[ue.imsi] = mme_ue_id;
+
+    // Root of the attach trace: one span covering InitialUeMessage through
+    // AttachComplete. Every downstream stage (accessd, mobilityd, sessiond,
+    // pipelined, and RPC hops to the orchestrator) parents under it.
+    ue.trace = obs::begin_span(tracer_, "attach", "lte_frontend", node_);
+    obs::tag_span(tracer_, ue.trace, "imsi", ue.imsi.value);
+    const obs::Tracer::Scope scope(tracer_, ue.trace);
 
     accessd_.begin_attach(
         ue.imsi, RanType::kLte,
@@ -338,6 +378,9 @@ void LteFrontend::handle_service_request(EnbConn& conn,
 
 void LteFrontend::handle_nas(UeCtx& ue, const lte::NasMessage& nas) {
   const std::uint32_t mme_ue_id = ue.mme_ue_id;
+  // Re-enter the attach trace for whatever stage this uplink NAS message
+  // advances (invalid outside an attach — harmless).
+  const obs::Tracer::Scope scope(tracer_, ue.trace);
 
   if (const auto* auth = std::get_if<lte::AuthenticationResponse>(&nas)) {
     accessd_.verify_auth(
@@ -449,6 +492,7 @@ void LteFrontend::handle_nas(UeCtx& ue, const lte::NasMessage& nas) {
     }
     ++ue.ul_count;
     ++stats_.attach_completes;
+    finish_attach_trace(ue, "success", "attach_success", "");
     return;
   }
 

@@ -19,6 +19,8 @@
 #include "common/ids.h"
 #include "crypto/kdf.h"
 #include "net/channel.h"
+#include "obs/events.h"
+#include "obs/trace.h"
 #include "proto/lte/nas.h"
 #include "proto/lte/s1ap.h"
 #include "sim/kernel.h"
@@ -57,6 +59,12 @@ class LteFrontend {
   // every S1 connection, rate-limited per IMSI.
   void page(const common::Imsi& imsi);
 
+  // Tracing + events (optional): each attach procedure gets a root span
+  // covering InitialUeMessage → AttachComplete; outcomes are recorded as
+  // structured events in `events` (shipped to the orchestrator by magmad).
+  void set_observability(obs::Tracer* tracer, std::string node,
+                         obs::EventBuffer* events = nullptr);
+
   const LteFrontendStats& stats() const { return stats_; }
 
  private:
@@ -86,6 +94,8 @@ class LteFrontend {
     std::uint32_t dl_cipher_count = 0;
     std::uint32_t ul_cipher_count = 0;
     std::uint32_t m_tmsi = 0;
+    // Root span of the in-flight attach procedure (invalid once closed).
+    obs::TraceContext trace{};
   };
 
   void on_message(EnbConn& conn, common::Bytes raw);
@@ -98,6 +108,10 @@ class LteFrontend {
   void reject(UeCtx& ue, proto::lte::EmmCause cause);
   void release_ue(UeCtx& ue, const std::string& cause);
   UeCtx* find_by_mme_id(std::uint32_t mme_ue_id);
+  // Close the attach root span with `outcome`, emit an event of `type`,
+  // and invalidate ue.trace. No-op if no attach trace is open.
+  void finish_attach_trace(UeCtx& ue, const char* outcome, const char* type,
+                           const std::string& detail);
 
   // NAS integrity: MAC computed over the message with its mac field zeroed.
   std::uint32_t compute_mac(const UeCtx& ue, std::uint32_t count,
@@ -120,6 +134,9 @@ class LteFrontend {
   std::uint32_t next_mme_ue_id_ = 1;
   std::uint32_t next_m_tmsi_ = 0x1000;
   LteFrontendStats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  std::string node_;
+  obs::EventBuffer* events_ = nullptr;
 };
 
 }  // namespace magma::agw

@@ -10,7 +10,9 @@ Magmad::Magmad(sim::Kernel& kernel, std::string gateway_id,
                PolicyDb& policies,
                std::function<common::Bytes()> checkpoint_source,
                std::function<std::vector<orc8r::MetricSample>()> metric_source,
-               MagmadConfig config)
+               MagmadConfig config, obs::EventBuffer* events,
+               std::function<std::vector<orc8r::HistogramSnapshot>()>
+                   histogram_source)
     : kernel_(kernel),
       gateway_id_(std::move(gateway_id)),
       orc8r_(orc8r),
@@ -18,7 +20,9 @@ Magmad::Magmad(sim::Kernel& kernel, std::string gateway_id,
       policies_(policies),
       checkpoint_source_(std::move(checkpoint_source)),
       metric_source_(std::move(metric_source)),
-      config_(config) {}
+      config_(config),
+      events_(events),
+      histogram_source_(std::move(histogram_source)) {}
 
 void Magmad::start() {
   if (started_ || orc8r_ == nullptr) return;
@@ -27,6 +31,7 @@ void Magmad::start() {
   checkin_tick();
   metrics_tick();
   checkpoint_tick();
+  if (events_ != nullptr) event_tick();
 }
 
 void Magmad::apply(const orc8r::DesiredState& state) {
@@ -108,7 +113,52 @@ void Magmad::metrics_tick() {
                    }
                  });
   }
+  if (histogram_source_) {
+    const std::vector<orc8r::HistogramSnapshot> snapshots = histogram_source_();
+    if (!snapshots.empty()) {
+      orc8r_->call(orc8r::kMetricsService, orc8r::kReportHistograms,
+                   orc8r::encode_histogram_report(snapshots),
+                   config_.rpc_deadline,
+                   [this](rpc::Result<rpc::Bytes> result) {
+                     if (result.ok()) {
+                       ++stats_.histogram_reports_sent;
+                     } else {
+                       ++stats_.histogram_reports_lost;
+                     }
+                   });
+    }
+  }
   kernel_.schedule(config_.metrics_interval, [this]() { metrics_tick(); });
+}
+
+void Magmad::event_tick() {
+  std::vector<obs::Event> batch = events_->take(config_.event_batch_max);
+  if (!batch.empty()) {
+    const std::size_t count = batch.size();
+    // Parent the shipping RPC under the first traced event so the eventd
+    // leg shows up in that attach's span tree.
+    obs::TraceContext parent{};
+    for (const obs::Event& e : batch) {
+      if (e.trace.valid()) {
+        parent = e.trace;
+        break;
+      }
+    }
+    const obs::Tracer::Scope scope(orc8r_->tracer(), parent);
+    // Best effort, like metrics: one attempt, losses counted, nothing
+    // re-queued (re-queueing under backhaul loss would just churn the
+    // bounded buffer).
+    orc8r_->call(orc8r::kEventService, orc8r::kLogEvents,
+                 obs::encode_event_report(batch), config_.rpc_deadline,
+                 [this, count](rpc::Result<rpc::Bytes> result) {
+                   if (result.ok()) {
+                     stats_.events_shipped += count;
+                   } else {
+                     stats_.events_lost += count;
+                   }
+                 });
+  }
+  kernel_.schedule(config_.event_flush_interval, [this]() { event_tick(); });
 }
 
 void Magmad::checkpoint_tick() {

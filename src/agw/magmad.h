@@ -11,6 +11,11 @@
 //   * metrics       — best-effort telemetry shipping (no retries, §3.4).
 //   * checkpoint    — serialize AGW runtime state and ship it to the
 //                     orchestrator as the warm-standby image (§3.3).
+//   * events        — drain the gateway's structured-event buffer (attach
+//                     outcomes, WARN/ERROR logs) to the orchestrator's
+//                     eventd. Best-effort: a batch that fails in flight is
+//                     counted lost, never re-queued, and a backhaul outage
+//                     only ever costs bounded buffer memory.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +25,7 @@
 
 #include "agw/policydb.h"
 #include "agw/subscriberdb.h"
+#include "obs/events.h"
 #include "orc8r/metricsd.h"
 #include "orc8r/streamer.h"
 #include "rpc/rpc.h"
@@ -33,6 +39,8 @@ struct MagmadConfig {
   sim::Duration metrics_interval = 15 * sim::kSecond;
   sim::Duration checkpoint_interval = 60 * sim::kSecond;
   sim::Duration rpc_deadline = 10 * sim::kSecond;
+  sim::Duration event_flush_interval = 5 * sim::kSecond;
+  std::size_t event_batch_max = 64;
 };
 
 struct MagmadStats {
@@ -45,6 +53,10 @@ struct MagmadStats {
   std::uint64_t metric_reports_lost = 0;
   std::uint64_t checkpoints_shipped = 0;
   std::uint64_t checkpoint_failures = 0;
+  std::uint64_t histogram_reports_sent = 0;
+  std::uint64_t histogram_reports_lost = 0;
+  std::uint64_t events_shipped = 0;
+  std::uint64_t events_lost = 0;
 };
 
 class Magmad {
@@ -53,11 +65,16 @@ class Magmad {
   // fully standalone AGW (everything local keeps working — that is the
   // point). `checkpoint_source` returns the AGW's serialized runtime state;
   // `metric_source` returns the current telemetry snapshot.
+  // `events` (optional) is the gateway's structured-event buffer, drained
+  // periodically toward eventd; `histogram_source` (optional) returns the
+  // gateway's latency-histogram snapshots, shipped with each metrics tick.
   Magmad(sim::Kernel& kernel, std::string gateway_id, rpc::RpcNode* orc8r,
          SubscriberDb& subscribers, PolicyDb& policies,
          std::function<common::Bytes()> checkpoint_source,
          std::function<std::vector<orc8r::MetricSample>()> metric_source,
-         MagmadConfig config = {});
+         MagmadConfig config = {}, obs::EventBuffer* events = nullptr,
+         std::function<std::vector<orc8r::HistogramSnapshot>()>
+             histogram_source = {});
 
   // Begin the periodic loops (idempotent).
   void start();
@@ -73,6 +90,7 @@ class Magmad {
   void checkin_tick();
   void metrics_tick();
   void checkpoint_tick();
+  void event_tick();
   void apply(const orc8r::DesiredState& state);
 
   sim::Kernel& kernel_;
@@ -83,6 +101,8 @@ class Magmad {
   std::function<common::Bytes()> checkpoint_source_;
   std::function<std::vector<orc8r::MetricSample>()> metric_source_;
   MagmadConfig config_;
+  obs::EventBuffer* events_;
+  std::function<std::vector<orc8r::HistogramSnapshot>()> histogram_source_;
 
   bool started_ = false;
   bool reachable_ = false;

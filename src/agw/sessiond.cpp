@@ -54,7 +54,25 @@ Sessiond::Sessiond(sim::Kernel& kernel, Pipelined& pipelined,
                    rpc::RpcNode* ocs)
     : kernel_(kernel), pipelined_(pipelined), ocs_(ocs) {}
 
+void Sessiond::set_observability(obs::Tracer* tracer, std::string node) {
+  tracer_ = tracer;
+  node_ = std::move(node);
+}
+
 common::Result<common::SessionId> Sessiond::create_session(
+    const CreateRequest& req) {
+  const obs::TraceContext span =
+      obs::begin_span(tracer_, "create_session", "sessiond", node_);
+  const obs::Tracer::Scope scope(tracer_, span);
+  auto result = do_create_session(req);
+  if (!result.ok()) {
+    obs::tag_span(tracer_, span, "error", result.error().message);
+  }
+  obs::end_span(tracer_, span);
+  return result;
+}
+
+common::Result<common::SessionId> Sessiond::do_create_session(
     const CreateRequest& req) {
   if (by_imsi_.contains(req.imsi)) {
     // Re-attach: tear down the old session first (the UE context was lost
@@ -86,9 +104,16 @@ common::Result<common::SessionId> Sessiond::create_session(
   flows.home_teid_local = req.home_teid_local;
   session.flows = flows;
 
+  const obs::TraceContext flow_span =
+      obs::begin_span(tracer_, "install_flows", "pipelined", node_);
   const common::Status installed =
       pipelined_.install_session(flows, kernel_.now());
-  if (!installed.ok()) return installed.error();
+  if (!installed.ok()) {
+    obs::tag_span(tracer_, flow_span, "error", installed.error().message);
+    obs::end_span(tracer_, flow_span);
+    return installed.error();
+  }
+  obs::end_span(tracer_, flow_span);
 
   by_imsi_[req.imsi] = session;
   ++stats_.sessions_created;

@@ -24,6 +24,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "core/policy.h"
+#include "obs/trace.h"
 #include "rpc/rpc.h"
 #include "sim/kernel.h"
 
@@ -75,6 +76,10 @@ class Sessiond {
   // Late OCS wiring (deployments add billing after boot).
   void set_ocs(rpc::RpcNode* ocs) { ocs_ = ocs; }
 
+  // Tracing (optional): session creation and flow installation emit spans
+  // parented on the caller's current context.
+  void set_observability(obs::Tracer* tracer, std::string node);
+
   struct CreateRequest {
     common::Imsi imsi;
     common::Ipv4 ue_ip;
@@ -122,6 +127,7 @@ class Sessiond {
   common::Status restore(common::BytesView image);
 
  private:
+  common::Result<common::SessionId> do_create_session(const CreateRequest& req);
   void refresh_usage(SessionRecord& session);
   void enforce(SessionRecord& session);
   void apply_flows(SessionRecord& session, const SessionFlows& desired);
@@ -133,6 +139,8 @@ class Sessiond {
   std::uint64_t next_session_id_ = 1;
   std::unordered_map<common::Imsi, SessionRecord> by_imsi_;
   SessiondStats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  std::string node_;
 };
 
 }  // namespace magma::agw

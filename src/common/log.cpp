@@ -25,9 +25,28 @@ void Logger::set_time_source(std::function<double()> now_seconds) {
   now_seconds_ = std::move(now_seconds);
 }
 
+std::uint64_t Logger::add_event_hook(EventHook hook) {
+  const std::uint64_t id = next_hook_id_++;
+  hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Logger::remove_event_hook(std::uint64_t id) {
+  std::erase_if(hooks_, [id](const auto& kv) { return kv.first == id; });
+}
+
 void Logger::log(LogLevel level, std::string_view component,
                  std::string_view msg) {
   if (level < level_ || level_ == LogLevel::kOff) return;
+  if (level >= LogLevel::kWarn && level != LogLevel::kOff && !in_hook_ &&
+      !hooks_.empty()) {
+    in_hook_ = true;
+    // By index: a hook may register/remove hooks while running.
+    for (std::size_t i = 0; i < hooks_.size(); ++i) {
+      if (hooks_[i].second) hooks_[i].second(level, component, msg);
+    }
+    in_hook_ = false;
+  }
   static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
   std::ostringstream line;
   if (now_seconds_) {

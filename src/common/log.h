@@ -1,8 +1,9 @@
 // Lightweight leveled logger.
 //
-// Magma's real AGW ships logs to the orchestrator; here logging is a local
-// concern used by services and the simulation harness. The logger is
-// deliberately synchronous and deterministic (no wall-clock timestamps by
+// Magma's real AGW ships logs to the orchestrator; gateways reproduce that
+// by registering an event hook (see src/obs/events.h) that turns WARN/ERROR
+// lines into structured events shipped over the control channel. The logger
+// itself stays synchronous and deterministic (no wall-clock timestamps by
 // default) so that test output is reproducible.
 #pragma once
 
@@ -11,6 +12,8 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace magma::common {
 
@@ -33,6 +36,17 @@ class Logger {
   void set_time_source(std::function<double()> now_seconds);
   void clear_time_source() { now_seconds_ = nullptr; }
 
+  // Event hooks observe every WARN/ERROR line regardless of sink (gateways
+  // use this to ship logs to the orchestrator as structured events). Hooks
+  // receive the raw component and message, not the formatted line. The
+  // registrant must remove its hook before its captures die. Hooks are not
+  // re-entered: a log line emitted *from* a hook skips hook delivery.
+  using EventHook =
+      std::function<void(LogLevel, std::string_view component,
+                         std::string_view message)>;
+  std::uint64_t add_event_hook(EventHook hook);
+  void remove_event_hook(std::uint64_t id);
+
   void log(LogLevel level, std::string_view component, std::string_view msg);
 
  private:
@@ -40,6 +54,9 @@ class Logger {
   LogLevel level_ = LogLevel::kWarn;
   std::function<void(std::string_view)> sink_;
   std::function<double()> now_seconds_;
+  std::vector<std::pair<std::uint64_t, EventHook>> hooks_;
+  std::uint64_t next_hook_id_ = 1;
+  bool in_hook_ = false;
 };
 
 namespace detail {

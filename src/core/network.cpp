@@ -8,6 +8,11 @@ namespace magma::core {
 Network::Network(NetworkConfig config)
     : config_(config), kernel_(), rng_(config.seed) {
   orchestrator_ = std::make_unique<orc8r::Orchestrator>(kernel_);
+  orchestrator_->set_tracer(&tracer_);
+  // Re-install the transport alerting with this deployment's engineered
+  // SRTT baseline (idempotent by rule name).
+  orc8r::install_default_transport_rules(orchestrator_->metrics(),
+                                         config_.srtt_alert_baseline_s);
   if (config_.with_ocs) ocs_ = std::make_unique<ocs::Ocs>();
   add_policy(unlimited_policy());
 }
@@ -47,7 +52,9 @@ agw::AccessGateway& Network::add_agw(
       net::make_reliable_pair(kernel_, *node->backhaul, config_.transport);
   node->orc8r_server = std::make_unique<rpc::RpcNode>(
       kernel_, *node->control.a, "orc8r-server-gw" + std::to_string(index));
+  node->orc8r_server->set_tracer(&tracer_, "orc8r");
   orchestrator_->bind(*node->orc8r_server);
+  node->agw->set_tracer(&tracer_);
   node->agw->connect_orchestrator(*node->control.b);
   orchestrator_->register_gateway("gw" + std::to_string(index), profile.name);
 
@@ -58,6 +65,7 @@ agw::AccessGateway& Network::add_agw(
         net::make_reliable_pair(kernel_, *node->ocs_link, config_.transport);
     node->ocs_server = std::make_unique<rpc::RpcNode>(
         kernel_, *node->ocs_channel.a, "ocs-server-gw" + std::to_string(index));
+    node->ocs_server->set_tracer(&tracer_, "ocs");
     ocs_->bind(*node->ocs_server);
     node->agw->connect_ocs(*node->ocs_channel.b);
   }

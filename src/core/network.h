@@ -22,6 +22,7 @@
 #include "agw/agw.h"
 #include "core/policy.h"
 #include "net/channel.h"
+#include "obs/trace.h"
 #include "ocs/ocs.h"
 #include "orc8r/orchestrator.h"
 #include "ran/enodeb.h"
@@ -45,6 +46,10 @@ struct NetworkConfig {
   net::ReliableConfig transport = {};
   bool with_ocs = false;
   std::string plmn = "00101";
+  // Engineered control-path SRTT; the default transport alert rules page
+  // when the measured SRTT sits above 2× this (satellite deployments raise
+  // it).
+  double srtt_alert_baseline_s = 0.25;
 };
 
 class Network {
@@ -58,6 +63,8 @@ class Network {
   sim::Rng& rng() { return rng_; }
   orc8r::Orchestrator& orchestrator() { return *orchestrator_; }
   ocs::Ocs* ocs() { return ocs_.get(); }
+  // The network-wide tracer: one span tree per attach, spanning every node.
+  obs::Tracer& tracer() { return tracer_; }
 
   // --- topology ------------------------------------------------------------
   agw::AccessGateway& add_agw(
@@ -157,6 +164,8 @@ class Network {
   NetworkConfig config_;
   sim::Kernel kernel_;
   sim::Rng rng_;
+  // Declared before agws_: AGW destructors deregister their tracer hooks.
+  obs::Tracer tracer_{kernel_};
   std::unique_ptr<orc8r::Orchestrator> orchestrator_;
   std::unique_ptr<ocs::Ocs> ocs_;
 

@@ -1,0 +1,117 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace magma::obs {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// Microseconds with nanosecond remainder kept as decimals — the trace
+// viewer's native unit, without rounding away sub-µs sim precision.
+std::string micros(sim::TimePoint t) {
+  const std::int64_t whole = t / 1000;
+  const std::int64_t frac = t % 1000;
+  std::ostringstream out;
+  out << whole;
+  if (frac != 0) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), ".%03lld",
+                  static_cast<long long>(frac));
+    out << buf;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string export_chrome_trace(const Tracer& tracer, std::uint64_t trace_id) {
+  // Stable pid/tid assignment: nodes and (node, service) pairs in sorted
+  // order, so identical runs export identical JSON.
+  std::map<std::string, int> pids;
+  std::map<std::pair<std::string, std::string>, int> tids;
+  for (const SpanRecord& span : tracer.finished()) {
+    if (trace_id != 0 && span.trace_id != trace_id) continue;
+    pids.emplace(span.node, 0);
+    tids.emplace(std::make_pair(span.node, span.service), 0);
+  }
+  int next_pid = 1;
+  for (auto& [node, pid] : pids) pid = next_pid++;
+  int next_tid = 1;
+  for (auto& [key, tid] : tids) tid = next_tid++;
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&]() {
+    if (!first) out += ',';
+    first = false;
+  };
+
+  for (const auto& [node, pid] : pids) {
+    comma();
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+           std::to_string(pid) + ",\"args\":{\"name\":";
+    append_json_string(out, node);
+    out += "}}";
+  }
+  for (const auto& [key, tid] : tids) {
+    comma();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+           std::to_string(pids[key.first]) +
+           ",\"tid\":" + std::to_string(tid) + ",\"args\":{\"name\":";
+    append_json_string(out, key.second);
+    out += "}}";
+  }
+
+  for (const SpanRecord& span : tracer.finished()) {
+    if (trace_id != 0 && span.trace_id != trace_id) continue;
+    comma();
+    out += "{\"ph\":\"X\",\"name\":";
+    append_json_string(out, span.name);
+    out += ",\"cat\":";
+    append_json_string(out, span_kind_name(span.kind));
+    out += ",\"pid\":" + std::to_string(pids[span.node]);
+    out += ",\"tid\":" + std::to_string(tids[{span.node, span.service}]);
+    out += ",\"ts\":" + micros(span.start);
+    out += ",\"dur\":" + micros(span.duration());
+    out += ",\"args\":{\"trace_id\":" + std::to_string(span.trace_id);
+    out += ",\"span_id\":" + std::to_string(span.span_id);
+    out += ",\"parent_span_id\":" + std::to_string(span.parent_span_id);
+    for (const auto& [key, value] : span.tags) {
+      out += ',';
+      append_json_string(out, key);
+      out += ':';
+      append_json_string(out, value);
+    }
+    out += "}}";
+  }
+
+  out += "]}";
+  return out;
+}
+
+}  // namespace magma::obs

@@ -1,0 +1,22 @@
+// Chrome trace_event JSON export for Tracer spans.
+//
+// export_chrome_trace() serializes finished spans into the Trace Event
+// Format ("X" complete events plus "M" process/thread metadata) so any
+// simulated run can be loaded into chrome://tracing or Perfetto: nodes
+// (gateways, orc8r) map to processes, services to threads, and the span
+// tree of one attach reads as a flame chart with the backhaul gap visible
+// between RPC client and server slices.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace magma::obs {
+
+// JSON document {"traceEvents": [...], "displayTimeUnit": "ms"}.
+// `trace_id` filters to one trace; 0 exports every finished span.
+std::string export_chrome_trace(const Tracer& tracer,
+                                std::uint64_t trace_id = 0);
+
+}  // namespace magma::obs

@@ -1,0 +1,96 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace magma::obs {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kInternal: return "internal";
+    case SpanKind::kClient: return "client";
+    case SpanKind::kServer: return "server";
+  }
+  return "?";
+}
+
+TraceContext Tracer::begin(std::string name, std::string service,
+                           std::string node, SpanKind kind,
+                           TraceContext parent) {
+  if (!parent.valid()) parent = current_;
+
+  SpanRecord span;
+  span.trace_id = parent.valid() ? parent.trace_id : next_trace_id_++;
+  span.span_id = next_span_id_++;
+  span.parent_span_id = parent.valid() ? parent.span_id : 0;
+  span.kind = kind;
+  span.name = std::move(name);
+  span.service = std::move(service);
+  span.node = std::move(node);
+  span.start = kernel_.now();
+  ++spans_started_;
+
+  const TraceContext ctx{span.trace_id, span.span_id};
+  open_.emplace(span.span_id, std::move(span));
+  return ctx;
+}
+
+void Tracer::tag(TraceContext span, std::string key, std::string value) {
+  auto it = open_.find(span.span_id);
+  if (it == open_.end() || it->second.trace_id != span.trace_id) return;
+  it->second.tags.emplace_back(std::move(key), std::move(value));
+}
+
+void Tracer::end(TraceContext span) {
+  auto it = open_.find(span.span_id);
+  if (it == open_.end() || it->second.trace_id != span.trace_id) return;
+  SpanRecord record = std::move(it->second);
+  open_.erase(it);
+  record.end = kernel_.now();
+  ++spans_finished_;
+
+  finished_.push_back(record);
+  while (finished_.size() > max_finished_) {
+    finished_.pop_front();
+    ++spans_dropped_;
+  }
+  // Iterate by index: a hook may add/remove hooks while running.
+  for (std::size_t i = 0; i < hooks_.size(); ++i) {
+    if (hooks_[i].second) hooks_[i].second(record);
+  }
+}
+
+std::uint64_t Tracer::add_finish_hook(FinishHook hook) {
+  const std::uint64_t id = next_hook_id_++;
+  hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Tracer::remove_finish_hook(std::uint64_t id) {
+  std::erase_if(hooks_, [id](const auto& kv) { return kv.first == id; });
+}
+
+void Tracer::set_retention(std::size_t max_finished) {
+  max_finished_ = max_finished;
+  while (finished_.size() > max_finished_) {
+    finished_.pop_front();
+    ++spans_dropped_;
+  }
+}
+
+std::vector<SpanRecord> Tracer::trace_spans(std::uint64_t trace_id) const {
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& span : finished_) {
+    if (span.trace_id == trace_id) out.push_back(span);
+  }
+  // span_id tie-break: ids are allocated sequentially, so spans begun at the
+  // same instant still come out in begin order (parents before children).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return std::tie(a.start, a.span_id) <
+                            std::tie(b.start, b.span_id);
+                   });
+  return out;
+}
+
+}  // namespace magma::obs

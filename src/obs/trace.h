@@ -1,0 +1,159 @@
+// Deterministic distributed tracing over the simulation clock.
+//
+// The paper's operational-cost argument (§4.3.1) leans on first-class
+// observability; this is the repository's answer to "where inside a 900 ms
+// attach did the time go". A Tracer records spans — named intervals with a
+// service, a node (gateway or orchestrator), and a parent — keyed by a
+// TraceContext that the RPC layer carries across the wire, so one attach
+// yields a single connected tree spanning the AGW and the orchestrator.
+//
+// Determinism: span ids are sequential per Tracer and timestamps come from
+// sim::Kernel, so identical runs produce identical traces. One Tracer is
+// shared by every node of a core::Network — the ids double as global
+// ordering, and cross-node traces need no id reconciliation.
+//
+// Propagation model (single-threaded simulator, so no TLS needed):
+//  * `current()` holds the context of the innermost active Scope;
+//  * synchronous children pick it up implicitly (begin() with no parent);
+//  * async continuations capture the TraceContext by value into their
+//    lambdas and re-enter it with a Scope.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/kernel.h"
+#include "sim/time.h"
+
+namespace magma::obs {
+
+// Wire-propagatable identity of a span. Zero trace_id means "not traced";
+// everything downstream treats that as "do nothing", so untraced unit tests
+// pay no cost and need no wiring.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
+enum class SpanKind : std::uint8_t { kInternal = 0, kClient = 1, kServer = 2 };
+const char* span_kind_name(SpanKind kind);
+
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;  // 0: root
+  SpanKind kind = SpanKind::kInternal;
+  std::string name;     // operation, e.g. "attach", "streamer/GetUpdates"
+  std::string service;  // emitting service, e.g. "accessd" (Chrome: thread)
+  std::string node;     // gateway id or "orc8r" (Chrome: process)
+  sim::TimePoint start = 0;
+  sim::TimePoint end = 0;
+  std::vector<std::pair<std::string, std::string>> tags;
+
+  sim::Duration duration() const { return end - start; }
+};
+
+class Tracer {
+ public:
+  explicit Tracer(sim::Kernel& kernel) : kernel_(kernel) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Open a span. An invalid `parent` falls back to current(); no current
+  // context starts a fresh trace. Returns the new span's context.
+  TraceContext begin(std::string name, std::string service, std::string node,
+                     SpanKind kind = SpanKind::kInternal,
+                     TraceContext parent = {});
+  // Attach a key/value tag to an open span (no-op if unknown/closed).
+  void tag(TraceContext span, std::string key, std::string value);
+  // Close a span: stamps the end time, moves it to the finished ring and
+  // fires the finish hooks. Closing an unknown or already-closed span is a
+  // no-op (failure paths may race an explicit end with a cleanup end).
+  void end(TraceContext span);
+
+  // Context of the innermost active Scope (invalid when none).
+  TraceContext current() const { return current_; }
+
+  // RAII propagation guard: makes `ctx` the current context for its
+  // lifetime. Null-tracer and invalid-context safe.
+  class Scope {
+   public:
+    Scope(Tracer* tracer, TraceContext ctx) : tracer_(tracer) {
+      if (tracer_ != nullptr) {
+        prev_ = tracer_->current_;
+        tracer_->current_ = ctx;
+      }
+    }
+    ~Scope() {
+      if (tracer_ != nullptr) tracer_->current_ = prev_;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Tracer* tracer_;
+    TraceContext prev_{};
+  };
+
+  // Finish hooks observe every completed span (AGWs aggregate latency
+  // histograms this way). Remove with the returned id — components
+  // outliving the hook's captures must deregister in their destructor.
+  using FinishHook = std::function<void(const SpanRecord&)>;
+  std::uint64_t add_finish_hook(FinishHook hook);
+  void remove_finish_hook(std::uint64_t id);
+
+  // Finished spans are kept in a bounded ring (oldest dropped first) so
+  // soak runs don't grow without limit; hooks still see every span.
+  void set_retention(std::size_t max_finished);
+  const std::deque<SpanRecord>& finished() const { return finished_; }
+  // All finished spans of one trace, in start order.
+  std::vector<SpanRecord> trace_spans(std::uint64_t trace_id) const;
+
+  std::size_t open_spans() const { return open_.size(); }
+  std::uint64_t spans_started() const { return spans_started_; }
+  std::uint64_t spans_finished() const { return spans_finished_; }
+  std::uint64_t spans_dropped() const { return spans_dropped_; }
+
+ private:
+  sim::Kernel& kernel_;
+  std::uint64_t next_trace_id_ = 1;
+  std::uint64_t next_span_id_ = 1;
+  TraceContext current_{};
+  std::unordered_map<std::uint64_t, SpanRecord> open_;  // by span_id
+  std::deque<SpanRecord> finished_;
+  std::size_t max_finished_ = 65536;
+  std::uint64_t spans_started_ = 0;
+  std::uint64_t spans_finished_ = 0;
+  std::uint64_t spans_dropped_ = 0;
+  std::vector<std::pair<std::uint64_t, FinishHook>> hooks_;
+  std::uint64_t next_hook_id_ = 1;
+};
+
+// Null-safe helpers: instrumented services hold a `Tracer*` that is null in
+// unit tests, and call through these without branching at every site.
+inline TraceContext begin_span(Tracer* tracer, std::string name,
+                               std::string service, std::string node,
+                               SpanKind kind = SpanKind::kInternal,
+                               TraceContext parent = {}) {
+  if (tracer == nullptr) return {};
+  return tracer->begin(std::move(name), std::move(service), std::move(node),
+                       kind, parent);
+}
+inline void end_span(Tracer* tracer, TraceContext span) {
+  if (tracer != nullptr) tracer->end(span);
+}
+inline void tag_span(Tracer* tracer, TraceContext span, std::string key,
+                     std::string value) {
+  if (tracer != nullptr) tracer->tag(span, std::move(key), std::move(value));
+}
+inline TraceContext current_context(const Tracer* tracer) {
+  return tracer == nullptr ? TraceContext{} : tracer->current();
+}
+
+}  // namespace magma::obs

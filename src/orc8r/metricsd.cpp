@@ -41,6 +41,123 @@ common::Result<std::vector<MetricSample>> decode_metric_report(
   return samples;
 }
 
+common::Bytes encode_histogram_report(
+    const std::vector<HistogramSnapshot>& snapshots) {
+  rpc::Writer w;
+  w.u64(snapshots.size());
+  for (const HistogramSnapshot& s : snapshots) {
+    w.str(s.gateway_id);
+    w.str(s.name);
+    w.u32(static_cast<std::uint32_t>(s.bounds.size()));
+    for (const double b : s.bounds) w.f64(b);
+    for (const std::uint64_t c : s.counts) w.u64(c);
+    w.f64(s.sum);
+    w.i64(s.time);
+  }
+  return std::move(w).take();
+}
+
+common::Result<std::vector<HistogramSnapshot>> decode_histogram_report(
+    common::BytesView data) {
+  rpc::Reader r(data);
+  const std::uint64_t count = r.u64();
+  std::vector<HistogramSnapshot> snapshots;
+  // Each snapshot needs ≥ 36 bytes on the wire; never trust the count.
+  snapshots.reserve(std::min<std::uint64_t>(count, r.remaining() / 36 + 1));
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    HistogramSnapshot s;
+    s.gateway_id = r.str();
+    s.name = r.str();
+    const std::uint32_t buckets = r.u32();
+    // Bounds + counts need 16 bytes per bucket: bound the allocation by
+    // what the remaining payload could actually hold.
+    if (static_cast<std::uint64_t>(buckets) * 16 > r.remaining()) {
+      return common::Error{common::ErrorCode::kInvalidArgument,
+                           "oversized histogram"};
+    }
+    s.bounds.reserve(buckets);
+    for (std::uint32_t b = 0; b < buckets && r.ok(); ++b) {
+      s.bounds.push_back(r.f64());
+    }
+    s.counts.reserve(buckets + 1);
+    for (std::uint32_t c = 0; c < buckets + 1 && r.ok(); ++c) {
+      s.counts.push_back(r.u64());
+    }
+    s.sum = r.f64();
+    s.time = r.i64();
+    if (!std::is_sorted(s.bounds.begin(), s.bounds.end())) {
+      return common::Error{common::ErrorCode::kInvalidArgument,
+                           "unsorted histogram bounds"};
+    }
+    snapshots.push_back(std::move(s));
+  }
+  if (!r.ok() || !r.at_end()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "corrupt histogram report"};
+  }
+  return snapshots;
+}
+
+void Metricsd::ingest_histogram(const HistogramSnapshot& snapshot) {
+  obs::Histogram h(std::vector<double>{});
+  if (!h.assign(snapshot.bounds, snapshot.counts, snapshot.sum)) return;
+  histograms_.insert_or_assign({snapshot.gateway_id, snapshot.name},
+                               std::move(h));
+}
+
+void Metricsd::ingest_histograms(
+    const std::vector<HistogramSnapshot>& snapshots) {
+  for (const HistogramSnapshot& s : snapshots) ingest_histogram(s);
+}
+
+std::vector<std::string> Metricsd::histogram_names() const {
+  std::vector<std::string> names;
+  for (const auto& [key, _] : histograms_) {
+    if (names.empty() || names.back() != key.second) {
+      names.push_back(key.second);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+obs::Histogram Metricsd::merged_histogram(const std::string& name) const {
+  obs::Histogram merged(std::vector<double>{});
+  bool first = true;
+  for (const auto& [key, h] : histograms_) {
+    if (key.second != name) continue;
+    if (first) {
+      merged = h;
+      first = false;
+    } else {
+      merged.merge(h);  // layout mismatch: that gateway's buckets skipped
+    }
+  }
+  return merged;
+}
+
+double Metricsd::histogram_quantile(const std::string& name, double q) const {
+  return merged_histogram(name).quantile(q);
+}
+
+std::uint64_t Metricsd::histogram_count(const std::string& name) const {
+  return merged_histogram(name).count();
+}
+
+void Metricsd::set_retention(std::size_t max_samples_per_series) {
+  max_per_series_ = max_samples_per_series;
+  if (max_per_series_ == 0) return;
+  for (auto& [_, series] : by_name_) {
+    if (series.size() > max_per_series_) {
+      const std::size_t excess = series.size() - max_per_series_;
+      series.erase(series.begin(),
+                   series.begin() + static_cast<std::ptrdiff_t>(excess));
+      samples_dropped_ += excess;
+    }
+  }
+}
+
 void Metricsd::add_alert_rule(AlertRule rule) {
   remove_alert_rule(rule.name);
   rules_.push_back(std::move(rule));
@@ -59,10 +176,23 @@ std::vector<ActiveAlert> Metricsd::active_alerts() const {
 }
 
 void Metricsd::evaluate_alerts(const MetricSample& sample) {
+  const auto series_key = std::make_pair(sample.name, sample.gateway_id);
+  const auto prev_it = last_value_.find(series_key);
   for (const AlertRule& rule : rules_) {
     if (rule.metric != sample.name) continue;
-    const bool breached = rule.fire_above ? sample.value > rule.threshold
-                                          : sample.value < rule.threshold;
+    bool breached = false;
+    if (rule.kind == AlertKind::kDelta) {
+      // Growth vs the previous sample from this gateway; the first sample
+      // of a series establishes the baseline and never fires.
+      if (prev_it != last_value_.end()) {
+        const double delta = sample.value - prev_it->second;
+        breached = rule.fire_above ? delta > rule.threshold
+                                   : delta < rule.threshold;
+      }
+    } else {
+      breached = rule.fire_above ? sample.value > rule.threshold
+                                 : sample.value < rule.threshold;
+    }
     const auto key = std::make_pair(rule.name, sample.gateway_id);
     auto it = firing_.find(key);
     if (breached) {
@@ -78,6 +208,7 @@ void Metricsd::evaluate_alerts(const MetricSample& sample) {
       firing_.erase(it);  // recovered
     }
   }
+  last_value_[series_key] = sample.value;
 }
 
 void Metricsd::ingest(const MetricSample& sample) {
@@ -95,6 +226,10 @@ void Metricsd::ingest(const MetricSample& sample) {
     series.push_back(sample);
   }
   ++total_;
+  if (max_per_series_ != 0 && series.size() > max_per_series_) {
+    series.erase(series.begin());
+    ++samples_dropped_;
+  }
 }
 
 void Metricsd::ingest(const std::vector<MetricSample>& samples) {
@@ -135,6 +270,21 @@ double Metricsd::sum_in_window(const std::string& name, sim::TimePoint from,
     if (s.time >= from && s.time < to) sum += s.value;
   }
   return sum;
+}
+
+void install_default_transport_rules(Metricsd& metricsd,
+                                     double srtt_baseline_s) {
+  // transport_resets is a monotonic counter: any growth between two reports
+  // means a control-channel incarnation died (max-retries exhausted) — the
+  // ROADMAP's "page when transport_resets grows".
+  metricsd.add_alert_rule(AlertRule{"transport_resets_growth",
+                                    "transport_resets", 0.0, true,
+                                    AlertKind::kDelta});
+  // SRTT persistently above 2× the engineered path baseline means the
+  // backhaul degraded (congestion, reroute via satellite, bufferbloat).
+  metricsd.add_alert_rule(AlertRule{"transport_srtt_high", "transport_srtt_s",
+                                    2.0 * srtt_baseline_s, true,
+                                    AlertKind::kThreshold});
 }
 
 std::vector<std::string> Metricsd::metric_names() const {

@@ -16,6 +16,7 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "obs/histogram.h"
 #include "sim/time.h"
 
 namespace magma::orc8r {
@@ -31,6 +32,32 @@ common::Bytes encode_metric_report(const std::vector<MetricSample>& samples);
 common::Result<std::vector<MetricSample>> decode_metric_report(
     common::BytesView data);
 
+// Histogram metric: gateways aggregate observations into log-spaced buckets
+// locally and ship cumulative snapshots — metricsd never sees raw samples,
+// so the reporting cost is O(buckets) regardless of attach rate.
+struct HistogramSnapshot {
+  std::string gateway_id;
+  std::string name;
+  std::vector<double> bounds;         // ascending bucket upper bounds
+  std::vector<std::uint64_t> counts;  // bounds.size()+1, overflow last
+  double sum = 0;
+  sim::TimePoint time = 0;
+};
+
+common::Bytes encode_histogram_report(
+    const std::vector<HistogramSnapshot>& snapshots);
+common::Result<std::vector<HistogramSnapshot>> decode_histogram_report(
+    common::BytesView data);
+
+// How an alert rule interprets its threshold.
+enum class AlertKind : std::uint8_t {
+  kThreshold = 0,  // fire on the sample's value vs threshold
+  // Fire when the value *rises* by more than `threshold` vs the previous
+  // sample from the same gateway (for monotonic counters like
+  // transport_resets, where any growth is the page-worthy signal).
+  kDelta = 1,
+};
+
 // Threshold alert rule (the "metrics, alerting, and monitoring" systems
 // §3.2 says consume the northbound API — a minimal Prometheus-alertmanager
 // stand-in).
@@ -39,6 +66,7 @@ struct AlertRule {
   std::string metric;        // metric it watches
   double threshold = 0;
   bool fire_above = true;    // fire when value > threshold (else <)
+  AlertKind kind = AlertKind::kThreshold;
 };
 
 struct ActiveAlert {
@@ -52,6 +80,24 @@ class Metricsd {
  public:
   void ingest(const MetricSample& sample);
   void ingest(const std::vector<MetricSample>& samples);
+
+  // Cumulative histogram snapshot from a gateway: replaces that gateway's
+  // previous snapshot of the same name (drops ignored snapshots with a
+  // malformed bucket layout).
+  void ingest_histogram(const HistogramSnapshot& snapshot);
+  void ingest_histograms(const std::vector<HistogramSnapshot>& snapshots);
+  std::vector<std::string> histogram_names() const;
+  // Buckets of `name` merged across gateways (empty if unknown).
+  obs::Histogram merged_histogram(const std::string& name) const;
+  // p50/p95/p99-style query over the merged buckets; 0 when absent.
+  double histogram_quantile(const std::string& name, double q) const;
+  std::uint64_t histogram_count(const std::string& name) const;
+
+  // Per-series retention cap: each (metric name) series keeps at most this
+  // many samples, oldest trimmed first (million-user soaks must not grow
+  // metricsd without bound). 0 disables the cap.
+  void set_retention(std::size_t max_samples_per_series);
+  std::uint64_t samples_dropped() const { return samples_dropped_; }
 
   // --- alerting ------------------------------------------------------------
   void add_alert_rule(AlertRule rule);
@@ -81,11 +127,25 @@ class Metricsd {
   // name -> time-ordered samples.
   std::map<std::string, std::vector<MetricSample>> by_name_;
   std::size_t total_ = 0;
+  std::size_t max_per_series_ = 100000;
+  std::uint64_t samples_dropped_ = 0;
+
+  // (gateway, name) -> latest cumulative snapshot.
+  std::map<std::pair<std::string, std::string>, obs::Histogram> histograms_;
 
   std::vector<AlertRule> rules_;
   // (rule name, gateway) -> alert
   std::map<std::pair<std::string, std::string>, ActiveAlert> firing_;
+  // (metric, gateway) -> previous value, for kDelta rules.
+  std::map<std::pair<std::string, std::string>, double> last_value_;
   std::uint64_t alerts_fired_ = 0;
 };
+
+// Default alerting for the PR 1 transport gauges: pages on connection-reset
+// growth and on SRTT sitting above 2× the engineered path baseline.
+// Installed by Orchestrator (and re-installed by core::Network with its
+// configured baseline); idempotent by rule name.
+void install_default_transport_rules(Metricsd& metricsd,
+                                     double srtt_baseline_s);
 
 }  // namespace magma::orc8r

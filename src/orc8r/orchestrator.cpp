@@ -6,7 +6,34 @@
 namespace magma::orc8r {
 
 Orchestrator::Orchestrator(sim::Kernel& kernel, std::string network_name)
-    : kernel_(kernel), network_name_(std::move(network_name)) {}
+    : kernel_(kernel), network_name_(std::move(network_name)) {
+  // Every deployment watches its control transports out of the box (0.25 s
+  // SRTT baseline covers fiber and LTE backhaul; core::Network re-installs
+  // with its configured baseline for satellite-class paths).
+  install_default_transport_rules(metricsd_, 0.25);
+}
+
+std::vector<obs::Event> Orchestrator::events_of_type(
+    const std::string& type) const {
+  std::vector<obs::Event> out;
+  for (const obs::Event& e : events_) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+void Orchestrator::set_event_retention(std::size_t max_events) {
+  event_retention_ = max_events;
+  while (events_.size() > event_retention_) {
+    events_.pop_front();
+    ++stats_.events_dropped;
+  }
+}
+
+void Orchestrator::set_tracer(obs::Tracer* tracer, std::string node_label) {
+  tracer_ = tracer;
+  node_label_ = std::move(node_label);
+}
 
 // ---------------------------------------------------------------------------
 // Northbound API
@@ -166,6 +193,49 @@ void Orchestrator::bind(rpc::RpcNode& node) {
         }
         metricsd_.ingest(samples.value());
         ++stats_.metric_reports;
+        respond(rpc::Bytes{});
+      });
+
+  node.register_method(
+      kMetricsService, kReportHistograms,
+      [this](const rpc::Bytes& request, rpc::Respond respond) {
+        auto snapshots = decode_histogram_report(request);
+        if (!snapshots.ok()) {
+          respond(rpc::Error{snapshots.error()});
+          return;
+        }
+        metricsd_.ingest_histograms(snapshots.value());
+        ++stats_.histogram_reports;
+        respond(rpc::Bytes{});
+      });
+
+  node.register_method(
+      kEventService, kLogEvents,
+      [this](const rpc::Bytes& request, rpc::Respond respond) {
+        auto events = obs::decode_event_report(request);
+        if (!events.ok()) {
+          respond(rpc::Error{events.error()});
+          return;
+        }
+        for (obs::Event& e : events.value()) {
+          if (tracer_ != nullptr && e.trace.valid()) {
+            // Anchor the ingest into the event's originating trace — this
+            // is the orc8r-side leaf of an attach's span tree.
+            const obs::TraceContext span = tracer_->begin(
+                "ingest_event", "eventd", node_label_,
+                obs::SpanKind::kInternal, e.trace);
+            tracer_->tag(span, "type", e.type);
+            tracer_->tag(span, "gateway", e.gateway_id);
+            tracer_->end(span);
+          }
+          events_.push_back(std::move(e));
+          ++stats_.events_ingested;
+          if (events_.size() > event_retention_) {
+            events_.pop_front();
+            ++stats_.events_dropped;
+          }
+        }
+        ++stats_.event_reports;
         respond(rpc::Bytes{});
       });
 }

@@ -18,9 +18,13 @@
 #include <string>
 #include <vector>
 
+#include <deque>
+
 #include "agw/subscriberdb.h"
 #include "common/result.h"
 #include "core/policy.h"
+#include "obs/events.h"
+#include "obs/trace.h"
 #include "orc8r/metricsd.h"
 #include "orc8r/streamer.h"
 #include "rpc/rpc.h"
@@ -42,6 +46,10 @@ struct OrchestratorStats {
   std::uint64_t checkins = 0;
   std::uint64_t checkpoints_stored = 0;
   std::uint64_t metric_reports = 0;
+  std::uint64_t histogram_reports = 0;
+  std::uint64_t event_reports = 0;
+  std::uint64_t events_ingested = 0;
+  std::uint64_t events_dropped = 0;  // event store retention overflow
 };
 
 class Orchestrator {
@@ -70,6 +78,17 @@ class Orchestrator {
 
   Metricsd& metrics() { return metricsd_; }
   const Metricsd& metrics() const { return metricsd_; }
+
+  // Structured events shipped by gateways (WARN/ERROR logs, attach
+  // milestones), newest last; bounded retention, oldest dropped.
+  const std::deque<obs::Event>& events() const { return events_; }
+  std::vector<obs::Event> events_of_type(const std::string& type) const;
+  void set_event_retention(std::size_t max_events);
+
+  // Tracing: when set, event ingestion anchors an "ingest_event" span into
+  // each event's originating trace, and bind()-created handlers run traced.
+  void set_tracer(obs::Tracer* tracer, std::string node_label = "orc8r");
+  obs::Tracer* tracer() const { return tracer_; }
 
   // Current config version (changes on every northbound mutation).
   std::uint64_t config_version() const { return store_.version(); }
@@ -100,6 +119,10 @@ class Orchestrator {
   std::map<std::string, GatewayRecord> gateways_;
   std::map<std::string, common::Bytes> checkpoints_;
   Metricsd metricsd_;
+  std::deque<obs::Event> events_;
+  std::size_t event_retention_ = 65536;
+  obs::Tracer* tracer_ = nullptr;
+  std::string node_label_ = "orc8r";
   OrchestratorStats stats_;
 };
 

@@ -26,6 +26,17 @@ void RpcNode::register_method(const std::string& service,
   handlers_[{service, method}] = std::move(handler);
 }
 
+void RpcNode::set_tracer(obs::Tracer* tracer, std::string node_label) {
+  tracer_ = tracer;
+  node_label_ = std::move(node_label);
+}
+
+void RpcNode::finish_client_span(obs::TraceContext span, const char* status) {
+  if (!span.valid()) return;
+  obs::tag_span(tracer_, span, "status", status);
+  obs::end_span(tracer_, span);
+}
+
 void RpcNode::call(const std::string& service, const std::string& method,
                    Bytes request, sim::Duration deadline,
                    std::function<void(Result<Bytes>)> on_done) {
@@ -34,19 +45,24 @@ void RpcNode::call(const std::string& service, const std::string& method,
 
   PendingCall pc;
   pc.on_done = std::move(on_done);
+  pc.span = obs::begin_span(tracer_, service + "/" + method, "rpc",
+                            node_label_, obs::SpanKind::kClient);
   pc.timeout = kernel_.schedule(deadline, [this, id]() {
     auto it = pending_.find(id);
     if (it == pending_.end()) return;
     auto cb = std::move(it->second.on_done);
+    finish_client_span(it->second.span, "deadline_exceeded");
     pending_.erase(it);
     ++stats_.calls_timed_out;
     cb(Error{ErrorCode::kDeadlineExceeded, "rpc deadline exceeded"});
   });
+  const WireTrace trace{pc.span.trace_id, pc.span.span_id};
   pending_.emplace(id, std::move(pc));
 
   Writer w;
   w.u8(kRequest);
   w.u64(id);
+  write_trace(w, trace);
   w.str(service);
   w.str(method);
   w.bytes(request);
@@ -106,6 +122,7 @@ void RpcNode::on_send_failed(Bytes raw) {
   if (it == pending_.end()) return;  // already timed out or answered
   kernel_.cancel(it->second.timeout);
   auto cb = std::move(it->second.on_done);
+  finish_client_span(it->second.span, "unavailable");
   pending_.erase(it);
   ++stats_.calls_send_failed;
   cb(Error{ErrorCode::kUnavailable, "transport reset: request not delivered"});
@@ -113,6 +130,7 @@ void RpcNode::on_send_failed(Bytes raw) {
 
 void RpcNode::handle_request(Reader& r) {
   const std::uint64_t id = r.u64();
+  const WireTrace trace = read_trace(r);
   const std::string service = r.str();
   const std::string method = r.str();
   const Bytes payload = r.bytes();
@@ -125,7 +143,22 @@ void RpcNode::handle_request(Reader& r) {
     return;
   }
   ++stats_.calls_served;
-  it->second(payload, [this, id](Result<Bytes> result) {
+
+  // Server span under the caller's client span. The gap between the two
+  // spans' starts is the one-way network latency the caller paid.
+  obs::TraceContext server_span{};
+  if (tracer_ != nullptr && trace.trace_id != 0) {
+    server_span = tracer_->begin(service + "/" + method, "rpc", node_label_,
+                                 obs::SpanKind::kServer,
+                                 obs::TraceContext{trace.trace_id,
+                                                   trace.span_id});
+  }
+  // The handler body runs under the server context, so spans it opens (and
+  // calls it makes) nest into the caller's trace; an async respond closes
+  // the server span whenever it fires.
+  obs::Tracer::Scope scope(tracer_, server_span);
+  it->second(payload, [this, id, server_span](Result<Bytes> result) {
+    obs::end_span(tracer_, server_span);
     send_response(id, result);
   });
 }
@@ -158,6 +191,8 @@ void RpcNode::handle_response(Reader& r) {
   if (it == pending_.end()) return;  // late duplicate or already timed out
   kernel_.cancel(it->second.timeout);
   auto cb = std::move(it->second.on_done);
+  finish_client_span(it->second.span,
+                     code == ErrorCode::kOk ? "ok" : "error");
   pending_.erase(it);
 
   if (code == ErrorCode::kOk) {

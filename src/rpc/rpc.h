@@ -24,6 +24,7 @@
 #include "common/bytes.h"
 #include "common/result.h"
 #include "net/channel.h"
+#include "obs/trace.h"
 #include "rpc/wire.h"
 #include "sim/kernel.h"
 
@@ -79,11 +80,23 @@ class RpcNode {
   const std::string& name() const { return name_; }
   sim::Kernel& kernel() { return kernel_; }
 
+  // --- tracing ------------------------------------------------------------
+  // Once set, every call opens a client span (parented on the tracer's
+  // current context) whose TraceContext rides the request frame; every
+  // served request opens a server span under the caller's context and makes
+  // it current while the handler runs. `node_label` names this endpoint's
+  // node in span records (gateway id, "orc8r", ...).
+  void set_tracer(obs::Tracer* tracer, std::string node_label);
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   struct PendingCall {
     std::function<void(Result<Bytes>)> on_done;
     sim::EventId timeout;
+    obs::TraceContext span{};  // client span (invalid when untraced)
   };
+
+  void finish_client_span(obs::TraceContext span, const char* status);
 
   void on_message(Bytes raw);
   void on_send_failed(Bytes raw);
@@ -94,6 +107,8 @@ class RpcNode {
   sim::Kernel& kernel_;
   net::Channel& channel_;
   std::string name_;
+  obs::Tracer* tracer_ = nullptr;
+  std::string node_label_;
   std::uint64_t next_call_id_ = 1;
   std::map<std::pair<std::string, std::string>, Handler> handlers_;
   std::unordered_map<std::uint64_t, PendingCall> pending_;

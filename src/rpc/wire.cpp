@@ -91,4 +91,16 @@ std::string Reader::str() {
   return std::string(reinterpret_cast<const char*>(p), len);
 }
 
+void write_trace(Writer& w, const WireTrace& trace) {
+  w.u64(trace.trace_id);
+  w.u64(trace.span_id);
+}
+
+WireTrace read_trace(Reader& r) {
+  WireTrace trace;
+  trace.trace_id = r.u64();
+  trace.span_id = r.u64();
+  return trace;
+}
+
 }  // namespace magma::rpc

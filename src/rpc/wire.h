@@ -62,4 +62,16 @@ class Reader {
   bool ok_ = true;
 };
 
+// Trace propagation header carried in every RPC request frame (the wire
+// image of obs::TraceContext, kept as a plain struct so the wire layer does
+// not depend on the tracer). All-zero means "untraced" and costs 16 bytes —
+// the flat price of making every call traceable, as gRPC metadata would.
+struct WireTrace {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
+
+void write_trace(Writer& w, const WireTrace& trace);
+WireTrace read_trace(Reader& r);
+
 }  // namespace magma::rpc

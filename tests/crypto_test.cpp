@@ -244,7 +244,9 @@ TEST(NasCipher, RoundTripAllLengths) {
     }
     const common::Bytes cipher = crypto::nas_cipher(key, 5, true, plain);
     EXPECT_EQ(cipher.size(), len);
-    if (len > 4) EXPECT_NE(cipher, plain);
+    if (len > 4) {
+      EXPECT_NE(cipher, plain);
+    }
     EXPECT_EQ(crypto::nas_cipher(key, 5, true, cipher), plain);
   }
 }

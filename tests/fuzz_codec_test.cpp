@@ -9,6 +9,7 @@
 #include "agw/subscriberdb.h"
 #include "core/policy.h"
 #include "datapath/packet.h"
+#include "obs/events.h"
 #include "orc8r/metricsd.h"
 #include "orc8r/streamer.h"
 #include "proto/lte/gtpc.h"
@@ -46,6 +47,8 @@ void decode_everything(common::BytesView data) {
   (void)core::Policy::deserialize(data);
   (void)orc8r::DesiredState::deserialize(data);
   (void)orc8r::decode_metric_report(data);
+  (void)orc8r::decode_histogram_report(data);
+  (void)obs::decode_event_report(data);
 }
 
 class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};

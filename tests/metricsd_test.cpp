@@ -1,6 +1,11 @@
 // Telemetry collection: ingestion, ordering, aggregate queries, codec.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
 #include "orc8r/metricsd.h"
 
 namespace magma::orc8r {
@@ -112,6 +117,162 @@ TEST(MetricsdAlerts, ReAddReplacesRule) {
   m.add_alert_rule(AlertRule{"r", "x", 1.0, true});  // tightened
   m.ingest(sample("gw0", "x", 5.0, 20));
   EXPECT_EQ(m.active_alerts().size(), 1u);
+}
+
+TEST(MetricsdAlerts, RefiresAfterRecovery) {
+  Metricsd m;
+  m.add_alert_rule(AlertRule{"cpu-high", "cpu_total", 0.9, true});
+  m.ingest(sample("gw0", "cpu_total", 0.95, 10));
+  EXPECT_EQ(m.alerts_fired(), 1u);
+  // Back in bounds: clears.
+  m.ingest(sample("gw0", "cpu_total", 0.5, 20));
+  EXPECT_TRUE(m.active_alerts().empty());
+  // Crosses again: a *new* firing, not a refresh.
+  m.ingest(sample("gw0", "cpu_total", 0.93, 30));
+  ASSERT_EQ(m.active_alerts().size(), 1u);
+  EXPECT_EQ(m.alerts_fired(), 2u);
+  EXPECT_EQ(m.active_alerts()[0].since, 30);
+}
+
+TEST(MetricsdAlerts, GatewaysFireAndClearIndependently) {
+  Metricsd m;
+  m.add_alert_rule(AlertRule{"cpu-high", "cpu_total", 0.9, true});
+  m.ingest(sample("gw0", "cpu_total", 0.95, 10));
+  m.ingest(sample("gw1", "cpu_total", 0.2, 10));
+  auto alerts = m.active_alerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].gateway_id, "gw0");
+  // gw1 crossing does not disturb gw0's firing record.
+  m.ingest(sample("gw1", "cpu_total", 0.99, 20));
+  alerts = m.active_alerts();
+  ASSERT_EQ(alerts.size(), 2u);
+  // gw0 clearing leaves gw1 firing.
+  m.ingest(sample("gw0", "cpu_total", 0.1, 30));
+  alerts = m.active_alerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].gateway_id, "gw1");
+}
+
+TEST(MetricsdAlerts, DeltaRuleFiresOnGrowthOnly) {
+  Metricsd m;
+  m.add_alert_rule(
+      AlertRule{"resets", "transport_resets", 0.0, true, AlertKind::kDelta});
+  // First sample: no previous value, never fires (a freshly-registered
+  // gateway reporting a nonzero counter is not an incident).
+  m.ingest(sample("gw0", "transport_resets", 3, 10));
+  EXPECT_TRUE(m.active_alerts().empty());
+  // Flat: no growth, no alert.
+  m.ingest(sample("gw0", "transport_resets", 3, 20));
+  EXPECT_TRUE(m.active_alerts().empty());
+  // Growth: fires.
+  m.ingest(sample("gw0", "transport_resets", 4, 30));
+  ASSERT_EQ(m.active_alerts().size(), 1u);
+  EXPECT_EQ(m.alerts_fired(), 1u);
+  // Flat again: clears.
+  m.ingest(sample("gw0", "transport_resets", 4, 40));
+  EXPECT_TRUE(m.active_alerts().empty());
+}
+
+TEST(MetricsdAlerts, DefaultTransportRules) {
+  Metricsd m;
+  install_default_transport_rules(m, 0.25);
+  // SRTT below 2x baseline: quiet. Above: pages.
+  m.ingest(sample("gw0", "transport_srtt_s", 0.3, 10));
+  EXPECT_TRUE(m.active_alerts().empty());
+  m.ingest(sample("gw0", "transport_srtt_s", 0.6, 20));
+  ASSERT_EQ(m.active_alerts().size(), 1u);
+  EXPECT_EQ(m.active_alerts()[0].rule, "transport_srtt_high");
+  // Reset growth pages too.
+  m.ingest(sample("gw0", "transport_resets", 0, 10));
+  m.ingest(sample("gw0", "transport_resets", 1, 20));
+  EXPECT_EQ(m.active_alerts().size(), 2u);
+  // Re-install with a satellite-class baseline: idempotent by name, and the
+  // firing SRTT alert clears under the relaxed threshold.
+  install_default_transport_rules(m, 0.6);
+  m.ingest(sample("gw0", "transport_srtt_s", 0.6, 30));
+  const auto alerts = m.active_alerts();
+  EXPECT_TRUE(std::none_of(alerts.begin(), alerts.end(), [](const auto& a) {
+    return a.rule == "transport_srtt_high";
+  }));
+}
+
+TEST(MetricsdRetention, PerSeriesCapDropsOldest) {
+  Metricsd m;
+  m.set_retention(3);
+  for (int i = 0; i < 10; ++i) {
+    m.ingest(sample("gw0", "cpu", i, i * 10));
+  }
+  const auto series = m.series("cpu");
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].value, 7.0);  // oldest trimmed first
+  EXPECT_DOUBLE_EQ(series[2].value, 9.0);
+  EXPECT_EQ(m.samples_dropped(), 7u);
+  // Tightening the cap trims existing series immediately.
+  m.set_retention(1);
+  EXPECT_EQ(m.series("cpu").size(), 1u);
+  EXPECT_EQ(m.samples_dropped(), 9u);
+}
+
+TEST(MetricsdHistograms, IngestMergeAndQuantiles) {
+  Metricsd m;
+  obs::Histogram gw0;
+  obs::Histogram gw1;
+  for (int i = 0; i < 50; ++i) gw0.observe(0.01);
+  for (int i = 0; i < 50; ++i) gw1.observe(1.0);
+
+  auto snapshot = [](const std::string& gw, const obs::Histogram& h) {
+    return HistogramSnapshot{gw, "attach_s", h.bounds(), h.counts(), h.sum(),
+                             0};
+  };
+  m.ingest_histogram(snapshot("gw0", gw0));
+  m.ingest_histogram(snapshot("gw1", gw1));
+
+  EXPECT_EQ(m.histogram_count("attach_s"), 100u);
+  EXPECT_EQ(m.histogram_names(), std::vector<std::string>{"attach_s"});
+  // Merged across gateways: the median splits the two populations.
+  EXPECT_LT(m.histogram_quantile("attach_s", 0.25), 0.1);
+  EXPECT_GT(m.histogram_quantile("attach_s", 0.75), 0.3);
+  EXPECT_EQ(m.histogram_count("missing"), 0u);
+  EXPECT_DOUBLE_EQ(m.histogram_quantile("missing", 0.5), 0.0);
+
+  // Cumulative snapshots replace, never double-count.
+  for (int i = 0; i < 25; ++i) gw0.observe(0.01);
+  m.ingest_histogram(snapshot("gw0", gw0));
+  EXPECT_EQ(m.histogram_count("attach_s"), 125u);
+}
+
+TEST(MetricsdHistograms, MalformedSnapshotIgnored) {
+  Metricsd m;
+  HistogramSnapshot bad;
+  bad.gateway_id = "gw0";
+  bad.name = "x";
+  bad.bounds = {1.0, 2.0};
+  bad.counts = {1, 2};  // must be bounds+1
+  m.ingest_histogram(bad);
+  EXPECT_EQ(m.histogram_count("x"), 0u);
+}
+
+TEST(HistogramReport, CodecRoundTrip) {
+  obs::Histogram h;
+  h.observe(0.05);
+  h.observe(2.5);
+  std::vector<HistogramSnapshot> snapshots = {
+      HistogramSnapshot{"gw0", "span_accessd_establish_s", h.bounds(),
+                        h.counts(), h.sum(), 42 * sim::kSecond},
+  };
+  auto decoded = decode_histogram_report(encode_histogram_report(snapshots));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), 1u);
+  EXPECT_EQ(decoded.value()[0].gateway_id, "gw0");
+  EXPECT_EQ(decoded.value()[0].name, "span_accessd_establish_s");
+  EXPECT_EQ(decoded.value()[0].bounds, h.bounds());
+  EXPECT_EQ(decoded.value()[0].counts, h.counts());
+  EXPECT_DOUBLE_EQ(decoded.value()[0].sum, h.sum());
+  EXPECT_EQ(decoded.value()[0].time, 42 * sim::kSecond);
+}
+
+TEST(HistogramReport, CodecRejectsGarbage) {
+  EXPECT_FALSE(decode_histogram_report(common::to_bytes("bogus")).ok());
 }
 
 TEST(MetricReport, CodecRoundTrip) {

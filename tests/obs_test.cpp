@@ -1,0 +1,466 @@
+// Observability primitives: tracer spans/propagation, latency histograms,
+// structured events, and the Chrome trace_event exporter.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "obs/chrome_trace.h"
+#include "obs/events.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
+#include "sim/kernel.h"
+
+namespace magma::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, RootSpanStartsFreshTrace) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  const TraceContext a = tracer.begin("a", "svc", "node");
+  const TraceContext b = tracer.begin("b", "svc", "node");
+  EXPECT_TRUE(a.valid());
+  EXPECT_NE(a.trace_id, b.trace_id);  // no current context: distinct traces
+  tracer.end(a);
+  tracer.end(b);
+  EXPECT_EQ(tracer.finished().size(), 2u);
+}
+
+TEST(Tracer, ScopeMakesImplicitParent) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  const TraceContext root = tracer.begin("root", "svc", "node");
+  {
+    const Tracer::Scope scope(&tracer, root);
+    EXPECT_EQ(tracer.current().span_id, root.span_id);
+    const TraceContext child = tracer.begin("child", "svc", "node");
+    EXPECT_EQ(child.trace_id, root.trace_id);
+    tracer.end(child);
+  }
+  EXPECT_FALSE(tracer.current().valid());
+  tracer.end(root);
+
+  const auto spans = tracer.trace_spans(root.trace_id);
+  ASSERT_EQ(spans.size(), 2u);
+  // Start-ordered: root first, child parented on it.
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[1].parent_span_id, root.span_id);
+}
+
+TEST(Tracer, ExplicitParentCrossesScopes) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  const TraceContext root = tracer.begin("root", "svc", "a");
+  const TraceContext remote = tracer.begin("remote", "svc", "b",
+                                           SpanKind::kServer, root);
+  EXPECT_EQ(remote.trace_id, root.trace_id);
+  tracer.end(remote);
+  tracer.end(root);
+  EXPECT_EQ(tracer.trace_spans(root.trace_id).size(), 2u);
+}
+
+TEST(Tracer, SpanTimesComeFromKernel) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  TraceContext span{};
+  kernel.schedule(10 * sim::kMillisecond,
+                  [&]() { span = tracer.begin("op", "svc", "node"); });
+  kernel.schedule(25 * sim::kMillisecond, [&]() { tracer.end(span); });
+  kernel.run_until(sim::kSecond);
+  ASSERT_EQ(tracer.finished().size(), 1u);
+  const SpanRecord& rec = tracer.finished().front();
+  EXPECT_EQ(rec.start, 10 * sim::kMillisecond);
+  EXPECT_EQ(rec.duration(), 15 * sim::kMillisecond);
+}
+
+TEST(Tracer, TagsAttachOnlyToOpenSpans) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  const TraceContext span = tracer.begin("op", "svc", "node");
+  tracer.tag(span, "k", "v");
+  tracer.end(span);
+  tracer.tag(span, "late", "ignored");
+  tracer.end(span);  // double-end: no-op
+  ASSERT_EQ(tracer.finished().size(), 1u);
+  const SpanRecord& rec = tracer.finished().front();
+  ASSERT_EQ(rec.tags.size(), 1u);
+  EXPECT_EQ(rec.tags[0].first, "k");
+}
+
+TEST(Tracer, FinishHooksSeeEverySpanAndRetentionDropsOldest) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  tracer.set_retention(2);
+  int hook_calls = 0;
+  const std::uint64_t id =
+      tracer.add_finish_hook([&](const SpanRecord&) { ++hook_calls; });
+  for (int i = 0; i < 5; ++i) {
+    tracer.end(tracer.begin("op" + std::to_string(i), "svc", "node"));
+  }
+  EXPECT_EQ(hook_calls, 5);
+  EXPECT_EQ(tracer.finished().size(), 2u);  // ring keeps the newest two
+  EXPECT_EQ(tracer.finished().back().name, "op4");
+  EXPECT_EQ(tracer.spans_dropped(), 3u);
+  tracer.remove_finish_hook(id);
+  tracer.end(tracer.begin("after", "svc", "node"));
+  EXPECT_EQ(hook_calls, 5);
+}
+
+TEST(Tracer, NullSafeHelpers) {
+  const TraceContext ctx = begin_span(nullptr, "op", "svc", "node");
+  EXPECT_FALSE(ctx.valid());
+  end_span(nullptr, ctx);                    // must not crash
+  tag_span(nullptr, ctx, "k", "v");          // must not crash
+  EXPECT_FALSE(current_context(nullptr).valid());
+  const Tracer::Scope scope(nullptr, ctx);   // must not crash
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, CountSumMean) {
+  Histogram h;
+  h.observe(0.010);
+  h.observe(0.020);
+  h.observe(0.030);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.060);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.020);
+}
+
+TEST(Histogram, QuantileBracketsObservations) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.observe(0.010);  // all in one bucket
+  const double p50 = h.quantile(0.5);
+  // Geometric interpolation inside the bucket: the answer stays within the
+  // bucket that holds 10 ms (log-spaced, 5/decade ⇒ ≤ 59% width).
+  EXPECT_GT(p50, 0.006);
+  EXPECT_LT(p50, 0.016);
+}
+
+TEST(Histogram, QuantileOrdersMixedObservations) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.observe(0.001);
+  for (int i = 0; i < 10; ++i) h.observe(1.0);
+  EXPECT_LT(h.quantile(0.5), 0.01);
+  EXPECT_GT(h.quantile(0.99), 0.5);
+  EXPECT_DOUBLE_EQ(Histogram().quantile(0.5), 0.0);  // empty
+}
+
+TEST(Histogram, MergeRequiresMatchingLayout) {
+  Histogram a;
+  Histogram b;
+  a.observe(0.1);
+  b.observe(0.2);
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_EQ(a.count(), 2u);
+  Histogram other(Histogram::log_bounds(1e-3, 10.0, 3));
+  EXPECT_FALSE(a.merge(other));
+  EXPECT_EQ(a.count(), 2u);  // untouched on mismatch
+}
+
+TEST(Histogram, AssignValidatesLayout) {
+  Histogram h;
+  EXPECT_TRUE(h.assign({1.0, 2.0}, {1, 2, 3}, 6.0));
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_FALSE(h.assign({1.0, 2.0}, {1, 2}, 0.0));      // counts too short
+  EXPECT_FALSE(h.assign({2.0, 1.0}, {1, 2, 3}, 0.0));   // unsorted bounds
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+TEST(EventBuffer, DropsOldestOnOverflow) {
+  EventBuffer buffer(2);
+  for (int i = 0; i < 4; ++i) {
+    Event e;
+    e.type = "e" + std::to_string(i);
+    buffer.push(std::move(e));
+  }
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.pushed(), 4u);
+  EXPECT_EQ(buffer.dropped(), 2u);
+  const auto taken = buffer.take(10);
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].type, "e2");  // oldest two were dropped
+  EXPECT_EQ(taken[1].type, "e3");
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(EventBuffer, TakeRespectsMaxCount) {
+  EventBuffer buffer(10);
+  for (int i = 0; i < 5; ++i) buffer.push(Event{});
+  EXPECT_EQ(buffer.take(3).size(), 3u);
+  EXPECT_EQ(buffer.size(), 2u);
+}
+
+TEST(EventReport, CodecRoundTrip) {
+  std::vector<Event> events(2);
+  events[0].time = 123 * sim::kMillisecond;
+  events[0].gateway_id = "gw0";
+  events[0].type = "attach_success";
+  events[0].source = "lte_frontend";
+  events[0].message = "IMSI001010000000001";
+  events[0].severity = EventSeverity::kInfo;
+  events[0].trace = TraceContext{77, 78};
+  events[1].severity = EventSeverity::kError;
+
+  auto decoded = decode_event_report(encode_event_report(events));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), 2u);
+  EXPECT_EQ(decoded.value()[0].time, 123 * sim::kMillisecond);
+  EXPECT_EQ(decoded.value()[0].type, "attach_success");
+  EXPECT_EQ(decoded.value()[0].trace.trace_id, 77u);
+  EXPECT_EQ(decoded.value()[0].trace.span_id, 78u);
+  EXPECT_EQ(decoded.value()[1].severity, EventSeverity::kError);
+}
+
+TEST(EventReport, CodecRejectsGarbage) {
+  EXPECT_FALSE(decode_event_report(common::to_bytes("nope")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export — validated with a real (minimal) JSON parser.
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v = nullptr;
+
+  bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(v);
+  }
+  const JsonObject& object() const {
+    return *std::get<std::shared_ptr<JsonObject>>(v);
+  }
+  const JsonArray& array() const {
+    return *std::get<std::shared_ptr<JsonArray>>(v);
+  }
+  double number() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out) {
+    const bool ok = value(out);
+    skip_ws();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool literal(const char* s) {
+    const std::size_t n = std::string(s).size();
+    if (text_.compare(pos_, n, s) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      std::string s;
+      if (!string(s)) return false;
+      out.v = s;
+      return true;
+    }
+    if (literal("true")) { out.v = true; return true; }
+    if (literal("false")) { out.v = false; return true; }
+    if (literal("null")) { out.v = nullptr; return true; }
+    return number(out);
+  }
+  bool string(std::string& out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        switch (text_[pos_]) {
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            if (pos_ + 4 >= text_.size()) return false;
+            out += '?';  // escaped control char: content irrelevant here
+            pos_ += 4;
+            break;
+          default: out += text_[pos_];
+        }
+      } else {
+        out += text_[pos_];
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out.v = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+  bool array(JsonValue& out) {
+    ++pos_;  // '['
+    auto arr = std::make_shared<JsonArray>();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      out.v = arr;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!value(element)) return false;
+      arr->push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') { ++pos_; continue; }
+      if (text_[pos_] == ']') { ++pos_; break; }
+      return false;
+    }
+    out.v = arr;
+    return true;
+  }
+  bool object(JsonValue& out) {
+    ++pos_;  // '{'
+    auto obj = std::make_shared<JsonObject>();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      out.v = obj;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || !string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue val;
+      if (!value(val)) return false;
+      (*obj)[key] = std::move(val);  // duplicate keys: last one wins
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') { ++pos_; continue; }
+      if (text_[pos_] == '}') { ++pos_; break; }
+      return false;
+    }
+    out.v = obj;
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(ChromeTrace, ExportRoundTripsThroughJsonParser) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+
+  TraceContext root{}, child{};
+  kernel.schedule(sim::kMillisecond, [&]() {
+    root = tracer.begin("attach", "lte_frontend", "gw0");
+    tracer.tag(root, "imsi", "IMSI\"quoted\"");  // exercise escaping
+    const Tracer::Scope scope(&tracer, root);
+    child = tracer.begin("begin_attach", "accessd", "gw0");
+  });
+  kernel.schedule(3 * sim::kMillisecond, [&]() { tracer.end(child); });
+  kernel.schedule(9 * sim::kMillisecond, [&]() { tracer.end(root); });
+  kernel.run_until(sim::kSecond);
+
+  const std::string json = export_chrome_trace(tracer);
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(json).parse(doc)) << json;
+  ASSERT_TRUE(doc.is_object());
+  const JsonObject& top = doc.object();
+  EXPECT_EQ(top.at("displayTimeUnit").str(), "ms");
+
+  const JsonArray& events = top.at("traceEvents").array();
+  int metadata = 0;
+  int complete = 0;
+  for (const JsonValue& event : events) {
+    const JsonObject& e = event.object();
+    const std::string& ph = e.at("ph").str();
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ++complete;
+    EXPECT_GT(e.at("pid").number(), 0);
+    EXPECT_GT(e.at("tid").number(), 0);
+    EXPECT_GE(e.at("dur").number(), 0);
+    const JsonObject& args = e.at("args").object();
+    EXPECT_EQ(args.at("trace_id").number(), static_cast<double>(root.trace_id));
+    if (e.at("name").str() == "attach") {
+      EXPECT_EQ(args.at("imsi").str(), "IMSI\"quoted\"");
+      EXPECT_DOUBLE_EQ(e.at("ts").number(), 1000.0);   // 1 ms in µs
+      EXPECT_DOUBLE_EQ(e.at("dur").number(), 8000.0);  // 8 ms
+    } else {
+      EXPECT_EQ(args.at("parent_span_id").number(),
+                static_cast<double>(root.span_id));
+    }
+  }
+  EXPECT_EQ(metadata, 3);  // 1 process + 2 threads
+  EXPECT_EQ(complete, 2);
+}
+
+TEST(ChromeTrace, FilterByTraceId) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  const TraceContext a = tracer.begin("a", "svc", "node");
+  tracer.end(a);
+  const TraceContext b = tracer.begin("b", "svc", "node");
+  tracer.end(b);
+
+  const std::string json = export_chrome_trace(tracer, b.trace_id);
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(json).parse(doc));
+  int complete = 0;
+  for (const JsonValue& event : doc.object().at("traceEvents").array()) {
+    if (event.object().at("ph").str() == "X") {
+      ++complete;
+      EXPECT_EQ(event.object().at("name").str(), "b");
+    }
+  }
+  EXPECT_EQ(complete, 1);
+}
+
+}  // namespace
+}  // namespace magma::obs

@@ -6,17 +6,22 @@
 # plain build can pass tests while reading freed endpoints — run this
 # before touching src/net or src/rpc.
 #
+# The observability suites ride along: tracer spans are ended from async
+# continuations that can outlive the component that began them, which is
+# the same class of lifetime bug.
+#
 # Usage: tests/run_sanitized.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)" --target \
-  net_channel_test property_test rpc_test magmad_orc8r_test
+  net_channel_test property_test rpc_test magmad_orc8r_test \
+  obs_test tracing_integration_test
 
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 ctest --test-dir build-asan --output-on-failure \
-  -R 'Channel|Reliable|Datagram|Rpc|Wire|Magmad|Orchestrator|DesiredState|TransportTelemetry' \
+  -R 'Channel|Reliable|Datagram|Rpc|Wire|Magmad|Orchestrator|DesiredState|TransportTelemetry|Tracer|Histogram|EventBuffer|EventReport|ChromeTrace|Tracing' \
   "$@"
 echo "sanitized transport suite: OK"

@@ -84,7 +84,7 @@ struct SatellitePoint {
   net::ReliableStats agw;    // AGW-side endpoint
 };
 
-SatellitePoint run_satellite(bool adaptive) {
+SatellitePoint run_satellite(bool adaptive, bool cwnd = true) {
   core::NetworkConfig config;
   config.seed = 11;
   // Acceptance geometry: >= 500 ms RTT at 1% loss.
@@ -94,6 +94,11 @@ SatellitePoint run_satellite(bool adaptive) {
     // The pre-estimator transport: 200 ms fixed timeout, a third of the RTT.
     config.transport.adaptive_rto = false;
     config.transport.initial_rto = 200 * sim::kMillisecond;
+  }
+  if (!cwnd) {
+    // Window ablation: every queued config/metrics message bursts onto the
+    // 20 Mbps satellite uplink at once instead of probing with slow start.
+    config.transport.congestion_control = false;
   }
   core::Network net(config);
   agw::AccessGateway& agw = net.add_agw(agw::virtual_xeon(4));
@@ -202,28 +207,41 @@ int main() {
   // (600 ms RTT, 1% loss), adaptive RFC 6298 RTO vs the old 200 ms fixed RTO.
   std::printf("\nControl transport over satellite backhaul (600 ms RTT, "
               "1%% loss), 40 UEs @ 2 UE/s:\n");
-  std::printf("%-14s %6s %8s %8s %8s %10s %8s %8s %8s\n", "transport", "CSR%",
-              "lat(s)", "srtt(s)", "rto(s)", "retrans", "fast_rt", "spurious",
-              "resets");
+  std::printf("%-16s %6s %8s %8s %8s %10s %8s %8s %8s %6s %7s\n", "transport",
+              "CSR%", "lat(s)", "srtt(s)", "rto(s)", "retrans", "fast_rt",
+              "spurious", "resets", "cwnd", "maxflt");
   const SatellitePoint fixed = run_satellite(false);
   const SatellitePoint adaptive = run_satellite(true);
+  const SatellitePoint no_cwnd = run_satellite(true, /*cwnd=*/false);
   for (const auto& [name, p] :
        {std::pair<const char*, const SatellitePoint&>{"fixed 200ms", fixed},
-        {"adaptive", adaptive}}) {
+        {"adaptive", adaptive},
+        {"adaptive nocwnd", no_cwnd}}) {
     // Sender-side counters summed over both directions; spurious
-    // retransmissions are what the receivers saw arrive twice.
-    std::printf("%-14s %6.1f %8.2f %8.3f %8.3f %10llu %8llu %8llu %8llu\n",
-                name, p.csr * 100, p.mean_latency_s,
-                sim::to_seconds(p.agw.srtt), sim::to_seconds(p.agw.rto),
-                static_cast<unsigned long long>(p.orc8r.retransmissions +
-                                                p.agw.retransmissions),
-                static_cast<unsigned long long>(p.orc8r.fast_retransmits +
-                                                p.agw.fast_retransmits),
-                static_cast<unsigned long long>(p.orc8r.spurious_retransmits +
-                                                p.agw.spurious_retransmits),
-                static_cast<unsigned long long>(p.orc8r.resets +
-                                                p.agw.resets));
+    // retransmissions are what the receivers saw arrive twice. cwnd and
+    // max-flight are the orchestrator side (the config-push sender): with
+    // congestion control on, the satellite push is cwnd-limited; with it
+    // off, the whole desired-state burst hits the uplink at once.
+    std::printf(
+        "%-16s %6.1f %8.2f %8.3f %8.3f %10llu %8llu %8llu %8llu %6llu %7llu\n",
+        name, p.csr * 100, p.mean_latency_s, sim::to_seconds(p.agw.srtt),
+        sim::to_seconds(p.agw.rto),
+        static_cast<unsigned long long>(p.orc8r.retransmissions +
+                                        p.agw.retransmissions),
+        static_cast<unsigned long long>(p.orc8r.fast_retransmits +
+                                        p.agw.fast_retransmits),
+        static_cast<unsigned long long>(p.orc8r.spurious_retransmits +
+                                        p.agw.spurious_retransmits),
+        static_cast<unsigned long long>(p.orc8r.resets + p.agw.resets),
+        static_cast<unsigned long long>(p.orc8r.cwnd),
+        static_cast<unsigned long long>(p.orc8r.max_flight_size));
   }
+  std::printf("cwnd ablation: with congestion control the orchestrator's "
+              "flight never exceeded %llu segments (cwnd-limited, cap %llu); "
+              "without it the burst peaked at %llu in flight.\n",
+              static_cast<unsigned long long>(adaptive.orc8r.max_flight_size),
+              static_cast<unsigned long long>(net::ReliableConfig{}.max_cwnd),
+              static_cast<unsigned long long>(no_cwnd.orc8r.max_flight_size));
   const std::uint64_t fixed_spurious =
       fixed.orc8r.spurious_retransmits + fixed.agw.spurious_retransmits;
   const std::uint64_t adaptive_spurious =

@@ -278,6 +278,21 @@ std::vector<orc8r::MetricSample> AccessGateway::telemetry_snapshot() {
           static_cast<double>(t.spurious_retransmits));
     gauge("transport_send_failures", static_cast<double>(t.failures));
     gauge("transport_resets", static_cast<double>(t.resets));
+    // Congestion/SACK health: a satellite gateway pushing config shows a
+    // cwnd-limited flight here; growth of rto_at_cap means the channel is
+    // pinned at max_rto (the backhaul is effectively down — alertable).
+    gauge("transport_cwnd", static_cast<double>(t.cwnd));
+    gauge("transport_ssthresh", static_cast<double>(t.ssthresh));
+    gauge("transport_flight_size", static_cast<double>(t.flight_size));
+    gauge("transport_sack_retransmits",
+          static_cast<double>(t.sack_retransmits));
+    gauge("transport_rto_at_cap", static_cast<double>(t.rto_at_cap));
+    gauge("transport_reorder_backlog",
+          static_cast<double>(control_transport_->reorder_backlog()));
+    gauge("transport_send_backlog",
+          static_cast<double>(control_transport_->send_backlog()));
+    gauge("magmad_telemetry_sheds",
+          static_cast<double>(magmad_->stats().telemetry_sheds));
   }
   return samples;
 }

@@ -51,7 +51,7 @@ void Magmad::sync_config_now(std::function<void(bool)> done) {
   req.have_version = synced_version_;
   orc8r_->call(
       orc8r::kStreamerService, orc8r::kGetUpdates, req.serialize(),
-      config_.rpc_deadline, [this, done](rpc::Result<rpc::Bytes> result) {
+      config_.sync_rpc_deadline, [this, done](rpc::Result<rpc::Bytes> result) {
         if (!result.ok()) {
           ++stats_.sync_failures;
           reachable_ = false;
@@ -98,7 +98,19 @@ void Magmad::checkin_tick() {
   kernel_.schedule(config_.checkin_interval, [this]() { checkin_tick(); });
 }
 
+bool Magmad::shed_telemetry() {
+  if (orc8r_->transport_backlog() < config_.telemetry_backpressure) {
+    return false;
+  }
+  ++stats_.telemetry_sheds;
+  return true;
+}
+
 void Magmad::metrics_tick() {
+  if (shed_telemetry()) {
+    kernel_.schedule(config_.metrics_interval, [this]() { metrics_tick(); });
+    return;
+  }
   const std::vector<orc8r::MetricSample> samples = metric_source_();
   if (!samples.empty()) {
     // Best effort (§3.4 metrics state): one attempt, short deadline, losses
@@ -132,8 +144,16 @@ void Magmad::metrics_tick() {
 }
 
 void Magmad::event_tick() {
-  std::vector<obs::Event> batch = events_->take(config_.event_batch_max);
-  if (!batch.empty()) {
+  // Backpressure-paced drain: ship batches until the buffer is empty or the
+  // channel already holds telemetry_backpressure unacked messages. Each
+  // batch sent occupies one slot, so the loop self-limits — a deep
+  // post-outage buffer catches up a few batches per tick at a rate the
+  // congestion window can absorb, while a congested channel sheds entirely
+  // and events wait in the bounded buffer (a long backlog only ever costs
+  // buffer memory, never channel occupancy).
+  while (events_->size() > 0 && !shed_telemetry()) {
+    std::vector<obs::Event> batch = events_->take(config_.event_batch_max);
+    if (batch.empty()) break;
     const std::size_t count = batch.size();
     // Parent the shipping RPC under the first traced event so the eventd
     // leg shows up in that attach's span tree.
@@ -158,10 +178,22 @@ void Magmad::event_tick() {
                    }
                  });
   }
-  kernel_.schedule(config_.event_flush_interval, [this]() { event_tick(); });
+  // Catch-up cadence: a buffer that still holds events (deep post-outage
+  // backlog, or a congested channel we are shedding around) is re-checked
+  // every second — a cheap local poll, no channel occupancy — instead of
+  // waiting out the full flush interval.
+  const sim::Duration next =
+      events_->empty() ? config_.event_flush_interval
+                       : std::min(config_.event_flush_interval, sim::kSecond);
+  kernel_.schedule(next, [this]() { event_tick(); });
 }
 
 void Magmad::checkpoint_tick() {
+  if (shed_telemetry()) {
+    kernel_.schedule(config_.checkpoint_interval,
+                     [this]() { checkpoint_tick(); });
+    return;
+  }
   rpc::Writer w;
   w.str(gateway_id_);
   w.bytes(checkpoint_source_());

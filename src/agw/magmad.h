@@ -16,6 +16,14 @@
 //                     eventd. Best-effort: a batch that fails in flight is
 //                     counted lost, never re-queued, and a backhaul outage
 //                     only ever costs bounded buffer memory.
+//
+// All best-effort shipping (metrics, events, checkpoints) yields to the
+// config sync under transport backpressure: when the shared control channel
+// already holds `telemetry_backpressure` unacknowledged messages, the tick
+// sheds instead of queueing behind the congestion window. Without this, on
+// a high-loss satellite path the telemetry queue grows without bound and
+// every deadline-bound sync RPC behind it times out — the gateway delivers
+// metrics it no longer needs while never learning its subscribers.
 #pragma once
 
 #include <cstdint>
@@ -39,8 +47,20 @@ struct MagmadConfig {
   sim::Duration metrics_interval = 15 * sim::kSecond;
   sim::Duration checkpoint_interval = 60 * sim::kSecond;
   sim::Duration rpc_deadline = 10 * sim::kSecond;
+  // Deadline for the streamer GetUpdates poll specifically. The sync is the
+  // one RPC that must land on degraded backhaul, and on a satellite path at
+  // high loss a round trip can sit out several RTO backoffs; a deadline
+  // shorter than that discards responses the transport was about to
+  // deliver. Long-poll style: one poll interval.
+  sim::Duration sync_rpc_deadline = 30 * sim::kSecond;
   sim::Duration event_flush_interval = 5 * sim::kSecond;
   std::size_t event_batch_max = 64;
+  // Best-effort backpressure: when the control channel already holds this
+  // many unacknowledged messages, metrics/event/checkpoint ticks skip
+  // shipping (counted in telemetry_sheds) instead of queueing behind the
+  // congestion window — where they would starve the config sync whose
+  // deadline-bound RPCs share the channel.
+  std::size_t telemetry_backpressure = 4;
 };
 
 struct MagmadStats {
@@ -57,6 +77,11 @@ struct MagmadStats {
   std::uint64_t histogram_reports_lost = 0;
   std::uint64_t events_shipped = 0;
   std::uint64_t events_lost = 0;
+  // Best-effort ticks that skipped shipping because the control channel was
+  // already backlogged (see MagmadConfig::telemetry_backpressure). Events
+  // stay in their bounded buffer for the next tick; metrics/checkpoints are
+  // simply not snapshotted this round.
+  std::uint64_t telemetry_sheds = 0;
 };
 
 class Magmad {
@@ -92,6 +117,9 @@ class Magmad {
   void checkpoint_tick();
   void event_tick();
   void apply(const orc8r::DesiredState& state);
+  // True when the control channel backlog says best-effort traffic should
+  // be shed this tick (also bumps telemetry_sheds).
+  bool shed_telemetry();
 
   sim::Kernel& kernel_;
   std::string gateway_id_;

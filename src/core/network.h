@@ -41,8 +41,9 @@ struct NetworkConfig {
   sim::LinkConfig backhaul = sim::fiber_backhaul();
   // Reliable-transport tuning for the control channels riding the backhaul
   // (AGW↔orchestrator, AGW↔OCS). The default is the RFC 6298 adaptive-RTO
-  // transport; benches flip adaptive_rto off to measure the fixed-RTO
-  // baseline.
+  // transport with NewReno congestion control, SACK, and TSopt timestamps
+  // all on; benches flip adaptive_rto / congestion_control / sack off to
+  // measure the fixed-RTO and cumulative-ACK baselines.
   net::ReliableConfig transport = {};
   bool with_ocs = false;
   std::string plmn = "00101";

@@ -285,6 +285,12 @@ void install_default_transport_rules(Metricsd& metricsd,
   metricsd.add_alert_rule(AlertRule{"transport_srtt_high", "transport_srtt_s",
                                     2.0 * srtt_baseline_s, true,
                                     AlertKind::kThreshold});
+  // transport_rto_at_cap counts retransmission timers that hit max_rto:
+  // growth means the gateway's control channel is backed off as far as it
+  // can go — the link is effectively dead even if resets haven't fired yet.
+  metricsd.add_alert_rule(AlertRule{"transport_rto_at_cap_growth",
+                                    "transport_rto_at_cap", 0.0, true,
+                                    AlertKind::kDelta});
 }
 
 std::vector<std::string> Metricsd::metric_names() const {

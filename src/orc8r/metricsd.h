@@ -141,8 +141,9 @@ class Metricsd {
   std::uint64_t alerts_fired_ = 0;
 };
 
-// Default alerting for the PR 1 transport gauges: pages on connection-reset
-// growth and on SRTT sitting above 2× the engineered path baseline.
+// Default alerting for the transport gauges: pages on connection-reset
+// growth, on SRTT sitting above 2× the engineered path baseline, and on
+// transport_rto_at_cap growth (a control channel stuck at max_rto backoff).
 // Installed by Orchestrator (and re-installed by core::Network with its
 // configured baseline); idempotent by rule name.
 void install_default_transport_rules(Metricsd& metricsd,

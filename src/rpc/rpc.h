@@ -79,6 +79,10 @@ class RpcNode {
   const RpcStats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
   sim::Kernel& kernel() { return kernel_; }
+  // Unacknowledged messages sitting in the underlying transport. Callers
+  // shipping best-effort traffic (metrics, events) consult this before
+  // piling more onto a congested channel.
+  std::size_t transport_backlog() const { return channel_.send_backlog(); }
 
   // --- tracing ------------------------------------------------------------
   // Once set, every call opens a client span (parented on the tracer's

@@ -208,6 +208,44 @@ TEST(TransportTelemetry, ControlChannelStatsReachMetricsd) {
   ASSERT_TRUE(
       metrics.latest("gw0", "transport_spurious_retransmits").has_value());
   ASSERT_TRUE(metrics.latest("gw0", "transport_send_failures").has_value());
+  // Congestion-control and SACK gauges flow too: the window is live (>= 1
+  // segment, bounded by the configured cap) and the flight never exceeds
+  // it; the reorder backlog gauge exists even when it reads zero.
+  const auto cwnd = metrics.latest("gw0", "transport_cwnd");
+  const auto flight = metrics.latest("gw0", "transport_flight_size");
+  ASSERT_TRUE(cwnd.has_value());
+  ASSERT_TRUE(flight.has_value());
+  EXPECT_GE(*cwnd, 1.0);
+  EXPECT_LE(*flight, *cwnd);
+  ASSERT_TRUE(metrics.latest("gw0", "transport_ssthresh").has_value());
+  ASSERT_TRUE(metrics.latest("gw0", "transport_sack_retransmits").has_value());
+  ASSERT_TRUE(metrics.latest("gw0", "transport_rto_at_cap").has_value());
+  ASSERT_TRUE(metrics.latest("gw0", "transport_reorder_backlog").has_value());
+  ASSERT_TRUE(metrics.latest("gw0", "transport_send_backlog").has_value());
+  ASSERT_TRUE(metrics.latest("gw0", "magmad_telemetry_sheds").has_value());
+}
+
+TEST_F(MagmadTest, BackpressureShedsTelemetryButNeverTheSync) {
+  // Force the shed path: with the threshold at zero every best-effort tick
+  // sees the channel as "already backlogged" and skips shipping. The config
+  // sync is exempt — it is the one RPC that must land — so the gateway
+  // still learns its subscribers while metrics and checkpoints yield.
+  agw::MagmadConfig config;
+  config.telemetry_backpressure = 0;
+  agw::Magmad magmad(kernel_, "gw0", &client_node_, subscribers_, policies_,
+                     [this]() { return checkpoint_payload_; },
+                     [this]() { return metrics_payload_; }, config);
+  orc8r_.add_subscriber(subscriber(1, "p"));
+  metrics_payload_ = {
+      orc8r::MetricSample{"gw0", "active_sessions", 1.0, kernel_.now()}};
+  magmad.start();
+  kernel_.run_until(3 * sim::kMinute);
+
+  EXPECT_GE(magmad.stats().config_syncs_applied, 1u);
+  EXPECT_TRUE(subscribers_.get(imsi(1)).has_value());
+  EXPECT_GT(magmad.stats().telemetry_sheds, 0u);
+  EXPECT_EQ(magmad.stats().metric_reports_sent, 0u);
+  EXPECT_EQ(magmad.stats().checkpoints_shipped, 0u);
 }
 
 }  // namespace

@@ -196,6 +196,22 @@ TEST(MetricsdAlerts, DefaultTransportRules) {
   }));
 }
 
+TEST(MetricsdAlerts, RtoAtCapGrowthPages) {
+  // A control channel whose retransmission timer keeps hitting max_rto is
+  // backed off as far as it can go: the default rules page on any growth of
+  // the transport_rto_at_cap counter, and quiesce when it stops moving.
+  Metricsd m;
+  install_default_transport_rules(m, 0.25);
+  m.ingest(sample("gw0", "transport_rto_at_cap", 0, 10));
+  EXPECT_TRUE(m.active_alerts().empty());
+  m.ingest(sample("gw0", "transport_rto_at_cap", 3, 20));
+  ASSERT_EQ(m.active_alerts().size(), 1u);
+  EXPECT_EQ(m.active_alerts()[0].rule, "transport_rto_at_cap_growth");
+  EXPECT_EQ(m.active_alerts()[0].gateway_id, "gw0");
+  m.ingest(sample("gw0", "transport_rto_at_cap", 3, 30));
+  EXPECT_TRUE(m.active_alerts().empty());
+}
+
 TEST(MetricsdRetention, PerSeriesCapDropsOldest) {
   Metricsd m;
   m.set_retention(3);

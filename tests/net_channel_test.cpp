@@ -199,6 +199,9 @@ TEST(ReliableChannel, KarnsRuleKeepsEstimatorCleanAcrossOutage) {
   DuplexLink path(h.kernel, h.rng, sim::lan_link());
   ReliableConfig config;
   config.max_retries = 20;
+  // Classic Karn mode: without timestamps, retransmitted segments are
+  // ambiguous and must never feed the estimator.
+  config.timestamps = false;
   ReliablePair pair = make_reliable_pair(h.kernel, path, config);
   pair.b->set_receiver([](Bytes) {});
 
@@ -229,6 +232,40 @@ TEST(ReliableChannel, KarnsRuleKeepsEstimatorCleanAcrossOutage) {
   EXPECT_EQ(pair.a->stats().rtt_samples, samples_before + 1);
 }
 
+TEST(ReliableChannel, TimestampsSampleRetransmittedSegments) {
+  // TSopt relaxes Karn's rule: the echoed tsval disambiguates which
+  // transmission an ACK answers, so even a retransmitted segment yields a
+  // clean RTT sample — and the estimator keeps moving through loss.
+  Harness h;
+  DuplexLink path(h.kernel, h.rng, sim::lan_link());
+  ReliableConfig config;
+  config.max_retries = 20;
+  config.timestamps = true;
+  ReliablePair pair = make_reliable_pair(h.kernel, path, config);
+  pair.b->set_receiver([](Bytes) {});
+
+  for (int i = 0; i < 20; ++i) {
+    h.kernel.schedule(i * 10 * sim::kMillisecond,
+                      [&pair]() { pair.a->send(to_bytes("warm")); });
+  }
+  h.kernel.run();
+  const std::uint64_t samples_before = pair.a->stats().rtt_samples;
+  ASSERT_GT(samples_before, 0u);
+  EXPECT_LT(pair.a->stats().srtt, 2 * sim::kMillisecond);
+
+  // Same outage shape as the Karn test above — but with timestamps, the
+  // post-outage delivery of the retransmitted segment DOES sample, and the
+  // sample reflects the final (fast) round trip, not the outage span.
+  path.forward.set_up(false);
+  pair.a->send(to_bytes("outage"));
+  h.kernel.run_until(h.kernel.now() + 3 * sim::kSecond);
+  path.forward.set_up(true);
+  h.kernel.run();
+  EXPECT_GT(pair.a->stats().retransmissions, 0u);
+  EXPECT_GT(pair.a->stats().rtt_samples, samples_before);
+  EXPECT_LT(pair.a->stats().srtt, 2 * sim::kMillisecond);
+}
+
 TEST(ReliableChannel, FastRetransmitOnThreeDupAcks) {
   Harness h;
   DuplexLink path(h.kernel, h.rng, sim::lan_link());
@@ -256,6 +293,63 @@ TEST(ReliableChannel, FastRetransmitOnThreeDupAcks) {
   EXPECT_EQ(pair.a->stats().retransmissions, 1u);
   // Recovery happened in a few link RTTs, far below the 10 s RTO.
   EXPECT_LT(h.kernel.now(), sim::kSecond);
+}
+
+TEST(ReliableChannel, SendBacklogTracksUnackedMessages) {
+  // send_backlog() is the backpressure signal callers above the transport
+  // (magmad's best-effort telemetry) consult: everything sent but not yet
+  // cumulatively acked, whether in flight or queued behind the window.
+  Harness h;
+  DuplexLink path(h.kernel, h.rng, sim::lan_link());
+  ReliableConfig config;
+  config.max_retries = 50;
+  ReliablePair pair = make_reliable_pair(h.kernel, path, config);
+  pair.b->set_receiver([](Bytes) {});
+
+  EXPECT_EQ(pair.a->send_backlog(), 0u);
+  path.forward.set_up(false);
+  for (int i = 0; i < 3; ++i) pair.a->send(to_bytes("m"));
+  EXPECT_EQ(pair.a->send_backlog(), 3u);
+  h.kernel.run_until(sim::kSecond);
+  EXPECT_EQ(pair.a->send_backlog(), 3u);  // outage: nothing acked
+
+  path.forward.set_up(true);
+  h.kernel.run();
+  EXPECT_EQ(pair.a->send_backlog(), 0u);  // drained once acks flow
+}
+
+TEST(ReliableChannel, PiggybackedAckBreaksAckLossWedge) {
+  // Asymmetric loss: a's DATA crosses fine, but every pure ACK b sends back
+  // dies on the reverse link. Without piggybacking, a's segment sits on RTO
+  // backoff even though it was delivered long ago. With it, b's own reverse
+  // DATA at t=1s carries the cumulative ack and unwedges a before the 5 s
+  // RTO ever fires — proving the piggyback path is the only rescuer here.
+  Harness h;
+  DuplexLink path(h.kernel, h.rng, sim::lan_link());
+  ReliableConfig config;
+  config.adaptive_rto = false;
+  config.initial_rto = 5 * sim::kSecond;
+  ReliablePair pair = make_reliable_pair(h.kernel, path, config);
+
+  std::vector<std::string> at_b, at_a;
+  pair.b->set_receiver([&](Bytes m) { at_b.push_back(to_string(m)); });
+  pair.a->set_receiver([&](Bytes m) { at_a.push_back(to_string(m)); });
+
+  path.reverse.set_up(false);  // b's pure ACK is lost
+  pair.a->send(to_bytes("request"));
+  h.kernel.run_until(sim::kSecond);
+  ASSERT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(pair.a->stats().messages_acked, 0u);
+
+  path.reverse.set_up(true);
+  pair.b->send(to_bytes("response"));  // DATA carrying ack=1 piggybacked
+  h.kernel.run();
+
+  EXPECT_EQ(pair.a->stats().messages_acked, 1u);
+  EXPECT_EQ(pair.a->stats().retransmissions, 0u);  // RTO never needed
+  ASSERT_EQ(at_a.size(), 1u);
+  EXPECT_EQ(at_a[0], "response");
+  EXPECT_LT(h.kernel.now(), 2 * sim::kSecond);  // far below the 5 s RTO
 }
 
 TEST(ReliableChannel, SendFailureHandlerReceivesEveryAbandonedMessage) {

@@ -75,6 +75,10 @@ TEST_P(ReliableChaosSweep, ExactlyOnceInOrderAndFullyAccounted) {
 
   net::ReliableConfig rel;
   rel.max_retries = static_cast<int>(2 + rng.uniform_int(4));
+  // Congestion control + SACK + timestamps stay on (the defaults) so the
+  // sweep exercises the full NewReno/SACK machinery; randomize the initial
+  // window so slow start begins from different points.
+  rel.initial_cwnd = 1 + rng.uniform_int(8);
   net::ReliablePair pair = net::make_reliable_pair(kernel, path, rel);
 
   std::vector<int> delivered;
@@ -130,6 +134,17 @@ TEST_P(ReliableChaosSweep, ExactlyOnceInOrderAndFullyAccounted) {
     EXPECT_TRUE(seen[static_cast<std::size_t>(i)]) << "message " << i
         << " vanished without delivery or failure";
   }
+
+  // Congestion invariants: every send decision respected flight <= cwnd
+  // (the channel counts violations so the check covers every decision, not
+  // just the final state), and the window never collapsed below 1 MSS.
+  EXPECT_EQ(tx.window_violations, 0u);
+  EXPECT_GE(tx.min_cwnd, 1u);
+  EXPECT_GE(tx.cwnd, 1u);
+  EXPECT_LE(tx.cwnd, rel.max_cwnd);
+  // Quiescent: nothing in flight once the kernel drained.
+  EXPECT_EQ(tx.flight_size, 0u);
+  EXPECT_EQ(rx.window_violations, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReliableChaosSweep,

@@ -167,6 +167,21 @@ int main() {
                                      sim::from_seconds(t + 10)) *
                       100);
     }
+
+    // Continuous profiler: what the overloaded AGW's CPU actually did, and
+    // how long control work sat in the run queue — the MME bottleneck of
+    // this figure, measured rather than inferred.
+    std::printf("\nPer-service on-CPU time over the overloaded run:\n");
+    for (const auto& [service, seconds] : agw.cpu().service_busy_seconds()) {
+      std::printf("%16s %10.2f s\n", service.c_str(), seconds);
+    }
+    const obs::Histogram& wait =
+        agw.cpu().queue_wait(sim::WorkClass::kControl);
+    std::printf("control run-queue wait: n=%llu p50=%.3fs p95=%.3fs "
+                "p99=%.3fs\n",
+                static_cast<unsigned long long>(wait.count()),
+                wait.quantile(0.50), wait.quantile(0.95),
+                wait.quantile(0.99));
   }
 
   // Per-stage attach latency: where the time goes inside a healthy AGW.

@@ -10,6 +10,8 @@
 // virtual AGW's user plane in the 5 CPU case and above").
 #include <cstdio>
 
+#include <map>
+
 #include "bench_util.h"
 
 using namespace magma;
@@ -19,7 +21,17 @@ namespace {
 constexpr int kTotalVcpus = 8;
 constexpr double kGeneratorCapBps = 2.5e9;  // Landslide limit from the paper
 
-double run_config(int user_cores, bool flexible, double* out_offered) {
+// Per-service on-CPU seconds over the measurement window (the continuous
+// profiler's attribution), plus the class-level total for the same window.
+struct CpuBreakdown {
+  std::map<std::string, double> service_busy_s;
+  double total_busy_s = 0;
+  double window_s = 0;
+  int cores = 0;
+};
+
+double run_config(int user_cores, bool flexible, double* out_offered,
+                  CpuBreakdown* out_breakdown = nullptr) {
   core::Network net(core::NetworkConfig{.seed = 11});
   agw::AccessGateway& agw =
       net.add_agw(agw::virtual_xeon(kTotalVcpus, flexible ? -1 : user_cores));
@@ -46,8 +58,26 @@ double run_config(int user_cores, bool flexible, double* out_offered) {
 
   const std::uint64_t fwd_before = agw.user_plane_stats().forwarded_bytes;
   const std::uint64_t off_before = agw.user_plane_stats().offered_bytes;
+  const std::map<std::string, double> svc_before =
+      agw.cpu().service_busy_seconds();
+  const double busy_before =
+      sim::to_seconds(agw.cpu().stats().busy_ns[0]) +
+      sim::to_seconds(agw.cpu().stats().busy_ns[1]);
   const double kMeasureSeconds = 20;
   net.run_for(sim::from_seconds(kMeasureSeconds));
+  if (out_breakdown != nullptr) {
+    out_breakdown->window_s = kMeasureSeconds;
+    out_breakdown->cores = agw.cpu().config().cores;
+    out_breakdown->total_busy_s =
+        sim::to_seconds(agw.cpu().stats().busy_ns[0]) +
+        sim::to_seconds(agw.cpu().stats().busy_ns[1]) - busy_before;
+    for (const auto& [service, seconds] : agw.cpu().service_busy_seconds()) {
+      const auto it = svc_before.find(service);
+      const double delta =
+          seconds - (it == svc_before.end() ? 0.0 : it->second);
+      if (delta > 0) out_breakdown->service_busy_s[service] = delta;
+    }
+  }
   if (out_offered != nullptr) {
     *out_offered =
         static_cast<double>(agw.user_plane_stats().offered_bytes - off_before) *
@@ -73,9 +103,11 @@ int main() {
   double tput_1 = 0;
   double tput_4 = 0;
   double tput_7 = 0;
+  CpuBreakdown saturated;
   for (int k = 1; k <= 7; ++k) {
     double offered = 0;
-    const double tput = run_config(k, false, &offered);
+    const double tput =
+        run_config(k, false, &offered, k == 1 ? &saturated : nullptr);
     std::printf("%16d %16.2f %14.2f\n", k, tput / 1e9, offered / 1e9);
     if (k == 1) tput_1 = tput;
     if (k == 4) tput_4 = tput;
@@ -85,6 +117,31 @@ int main() {
   const double tput_flex = run_config(0, true, &offered_flex);
   std::printf("%16s %16.2f %14.2f   (kernel-scheduled, no pinning)\n",
               "flexible", tput_flex / 1e9, offered_flex / 1e9);
+
+  // Continuous profiler: where the CPU time actually went in the saturated
+  // single-user-core configuration. Per-service attribution must sum to the
+  // measured class-level busy time (both are charged at task start).
+  std::printf("\nPer-service on-CPU breakdown at saturation (1 user core, "
+              "%.0f s window):\n", saturated.window_s);
+  double svc_sum = 0;
+  for (const auto& [service, seconds] : saturated.service_busy_s) {
+    std::printf("%16s %15.2f s %9.1f%% of busy\n", service.c_str(), seconds,
+                saturated.total_busy_s > 0
+                    ? 100.0 * seconds / saturated.total_busy_s
+                    : 0.0);
+    svc_sum += seconds;
+  }
+  const double util =
+      saturated.total_busy_s / (saturated.window_s * saturated.cores);
+  std::printf("%16s %15.2f s   (utilization %.1f%% of %d cores)\n", "total",
+              saturated.total_busy_s, 100.0 * util, saturated.cores);
+  const bool attributed =
+      saturated.total_busy_s > 0 &&
+      svc_sum > 0.99 * saturated.total_busy_s &&
+      svc_sum < 1.01 * saturated.total_busy_s;
+  std::printf("profiler attribution %s: per-service sum %.2f s vs measured "
+              "%.2f s\n", attributed ? "MATCHES" : "DIVERGES", svc_sum,
+              saturated.total_busy_s);
 
   // Shape checks: ~linear scaling in the unconstrained region; generator
   // cap binds for large allocations; flexible matches the best pinned.
@@ -96,5 +153,5 @@ int main() {
               "scheduling reaches the cap too\n",
               (linear && capped && flexible_good) ? "HOLDS" : "DIVERGES",
               tput_4 / tput_1);
-  return (linear && capped && flexible_good) ? 0 : 1;
+  return (linear && capped && flexible_good && attributed) ? 0 : 1;
 }

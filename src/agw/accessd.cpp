@@ -30,7 +30,15 @@ Accessd::Accessd(sim::Kernel& kernel, sim::CpuModel* cpu,
       policies_(policies),
       mobilityd_(mobilityd),
       sessiond_(sessiond),
-      config_(config) {}
+      config_(config) {
+  if (cpu_ != nullptr) {
+    label_begin_ = cpu_->intern_label("accessd", "begin_attach");
+    label_verify_ = cpu_->intern_label("accessd", "verify_auth");
+    label_establish_ = cpu_->intern_label("accessd", "establish");
+    label_detach_ = cpu_->intern_label("accessd", "detach");
+    label_resync_ = cpu_->intern_label("accessd", "resync_auth");
+  }
+}
 
 void Accessd::set_observability(obs::Tracer* tracer, std::string node) {
   tracer_ = tracer;
@@ -41,14 +49,17 @@ void Accessd::set_observability(obs::Tracer* tracer, std::string node) {
 // Control-plane work scheduling
 // ---------------------------------------------------------------------------
 
-void Accessd::submit_work(double cost, std::function<void()> logic,
+void Accessd::submit_work(sim::LabelId label, double cost,
+                          std::function<void()> logic,
                           std::function<void()> on_reject) {
+  obs::svc_request(status_);
   if (work_queue_.size() >= config_.max_queue) {
     ++stats_.overload_rejections;
+    obs::svc_error(status_, "control plane overloaded");
     if (on_reject) on_reject();
     return;
   }
-  work_queue_.push_back(Work{cost, std::move(logic)});
+  work_queue_.push_back(Work{label, cost, std::move(logic)});
   pump();
 }
 
@@ -63,11 +74,12 @@ void Accessd::pump() {
       pump();
     };
     if (cpu_ != nullptr) {
-      if (!cpu_->submit(sim::WorkClass::kControl, work.cost,
+      if (!cpu_->submit(sim::WorkClass::kControl, work.label, work.cost,
                         std::move(finish))) {
         // No control cores at all: reject rather than hang.
         --active_workers_;
         ++stats_.overload_rejections;
+        obs::svc_error(status_, "no control cores");
       }
     } else {
       kernel_.schedule(0, std::move(finish));
@@ -220,7 +232,7 @@ void Accessd::resync_auth(
     const common::Imsi& imsi, const std::array<std::uint8_t, 14>& auts,
     std::function<void(common::Result<AuthChallenge>)> done) {
   submit_work(
-      config_.cost_begin_attach,
+      label_resync_, config_.cost_begin_attach,
       [this, imsi, auts, done]() {
         auto it = contexts_.find(imsi);
         if (it == contexts_.end() || !it->second.has_vector) {
@@ -395,7 +407,7 @@ void Accessd::begin_attach(
     done(std::move(r));
   };
   submit_work(
-      config_.cost_begin_attach,
+      label_begin_, config_.cost_begin_attach,
       [this, imsi, rat, span, finish]() {
         obs::Tracer::Scope scope(tracer_, span);
         finish(do_begin(imsi, rat));
@@ -419,7 +431,7 @@ void Accessd::verify_auth(
     done(std::move(r));
   };
   submit_work(
-      config_.cost_verify_auth,
+      label_verify_, config_.cost_verify_auth,
       [this, imsi, copy = std::move(copy), span, finish]() {
         obs::Tracer::Scope scope(tracer_, span);
         finish(do_verify(imsi, copy));
@@ -442,7 +454,7 @@ void Accessd::establish(
     done(std::move(r));
   };
   submit_work(
-      config_.cost_establish,
+      label_establish_, config_.cost_establish,
       [this, req, span, finish]() {
         obs::Tracer::Scope scope(tracer_, span);
         do_establish(req, finish);
@@ -457,7 +469,7 @@ void Accessd::establish(
 void Accessd::detach(const common::Imsi& imsi,
                      std::function<void(common::Status)> done) {
   submit_work(
-      config_.cost_detach,
+      label_detach_, config_.cost_detach,
       [this, imsi, done]() {
         auto it = contexts_.find(imsi);
         if (it == contexts_.end()) {

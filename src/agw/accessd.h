@@ -31,6 +31,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "crypto/kdf.h"
+#include "obs/status.h"
 #include "obs/trace.h"
 #include "proto/lte/emm_fsm.h"
 #include "sim/cpu.h"
@@ -149,6 +150,10 @@ class Accessd {
   // attach root). `node` names this gateway in span records.
   void set_observability(obs::Tracer* tracer, std::string node);
 
+  // Service303 handle (optional): every public entry point counts a
+  // request; overload shedding counts an error.
+  void set_status(obs::Service303* status) { status_ = status; }
+
   // Attach-context state, for tests and the AGW checkpoint.
   std::optional<proto::lte::EmmState> ue_state(const common::Imsi& imsi) const;
   std::size_t pending_contexts() const { return contexts_.size(); }
@@ -166,8 +171,9 @@ class Accessd {
 
   // Control-plane work scheduling: at most `workers` items execute
   // concurrently; the rest wait FIFO. Each item charges `cost` to the CPU
-  // before its logic runs.
-  void submit_work(double cost, std::function<void()> logic,
+  // before its logic runs, attributed to `label` in the CPU profiler.
+  void submit_work(sim::LabelId label, double cost,
+                   std::function<void()> logic,
                    std::function<void()> on_reject);
   void pump();
 
@@ -198,6 +204,7 @@ class Accessd {
   std::uint32_t next_teid_ = 1;
 
   struct Work {
+    sim::LabelId label;
     double cost;
     std::function<void()> logic;
   };
@@ -208,6 +215,14 @@ class Accessd {
   AccessdStats stats_;
   obs::Tracer* tracer_ = nullptr;
   std::string node_;
+  obs::Service303* status_ = nullptr;
+  // Profiler labels for the per-stage CPU charges (interned once at
+  // construction when a CPU model is present).
+  sim::LabelId label_begin_ = sim::kUnattributed;
+  sim::LabelId label_verify_ = sim::kUnattributed;
+  sim::LabelId label_establish_ = sim::kUnattributed;
+  sim::LabelId label_detach_ = sim::kUnattributed;
+  sim::LabelId label_resync_ = sim::kUnattributed;
 };
 
 }  // namespace magma::agw

@@ -44,6 +44,25 @@ AccessGateway::AccessGateway(sim::Kernel& kernel, common::GatewayId id,
   accessd_ = std::make_unique<Accessd>(kernel_, &cpu_, subscriberdb_,
                                        policydb_, mobilityd_, *sessiond_,
                                        profile_.accessd);
+  // Health plane: every service registers with the gateway's Service303
+  // registry; magmad ships the snapshot inside each checkin.
+  svc_subscriberdb_ = &status_.register_service("subscriberdb");
+  svc_mobilityd_ = &status_.register_service("mobilityd");
+  svc_pipelined_ = &status_.register_service("pipelined");
+  svc_sessiond_ = &status_.register_service("sessiond");
+  svc_accessd_ = &status_.register_service("accessd");
+  svc_magmad_ = &status_.register_service("magmad");
+  obs::svc_phase(svc_magmad_, "headless");  // until connect_orchestrator
+  subscriberdb_.set_status(svc_subscriberdb_);
+  mobilityd_.set_status(svc_mobilityd_);
+  pipelined_.set_status(svc_pipelined_);
+  sessiond_->set_status(svc_sessiond_);
+  accessd_->set_status(svc_accessd_);
+  // Continuous profiler: attribute user-plane forwarding per direction.
+  label_forward_[static_cast<int>(datapath::Direction::kUplink)] =
+      cpu_.intern_label("pipelined", "forward_ul");
+  label_forward_[static_cast<int>(datapath::Direction::kDownlink)] =
+      cpu_.intern_label("pipelined", "forward_dl");
   lte_frontend_ = std::make_unique<LteFrontend>(kernel_, *accessd_,
                                                 *sessiond_, profile_.address);
   nr_frontend_ = std::make_unique<NrFrontend>(kernel_, *accessd_, *sessiond_,
@@ -111,7 +130,8 @@ void AccessGateway::start_service_loops() {
   });
 }
 
-void AccessGateway::connect_orchestrator(net::Channel& channel) {
+void AccessGateway::connect_orchestrator(net::Channel& channel,
+                                         MagmadConfig magmad_config) {
   control_transport_ = dynamic_cast<net::ReliableChannel*>(&channel);
   orc8r_node_ = std::make_unique<rpc::RpcNode>(kernel_, channel,
                                                id_.value + "-orc8r-client");
@@ -119,8 +139,10 @@ void AccessGateway::connect_orchestrator(net::Channel& channel) {
   magmad_ = std::make_unique<Magmad>(
       kernel_, id_.value, orc8r_node_.get(), subscriberdb_, policydb_,
       [this]() { return checkpoint(); },
-      [this]() { return telemetry_snapshot(); }, MagmadConfig{}, &events_,
-      [this]() { return histogram_snapshot(); });
+      [this]() { return telemetry_snapshot(); }, magmad_config, &events_,
+      [this]() { return histogram_snapshot(); },
+      [this]() { return status_.snapshot(); });
+  magmad_->set_status(svc_magmad_);
 }
 
 void AccessGateway::connect_ocs(net::Channel& channel) {
@@ -158,7 +180,7 @@ void AccessGateway::ingress(datapath::PacketBatch batch,
       static_cast<double>(count) * profile_.user_cost_per_packet;
   ++user_queue_depth_;
   const bool accepted = cpu_.submit(
-      sim::WorkClass::kUser, cost,
+      sim::WorkClass::kUser, label_forward_[static_cast<int>(dir)], cost,
       [this, batch = std::move(batch), dir, count]() mutable {
         --user_queue_depth_;
         datapath::PipelineResult result = pipelined_.pipeline().process_batch(
@@ -226,6 +248,7 @@ common::Status AccessGateway::restore(common::BytesView image) {
   // Take over the failed instance's address space and its assignments.
   profile_.ip_block = block;
   mobilityd_ = Mobilityd(block);
+  mobilityd_.set_status(svc_mobilityd_);
   for (const common::Imsi& imsi : sessiond_->active_imsis()) {
     const SessionRecord* session = sessiond_->find(imsi);
     if (session != nullptr) {
@@ -256,6 +279,18 @@ std::vector<orc8r::MetricSample> AccessGateway::telemetry_snapshot() {
   gauge("cpu_user_busy_s",
         sim::to_seconds(
             cpu_.stats().busy_ns[static_cast<int>(sim::WorkClass::kUser)]));
+  // Continuous profiler: cumulative on-CPU seconds per service and per
+  // core (the fig6/fig7 per-service breakdown, shipped continuously).
+  for (const auto& [service, seconds] : cpu_.service_busy_seconds()) {
+    gauge("cpu_service_busy_s_" + service, seconds);
+  }
+  {
+    const std::vector<sim::Duration> per_core = cpu_.core_busy_ns();
+    for (std::size_t core = 0; core < per_core.size(); ++core) {
+      gauge("cpu_core" + std::to_string(core) + "_busy_s",
+            sim::to_seconds(per_core[core]));
+    }
+  }
   const AccessdStats& acc = accessd_->stats();
   gauge("attaches_completed",
         static_cast<double>(acc.attach_completed[0] + acc.attach_completed[1] +
@@ -293,6 +328,8 @@ std::vector<orc8r::MetricSample> AccessGateway::telemetry_snapshot() {
           static_cast<double>(control_transport_->send_backlog()));
     gauge("magmad_telemetry_sheds",
           static_cast<double>(magmad_->stats().telemetry_sheds));
+    gauge("magmad_histogram_buckets_shipped",
+          static_cast<double>(magmad_->stats().histogram_buckets_shipped));
   }
   return samples;
 }
@@ -300,8 +337,8 @@ std::vector<orc8r::MetricSample> AccessGateway::telemetry_snapshot() {
 std::vector<orc8r::HistogramSnapshot> AccessGateway::histogram_snapshot()
     const {
   std::vector<orc8r::HistogramSnapshot> snapshots;
-  snapshots.reserve(latency_hist_.size());
-  for (const auto& [name, hist] : latency_hist_) {
+  snapshots.reserve(latency_hist_.size() + 2);
+  auto add = [&](const std::string& name, const obs::Histogram& hist) {
     orc8r::HistogramSnapshot snap;
     snap.gateway_id = id_.value;
     snap.name = name;
@@ -310,6 +347,15 @@ std::vector<orc8r::HistogramSnapshot> AccessGateway::histogram_snapshot()
     snap.sum = hist.sum();
     snap.time = kernel_.now();
     snapshots.push_back(std::move(snap));
+  };
+  for (const auto& [name, hist] : latency_hist_) add(name, hist);
+  // Profiler run-queue wait distributions (how long work sat runnable
+  // before a core picked it up — the queueing half of Figure 6's latency).
+  if (cpu_.queue_wait(sim::WorkClass::kControl).count() > 0) {
+    add("cpu_runq_wait_control_s", cpu_.queue_wait(sim::WorkClass::kControl));
+  }
+  if (cpu_.queue_wait(sim::WorkClass::kUser).count() > 0) {
+    add("cpu_runq_wait_user_s", cpu_.queue_wait(sim::WorkClass::kUser));
   }
   return snapshots;
 }

@@ -35,6 +35,7 @@
 #include "net/channel.h"
 #include "obs/events.h"
 #include "obs/histogram.h"
+#include "obs/status.h"
 #include "obs/trace.h"
 #include "rpc/rpc.h"
 #include "sim/cpu.h"
@@ -83,7 +84,10 @@ class AccessGateway {
   // --- wiring -------------------------------------------------------------
   // Give the AGW its control channel to the orchestrator (magmad's RPC
   // client rides on it). Call magmad().start() to begin the periodic loops.
-  void connect_orchestrator(net::Channel& channel);
+  // `magmad_config` tunes the periodic cadences (checkin interval must
+  // match what the orchestrator's statusd expects).
+  void connect_orchestrator(net::Channel& channel,
+                            MagmadConfig magmad_config = {});
   // Give sessiond its OCS channel (volume billing deployments only).
   void connect_ocs(net::Channel& channel);
   // Attach the (network-wide) tracer: instruments every service on this
@@ -116,6 +120,11 @@ class AccessGateway {
   obs::EventBuffer& events() { return events_; }
   obs::Tracer* tracer() { return tracer_; }
 
+  // Service303 registry: every service on this gateway registers at
+  // construction; magmad ships snapshot() inside each checkin.
+  obs::StatusRegistry& status() { return status_; }
+  const obs::StatusRegistry& status() const { return status_; }
+
   // --- component access -------------------------------------------------------
   const common::GatewayId& id() const { return id_; }
   const AgwProfile& profile() const { return profile_; }
@@ -142,6 +151,17 @@ class AccessGateway {
   AgwProfile profile_;
   sim::Rng rng_;
   sim::CpuModel cpu_;
+
+  obs::StatusRegistry status_{kernel_};
+  // Per-service Service303 handles (owned by status_; stable addresses).
+  obs::Service303* svc_subscriberdb_ = nullptr;
+  obs::Service303* svc_mobilityd_ = nullptr;
+  obs::Service303* svc_pipelined_ = nullptr;
+  obs::Service303* svc_sessiond_ = nullptr;
+  obs::Service303* svc_accessd_ = nullptr;
+  obs::Service303* svc_magmad_ = nullptr;
+  // User-plane profiler labels (pipelined/forward_ul, pipelined/forward_dl).
+  sim::LabelId label_forward_[2] = {sim::kUnattributed, sim::kUnattributed};
 
   SubscriberDb subscriberdb_;
   PolicyDb policydb_;

@@ -12,7 +12,8 @@ Magmad::Magmad(sim::Kernel& kernel, std::string gateway_id,
                std::function<std::vector<orc8r::MetricSample>()> metric_source,
                MagmadConfig config, obs::EventBuffer* events,
                std::function<std::vector<orc8r::HistogramSnapshot>()>
-                   histogram_source)
+                   histogram_source,
+               std::function<std::vector<obs::ServiceStatus>()> status_source)
     : kernel_(kernel),
       gateway_id_(std::move(gateway_id)),
       orc8r_(orc8r),
@@ -22,7 +23,18 @@ Magmad::Magmad(sim::Kernel& kernel, std::string gateway_id,
       metric_source_(std::move(metric_source)),
       config_(config),
       events_(events),
-      histogram_source_(std::move(histogram_source)) {}
+      histogram_source_(std::move(histogram_source)),
+      status_source_(std::move(status_source)) {}
+
+void Magmad::set_status(obs::Service303* status) {
+  status_ = status;
+  obs::svc_phase(status_, reachable_ ? "connected" : "headless");
+}
+
+void Magmad::set_reachable(bool up) {
+  reachable_ = up;
+  obs::svc_phase(status_, up ? "connected" : "headless");
+}
 
 void Magmad::start() {
   if (started_ || orc8r_ == nullptr) return;
@@ -49,19 +61,25 @@ void Magmad::sync_config_now(std::function<void(bool)> done) {
   orc8r::GetUpdatesRequest req;
   req.gateway_id = gateway_id_;
   req.have_version = synced_version_;
+  obs::svc_request(status_);
   orc8r_->call(
       orc8r::kStreamerService, orc8r::kGetUpdates, req.serialize(),
       config_.sync_rpc_deadline, [this, done](rpc::Result<rpc::Bytes> result) {
         if (!result.ok()) {
           ++stats_.sync_failures;
-          reachable_ = false;
+          if (result.error().code == rpc::ErrorCode::kDeadlineExceeded) {
+            obs::svc_deadline(status_);
+          }
+          obs::svc_error(status_, "config sync: " + result.error().message);
+          set_reachable(false);
           if (done) done(false);
           return;
         }
-        reachable_ = true;
+        set_reachable(true);
         auto state = orc8r::DesiredState::deserialize(result.value());
         if (!state.ok()) {
           ++stats_.sync_failures;
+          obs::svc_error(status_, "config sync: " + state.error().message);
           if (done) done(false);
           return;
         }
@@ -84,15 +102,26 @@ void Magmad::checkin_tick() {
   rpc::Writer w;
   w.str(gateway_id_);
   w.str("agw");
+  // The heartbeat carries the gateway's Service303 snapshot — orc8r statusd
+  // keys gateway health off these arriving on time.
+  w.bytes(obs::encode_gateway_status(
+      status_source_ ? status_source_() : std::vector<obs::ServiceStatus>{}));
+  obs::svc_request(status_);
   orc8r_->call(orc8r::kBootstrapperService, orc8r::kCheckin,
                std::move(w).take(), config_.rpc_deadline,
                [this](rpc::Result<rpc::Bytes> result) {
                  if (result.ok()) {
                    ++stats_.checkins_ok;
-                   reachable_ = true;
+                   set_reachable(true);
                  } else {
                    ++stats_.checkin_failures;
-                   reachable_ = false;
+                   if (result.error().code ==
+                       rpc::ErrorCode::kDeadlineExceeded) {
+                     obs::svc_deadline(status_);
+                   }
+                   obs::svc_error(status_,
+                                  "checkin: " + result.error().message);
+                   set_reachable(false);
                  }
                });
   kernel_.schedule(config_.checkin_interval, [this]() { checkin_tick(); });
@@ -106,6 +135,49 @@ bool Magmad::shed_telemetry() {
   return true;
 }
 
+std::vector<orc8r::HistogramSnapshot> Magmad::prepare_histogram_report(
+    std::vector<orc8r::HistogramSnapshot> full) {
+  std::vector<orc8r::HistogramSnapshot> out;
+  out.reserve(full.size());
+  for (orc8r::HistogramSnapshot& snapshot : full) {
+    auto it = last_shipped_counts_.find(snapshot.name);
+    if (it == last_shipped_counts_.end() ||
+        it->second.size() != snapshot.counts.size()) {
+      // First sight of this histogram (or a bucket-layout change): ship the
+      // full snapshot so metricsd has a base for later deltas.
+      ++stats_.histogram_full_snapshots;
+      stats_.histogram_buckets_shipped += snapshot.counts.size();
+      last_shipped_counts_[snapshot.name] = snapshot.counts;
+      out.push_back(std::move(snapshot));
+      continue;
+    }
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> changed;
+    for (std::size_t i = 0; i < snapshot.counts.size(); ++i) {
+      if (snapshot.counts[i] != it->second[i]) {
+        changed.emplace_back(static_cast<std::uint32_t>(i),
+                             snapshot.counts[i]);
+      }
+    }
+    if (changed.empty()) {
+      // Nothing observed since the last report — ship nothing at all.
+      ++stats_.histogram_unchanged_skips;
+      continue;
+    }
+    ++stats_.histogram_delta_snapshots;
+    stats_.histogram_buckets_shipped += changed.size();
+    it->second = snapshot.counts;
+    orc8r::HistogramSnapshot delta;
+    delta.gateway_id = std::move(snapshot.gateway_id);
+    delta.name = std::move(snapshot.name);
+    delta.sum = snapshot.sum;
+    delta.time = snapshot.time;
+    delta.delta = true;
+    delta.changed = std::move(changed);
+    out.push_back(std::move(delta));
+  }
+  return out;
+}
+
 void Magmad::metrics_tick() {
   if (shed_telemetry()) {
     kernel_.schedule(config_.metrics_interval, [this]() { metrics_tick(); });
@@ -115,6 +187,7 @@ void Magmad::metrics_tick() {
   if (!samples.empty()) {
     // Best effort (§3.4 metrics state): one attempt, short deadline, losses
     // tolerated.
+    obs::svc_request(status_);
     orc8r_->call(orc8r::kMetricsService, orc8r::kReportMetrics,
                  orc8r::encode_metric_report(samples), config_.rpc_deadline,
                  [this](rpc::Result<rpc::Bytes> result) {
@@ -126,8 +199,10 @@ void Magmad::metrics_tick() {
                  });
   }
   if (histogram_source_) {
-    const std::vector<orc8r::HistogramSnapshot> snapshots = histogram_source_();
+    std::vector<orc8r::HistogramSnapshot> snapshots =
+        prepare_histogram_report(histogram_source_());
     if (!snapshots.empty()) {
+      obs::svc_request(status_);
       orc8r_->call(orc8r::kMetricsService, orc8r::kReportHistograms,
                    orc8r::encode_histogram_report(snapshots),
                    config_.rpc_deadline,
@@ -136,6 +211,9 @@ void Magmad::metrics_tick() {
                        ++stats_.histogram_reports_sent;
                      } else {
                        ++stats_.histogram_reports_lost;
+                       // Metricsd may have missed the base these deltas were
+                       // built on — re-ship everything full next tick.
+                       last_shipped_counts_.clear();
                      }
                    });
     }
@@ -156,7 +234,9 @@ void Magmad::event_tick() {
     if (batch.empty()) break;
     const std::size_t count = batch.size();
     // Parent the shipping RPC under the first traced event so the eventd
-    // leg shows up in that attach's span tree.
+    // leg shows up in that attach's span tree — and span-link every other
+    // traced event in the batch onto the shipping span, so a batch carrying
+    // N traces connects all N to this one RPC instead of only the first.
     obs::TraceContext parent{};
     for (const obs::Event& e : batch) {
       if (e.trace.valid()) {
@@ -164,19 +244,31 @@ void Magmad::event_tick() {
         break;
       }
     }
-    const obs::Tracer::Scope scope(orc8r_->tracer(), parent);
-    // Best effort, like metrics: one attempt, losses counted, nothing
-    // re-queued (re-queueing under backhaul loss would just churn the
-    // bounded buffer).
-    orc8r_->call(orc8r::kEventService, orc8r::kLogEvents,
-                 obs::encode_event_report(batch), config_.rpc_deadline,
-                 [this, count](rpc::Result<rpc::Bytes> result) {
-                   if (result.ok()) {
-                     stats_.events_shipped += count;
-                   } else {
-                     stats_.events_lost += count;
-                   }
-                 });
+    obs::TraceContext ship{};
+    obs::Tracer* tracer = orc8r_->tracer();
+    if (tracer != nullptr && parent.valid()) {
+      ship = tracer->begin("ship_events", "magmad", gateway_id_,
+                           obs::SpanKind::kInternal, parent);
+      for (const obs::Event& e : batch) {
+        if (e.trace.valid()) obs::link_span(tracer, ship, e.trace);
+      }
+    }
+    {
+      const obs::Tracer::Scope scope(tracer, ship.valid() ? ship : parent);
+      // Best effort, like metrics: one attempt, losses counted, nothing
+      // re-queued (re-queueing under backhaul loss would just churn the
+      // bounded buffer).
+      orc8r_->call(orc8r::kEventService, orc8r::kLogEvents,
+                   obs::encode_event_report(batch), config_.rpc_deadline,
+                   [this, count](rpc::Result<rpc::Bytes> result) {
+                     if (result.ok()) {
+                       stats_.events_shipped += count;
+                     } else {
+                       stats_.events_lost += count;
+                     }
+                   });
+    }
+    obs::end_span(tracer, ship);
   }
   // Catch-up cadence: a buffer that still holds events (deep post-outage
   // backlog, or a congested channel we are shedding around) is re-checked
@@ -197,6 +289,7 @@ void Magmad::checkpoint_tick() {
   rpc::Writer w;
   w.str(gateway_id_);
   w.bytes(checkpoint_source_());
+  obs::svc_request(status_);
   orc8r_->call(orc8r::kStateService, orc8r::kReportCheckpoint,
                std::move(w).take(), config_.rpc_deadline,
                [this](rpc::Result<rpc::Bytes> result) {

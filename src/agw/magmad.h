@@ -31,9 +31,12 @@
 #include <string>
 #include <vector>
 
+#include <map>
+
 #include "agw/policydb.h"
 #include "agw/subscriberdb.h"
 #include "obs/events.h"
+#include "obs/status.h"
 #include "orc8r/metricsd.h"
 #include "orc8r/streamer.h"
 #include "rpc/rpc.h"
@@ -75,6 +78,14 @@ struct MagmadStats {
   std::uint64_t checkpoint_failures = 0;
   std::uint64_t histogram_reports_sent = 0;
   std::uint64_t histogram_reports_lost = 0;
+  // Buckets actually put on the wire (full snapshots count every bucket,
+  // deltas only the changed ones, unchanged histograms nothing) — the gauge
+  // that proves delta shipping's reduction.
+  std::uint64_t histogram_buckets_shipped = 0;
+  // Delta bookkeeping: full snapshots vs deltas vs unchanged-skips.
+  std::uint64_t histogram_full_snapshots = 0;
+  std::uint64_t histogram_delta_snapshots = 0;
+  std::uint64_t histogram_unchanged_skips = 0;
   std::uint64_t events_shipped = 0;
   std::uint64_t events_lost = 0;
   // Best-effort ticks that skipped shipping because the control channel was
@@ -92,14 +103,21 @@ class Magmad {
   // `metric_source` returns the current telemetry snapshot.
   // `events` (optional) is the gateway's structured-event buffer, drained
   // periodically toward eventd; `histogram_source` (optional) returns the
-  // gateway's latency-histogram snapshots, shipped with each metrics tick.
+  // gateway's latency-histogram snapshots, shipped with each metrics tick;
+  // `status_source` (optional) returns the gateway's Service303 registry
+  // snapshot, shipped inside each checkin (the health plane's payload).
   Magmad(sim::Kernel& kernel, std::string gateway_id, rpc::RpcNode* orc8r,
          SubscriberDb& subscribers, PolicyDb& policies,
          std::function<common::Bytes()> checkpoint_source,
          std::function<std::vector<orc8r::MetricSample>()> metric_source,
          MagmadConfig config = {}, obs::EventBuffer* events = nullptr,
          std::function<std::vector<orc8r::HistogramSnapshot>()>
-             histogram_source = {});
+             histogram_source = {},
+         std::function<std::vector<obs::ServiceStatus>()> status_source = {});
+
+  // magmad's own Service303 handle (phase tracks orchestrator reachability;
+  // requests/errors/deadlines count its southbound RPC outcomes).
+  void set_status(obs::Service303* status);
 
   // Begin the periodic loops (idempotent).
   void start();
@@ -120,6 +138,13 @@ class Magmad {
   // True when the control channel backlog says best-effort traffic should
   // be shed this tick (also bumps telemetry_sheds).
   bool shed_telemetry();
+  // Track orchestrator reachability (and mirror it into the Service303
+  // phase: "connected" / "headless").
+  void set_reachable(bool up);
+  // Full/delta/skip decision per histogram vs last_shipped_counts_; bumps
+  // the shipping stats.
+  std::vector<orc8r::HistogramSnapshot> prepare_histogram_report(
+      std::vector<orc8r::HistogramSnapshot> full);
 
   sim::Kernel& kernel_;
   std::string gateway_id_;
@@ -131,6 +156,13 @@ class Magmad {
   MagmadConfig config_;
   obs::EventBuffer* events_;
   std::function<std::vector<orc8r::HistogramSnapshot>()> histogram_source_;
+  std::function<std::vector<obs::ServiceStatus>()> status_source_;
+  obs::Service303* status_ = nullptr;
+
+  // Delta shipping: counts as of the last report put on the wire, per
+  // histogram name. Cleared on a lost report so the next tick re-ships full
+  // (metricsd may have missed the base the deltas build on).
+  std::map<std::string, std::vector<std::uint64_t>> last_shipped_counts_;
 
   bool started_ = false;
   bool reachable_ = false;

@@ -7,6 +7,7 @@ Mobilityd::Mobilityd(IpBlock block, sim::Duration quarantine)
 
 common::Result<common::Ipv4> Mobilityd::allocate(const common::Imsi& imsi,
                                                  sim::TimePoint now) {
+  obs::svc_request(status_);
   // Re-attach with an existing allocation keeps the same address (the UE's
   // session is simply re-established).
   if (auto it = by_imsi_.find(imsi); it != by_imsi_.end()) {
@@ -22,6 +23,7 @@ common::Result<common::Ipv4> Mobilityd::allocate(const common::Imsi& imsi,
     addr = released_.front().first;
     released_.pop_front();
   } else {
+    obs::svc_error(status_, "IP block exhausted");
     return common::Error{common::ErrorCode::kResourceExhausted,
                          "IP block exhausted"};
   }
@@ -33,6 +35,7 @@ common::Result<common::Ipv4> Mobilityd::allocate(const common::Imsi& imsi,
 
 common::Status Mobilityd::release(const common::Imsi& imsi,
                                   sim::TimePoint now) {
+  obs::svc_request(status_);
   auto it = by_imsi_.find(imsi);
   if (it == by_imsi_.end()) {
     return common::Error{common::ErrorCode::kNotFound, "no allocation"};
@@ -44,12 +47,15 @@ common::Status Mobilityd::release(const common::Imsi& imsi,
 }
 
 common::Status Mobilityd::adopt(const common::Imsi& imsi, common::Ipv4 ip) {
+  obs::svc_request(status_);
   if (ip.addr <= block_.base.addr ||
       ip.addr > block_.base.addr + block_.capacity()) {
+    obs::svc_error(status_, "address outside block");
     return common::Error{common::ErrorCode::kInvalidArgument,
                          "address outside block"};
   }
   if (auto it = by_ip_.find(ip); it != by_ip_.end() && !(it->second == imsi)) {
+    obs::svc_error(status_, "address held by another subscriber");
     return common::Error{common::ErrorCode::kAlreadyExists,
                          "address held by another subscriber"};
   }

@@ -15,6 +15,7 @@
 
 #include "common/ids.h"
 #include "common/result.h"
+#include "obs/status.h"
 #include "sim/time.h"
 
 namespace magma::agw {
@@ -46,7 +47,12 @@ class Mobilityd {
   std::size_t allocated() const { return by_imsi_.size(); }
   const IpBlock& block() const { return block_; }
 
+  // Service303 handle (optional): allocate/release/adopt count requests and
+  // errors. Re-set after restore() replaces the Mobilityd instance.
+  void set_status(obs::Service303* status) { status_ = status; }
+
  private:
+  obs::Service303* status_ = nullptr;
   IpBlock block_;
   sim::Duration quarantine_;
   std::uint32_t next_fresh_ = 1;  // host part of next never-used address

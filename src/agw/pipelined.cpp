@@ -56,6 +56,7 @@ Pipelined::Pipelined() = default;
 
 common::Status Pipelined::install_session(const SessionFlows& flows,
                                           sim::TimePoint now) {
+  obs::svc_request(status_);
   if (auto it = sessions_.find(flows.cookie); it != sessions_.end()) {
     if (it->second == flows) return common::Status::Ok();  // idempotent
     // Changed spec: reinstall below.
@@ -208,6 +209,7 @@ common::Status Pipelined::install_session(const SessionFlows& flows,
 }
 
 common::Status Pipelined::remove_session(std::uint64_t cookie) {
+  obs::svc_request(status_);
   auto it = sessions_.find(cookie);
   if (it == sessions_.end()) {
     return common::Error{common::ErrorCode::kNotFound, "no such session"};
@@ -235,6 +237,7 @@ std::vector<std::uint64_t> Pipelined::installed_cookies() const {
 
 void Pipelined::set_desired_sessions(
     const std::vector<SessionFlows>& sessions, sim::TimePoint now) {
+  obs::svc_request(status_);
   ++stats_.reconciliations;
   // Remove sessions not in the desired set (or whose spec changed).
   std::unordered_map<std::uint64_t, const SessionFlows*> desired;

@@ -23,6 +23,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "datapath/pipeline.h"
+#include "obs/status.h"
 
 namespace magma::agw {
 
@@ -91,6 +92,10 @@ class Pipelined {
 
   const PipelinedStats& stats() const { return stats_; }
 
+  // Service303 handle (optional): rule CRUD and reconciliations count
+  // requests and errors.
+  void set_status(obs::Service303* status) { status_ = status; }
+
   // High bit marks auxiliary (block) rules owned by a session but excluded
   // from its usage counters.
   static constexpr std::uint64_t kBlockCookieFlag = 1ull << 63;
@@ -106,6 +111,7 @@ class Pipelined {
   datapath::Pipeline pipeline_;
   std::unordered_map<std::uint64_t, SessionFlows> sessions_;
   PipelinedStats stats_;
+  obs::Service303* status_ = nullptr;
 };
 
 }  // namespace magma::agw

@@ -61,11 +61,13 @@ void Sessiond::set_observability(obs::Tracer* tracer, std::string node) {
 
 common::Result<common::SessionId> Sessiond::create_session(
     const CreateRequest& req) {
+  obs::svc_request(status_);
   const obs::TraceContext span =
       obs::begin_span(tracer_, "create_session", "sessiond", node_);
   const obs::Tracer::Scope scope(tracer_, span);
   auto result = do_create_session(req);
   if (!result.ok()) {
+    obs::svc_error(status_, result.error().message);
     obs::tag_span(tracer_, span, "error", result.error().message);
   }
   obs::end_span(tracer_, span);
@@ -125,6 +127,7 @@ common::Result<common::SessionId> Sessiond::do_create_session(
 }
 
 common::Status Sessiond::end_session(const common::Imsi& imsi) {
+  obs::svc_request(status_);
   auto it = by_imsi_.find(imsi);
   if (it == by_imsi_.end()) {
     return common::Error{common::ErrorCode::kNotFound, "no session"};
@@ -157,8 +160,10 @@ common::Status Sessiond::end_session(const common::Imsi& imsi) {
 common::Status Sessiond::update_bearer(const common::Imsi& imsi,
                                        common::Teid enb_teid_dl,
                                        common::Ipv4 enb_address) {
+  obs::svc_request(status_);
   auto it = by_imsi_.find(imsi);
   if (it == by_imsi_.end()) {
+    obs::svc_error(status_, "update_bearer: no session");
     return common::Error{common::ErrorCode::kNotFound, "no session"};
   }
   SessionFlows desired = it->second.flows;
@@ -170,6 +175,7 @@ common::Status Sessiond::update_bearer(const common::Imsi& imsi,
 }
 
 common::Status Sessiond::set_idle(const common::Imsi& imsi, bool idle) {
+  obs::svc_request(status_);
   auto it = by_imsi_.find(imsi);
   if (it == by_imsi_.end()) {
     return common::Error{common::ErrorCode::kNotFound, "no session"};

@@ -24,6 +24,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "core/policy.h"
+#include "obs/status.h"
 #include "obs/trace.h"
 #include "rpc/rpc.h"
 #include "sim/kernel.h"
@@ -79,6 +80,10 @@ class Sessiond {
   // Tracing (optional): session creation and flow installation emit spans
   // parented on the caller's current context.
   void set_observability(obs::Tracer* tracer, std::string node);
+
+  // Service303 handle (optional): session lifecycle calls count requests
+  // and errors.
+  void set_status(obs::Service303* status) { status_ = status; }
 
   struct CreateRequest {
     common::Imsi imsi;
@@ -141,6 +146,7 @@ class Sessiond {
   SessiondStats stats_;
   obs::Tracer* tracer_ = nullptr;
   std::string node_;
+  obs::Service303* status_ = nullptr;
 };
 
 }  // namespace magma::agw

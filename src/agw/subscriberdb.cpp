@@ -111,9 +111,11 @@ void SubscriberDb::replace_all(const std::vector<SubscriberData>& data) {
 
 common::Result<AuthVector> SubscriberDb::generate_auth_vector(
     const common::Imsi& imsi) {
+  obs::svc_request(status_);
   auto it = subscribers_.find(imsi);
   if (it == subscribers_.end()) {
     ++stats_.misses;
+    obs::svc_error(status_, "unknown subscriber");
     return common::Error{common::ErrorCode::kNotFound,
                          "unknown subscriber " + imsi.value};
   }
@@ -156,8 +158,10 @@ common::Result<AuthVector> SubscriberDb::generate_auth_vector(
 common::Status SubscriberDb::resync(const common::Imsi& imsi,
                                     const std::array<std::uint8_t, 14>& auts,
                                     const std::array<std::uint8_t, 16>& rand) {
+  obs::svc_request(status_);
   auto it = subscribers_.find(imsi);
   if (it == subscribers_.end()) {
+    obs::svc_error(status_, "unknown subscriber");
     return common::Error{common::ErrorCode::kNotFound, "unknown subscriber"};
   }
   SubscriberData& sub = it->second;

@@ -28,6 +28,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "crypto/kdf.h"
+#include "obs/status.h"
 #include "crypto/milenage.h"
 #include "store/state_store.h"
 
@@ -91,6 +92,10 @@ class SubscriberDb {
 
   const SubscriberDbStats& stats() const { return stats_; }
 
+  // Service303 handle (optional): vector generation and resyncs count
+  // requests and errors.
+  void set_status(obs::Service303* status) { status_ = status; }
+
   // Serialize the full cache (for orchestrator→AGW sync payloads and AGW
   // checkpoints).
   common::Bytes snapshot() const;
@@ -101,6 +106,7 @@ class SubscriberDb {
   crypto::ServingNetwork sn_;
   std::unordered_map<common::Imsi, SubscriberData> subscribers_;
   SubscriberDbStats stats_;
+  obs::Service303* status_ = nullptr;
 };
 
 // Expected RES for a given vector (what the USIM in the UE computes); used

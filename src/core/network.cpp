@@ -13,6 +13,12 @@ Network::Network(NetworkConfig config)
   // SRTT baseline (idempotent by rule name).
   orc8r::install_default_transport_rules(orchestrator_->metrics(),
                                          config_.srtt_alert_baseline_s);
+  // Gateway health plane: judge checkin freshness against the cadence the
+  // AGWs are actually configured with, and start the periodic sweep.
+  orc8r::StatusdConfig statusd = config_.statusd;
+  statusd.checkin_interval = config_.magmad.checkin_interval;
+  orchestrator_->statusd().configure(statusd);
+  orchestrator_->statusd().start();
   if (config_.with_ocs) ocs_ = std::make_unique<ocs::Ocs>();
   add_policy(unlimited_policy());
 }
@@ -55,7 +61,7 @@ agw::AccessGateway& Network::add_agw(
   node->orc8r_server->set_tracer(&tracer_, "orc8r");
   orchestrator_->bind(*node->orc8r_server);
   node->agw->set_tracer(&tracer_);
-  node->agw->connect_orchestrator(*node->control.b);
+  node->agw->connect_orchestrator(*node->control.b, config_.magmad);
   orchestrator_->register_gateway("gw" + std::to_string(index), profile.name);
 
   if (ocs_) {

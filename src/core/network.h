@@ -51,6 +51,12 @@ struct NetworkConfig {
   // when the measured SRTT sits above 2× this (satellite deployments raise
   // it).
   double srtt_alert_baseline_s = 0.25;
+  // magmad periodic cadences, applied to every AGW added to this network.
+  agw::MagmadConfig magmad = {};
+  // Gateway health plane (orc8r statusd): missed-checkin thresholds. The
+  // checkin_interval field is overridden with magmad.checkin_interval so
+  // freshness is judged against the cadence gateways actually use.
+  orc8r::StatusdConfig statusd = {};
 };
 
 class Network {

@@ -101,6 +101,18 @@ std::string export_chrome_trace(const Tracer& tracer, std::uint64_t trace_id) {
     out += ",\"args\":{\"trace_id\":" + std::to_string(span.trace_id);
     out += ",\"span_id\":" + std::to_string(span.span_id);
     out += ",\"parent_span_id\":" + std::to_string(span.parent_span_id);
+    if (span.error) out += ",\"error\":true";
+    if (!span.links.empty()) {
+      // Span links as "trace:span" pairs — enough to jump to the linked
+      // trace in the viewer's args panel.
+      std::string links;
+      for (const TraceContext& l : span.links) {
+        if (!links.empty()) links += ' ';
+        links += std::to_string(l.trace_id) + ':' + std::to_string(l.span_id);
+      }
+      out += ",\"links\":";
+      append_json_string(out, links);
+    }
     for (const auto& [key, value] : span.tags) {
       out += ',';
       append_json_string(out, key);

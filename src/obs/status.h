@@ -1,0 +1,111 @@
+// Service303-style status registry — the per-service introspection plane.
+//
+// Real Magma exposes a common "Service303" gRPC interface on every service
+// (magmad polls it to supervise the gateway, and the orchestrator's statusd
+// aggregates it per device). This is the simulator's equivalent: every AGW
+// and orc8r service registers with its host's StatusRegistry and keeps a
+// small ServiceStatus current — uptime, state-machine phase, per-RPC
+// request/error/deadline counters, and the last error seen. magmad snapshots
+// the registry into each periodic checkin; orc8r::Statusd consumes the
+// snapshots and drives the gateway health state machine.
+//
+// The handle model mirrors the Tracer* convention: services hold a
+// `Service303*` that is null in unit tests, and call through the null-safe
+// free helpers so instrumentation costs nothing when unwired.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "sim/kernel.h"
+#include "sim/time.h"
+
+namespace magma::obs {
+
+struct ServiceStatus {
+  std::string service;
+  std::string phase = "running";  // service-defined state-machine phase
+  sim::Duration uptime = 0;       // filled at snapshot time
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t deadlines = 0;  // RPCs abandoned on deadline
+  std::string last_error;
+  sim::TimePoint last_error_time = -1;  // -1: never errored
+};
+
+// Checkin payload codec: the vector of service statuses magmad ships inside
+// each heartbeat. Fail-soft like every other wire codec (fuzzed in
+// tests/fuzz_codec_test.cpp).
+common::Bytes encode_gateway_status(const std::vector<ServiceStatus>& services);
+common::Result<std::vector<ServiceStatus>> decode_gateway_status(
+    common::BytesView data);
+
+// The per-service handle. Obtained from (and owned by) a StatusRegistry;
+// addresses are stable for the registry's lifetime.
+class Service303 {
+ public:
+  void set_phase(std::string phase) { status_.phase = std::move(phase); }
+  void count_request(std::uint64_t n = 1) { status_.requests += n; }
+  void count_error(std::string_view message) {
+    ++status_.errors;
+    status_.last_error.assign(message);
+    status_.last_error_time = kernel_.now();
+  }
+  void count_deadline() { ++status_.deadlines; }
+  const ServiceStatus& status() const { return status_; }
+
+ private:
+  friend class StatusRegistry;
+  Service303(sim::Kernel& kernel, std::string service)
+      : kernel_(kernel), registered_at_(kernel.now()) {
+    status_.service = std::move(service);
+  }
+
+  sim::Kernel& kernel_;
+  sim::TimePoint registered_at_;
+  ServiceStatus status_;
+};
+
+class StatusRegistry {
+ public:
+  explicit StatusRegistry(sim::Kernel& kernel) : kernel_(kernel) {}
+  StatusRegistry(const StatusRegistry&) = delete;
+  StatusRegistry& operator=(const StatusRegistry&) = delete;
+
+  // Idempotent: registering the same name twice returns the same handle
+  // (a restored service keeps its counters — uptime measures the registry
+  // entry, the paper's "process supervised since").
+  Service303& register_service(const std::string& service);
+
+  // Statuses in name order, with uptimes computed as of now.
+  std::vector<ServiceStatus> snapshot() const;
+  const Service303* find(const std::string& service) const;
+  std::size_t size() const { return services_.size(); }
+
+ private:
+  sim::Kernel& kernel_;
+  // unique_ptr: handle addresses must survive rehash/insert.
+  std::map<std::string, std::unique_ptr<Service303>> services_;
+};
+
+// Null-safe helpers (the instrumentation sites' API).
+inline void svc_phase(Service303* s, std::string phase) {
+  if (s != nullptr) s->set_phase(std::move(phase));
+}
+inline void svc_request(Service303* s, std::uint64_t n = 1) {
+  if (s != nullptr) s->count_request(n);
+}
+inline void svc_error(Service303* s, std::string_view message) {
+  if (s != nullptr) s->count_error(message);
+}
+inline void svc_deadline(Service303* s) {
+  if (s != nullptr) s->count_deadline();
+}
+
+}  // namespace magma::obs

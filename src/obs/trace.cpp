@@ -38,7 +38,15 @@ TraceContext Tracer::begin(std::string name, std::string service,
 void Tracer::tag(TraceContext span, std::string key, std::string value) {
   auto it = open_.find(span.span_id);
   if (it == open_.end() || it->second.trace_id != span.trace_id) return;
+  if (key == "error") it->second.error = true;
   it->second.tags.emplace_back(std::move(key), std::move(value));
+}
+
+void Tracer::link(TraceContext span, TraceContext target) {
+  if (!target.valid()) return;
+  auto it = open_.find(span.span_id);
+  if (it == open_.end() || it->second.trace_id != span.trace_id) return;
+  it->second.links.push_back(target);
 }
 
 void Tracer::end(TraceContext span) {
@@ -49,11 +57,9 @@ void Tracer::end(TraceContext span) {
   record.end = kernel_.now();
   ++spans_finished_;
 
+  if (record.error) pin_trace(record.trace_id);
   finished_.push_back(record);
-  while (finished_.size() > max_finished_) {
-    finished_.pop_front();
-    ++spans_dropped_;
-  }
+  evict_over_retention();
   // Iterate by index: a hook may add/remove hooks while running.
   for (std::size_t i = 0; i < hooks_.size(); ++i) {
     if (hooks_[i].second) hooks_[i].second(record);
@@ -72,8 +78,43 @@ void Tracer::remove_finish_hook(std::uint64_t id) {
 
 void Tracer::set_retention(std::size_t max_finished) {
   max_finished_ = max_finished;
+  evict_over_retention();
+}
+
+void Tracer::set_max_pinned_traces(std::size_t max_pinned) {
+  max_pinned_traces_ = max_pinned;
+  while (pinned_.size() > max_pinned_traces_ && !pin_order_.empty()) {
+    pinned_.erase(pin_order_.front());
+    pin_order_.pop_front();
+  }
+}
+
+void Tracer::pin_trace(std::uint64_t trace_id) {
+  if (max_pinned_traces_ == 0 || pinned_.count(trace_id) != 0) return;
+  pinned_.insert(trace_id);
+  pin_order_.push_back(trace_id);
+  // Error storm: release the oldest pin rather than growing without bound
+  // (its spans become ordinary eviction candidates again).
+  while (pinned_.size() > max_pinned_traces_) {
+    pinned_.erase(pin_order_.front());
+    pin_order_.pop_front();
+  }
+}
+
+void Tracer::evict_over_retention() {
   while (finished_.size() > max_finished_) {
-    finished_.pop_front();
+    auto victim = finished_.begin();
+    if (!pinned_.empty()) {
+      // Oldest span of an *unpinned* trace goes first; in the common case
+      // (front unpinned) this scan stops immediately.
+      while (victim != finished_.end() &&
+             pinned_.count(victim->trace_id) != 0) {
+        ++victim;
+      }
+      // Everything pinned: the size bound still wins — drop the oldest.
+      if (victim == finished_.end()) victim = finished_.begin();
+    }
+    finished_.erase(victim);
     ++spans_dropped_;
   }
 }

@@ -24,6 +24,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -55,6 +56,12 @@ struct SpanRecord {
   sim::TimePoint start = 0;
   sim::TimePoint end = 0;
   std::vector<std::pair<std::string, std::string>> tags;
+  // Causally related spans in *other* traces (OpenTelemetry span links):
+  // e.g. the one RPC that ships an event batch links every batched trace.
+  std::vector<TraceContext> links;
+  // Set when the span was tagged "error"; an erroring span pins its whole
+  // trace against drop-oldest eviction (see Tracer::set_retention).
+  bool error = false;
 
   sim::Duration duration() const { return end - start; }
 };
@@ -71,7 +78,12 @@ class Tracer {
                      SpanKind kind = SpanKind::kInternal,
                      TraceContext parent = {});
   // Attach a key/value tag to an open span (no-op if unknown/closed).
+  // A tag with key "error" additionally marks the span as errored, which
+  // pins its trace in the finished ring (retain-on-error).
   void tag(TraceContext span, std::string key, std::string value);
+  // Link `span` to a causally related span of another trace (no-op when
+  // either context is invalid or `span` is unknown/closed).
+  void link(TraceContext span, TraceContext target);
   // Close a span: stamps the end time, moves it to the finished ring and
   // fires the finish hooks. Closing an unknown or already-closed span is a
   // no-op (failure paths may race an explicit end with a cleanup end).
@@ -110,7 +122,18 @@ class Tracer {
 
   // Finished spans are kept in a bounded ring (oldest dropped first) so
   // soak runs don't grow without limit; hooks still see every span.
+  // Eviction skips spans of pinned (errored) traces while any unpinned span
+  // remains — failure traces survive a flood of healthy ones. The ring size
+  // bound always wins: with nothing unpinned left, the oldest pinned span
+  // goes too.
   void set_retention(std::size_t max_finished);
+  // Cap on distinct pinned traces (oldest pin released first). Keeps the
+  // retain-on-error set bounded during error storms.
+  void set_max_pinned_traces(std::size_t max_pinned);
+  std::size_t pinned_traces() const { return pinned_.size(); }
+  bool trace_pinned(std::uint64_t trace_id) const {
+    return pinned_.count(trace_id) != 0;
+  }
   const std::deque<SpanRecord>& finished() const { return finished_; }
   // All finished spans of one trace, in start order.
   std::vector<SpanRecord> trace_spans(std::uint64_t trace_id) const;
@@ -121,6 +144,9 @@ class Tracer {
   std::uint64_t spans_dropped() const { return spans_dropped_; }
 
  private:
+  void pin_trace(std::uint64_t trace_id);
+  void evict_over_retention();
+
   sim::Kernel& kernel_;
   std::uint64_t next_trace_id_ = 1;
   std::uint64_t next_span_id_ = 1;
@@ -128,6 +154,9 @@ class Tracer {
   std::unordered_map<std::uint64_t, SpanRecord> open_;  // by span_id
   std::deque<SpanRecord> finished_;
   std::size_t max_finished_ = 65536;
+  std::unordered_set<std::uint64_t> pinned_;  // trace ids with an error span
+  std::deque<std::uint64_t> pin_order_;       // FIFO for the pin cap
+  std::size_t max_pinned_traces_ = 128;
   std::uint64_t spans_started_ = 0;
   std::uint64_t spans_finished_ = 0;
   std::uint64_t spans_dropped_ = 0;
@@ -154,6 +183,9 @@ inline void tag_span(Tracer* tracer, TraceContext span, std::string key,
 }
 inline TraceContext current_context(const Tracer* tracer) {
   return tracer == nullptr ? TraceContext{} : tracer->current();
+}
+inline void link_span(Tracer* tracer, TraceContext span, TraceContext target) {
+  if (tracer != nullptr) tracer->link(span, target);
 }
 
 }  // namespace magma::obs

@@ -48,9 +48,20 @@ common::Bytes encode_histogram_report(
   for (const HistogramSnapshot& s : snapshots) {
     w.str(s.gateway_id);
     w.str(s.name);
-    w.u32(static_cast<std::uint32_t>(s.bounds.size()));
-    for (const double b : s.bounds) w.f64(b);
-    for (const std::uint64_t c : s.counts) w.u64(c);
+    // Snapshot kind: 0 = full (bounds + all counts), 1 = delta (changed
+    // buckets only).
+    w.u8(s.delta ? 1 : 0);
+    if (s.delta) {
+      w.u32(static_cast<std::uint32_t>(s.changed.size()));
+      for (const auto& [index, count] : s.changed) {
+        w.u32(index);
+        w.u64(count);
+      }
+    } else {
+      w.u32(static_cast<std::uint32_t>(s.bounds.size()));
+      for (const double b : s.bounds) w.f64(b);
+      for (const std::uint64_t c : s.counts) w.u64(c);
+    }
     w.f64(s.sum);
     w.i64(s.time);
   }
@@ -68,27 +79,48 @@ common::Result<std::vector<HistogramSnapshot>> decode_histogram_report(
     HistogramSnapshot s;
     s.gateway_id = r.str();
     s.name = r.str();
-    const std::uint32_t buckets = r.u32();
-    // Bounds + counts need 16 bytes per bucket: bound the allocation by
-    // what the remaining payload could actually hold.
-    if (static_cast<std::uint64_t>(buckets) * 16 > r.remaining()) {
+    const std::uint8_t kind = r.u8();
+    if (kind > 1) {
       return common::Error{common::ErrorCode::kInvalidArgument,
-                           "oversized histogram"};
+                           "unknown histogram snapshot kind"};
     }
-    s.bounds.reserve(buckets);
-    for (std::uint32_t b = 0; b < buckets && r.ok(); ++b) {
-      s.bounds.push_back(r.f64());
-    }
-    s.counts.reserve(buckets + 1);
-    for (std::uint32_t c = 0; c < buckets + 1 && r.ok(); ++c) {
-      s.counts.push_back(r.u64());
+    if (kind == 1) {
+      s.delta = true;
+      const std::uint32_t entries = r.u32();
+      // 12 wire bytes per (index, count) pair.
+      if (static_cast<std::uint64_t>(entries) * 12 > r.remaining()) {
+        return common::Error{common::ErrorCode::kInvalidArgument,
+                             "oversized histogram delta"};
+      }
+      s.changed.reserve(entries);
+      for (std::uint32_t e = 0; e < entries && r.ok(); ++e) {
+        const std::uint32_t index = r.u32();
+        const std::uint64_t value = r.u64();
+        s.changed.emplace_back(index, value);
+      }
+    } else {
+      const std::uint32_t buckets = r.u32();
+      // Bounds + counts need 16 bytes per bucket: bound the allocation by
+      // what the remaining payload could actually hold.
+      if (static_cast<std::uint64_t>(buckets) * 16 > r.remaining()) {
+        return common::Error{common::ErrorCode::kInvalidArgument,
+                             "oversized histogram"};
+      }
+      s.bounds.reserve(buckets);
+      for (std::uint32_t b = 0; b < buckets && r.ok(); ++b) {
+        s.bounds.push_back(r.f64());
+      }
+      s.counts.reserve(buckets + 1);
+      for (std::uint32_t c = 0; c < buckets + 1 && r.ok(); ++c) {
+        s.counts.push_back(r.u64());
+      }
+      if (!std::is_sorted(s.bounds.begin(), s.bounds.end())) {
+        return common::Error{common::ErrorCode::kInvalidArgument,
+                             "unsorted histogram bounds"};
+      }
     }
     s.sum = r.f64();
     s.time = r.i64();
-    if (!std::is_sorted(s.bounds.begin(), s.bounds.end())) {
-      return common::Error{common::ErrorCode::kInvalidArgument,
-                           "unsorted histogram bounds"};
-    }
     snapshots.push_back(std::move(s));
   }
   if (!r.ok() || !r.at_end()) {
@@ -99,6 +131,27 @@ common::Result<std::vector<HistogramSnapshot>> decode_histogram_report(
 }
 
 void Metricsd::ingest_histogram(const HistogramSnapshot& snapshot) {
+  if (snapshot.delta) {
+    auto it = histograms_.find({snapshot.gateway_id, snapshot.name});
+    if (it == histograms_.end()) {
+      ++histogram_delta_orphans_;  // no base to overlay; sender re-ships full
+      return;
+    }
+    std::vector<std::uint64_t> counts = it->second.counts();
+    for (const auto& [index, count] : snapshot.changed) {
+      if (index >= counts.size()) {
+        ++histogram_delta_orphans_;  // layout drifted under the delta
+        return;
+      }
+      counts[index] = count;
+    }
+    obs::Histogram h(std::vector<double>{});
+    if (!h.assign(it->second.bounds(), std::move(counts), snapshot.sum)) {
+      return;
+    }
+    it->second = std::move(h);
+    return;
+  }
   obs::Histogram h(std::vector<double>{});
   if (!h.assign(snapshot.bounds, snapshot.counts, snapshot.sum)) return;
   histograms_.insert_or_assign({snapshot.gateway_id, snapshot.name},

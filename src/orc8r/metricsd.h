@@ -42,6 +42,15 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> counts;  // bounds.size()+1, overflow last
   double sum = 0;
   sim::TimePoint time = 0;
+  // Delta shipping: a delta snapshot carries only the buckets whose
+  // cumulative count changed since the sender's last shipped snapshot, as
+  // (bucket index, new cumulative count) pairs; bounds/counts stay empty.
+  // Metricsd overlays the pairs onto its stored full snapshot for the same
+  // (gateway, name) — the values are still cumulative, so a lost delta is
+  // self-correcting as soon as those buckets change again (and magmad
+  // re-ships full after any report loss regardless).
+  bool delta = false;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> changed;
 };
 
 common::Bytes encode_histogram_report(
@@ -83,9 +92,15 @@ class Metricsd {
 
   // Cumulative histogram snapshot from a gateway: replaces that gateway's
   // previous snapshot of the same name (drops ignored snapshots with a
-  // malformed bucket layout).
+  // malformed bucket layout). Delta snapshots overlay the stored full
+  // snapshot; a delta without a stored base (first report lost, or layout
+  // change raced) is counted in histogram_delta_orphans and dropped — the
+  // sender re-ships full after any loss.
   void ingest_histogram(const HistogramSnapshot& snapshot);
   void ingest_histograms(const std::vector<HistogramSnapshot>& snapshots);
+  std::uint64_t histogram_delta_orphans() const {
+    return histogram_delta_orphans_;
+  }
   std::vector<std::string> histogram_names() const;
   // Buckets of `name` merged across gateways (empty if unknown).
   obs::Histogram merged_histogram(const std::string& name) const;
@@ -132,6 +147,7 @@ class Metricsd {
 
   // (gateway, name) -> latest cumulative snapshot.
   std::map<std::pair<std::string, std::string>, obs::Histogram> histograms_;
+  std::uint64_t histogram_delta_orphans_ = 0;
 
   std::vector<AlertRule> rules_;
   // (rule name, gateway) -> alert

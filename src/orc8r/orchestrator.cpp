@@ -11,6 +11,14 @@ Orchestrator::Orchestrator(sim::Kernel& kernel, std::string network_name)
   // SRTT baseline covers fiber and LTE backhaul; core::Network re-installs
   // with its configured baseline for satellite-class paths).
   install_default_transport_rules(metricsd_, 0.25);
+  // ... and its gateways' checkin freshness (statusd gauges).
+  install_default_health_rules(metricsd_);
+  svc_streamer_ = &status_.register_service("streamer");
+  svc_bootstrapper_ = &status_.register_service("bootstrapper");
+  svc_state_ = &status_.register_service("state");
+  svc_metricsd_ = &status_.register_service("metricsd");
+  svc_eventd_ = &status_.register_service("eventd");
+  svc_statusd_ = &status_.register_service("statusd");
 }
 
 std::vector<obs::Event> Orchestrator::events_of_type(
@@ -132,8 +140,10 @@ void Orchestrator::bind(rpc::RpcNode& node) {
   node.register_method(
       kStreamerService, kGetUpdates,
       [this](const rpc::Bytes& request, rpc::Respond respond) {
+        obs::svc_request(svc_streamer_);
         auto req = GetUpdatesRequest::deserialize(request);
         if (!req.ok()) {
+          obs::svc_error(svc_streamer_, req.error().message);
           respond(rpc::Error{req.error()});
           return;
         }
@@ -149,11 +159,20 @@ void Orchestrator::bind(rpc::RpcNode& node) {
   node.register_method(
       kBootstrapperService, kCheckin,
       [this](const rpc::Bytes& request, rpc::Respond respond) {
+        obs::svc_request(svc_bootstrapper_);
         rpc::Reader r(request);
         const std::string gateway_id = r.str();
         const std::string description = r.str();
+        const common::Bytes status_blob = r.bytes();
         if (!r.ok()) {
+          obs::svc_error(svc_bootstrapper_, "bad checkin");
           respond(rpc::Error{rpc::ErrorCode::kInvalidArgument, "bad checkin"});
+          return;
+        }
+        auto services = obs::decode_gateway_status(status_blob);
+        if (!services.ok()) {
+          obs::svc_error(svc_bootstrapper_, services.error().message);
+          respond(rpc::Error{services.error()});
           return;
         }
         auto& record = gateways_[gateway_id];
@@ -162,6 +181,8 @@ void Orchestrator::bind(rpc::RpcNode& node) {
         record.last_checkin = kernel_.now();
         ++record.checkin_count;
         ++stats_.checkins;
+        obs::svc_request(svc_statusd_);
+        statusd_.record_checkin(gateway_id, std::move(services).take());
         rpc::Writer w;
         w.boolean(true);
         respond(std::move(w).take());
@@ -170,10 +191,12 @@ void Orchestrator::bind(rpc::RpcNode& node) {
   node.register_method(
       kStateService, kReportCheckpoint,
       [this](const rpc::Bytes& request, rpc::Respond respond) {
+        obs::svc_request(svc_state_);
         rpc::Reader r(request);
         const std::string gateway_id = r.str();
         common::Bytes blob = r.bytes();
         if (!r.ok()) {
+          obs::svc_error(svc_state_, "bad checkpoint");
           respond(
               rpc::Error{rpc::ErrorCode::kInvalidArgument, "bad checkpoint"});
           return;
@@ -186,8 +209,10 @@ void Orchestrator::bind(rpc::RpcNode& node) {
   node.register_method(
       kMetricsService, kReportMetrics,
       [this](const rpc::Bytes& request, rpc::Respond respond) {
+        obs::svc_request(svc_metricsd_);
         auto samples = decode_metric_report(request);
         if (!samples.ok()) {
+          obs::svc_error(svc_metricsd_, samples.error().message);
           respond(rpc::Error{samples.error()});
           return;
         }
@@ -199,8 +224,10 @@ void Orchestrator::bind(rpc::RpcNode& node) {
   node.register_method(
       kMetricsService, kReportHistograms,
       [this](const rpc::Bytes& request, rpc::Respond respond) {
+        obs::svc_request(svc_metricsd_);
         auto snapshots = decode_histogram_report(request);
         if (!snapshots.ok()) {
+          obs::svc_error(svc_metricsd_, snapshots.error().message);
           respond(rpc::Error{snapshots.error()});
           return;
         }
@@ -212,8 +239,10 @@ void Orchestrator::bind(rpc::RpcNode& node) {
   node.register_method(
       kEventService, kLogEvents,
       [this](const rpc::Bytes& request, rpc::Respond respond) {
+        obs::svc_request(svc_eventd_);
         auto events = obs::decode_event_report(request);
         if (!events.ok()) {
+          obs::svc_error(svc_eventd_, events.error().message);
           respond(rpc::Error{events.error()});
           return;
         }

@@ -24,8 +24,10 @@
 #include "common/result.h"
 #include "core/policy.h"
 #include "obs/events.h"
+#include "obs/status.h"
 #include "obs/trace.h"
 #include "orc8r/metricsd.h"
+#include "orc8r/statusd.h"
 #include "orc8r/streamer.h"
 #include "rpc/rpc.h"
 #include "sim/kernel.h"
@@ -79,6 +81,17 @@ class Orchestrator {
   Metricsd& metrics() { return metricsd_; }
   const Metricsd& metrics() const { return metricsd_; }
 
+  // Gateway health plane: per-gateway checkin freshness and the reported
+  // Service303 snapshots (fed by the bootstrapper checkin handler).
+  Statusd& statusd() { return statusd_; }
+  const Statusd& statusd() const { return statusd_; }
+
+  // The orchestrator's own Service303 registry: every southbound service
+  // (streamer, bootstrapper, state, metricsd, eventd, statusd) counts its
+  // requests/errors here.
+  obs::StatusRegistry& status() { return status_; }
+  const obs::StatusRegistry& status() const { return status_; }
+
   // Structured events shipped by gateways (WARN/ERROR logs, attach
   // milestones), newest last; bounded retention, oldest dropped.
   const std::deque<obs::Event>& events() const { return events_; }
@@ -119,6 +132,15 @@ class Orchestrator {
   std::map<std::string, GatewayRecord> gateways_;
   std::map<std::string, common::Bytes> checkpoints_;
   Metricsd metricsd_;
+  Statusd statusd_{kernel_, &metricsd_};
+  obs::StatusRegistry status_{kernel_};
+  // Per-service Service303 handles (owned by status_; stable addresses).
+  obs::Service303* svc_streamer_ = nullptr;
+  obs::Service303* svc_bootstrapper_ = nullptr;
+  obs::Service303* svc_state_ = nullptr;
+  obs::Service303* svc_metricsd_ = nullptr;
+  obs::Service303* svc_eventd_ = nullptr;
+  obs::Service303* svc_statusd_ = nullptr;
   std::deque<obs::Event> events_;
   std::size_t event_retention_ = 65536;
   obs::Tracer* tracer_ = nullptr;

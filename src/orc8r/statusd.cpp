@@ -1,0 +1,113 @@
+#include "orc8r/statusd.h"
+
+namespace magma::orc8r {
+
+const char* gateway_health_name(GatewayHealth health) {
+  switch (health) {
+    case GatewayHealth::kHealthy: return "healthy";
+    case GatewayHealth::kDegraded: return "degraded";
+    case GatewayHealth::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
+Statusd::Statusd(sim::Kernel& kernel, Metricsd* metricsd, StatusdConfig config)
+    : kernel_(kernel), metricsd_(metricsd), config_(config) {}
+
+void Statusd::start() {
+  if (started_) return;
+  started_ = true;
+  sweep_tick();
+}
+
+void Statusd::sweep_tick() {
+  kernel_.schedule(config_.sweep_interval, [this]() {
+    sweep_now();
+    sweep_tick();
+  });
+}
+
+std::uint64_t Statusd::missed_for(const GatewayStatus& gw) const {
+  if (gw.last_checkin < 0 || config_.checkin_interval <= 0) return 0;
+  const sim::Duration since = kernel_.now() - gw.last_checkin;
+  if (since <= 0) return 0;
+  return static_cast<std::uint64_t>(since / config_.checkin_interval);
+}
+
+void Statusd::evaluate(GatewayStatus& gw) {
+  const std::uint64_t missed = missed_for(gw);
+  GatewayHealth next = GatewayHealth::kHealthy;
+  if (missed >= config_.unreachable_after_missed) {
+    next = GatewayHealth::kUnreachable;
+  } else if (missed >= config_.degraded_after_missed) {
+    next = GatewayHealth::kDegraded;
+  }
+  if (next != gw.health) {
+    if (next == GatewayHealth::kHealthy) {
+      ++stats_.recoveries;
+    } else if (next == GatewayHealth::kUnreachable) {
+      ++stats_.to_unreachable;
+    } else {
+      ++stats_.to_degraded;
+    }
+    gw.health = next;
+  }
+  if (metricsd_ != nullptr) {
+    const sim::TimePoint now = kernel_.now();
+    metricsd_->ingest(MetricSample{gw.gateway_id, "gateway_health",
+                                   static_cast<double>(gw.health), now});
+    metricsd_->ingest(MetricSample{gw.gateway_id, "gateway_missed_checkins",
+                                   static_cast<double>(missed), now});
+  }
+}
+
+void Statusd::record_checkin(const std::string& gateway_id,
+                             std::vector<obs::ServiceStatus> services) {
+  GatewayStatus& gw = gateways_[gateway_id];
+  gw.gateway_id = gateway_id;
+  gw.last_checkin = kernel_.now();
+  ++gw.checkins;
+  gw.services = std::move(services);
+  ++stats_.checkins;
+  // Immediate re-evaluation: recovery (and its alert clear) must not wait
+  // for the next sweep.
+  evaluate(gw);
+}
+
+void Statusd::sweep_now() {
+  ++stats_.sweeps;
+  for (auto& [_, gw] : gateways_) evaluate(gw);
+}
+
+GatewayHealth Statusd::health(const std::string& gateway_id) const {
+  auto it = gateways_.find(gateway_id);
+  return it == gateways_.end() ? GatewayHealth::kHealthy : it->second.health;
+}
+
+std::uint64_t Statusd::missed_checkins(const std::string& gateway_id) const {
+  auto it = gateways_.find(gateway_id);
+  return it == gateways_.end() ? 0 : missed_for(it->second);
+}
+
+const GatewayStatus* Statusd::gateway(const std::string& gateway_id) const {
+  auto it = gateways_.find(gateway_id);
+  return it == gateways_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Statusd::tracked_gateways() const {
+  std::vector<std::string> out;
+  out.reserve(gateways_.size());
+  for (const auto& [id, _] : gateways_) out.push_back(id);
+  return out;
+}
+
+void install_default_health_rules(Metricsd& metricsd) {
+  // gateway_health samples are 0/1/2 (healthy/degraded/unreachable), so the
+  // thresholds split cleanly between the levels and clear on recovery.
+  metricsd.add_alert_rule(AlertRule{"gateway_degraded", "gateway_health", 0.5,
+                                    true, AlertKind::kThreshold});
+  metricsd.add_alert_rule(AlertRule{"gateway_unreachable", "gateway_health",
+                                    1.5, true, AlertKind::kThreshold});
+}
+
+}  // namespace magma::orc8r

@@ -11,6 +11,19 @@ CpuModel::CpuModel(Kernel& kernel, CpuConfig config)
   assert(config_.speed_ghz > 0);
   assert(config_.user_plane_cores <= config_.cores);
   cores_.resize(static_cast<std::size_t>(config_.cores));
+  // Label 0: the catch-all for unlabeled submissions.
+  labels_.push_back(TaskLabelStats{"unattributed", "", 0, 0, 0});
+  label_ids_[{"unattributed", ""}] = kUnattributed;
+}
+
+CpuModel::LabelId CpuModel::intern_label(const std::string& service,
+                                         const std::string& op) {
+  auto it = label_ids_.find({service, op});
+  if (it != label_ids_.end()) return it->second;
+  const LabelId id = static_cast<LabelId>(labels_.size());
+  labels_.push_back(TaskLabelStats{service, op, 0, 0, 0});
+  label_ids_.emplace(std::make_pair(service, op), id);
+  return id;
 }
 
 bool CpuModel::core_eligible(int core, WorkClass cls) const {
@@ -26,14 +39,19 @@ int CpuModel::cores_for(WorkClass cls) const {
                                  : config_.cores - config_.user_plane_cores;
 }
 
-bool CpuModel::submit(WorkClass cls, double reference_seconds,
+bool CpuModel::submit(WorkClass cls, LabelId label, double reference_seconds,
                       std::function<void()> done) {
   const auto idx = static_cast<std::size_t>(cls);
+  if (label >= labels_.size()) label = kUnattributed;
   if (cores_for(cls) == 0) {
     ++stats_.rejected[idx];
     return false;
   }
-  Work work{cls, from_seconds(reference_seconds / config_.speed_ghz),
+  Work work{cls,
+            from_seconds(reference_seconds / config_.speed_ghz),
+            label,
+            kernel_.now(),
+            obs::current_context(tracer_),
             std::move(done)};
   // Try to find an idle eligible core.
   for (int c = 0; c < config_.cores; ++c) {
@@ -58,13 +76,29 @@ void CpuModel::start(int core, Work work) {
   c.busy = true;
   const auto idx = static_cast<std::size_t>(work.cls);
   stats_.busy_ns[idx] += work.cost;
+  c.busy_ns += work.cost;
+  const LabelId label = work.label;
+  TaskLabelStats& ls = labels_[label];
+  ls.busy_ns += work.cost;
+  const Duration wait = kernel_.now() - work.submitted;
+  ls.queue_wait_ns += wait;
+  queue_wait_[idx].observe(to_seconds(wait));
+  obs::TraceContext span{};
+  if (tracer_ != nullptr) {
+    span = tracer_->begin(ls.service + "/" + ls.op,
+                          "cpu" + std::to_string(core), node_,
+                          obs::SpanKind::kInternal, work.origin);
+  }
   auto done = std::move(work.done);
-  kernel_.schedule(work.cost, [this, core, idx, done = std::move(done)]() {
-    cores_[static_cast<std::size_t>(core)].busy = false;
-    ++stats_.completed[idx];
-    if (done) done();
-    on_core_idle(core);
-  });
+  kernel_.schedule(
+      work.cost, [this, core, idx, label, span, done = std::move(done)]() {
+        cores_[static_cast<std::size_t>(core)].busy = false;
+        ++stats_.completed[idx];
+        ++labels_[label].completed;
+        obs::end_span(tracer_, span);
+        if (done) done();
+        on_core_idle(core);
+      });
 }
 
 void CpuModel::on_core_idle(int core) {
@@ -97,6 +131,45 @@ double CpuModel::instantaneous_utilization() const {
   int busy = 0;
   for (const auto& c : cores_) busy += c.busy ? 1 : 0;
   return static_cast<double>(busy) / static_cast<double>(config_.cores);
+}
+
+std::map<std::string, double> CpuModel::service_busy_seconds() const {
+  std::map<std::string, double> out;
+  for (const TaskLabelStats& ls : labels_) {
+    if (ls.busy_ns == 0) continue;
+    out[ls.service] += to_seconds(ls.busy_ns);
+  }
+  return out;
+}
+
+std::vector<Duration> CpuModel::core_busy_ns() const {
+  std::vector<Duration> out;
+  out.reserve(cores_.size());
+  for (const Core& c : cores_) out.push_back(c.busy_ns);
+  return out;
+}
+
+std::vector<double> CpuModel::utilization_window(
+    UtilizationWindow& window) const {
+  const TimePoint now = kernel_.now();
+  std::vector<double> out(cores_.size(), 0.0);
+  const bool fresh =
+      window.at < 0 || window.busy.size() != cores_.size() || window.at > now;
+  if (!fresh && now > window.at) {
+    const double span = to_seconds(now - window.at);
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      const double busy = to_seconds(cores_[i].busy_ns - window.busy[i]);
+      out[i] = std::clamp(busy / span, 0.0, 1.0);
+    }
+  }
+  window.busy = core_busy_ns();
+  window.at = now;
+  return out;
+}
+
+void CpuModel::set_tracer(obs::Tracer* tracer, std::string node) {
+  tracer_ = tracer;
+  node_ = std::move(node);
 }
 
 }  // namespace magma::sim

@@ -11,14 +11,26 @@
 // Work costs are expressed in seconds on a 1 GHz reference core; a host's
 // `speed_ghz` scales them, letting the same service code run on the paper's
 // Intel J3160 (1.6 GHz) and Xeon 6126 (2.6 GHz) AGWs.
+//
+// Continuous profiler: every task may carry a (service, operation) label —
+// interned once via intern_label(), then O(1) per submission — and the model
+// attributes on-CPU time, completions, and run-queue wait per label, per
+// core, and per class (run-queue wait as log-bucketed histograms). Benches
+// turn a single "CPU at 97%" into "pipelined 71%, accessd 22%, ...", the
+// per-service breakdown Figures 6/7 are really about. An optional tracer
+// emits one span per executed task (service "cpu<core>") so Chrome's trace
+// viewer shows the per-core schedule.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "obs/histogram.h"
+#include "obs/trace.h"
 #include "sim/kernel.h"
 #include "sim/time.h"
 
@@ -47,14 +59,39 @@ struct CpuStats {
   std::size_t queue_depth[2] = {0, 0};  // instantaneous
 };
 
+// Per-(service, operation) attribution. busy_ns is charged when the task
+// *starts* (same convention as CpuStats::busy_ns, so per-label sums match
+// per-class and per-core totals exactly); queue_wait_ns is the time the task
+// sat runnable before a core picked it up.
+struct TaskLabelStats {
+  std::string service;  // e.g. "accessd", "pipelined"
+  std::string op;       // e.g. "establish", "forward_ul"
+  Duration busy_ns = 0;
+  Duration queue_wait_ns = 0;
+  std::uint64_t completed = 0;
+};
+
 class CpuModel {
  public:
+  // Label 0 is the pre-interned ("unattributed", "") catch-all used by the
+  // label-less submit() overload.
+  using LabelId = std::uint32_t;
+
   CpuModel(Kernel& kernel, CpuConfig config);
+
+  // Register a (service, operation) attribution label. Idempotent (same
+  // pair returns the same id); call once at wiring time, not per task.
+  LabelId intern_label(const std::string& service, const std::string& op);
 
   // Submit `reference_seconds` of work. `done` runs when the work completes;
   // it is not called if the submission is rejected (returns false).
   bool submit(WorkClass cls, double reference_seconds,
+              std::function<void()> done) {
+    return submit(cls, kUnattributed, reference_seconds, std::move(done));
+  }
+  bool submit(WorkClass cls, LabelId label, double reference_seconds,
               std::function<void()> done);
+  static constexpr LabelId kUnattributed = 0;
 
   // Instantaneous view: fraction of cores currently busy, [0,1].
   double instantaneous_utilization() const;
@@ -66,14 +103,47 @@ class CpuModel {
   // Number of cores eligible to run `cls` under the current partition.
   int cores_for(WorkClass cls) const;
 
+  // --- profiler -----------------------------------------------------------
+  // All interned labels with their cumulative attribution, indexed by
+  // LabelId (deterministic: intern order).
+  const std::vector<TaskLabelStats>& labels() const { return labels_; }
+  // On-CPU seconds per service (labels summed over operations), name-ordered.
+  std::map<std::string, double> service_busy_seconds() const;
+  // Cumulative on-CPU time per core (charged at task start).
+  std::vector<Duration> core_busy_ns() const;
+  // Run-queue wait distribution (seconds) per work class.
+  const obs::Histogram& queue_wait(WorkClass cls) const {
+    return queue_wait_[static_cast<std::size_t>(cls)];
+  }
+
+  // Windowed per-core utilization: busy fraction of each core since
+  // `window` was last stamped (first call stamps and returns zeros). A task
+  // is charged entirely to the window in which it starts, so short windows
+  // relative to task length read lumpy; benches use multi-second windows.
+  struct UtilizationWindow {
+    std::vector<Duration> busy;
+    TimePoint at = -1;
+  };
+  std::vector<double> utilization_window(UtilizationWindow& window) const;
+
+  // Optional per-task tracing: each executed task becomes a span named
+  // "<service>/<op>" under thread "cpu<core>" on node `node`, parented on
+  // the context current at submission — Chrome's viewer then renders the
+  // per-core schedule. Expensive per task; opt in for short captures only.
+  void set_tracer(obs::Tracer* tracer, std::string node);
+
  private:
   struct Work {
     WorkClass cls;
     Duration cost;
+    LabelId label = kUnattributed;
+    TimePoint submitted = 0;
+    obs::TraceContext origin;  // tracing parent, captured at submit
     std::function<void()> done;
   };
   struct Core {
     bool busy = false;
+    Duration busy_ns = 0;
   };
 
   bool core_eligible(int core, WorkClass cls) const;
@@ -87,6 +157,16 @@ class CpuModel {
   std::vector<Core> cores_;
   std::deque<Work> queue_[2];
   CpuStats stats_;
+
+  std::vector<TaskLabelStats> labels_;
+  std::map<std::pair<std::string, std::string>, LabelId> label_ids_;
+  obs::Histogram queue_wait_[2];
+  obs::Tracer* tracer_ = nullptr;
+  std::string node_;
 };
+
+// Namespace-level shorthand for call sites that store labels as members.
+using LabelId = CpuModel::LabelId;
+inline constexpr LabelId kUnattributed = CpuModel::kUnattributed;
 
 }  // namespace magma::sim

@@ -11,6 +11,7 @@
 #include "datapath/packet.h"
 #include "net/channel.h"
 #include "obs/events.h"
+#include "obs/status.h"
 #include "orc8r/metricsd.h"
 #include "orc8r/streamer.h"
 #include "proto/lte/gtpc.h"
@@ -50,6 +51,7 @@ void decode_everything(common::BytesView data) {
   (void)orc8r::decode_metric_report(data);
   (void)orc8r::decode_histogram_report(data);
   (void)obs::decode_event_report(data);
+  (void)obs::decode_gateway_status(data);
   (void)net::decode_segment_header(data);
 }
 
@@ -176,6 +178,49 @@ TEST(FuzzSegmentHeader, RoundTripAndGarbageSafety) {
           << "prefix " << keep << " parsed as valid";
     }
   }
+}
+
+// The checkin payload (gateway Service303 snapshot) crosses the same trust
+// boundary as every other wire codec: round-trip structured inputs, then
+// mutate and truncate them.
+TEST(FuzzGatewayStatus, RoundTripMutationAndTruncation) {
+  sim::Rng rng(31);
+  for (int round = 0; round < 500; ++round) {
+    std::vector<obs::ServiceStatus> services(rng.uniform_int(4));
+    for (obs::ServiceStatus& s : services) {
+      s.service = std::string(rng.uniform_int(12), 's');
+      s.phase = std::string(rng.uniform_int(8), 'p');
+      s.uptime = static_cast<sim::Duration>(rng.next_u64() >> 1);
+      s.requests = rng.next_u64();
+      s.errors = rng.next_u64();
+      s.deadlines = rng.next_u64();
+      s.last_error = std::string(rng.uniform_int(40), 'e');
+      s.last_error_time = static_cast<sim::TimePoint>(rng.next_u64() >> 1);
+    }
+    const common::Bytes wire = obs::encode_gateway_status(services);
+    auto decoded = obs::decode_gateway_status(wire);
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded.value().size(), services.size());
+    for (std::size_t i = 0; i < services.size(); ++i) {
+      EXPECT_EQ(decoded.value()[i].service, services[i].service);
+      EXPECT_EQ(decoded.value()[i].requests, services[i].requests);
+      EXPECT_EQ(decoded.value()[i].last_error, services[i].last_error);
+    }
+
+    if (!wire.empty()) {
+      common::Bytes mutated = wire;
+      const int flips = 1 + static_cast<int>(rng.uniform_int(4));
+      for (int f = 0; f < flips; ++f) {
+        mutated[rng.uniform_int(mutated.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+      }
+      (void)obs::decode_gateway_status(mutated);  // must never crash
+      for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+        (void)obs::decode_gateway_status(common::BytesView(wire.data(), keep));
+      }
+    }
+  }
+  SUCCEED();
 }
 
 TEST(FuzzMutation, TruncatedDesiredStateAlwaysRejected) {

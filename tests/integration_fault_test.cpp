@@ -2,6 +2,9 @@
 // backup AGW, crash-recovery invariants.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "core/network.h"
 
 namespace magma {
@@ -143,6 +146,66 @@ TEST_F(FaultTest, UeRecoversByReattaching) {
   net_->inject_downlink(*agw0_, *ue.ip(), 1400, 10);
   net_->run_for(1 * sim::kSecond);
   EXPECT_GT(ue.traffic().rx_packets, 0u);
+}
+
+// §3.2 device management: the orchestrator must notice a partitioned gateway
+// within a bounded number of missed checkins, page on it, and clear cleanly
+// once the gateway checks in again — all from the statusd gauges alone.
+TEST(CheckinStaleness, AlertLifecycleOnPartitionAndRecovery) {
+  core::NetworkConfig config;
+  config.magmad.checkin_interval = 5 * sim::kSecond;
+  config.statusd.sweep_interval = 2 * sim::kSecond;
+  config.statusd.degraded_after_missed = 2;
+  config.statusd.unreachable_after_missed = 5;
+  core::Network net(config);
+  agw::AccessGateway& agw0 = net.add_agw(agw::bare_metal_j3160());
+  net.add_agw(agw::bare_metal_j3160());
+  net.run_for(12 * sim::kSecond);
+
+  const orc8r::Statusd& statusd = net.orchestrator().statusd();
+  ASSERT_EQ(statusd.health("gw0"), orc8r::GatewayHealth::kHealthy);
+  ASSERT_EQ(statusd.health("gw1"), orc8r::GatewayHealth::kHealthy);
+  // The heartbeat carries the gateway's Service303 snapshot.
+  const orc8r::GatewayStatus* gw0 = statusd.gateway("gw0");
+  ASSERT_NE(gw0, nullptr);
+  EXPECT_FALSE(gw0->services.empty());
+
+  const auto firing = [&net](const std::string& rule, const std::string& gw) {
+    const auto alerts = net.orchestrator().metrics().active_alerts();
+    return std::any_of(alerts.begin(), alerts.end(),
+                       [&](const orc8r::ActiveAlert& a) {
+                         return a.rule == rule && a.gateway_id == gw;
+                       });
+  };
+  EXPECT_FALSE(firing("gateway_degraded", "gw0"));
+
+  // Partition gw0's backhaul. Detection bound: unreachable_after_missed ×
+  // checkin_interval + sweep_interval past the last successful checkin.
+  net.set_backhaul_up(agw0, false);
+  net.run_for(14 * sim::kSecond);  // ~3 intervals missed
+  EXPECT_EQ(statusd.health("gw0"), orc8r::GatewayHealth::kDegraded);
+  EXPECT_TRUE(firing("gateway_degraded", "gw0"));
+  EXPECT_FALSE(firing("gateway_unreachable", "gw0"));
+
+  net.run_for(16 * sim::kSecond);  // past the unreachable bound
+  EXPECT_EQ(statusd.health("gw0"), orc8r::GatewayHealth::kUnreachable);
+  EXPECT_GE(statusd.missed_checkins("gw0"), 5u);
+  EXPECT_TRUE(firing("gateway_unreachable", "gw0"));
+  // The healthy gateway never pages.
+  EXPECT_EQ(statusd.health("gw1"), orc8r::GatewayHealth::kHealthy);
+  EXPECT_FALSE(firing("gateway_degraded", "gw1"));
+
+  // Heal the partition: the next successful checkin recovers immediately and
+  // the same gauges clear both alerts.
+  net.set_backhaul_up(agw0, true);
+  net.run_for(15 * sim::kSecond);
+  EXPECT_EQ(statusd.health("gw0"), orc8r::GatewayHealth::kHealthy);
+  EXPECT_GE(statusd.stats().recoveries, 1u);
+  EXPECT_GE(statusd.stats().to_degraded, 1u);
+  EXPECT_GE(statusd.stats().to_unreachable, 1u);
+  EXPECT_FALSE(firing("gateway_degraded", "gw0"));
+  EXPECT_FALSE(firing("gateway_unreachable", "gw0"));
+  EXPECT_EQ(statusd.health("gw1"), orc8r::GatewayHealth::kHealthy);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include "common/bytes.h"
 #include "orc8r/metricsd.h"
+#include "rpc/wire.h"
 
 namespace magma::orc8r {
 namespace {
@@ -14,6 +15,19 @@ namespace {
 MetricSample sample(const std::string& gw, const std::string& name,
                     double value, sim::TimePoint t) {
   return MetricSample{gw, name, value, t};
+}
+
+HistogramSnapshot full_snapshot(const std::string& gw, const std::string& name,
+                                const obs::Histogram& h,
+                                sim::TimePoint t = 0) {
+  HistogramSnapshot s;
+  s.gateway_id = gw;
+  s.name = name;
+  s.bounds = h.bounds();
+  s.counts = h.counts();
+  s.sum = h.sum();
+  s.time = t;
+  return s;
 }
 
 TEST(Metricsd, SeriesAccumulatesInTimeOrder) {
@@ -237,8 +251,7 @@ TEST(MetricsdHistograms, IngestMergeAndQuantiles) {
   for (int i = 0; i < 50; ++i) gw1.observe(1.0);
 
   auto snapshot = [](const std::string& gw, const obs::Histogram& h) {
-    return HistogramSnapshot{gw, "attach_s", h.bounds(), h.counts(), h.sum(),
-                             0};
+    return full_snapshot(gw, "attach_s", h);
   };
   m.ingest_histogram(snapshot("gw0", gw0));
   m.ingest_histogram(snapshot("gw1", gw1));
@@ -268,13 +281,118 @@ TEST(MetricsdHistograms, MalformedSnapshotIgnored) {
   EXPECT_EQ(m.histogram_count("x"), 0u);
 }
 
+TEST(MetricsdHistograms, DeltaOverlaysStoredBase) {
+  Metricsd m;
+  obs::Histogram h;
+  for (int i = 0; i < 10; ++i) h.observe(0.01);
+  m.ingest_histogram(full_snapshot("gw0", "attach_s", h));
+  ASSERT_EQ(m.histogram_count("attach_s"), 10u);
+
+  // Ship only the changed buckets, as new *cumulative* values.
+  const std::vector<std::uint64_t> before = h.counts();
+  for (int i = 0; i < 5; ++i) h.observe(0.01);
+  h.observe(3.0);
+  HistogramSnapshot delta;
+  delta.gateway_id = "gw0";
+  delta.name = "attach_s";
+  delta.delta = true;
+  delta.sum = h.sum();
+  const std::vector<std::uint64_t> after = h.counts();
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    if (after[i] != before[i]) {
+      delta.changed.emplace_back(static_cast<std::uint32_t>(i), after[i]);
+    }
+  }
+  ASSERT_EQ(delta.changed.size(), 2u);
+  m.ingest_histogram(delta);
+  EXPECT_EQ(m.histogram_count("attach_s"), 16u);
+  EXPECT_EQ(m.merged_histogram("attach_s").counts(), after);
+  EXPECT_DOUBLE_EQ(m.merged_histogram("attach_s").sum(), h.sum());
+  EXPECT_EQ(m.histogram_delta_orphans(), 0u);
+}
+
+TEST(MetricsdHistograms, DeltaWithoutBaseIsAnOrphan) {
+  Metricsd m;
+  HistogramSnapshot delta;
+  delta.gateway_id = "gw0";
+  delta.name = "never_seen";
+  delta.delta = true;
+  delta.changed = {{0, 4}};
+  m.ingest_histogram(delta);
+  EXPECT_EQ(m.histogram_delta_orphans(), 1u);
+  EXPECT_EQ(m.histogram_count("never_seen"), 0u);
+}
+
+TEST(MetricsdHistograms, DeltaWithOutOfRangeBucketIsAnOrphan) {
+  Metricsd m;
+  obs::Histogram h;
+  h.observe(0.5);
+  m.ingest_histogram(full_snapshot("gw0", "attach_s", h));
+
+  HistogramSnapshot delta;
+  delta.gateway_id = "gw0";
+  delta.name = "attach_s";
+  delta.delta = true;
+  delta.changed = {{static_cast<std::uint32_t>(h.counts().size()), 9}};
+  m.ingest_histogram(delta);
+  EXPECT_EQ(m.histogram_delta_orphans(), 1u);
+  // The stored base is untouched.
+  EXPECT_EQ(m.histogram_count("attach_s"), 1u);
+}
+
+TEST(HistogramReport, DeltaCodecRoundTrip) {
+  HistogramSnapshot delta;
+  delta.gateway_id = "gw0";
+  delta.name = "attach_s";
+  delta.delta = true;
+  delta.changed = {{3, 17}, {12, 4}};
+  delta.sum = 2.5;
+  delta.time = 9 * sim::kSecond;
+  obs::Histogram h;
+  h.observe(1.0);
+  const HistogramSnapshot full = full_snapshot("gw1", "detach_s", h);
+
+  auto decoded = decode_histogram_report(encode_histogram_report({delta, full}));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), 2u);
+  EXPECT_TRUE(decoded.value()[0].delta);
+  EXPECT_EQ(decoded.value()[0].changed, delta.changed);
+  EXPECT_TRUE(decoded.value()[0].bounds.empty());
+  EXPECT_DOUBLE_EQ(decoded.value()[0].sum, 2.5);
+  EXPECT_EQ(decoded.value()[0].time, 9 * sim::kSecond);
+  EXPECT_FALSE(decoded.value()[1].delta);
+  EXPECT_EQ(decoded.value()[1].counts, h.counts());
+}
+
+TEST(HistogramReport, CodecRejectsUnknownKindAndOversizedDelta) {
+  // kind byte beyond the known 0/1 must be rejected, not skipped.
+  {
+    rpc::Writer w;
+    w.u64(1);
+    w.str("gw0");
+    w.str("h");
+    w.u8(7);  // unknown kind
+    EXPECT_FALSE(decode_histogram_report(std::move(w).take()).ok());
+  }
+  // A delta whose entry count exceeds what the payload can hold is rejected
+  // before any allocation.
+  {
+    rpc::Writer w;
+    w.u64(1);
+    w.str("gw0");
+    w.str("h");
+    w.u8(1);
+    w.u32(0xFFFFFFFF);  // claims 4B entries with no bytes behind them
+    EXPECT_FALSE(decode_histogram_report(std::move(w).take()).ok());
+  }
+}
+
 TEST(HistogramReport, CodecRoundTrip) {
   obs::Histogram h;
   h.observe(0.05);
   h.observe(2.5);
   std::vector<HistogramSnapshot> snapshots = {
-      HistogramSnapshot{"gw0", "span_accessd_establish_s", h.bounds(),
-                        h.counts(), h.sum(), 42 * sim::kSecond},
+      full_snapshot("gw0", "span_accessd_establish_s", h, 42 * sim::kSecond),
   };
   auto decoded = decode_histogram_report(encode_histogram_report(snapshots));
   ASSERT_TRUE(decoded.ok());

@@ -123,6 +123,82 @@ TEST(Tracer, NullSafeHelpers) {
   const Tracer::Scope scope(nullptr, ctx);   // must not crash
 }
 
+TEST(Tracer, SpanLinksRecordCausallyRelatedTraces) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  // Three independent traces (batched events); one shipping span links them.
+  const TraceContext e0 = tracer.begin("attach", "accessd", "gw0");
+  const TraceContext e1 = tracer.begin("detach", "accessd", "gw0");
+  tracer.end(e0);
+  tracer.end(e1);
+
+  const TraceContext ship = tracer.begin("ship_events", "magmad", "gw0");
+  tracer.link(ship, e0);
+  tracer.link(ship, e1);
+  tracer.link(ship, TraceContext{});   // invalid target: no-op
+  tracer.link(TraceContext{}, e0);     // invalid span: no-op
+  link_span(nullptr, ship, e0);        // null-safe helper
+  tracer.end(ship);
+  tracer.link(ship, e0);  // closed span: no-op
+
+  const auto spans = tracer.trace_spans(ship.trace_id);
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].links.size(), 2u);
+  EXPECT_EQ(spans[0].links[0].trace_id, e0.trace_id);
+  EXPECT_EQ(spans[0].links[0].span_id, e0.span_id);
+  EXPECT_EQ(spans[0].links[1].trace_id, e1.trace_id);
+}
+
+TEST(Tracer, ErrorTagPinsTraceAgainstEviction) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  tracer.set_retention(3);
+
+  const TraceContext failed = tracer.begin("attach", "accessd", "gw0");
+  tracer.tag(failed, "error", "auth rejected");
+  tracer.end(failed);
+  EXPECT_TRUE(tracer.trace_pinned(failed.trace_id));
+
+  // A flood of healthy spans evicts around the pinned failure trace.
+  for (int i = 0; i < 10; ++i) {
+    tracer.end(tracer.begin("ok" + std::to_string(i), "svc", "gw0"));
+  }
+  EXPECT_EQ(tracer.finished().size(), 3u);
+  ASSERT_EQ(tracer.trace_spans(failed.trace_id).size(), 1u);
+  EXPECT_TRUE(tracer.trace_spans(failed.trace_id)[0].error);
+  EXPECT_EQ(tracer.finished().back().name, "ok9");
+}
+
+TEST(Tracer, PinCapReleasesOldestPinFirst) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  tracer.set_max_pinned_traces(2);
+  TraceContext first{};
+  for (int i = 0; i < 3; ++i) {
+    const TraceContext span = tracer.begin("op", "svc", "gw0");
+    if (i == 0) first = span;
+    tracer.tag(span, "error", "boom");
+    tracer.end(span);
+  }
+  EXPECT_EQ(tracer.pinned_traces(), 2u);
+  EXPECT_FALSE(tracer.trace_pinned(first.trace_id));
+}
+
+TEST(Tracer, RetentionBoundWinsWhenEverythingIsPinned) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  tracer.set_retention(2);
+  for (int i = 0; i < 5; ++i) {
+    const TraceContext span = tracer.begin("op" + std::to_string(i),
+                                           "svc", "gw0");
+    tracer.tag(span, "error", "boom");
+    tracer.end(span);
+  }
+  // All finished spans belong to pinned traces; the ring bound still holds.
+  EXPECT_EQ(tracer.finished().size(), 2u);
+  EXPECT_EQ(tracer.finished().back().name, "op4");
+}
+
 // ---------------------------------------------------------------------------
 // Histogram
 // ---------------------------------------------------------------------------
@@ -460,6 +536,35 @@ TEST(ChromeTrace, FilterByTraceId) {
     }
   }
   EXPECT_EQ(complete, 1);
+}
+
+TEST(ChromeTrace, ExportsLinksAndErrorMarkers) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  const TraceContext batched = tracer.begin("attach", "accessd", "gw0");
+  tracer.end(batched);
+  const TraceContext ship = tracer.begin("ship_events", "magmad", "gw0");
+  tracer.link(ship, batched);
+  tracer.tag(ship, "error", "report lost");
+  tracer.end(ship);
+
+  const std::string json = export_chrome_trace(tracer, ship.trace_id);
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(json).parse(doc)) << json;
+  int complete = 0;
+  for (const JsonValue& event : doc.object().at("traceEvents").array()) {
+    const JsonObject& e = event.object();
+    if (e.at("ph").str() != "X") continue;
+    ++complete;
+    const JsonObject& args = e.at("args").object();
+    ASSERT_EQ(args.count("error"), 1u);
+    EXPECT_EQ(args.at("links").str(),
+              std::to_string(batched.trace_id) + ":" +
+                  std::to_string(batched.span_id));
+  }
+  EXPECT_EQ(complete, 1);
+  // The machine-readable error marker rides next to the error tag.
+  EXPECT_NE(json.find("\"error\":true"), std::string::npos);
 }
 
 }  // namespace

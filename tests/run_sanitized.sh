@@ -17,11 +17,12 @@ cd "$(dirname "$0")/.."
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)" --target \
   net_channel_test net_congestion_test fuzz_codec_test property_test \
-  rpc_test magmad_orc8r_test obs_test tracing_integration_test
+  rpc_test magmad_orc8r_test obs_test tracing_integration_test \
+  statusd_test cpu_profile_test
 
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 ctest --test-dir build-asan --output-on-failure \
-  -R 'Channel|Reliable|Datagram|Congestion|Fuzz|Rpc|Wire|Magmad|Orchestrator|DesiredState|TransportTelemetry|Tracer|Histogram|EventBuffer|EventReport|ChromeTrace|Tracing' \
+  -R 'Channel|Reliable|Datagram|Congestion|Fuzz|Rpc|Wire|Magmad|Orchestrator|DesiredState|TransportTelemetry|Tracer|Histogram|EventBuffer|EventReport|ChromeTrace|Tracing|Statusd|Service303|GatewayStatus|CpuProfile' \
   "$@"
 echo "sanitized transport suite: OK"

@@ -1,0 +1,258 @@
+// The service health plane: Service303 status registry, the gateway-status
+// checkin codec, and orc8r statusd's missed-checkin state machine with its
+// default alert rules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/status.h"
+#include "orc8r/metricsd.h"
+#include "orc8r/statusd.h"
+#include "sim/kernel.h"
+#include "sim/time.h"
+
+namespace magma {
+namespace {
+
+// --- Service303 registry -----------------------------------------------------
+
+TEST(Service303, RegisterIsIdempotentAndCountersAccumulate) {
+  sim::Kernel kernel;
+  obs::StatusRegistry registry(kernel);
+  obs::Service303& svc = registry.register_service("sessiond");
+  EXPECT_EQ(&svc, &registry.register_service("sessiond"));
+  EXPECT_EQ(registry.size(), 1u);
+
+  svc.count_request(3);
+  svc.count_deadline();
+  kernel.run_until(2 * sim::kSecond);
+  svc.count_error("create_session: no bearer");
+  svc.set_phase("draining");
+
+  const obs::ServiceStatus& s = svc.status();
+  EXPECT_EQ(s.requests, 3u);
+  EXPECT_EQ(s.errors, 1u);
+  EXPECT_EQ(s.deadlines, 1u);
+  EXPECT_EQ(s.last_error, "create_session: no bearer");
+  EXPECT_EQ(s.last_error_time, 2 * sim::kSecond);
+  EXPECT_EQ(s.phase, "draining");
+  EXPECT_EQ(registry.find("sessiond"), &svc);
+  EXPECT_EQ(registry.find("nope"), nullptr);
+}
+
+TEST(Service303, NullSafeHelpersAreNoOps) {
+  obs::svc_phase(nullptr, "x");
+  obs::svc_request(nullptr);
+  obs::svc_error(nullptr, "x");
+  obs::svc_deadline(nullptr);
+}
+
+TEST(Service303, SnapshotIsNameOrderedWithUptime) {
+  sim::Kernel kernel;
+  obs::StatusRegistry registry(kernel);
+  registry.register_service("mobilityd");
+  kernel.run_until(5 * sim::kSecond);
+  registry.register_service("accessd");
+  kernel.run_until(8 * sim::kSecond);
+
+  const std::vector<obs::ServiceStatus> snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].service, "accessd");
+  EXPECT_EQ(snap[1].service, "mobilityd");
+  EXPECT_EQ(snap[0].uptime, 3 * sim::kSecond);
+  EXPECT_EQ(snap[1].uptime, 8 * sim::kSecond);
+}
+
+// --- checkin codec -----------------------------------------------------------
+
+TEST(GatewayStatusCodec, RoundTrip) {
+  std::vector<obs::ServiceStatus> in(2);
+  in[0].service = "accessd";
+  in[0].phase = "attaching";
+  in[0].uptime = 90 * sim::kSecond;
+  in[0].requests = 12;
+  in[0].errors = 2;
+  in[0].deadlines = 1;
+  in[0].last_error = "control plane overloaded";
+  in[0].last_error_time = 42 * sim::kSecond;
+  in[1].service = "sessiond";
+
+  const common::Bytes wire = obs::encode_gateway_status(in);
+  auto out = obs::decode_gateway_status(wire);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 2u);
+  EXPECT_EQ(out.value()[0].service, "accessd");
+  EXPECT_EQ(out.value()[0].phase, "attaching");
+  EXPECT_EQ(out.value()[0].uptime, 90 * sim::kSecond);
+  EXPECT_EQ(out.value()[0].requests, 12u);
+  EXPECT_EQ(out.value()[0].errors, 2u);
+  EXPECT_EQ(out.value()[0].deadlines, 1u);
+  EXPECT_EQ(out.value()[0].last_error, "control plane overloaded");
+  EXPECT_EQ(out.value()[0].last_error_time, 42 * sim::kSecond);
+  EXPECT_EQ(out.value()[1].service, "sessiond");
+  EXPECT_EQ(out.value()[1].last_error_time, -1);
+}
+
+TEST(GatewayStatusCodec, EmptySnapshotRoundTrips) {
+  const common::Bytes wire = obs::encode_gateway_status({});
+  auto out = obs::decode_gateway_status(wire);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().empty());
+}
+
+TEST(GatewayStatusCodec, RejectsCorruptInput) {
+  std::vector<obs::ServiceStatus> in(1);
+  in[0].service = "magmad";
+  common::Bytes wire = obs::encode_gateway_status(in);
+
+  // Truncation at every prefix must fail-soft, never crash.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    auto out = obs::decode_gateway_status(
+        common::BytesView(wire.data(), len));
+    EXPECT_FALSE(out.ok()) << "truncated to " << len;
+  }
+  // Trailing garbage is rejected too (at_end check).
+  wire.push_back(0xAB);
+  EXPECT_FALSE(obs::decode_gateway_status(wire).ok());
+}
+
+// --- statusd health machine --------------------------------------------------
+
+orc8r::StatusdConfig fast_statusd() {
+  orc8r::StatusdConfig config;
+  config.checkin_interval = 10 * sim::kSecond;
+  config.sweep_interval = 5 * sim::kSecond;
+  config.degraded_after_missed = 2;
+  config.unreachable_after_missed = 5;
+  return config;
+}
+
+TEST(Statusd, HealthDegradesThenGoesUnreachableOnMissedCheckins) {
+  sim::Kernel kernel;
+  orc8r::Statusd statusd(kernel, nullptr, fast_statusd());
+
+  statusd.record_checkin("gw0", {});
+  EXPECT_EQ(statusd.health("gw0"), orc8r::GatewayHealth::kHealthy);
+  EXPECT_EQ(statusd.missed_checkins("gw0"), 0u);
+
+  // One missed interval: still healthy.
+  kernel.run_until(15 * sim::kSecond);
+  statusd.sweep_now();
+  EXPECT_EQ(statusd.missed_checkins("gw0"), 1u);
+  EXPECT_EQ(statusd.health("gw0"), orc8r::GatewayHealth::kHealthy);
+
+  // Two missed: degraded.
+  kernel.run_until(25 * sim::kSecond);
+  statusd.sweep_now();
+  EXPECT_EQ(statusd.health("gw0"), orc8r::GatewayHealth::kDegraded);
+
+  // Four missed: still only degraded.
+  kernel.run_until(45 * sim::kSecond);
+  statusd.sweep_now();
+  EXPECT_EQ(statusd.health("gw0"), orc8r::GatewayHealth::kDegraded);
+
+  // Five missed: unreachable.
+  kernel.run_until(55 * sim::kSecond);
+  statusd.sweep_now();
+  EXPECT_EQ(statusd.health("gw0"), orc8r::GatewayHealth::kUnreachable);
+
+  EXPECT_EQ(statusd.stats().to_degraded, 1u);
+  EXPECT_EQ(statusd.stats().to_unreachable, 1u);
+  EXPECT_EQ(statusd.stats().recoveries, 0u);
+}
+
+TEST(Statusd, CheckinRecoversImmediatelyAndStoresServices) {
+  sim::Kernel kernel;
+  orc8r::Statusd statusd(kernel, nullptr, fast_statusd());
+
+  statusd.record_checkin("gw0", {});
+  kernel.run_until(60 * sim::kSecond);
+  statusd.sweep_now();
+  ASSERT_EQ(statusd.health("gw0"), orc8r::GatewayHealth::kUnreachable);
+
+  // Recovery happens inside record_checkin — no sweep needed.
+  std::vector<obs::ServiceStatus> services(1);
+  services[0].service = "sessiond";
+  services[0].requests = 7;
+  statusd.record_checkin("gw0", services);
+  EXPECT_EQ(statusd.health("gw0"), orc8r::GatewayHealth::kHealthy);
+  EXPECT_EQ(statusd.missed_checkins("gw0"), 0u);
+  EXPECT_EQ(statusd.stats().recoveries, 1u);
+
+  const orc8r::GatewayStatus* gw = statusd.gateway("gw0");
+  ASSERT_NE(gw, nullptr);
+  EXPECT_EQ(gw->checkins, 2u);
+  ASSERT_EQ(gw->services.size(), 1u);
+  EXPECT_EQ(gw->services[0].service, "sessiond");
+  EXPECT_EQ(gw->services[0].requests, 7u);
+}
+
+TEST(Statusd, UnknownGatewayReadsHealthy) {
+  sim::Kernel kernel;
+  orc8r::Statusd statusd(kernel, nullptr);
+  EXPECT_EQ(statusd.health("never-seen"), orc8r::GatewayHealth::kHealthy);
+  EXPECT_EQ(statusd.missed_checkins("never-seen"), 0u);
+  EXPECT_EQ(statusd.gateway("never-seen"), nullptr);
+  EXPECT_TRUE(statusd.tracked_gateways().empty());
+}
+
+TEST(Statusd, StartRunsThePeriodicSweep) {
+  sim::Kernel kernel;
+  orc8r::Statusd statusd(kernel, nullptr, fast_statusd());
+  EXPECT_FALSE(statusd.started());
+  statusd.start();
+  statusd.start();  // idempotent
+  EXPECT_TRUE(statusd.started());
+
+  statusd.record_checkin("gw0", {});
+  kernel.run_until(61 * sim::kSecond);
+  // 5 s cadence over 61 s: twelve sweeps, and the gateway went unreachable
+  // without anyone calling sweep_now().
+  EXPECT_GE(statusd.stats().sweeps, 12u);
+  EXPECT_EQ(statusd.health("gw0"), orc8r::GatewayHealth::kUnreachable);
+}
+
+TEST(Statusd, GaugesAndDefaultAlertLifecycle) {
+  sim::Kernel kernel;
+  orc8r::Metricsd metricsd;
+  orc8r::install_default_health_rules(metricsd);
+  orc8r::install_default_health_rules(metricsd);  // idempotent
+  orc8r::Statusd statusd(kernel, &metricsd, fast_statusd());
+
+  statusd.record_checkin("gw0", {});
+  statusd.record_checkin("gw1", {});
+  ASSERT_TRUE(metricsd.latest("gw0", "gateway_health").has_value());
+  EXPECT_EQ(*metricsd.latest("gw0", "gateway_health"), 0.0);
+  EXPECT_TRUE(metricsd.active_alerts().empty());
+
+  // gw1 keeps checking in; gw0 goes silent and pages.
+  kernel.run_until(55 * sim::kSecond);
+  statusd.record_checkin("gw1", {});
+  statusd.sweep_now();
+  EXPECT_EQ(*metricsd.latest("gw0", "gateway_health"), 2.0);
+  EXPECT_EQ(*metricsd.latest("gw0", "gateway_missed_checkins"), 5.0);
+  EXPECT_EQ(*metricsd.latest("gw1", "gateway_health"), 0.0);
+
+  const std::vector<orc8r::ActiveAlert> alerts = metricsd.active_alerts();
+  const auto firing = [&alerts](const std::string& rule,
+                                const std::string& gw) {
+    return std::any_of(alerts.begin(), alerts.end(),
+                       [&](const orc8r::ActiveAlert& a) {
+                         return a.rule == rule && a.gateway_id == gw;
+                       });
+  };
+  EXPECT_TRUE(firing("gateway_degraded", "gw0"));
+  EXPECT_TRUE(firing("gateway_unreachable", "gw0"));
+  EXPECT_FALSE(firing("gateway_degraded", "gw1"));
+  EXPECT_FALSE(firing("gateway_unreachable", "gw1"));
+
+  // Recovery clears both alerts on the very next sample.
+  statusd.record_checkin("gw0", {});
+  EXPECT_EQ(*metricsd.latest("gw0", "gateway_health"), 0.0);
+  EXPECT_TRUE(metricsd.active_alerts().empty());
+}
+
+}  // namespace
+}  // namespace magma

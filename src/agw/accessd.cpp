@@ -50,6 +50,7 @@ void Accessd::set_observability(obs::Tracer* tracer, std::string node) {
 // ---------------------------------------------------------------------------
 
 void Accessd::submit_work(sim::LabelId label, double cost,
+                          obs::TraceContext origin,
                           std::function<void()> logic,
                           std::function<void()> on_reject) {
   obs::svc_request(status_);
@@ -59,7 +60,8 @@ void Accessd::submit_work(sim::LabelId label, double cost,
     if (on_reject) on_reject();
     return;
   }
-  work_queue_.push_back(Work{label, cost, std::move(logic)});
+  work_queue_.push_back(
+      Work{label, cost, origin, kernel_.now(), std::move(logic)});
   pump();
 }
 
@@ -68,12 +70,25 @@ void Accessd::pump() {
     Work work = std::move(work_queue_.front());
     work_queue_.pop_front();
     ++active_workers_;
+    // Time spent waiting for a worker shard is run-queue wait in every
+    // sense that matters to the operator: the stage was runnable, no
+    // execution slot was free. Charge it to the stage span and the label.
+    const sim::Duration shard_wait = kernel_.now() - work.queued_at;
+    obs::add_span_wait(tracer_, work.origin, obs::WaitState::kRunq,
+                       shard_wait);
+    if (cpu_ != nullptr) {
+      cpu_->charge_wait(work.label, obs::WaitState::kRunq, shard_wait);
+    }
     auto finish = [this, logic = std::move(work.logic)]() {
       logic();
       --active_workers_;
       pump();
     };
     if (cpu_ != nullptr) {
+      // Submit under the stage span's context — pump() often runs from a
+      // *previous* task's completion, whose context must not absorb this
+      // work's runq/cpu charges.
+      const obs::Tracer::Scope scope(tracer_, work.origin);
       if (!cpu_->submit(sim::WorkClass::kControl, work.label, work.cost,
                         std::move(finish))) {
         // No control cores at all: reject rather than hang.
@@ -233,6 +248,7 @@ void Accessd::resync_auth(
     std::function<void(common::Result<AuthChallenge>)> done) {
   submit_work(
       label_resync_, config_.cost_begin_attach,
+      obs::current_context(tracer_),
       [this, imsi, auts, done]() {
         auto it = contexts_.find(imsi);
         if (it == contexts_.end() || !it->second.has_vector) {
@@ -407,7 +423,7 @@ void Accessd::begin_attach(
     done(std::move(r));
   };
   submit_work(
-      label_begin_, config_.cost_begin_attach,
+      label_begin_, config_.cost_begin_attach, span,
       [this, imsi, rat, span, finish]() {
         obs::Tracer::Scope scope(tracer_, span);
         finish(do_begin(imsi, rat));
@@ -431,7 +447,7 @@ void Accessd::verify_auth(
     done(std::move(r));
   };
   submit_work(
-      label_verify_, config_.cost_verify_auth,
+      label_verify_, config_.cost_verify_auth, span,
       [this, imsi, copy = std::move(copy), span, finish]() {
         obs::Tracer::Scope scope(tracer_, span);
         finish(do_verify(imsi, copy));
@@ -454,7 +470,7 @@ void Accessd::establish(
     done(std::move(r));
   };
   submit_work(
-      label_establish_, config_.cost_establish,
+      label_establish_, config_.cost_establish, span,
       [this, req, span, finish]() {
         obs::Tracer::Scope scope(tracer_, span);
         do_establish(req, finish);
@@ -469,7 +485,7 @@ void Accessd::establish(
 void Accessd::detach(const common::Imsi& imsi,
                      std::function<void(common::Status)> done) {
   submit_work(
-      label_detach_, config_.cost_detach,
+      label_detach_, config_.cost_detach, obs::current_context(tracer_),
       [this, imsi, done]() {
         auto it = contexts_.find(imsi);
         if (it == contexts_.end()) {

@@ -172,7 +172,10 @@ class Accessd {
   // Control-plane work scheduling: at most `workers` items execute
   // concurrently; the rest wait FIFO. Each item charges `cost` to the CPU
   // before its logic runs, attributed to `label` in the CPU profiler.
-  void submit_work(sim::LabelId label, double cost,
+  // `origin` is the span the work belongs to (the stage span): its time in
+  // the shard queue is charged as run-queue wait, and the CPU submission
+  // runs under it so the scheduler's own runq/cpu charges land there too.
+  void submit_work(sim::LabelId label, double cost, obs::TraceContext origin,
                    std::function<void()> logic,
                    std::function<void()> on_reject);
   void pump();
@@ -206,6 +209,8 @@ class Accessd {
   struct Work {
     sim::LabelId label;
     double cost;
+    obs::TraceContext origin;  // stage span the charges belong to
+    sim::TimePoint queued_at = 0;
     std::function<void()> logic;
   };
   std::deque<Work> work_queue_;

@@ -104,13 +104,20 @@ void AccessGateway::set_tracer(obs::Tracer* tracer) {
     tracer_->remove_finish_hook(finish_hook_id_);
     finish_hook_id_ = 0;
   }
+  tail_sampler_.reset();  // bound to the old tracer's ring
   tracer_ = tracer;
+  // Spans are opt-in per task, but wait attribution (runq/cpu charges onto
+  // whatever span submitted the work) should follow every charge.
+  cpu_.set_wait_tracer(tracer_);
   accessd_->set_observability(tracer_, id_.value);
   sessiond_->set_observability(tracer_, id_.value);
   lte_frontend_->set_observability(tracer_, id_.value, &events_);
   if (orc8r_node_ != nullptr) orc8r_node_->set_tracer(tracer_, id_.value);
   if (ocs_node_ != nullptr) ocs_node_->set_tracer(tracer_, id_.value);
   if (tracer_ == nullptr) return;
+  tail_sampler_ =
+      std::make_unique<obs::TailSampler>(kernel_, *tracer_, tail_config_);
+  tail_sampler_->set_node_filter(id_.value);
   // Aggregate every finished stage span of this gateway into a latency
   // histogram; magmad ships the buckets with each metrics tick.
   finish_hook_id_ = tracer_->add_finish_hook([this](
@@ -136,12 +143,17 @@ void AccessGateway::connect_orchestrator(net::Channel& channel,
   orc8r_node_ = std::make_unique<rpc::RpcNode>(kernel_, channel,
                                                id_.value + "-orc8r-client");
   if (tracer_ != nullptr) orc8r_node_->set_tracer(tracer_, id_.value);
+  orc8r_node_->set_wait_attribution(&cpu_);
   magmad_ = std::make_unique<Magmad>(
       kernel_, id_.value, orc8r_node_.get(), subscriberdb_, policydb_,
       [this]() { return checkpoint(); },
       [this]() { return telemetry_snapshot(); }, magmad_config, &events_,
       [this]() { return histogram_snapshot(); },
       [this]() { return status_.snapshot(); });
+  magmad_->set_trace_source([this]() {
+    return tail_sampler_ != nullptr ? tail_sampler_->drain_ready()
+                                    : std::vector<obs::TraceSummary>{};
+  });
   magmad_->set_status(svc_magmad_);
 }
 
@@ -149,6 +161,7 @@ void AccessGateway::connect_ocs(net::Channel& channel) {
   ocs_node_ = std::make_unique<rpc::RpcNode>(kernel_, channel,
                                              id_.value + "-ocs-client");
   if (tracer_ != nullptr) ocs_node_->set_tracer(tracer_, id_.value);
+  ocs_node_->set_wait_attribution(&cpu_);
   sessiond_->set_ocs(ocs_node_.get());
 }
 
@@ -284,6 +297,34 @@ std::vector<orc8r::MetricSample> AccessGateway::telemetry_snapshot() {
   for (const auto& [service, seconds] : cpu_.service_busy_seconds()) {
     gauge("cpu_service_busy_s_" + service, seconds);
   }
+  // Off-CPU counterpart: cumulative wait (run-queue + blocked-on-RPC +
+  // timer) per service, so fleet dashboards can plot on-CPU vs off-CPU per
+  // service without shipping every label.
+  {
+    std::map<std::string, double> wait_s;
+    for (const sim::TaskLabelStats& label : cpu_.labels()) {
+      wait_s[label.service] +=
+          sim::to_seconds(label.queue_wait_ns + label.rpc_wait_ns +
+                          label.timer_wait_ns);
+    }
+    for (const auto& [service, seconds] : wait_s) {
+      if (seconds > 0) gauge("cpu_service_wait_s_" + service, seconds);
+    }
+  }
+  // Backhaul health as seen from this gateway: transmit-queue depth and
+  // cumulative drops per direction (uplink = toward the orchestrator).
+  if (backhaul_ul_ != nullptr) {
+    gauge("link_queue_depth_ul",
+          static_cast<double>(backhaul_ul_->queue_depth()));
+    gauge("link_dropped_packets_ul",
+          static_cast<double>(backhaul_ul_->stats().packets_dropped));
+  }
+  if (backhaul_dl_ != nullptr) {
+    gauge("link_queue_depth_dl",
+          static_cast<double>(backhaul_dl_->queue_depth()));
+    gauge("link_dropped_packets_dl",
+          static_cast<double>(backhaul_dl_->stats().packets_dropped));
+  }
   {
     const std::vector<sim::Duration> per_core = cpu_.core_busy_ns();
     for (std::size_t core = 0; core < per_core.size(); ++core) {
@@ -330,6 +371,8 @@ std::vector<orc8r::MetricSample> AccessGateway::telemetry_snapshot() {
           static_cast<double>(magmad_->stats().telemetry_sheds));
     gauge("magmad_histogram_buckets_shipped",
           static_cast<double>(magmad_->stats().histogram_buckets_shipped));
+    gauge("magmad_trace_summaries_shipped",
+          static_cast<double>(magmad_->stats().trace_summaries_shipped));
   }
   return samples;
 }

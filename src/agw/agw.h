@@ -36,7 +36,9 @@
 #include "obs/events.h"
 #include "obs/histogram.h"
 #include "obs/status.h"
+#include "obs/tail_sampler.h"
 #include "obs/trace.h"
+#include "sim/link.h"
 #include "rpc/rpc.h"
 #include "sim/cpu.h"
 #include "sim/kernel.h"
@@ -92,8 +94,24 @@ class AccessGateway {
   void connect_ocs(net::Channel& channel);
   // Attach the (network-wide) tracer: instruments every service on this
   // gateway and starts aggregating per-stage attach latency histograms.
-  // Call before or after connect_orchestrator — both orders work.
+  // Also starts the gateway's TailSampler (keep-K-slowest traces per root
+  // op per window; see obs/tail_sampler.h), whose closed-window summaries
+  // magmad ships to metricsd. Call before or after connect_orchestrator —
+  // both orders work.
   void set_tracer(obs::Tracer* tracer);
+  // Tune the TailSampler (takes effect at the next set_tracer call; call
+  // before set_tracer for a fresh gateway).
+  void set_tail_sampler_config(obs::TailSamplerConfig config) {
+    tail_config_ = config;
+  }
+  // Point telemetry at the backhaul's two directions (non-owning; typically
+  // wired by core::Network). Adds link_queue_depth / link drop gauges to
+  // the metrics snapshot.
+  void set_backhaul_telemetry(const sim::Link* uplink,
+                              const sim::Link* downlink) {
+    backhaul_ul_ = uplink;
+    backhaul_dl_ = downlink;
+  }
 
   // --- user plane ----------------------------------------------------------
   // Uplink traffic arriving from the RAN side (GTP-encapsulated for LTE/5G,
@@ -119,6 +137,8 @@ class AccessGateway {
   // Structured events awaiting shipment (attach outcomes, WARN/ERROR logs).
   obs::EventBuffer& events() { return events_; }
   obs::Tracer* tracer() { return tracer_; }
+  // Null until set_tracer installs one.
+  obs::TailSampler* tail_sampler() { return tail_sampler_.get(); }
 
   // Service303 registry: every service on this gateway registers at
   // construction; magmad ships snapshot() inside each checkin.
@@ -185,6 +205,10 @@ class AccessGateway {
   std::uint64_t last_reported_forwarded_bytes_ = 0;
 
   obs::Tracer* tracer_ = nullptr;
+  obs::TailSamplerConfig tail_config_;
+  std::unique_ptr<obs::TailSampler> tail_sampler_;
+  const sim::Link* backhaul_ul_ = nullptr;
+  const sim::Link* backhaul_dl_ = nullptr;
   obs::EventBuffer events_{1024};
   // Per-stage attach latency, keyed "span_<service>_<name>_s". std::map:
   // snapshots ship in deterministic order.

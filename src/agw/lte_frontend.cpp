@@ -211,6 +211,7 @@ void LteFrontend::handle(EnbConn& conn, lte::S1apMessage msg) {
           auth.autn = challenge.value().autn;
           ++stats_.auth_requests_sent;
           send_nas(*ue, lte::NasMessage{auth});
+          ue->awaiting_ue_since = kernel_.now();
         });
     return;
   }
@@ -382,6 +383,15 @@ void LteFrontend::handle_nas(UeCtx& ue, const lte::NasMessage& nas) {
   // advances (invalid outside an attach — harmless).
   const obs::Tracer::Scope scope(tracer_, ue.trace);
 
+  // The time since the last downlink that awaited a UE answer is radio-leg
+  // round trip: charge it to the attach root as link transit so the root's
+  // wait vector tiles with the stage spans (DESIGN.md §7).
+  if (ue.awaiting_ue_since >= 0) {
+    obs::add_span_wait(tracer_, ue.trace, obs::WaitState::kLinkTransit,
+                       kernel_.now() - ue.awaiting_ue_since);
+    ue.awaiting_ue_since = -1;
+  }
+
   if (const auto* auth = std::get_if<lte::AuthenticationResponse>(&nas)) {
     accessd_.verify_auth(
         ue.imsi, common::BytesView(auth->res.data(), auth->res.size()),
@@ -402,6 +412,7 @@ void LteFrontend::handle_nas(UeCtx& ue, const lte::NasMessage& nas) {
           ++ue->dl_count;
           ++stats_.smc_sent;
           send_nas(*ue, lte::NasMessage{smc});
+          ue->awaiting_ue_since = kernel_.now();
         });
     return;
   }
@@ -426,6 +437,7 @@ void LteFrontend::handle_nas(UeCtx& ue, const lte::NasMessage& nas) {
           auth.autn = challenge.value().autn;
           ++stats_.auth_requests_sent;
           send_nas(*ue, lte::NasMessage{auth});
+          ue->awaiting_ue_since = kernel_.now();
         });
     return;
   }
@@ -479,6 +491,7 @@ void LteFrontend::handle_nas(UeCtx& ue, const lte::NasMessage& nas) {
               protect_downlink(*ue, lte::encode_nas(lte::NasMessage{accept}));
           ++stats_.attach_accepts;
           send(*ue->conn, lte::S1apMessage{std::move(ics)});
+          ue->awaiting_ue_since = kernel_.now();
         });
     return;
   }

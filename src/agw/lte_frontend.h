@@ -96,6 +96,11 @@ class LteFrontend {
     std::uint32_t m_tmsi = 0;
     // Root span of the in-flight attach procedure (invalid once closed).
     obs::TraceContext trace{};
+    // When the attach last went quiet waiting for the UE (a downlink NAS
+    // that needs an uplink answer is in flight); -1 when not waiting. The
+    // gap to the next uplink is charged to the root span as link transit —
+    // the radio-leg round trips that are otherwise invisible to the AGW.
+    sim::TimePoint awaiting_ue_since = -1;
   };
 
   void on_message(EnbConn& conn, common::Bytes raw);

@@ -218,6 +218,24 @@ void Magmad::metrics_tick() {
                    });
     }
   }
+  if (trace_source_) {
+    const std::vector<obs::TraceSummary> summaries = trace_source_();
+    if (!summaries.empty()) {
+      const std::size_t count = summaries.size();
+      obs::svc_request(status_);
+      orc8r_->call(orc8r::kMetricsService, orc8r::kReportTraceSummaries,
+                   obs::encode_trace_summaries(summaries),
+                   config_.rpc_deadline,
+                   [this, count](rpc::Result<rpc::Bytes> result) {
+                     if (result.ok()) {
+                       ++stats_.trace_reports_sent;
+                       stats_.trace_summaries_shipped += count;
+                     } else {
+                       ++stats_.trace_reports_lost;
+                     }
+                   });
+    }
+  }
   kernel_.schedule(config_.metrics_interval, [this]() { metrics_tick(); });
 }
 

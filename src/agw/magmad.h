@@ -37,6 +37,7 @@
 #include "agw/subscriberdb.h"
 #include "obs/events.h"
 #include "obs/status.h"
+#include "obs/tail_sampler.h"
 #include "orc8r/metricsd.h"
 #include "orc8r/streamer.h"
 #include "rpc/rpc.h"
@@ -88,6 +89,13 @@ struct MagmadStats {
   std::uint64_t histogram_unchanged_skips = 0;
   std::uint64_t events_shipped = 0;
   std::uint64_t events_lost = 0;
+  // Tail-sampled trace summaries (the "where does attach latency go"
+  // payload): reports put on the wire vs lost, and summaries carried.
+  // Best-effort like metrics — a lost report's summaries are gone; the
+  // sampler keeps producing fresh ones every window.
+  std::uint64_t trace_reports_sent = 0;
+  std::uint64_t trace_reports_lost = 0;
+  std::uint64_t trace_summaries_shipped = 0;
   // Best-effort ticks that skipped shipping because the control channel was
   // already backlogged (see MagmadConfig::telemetry_backpressure). Events
   // stay in their bounded buffer for the next tick; metrics/checkpoints are
@@ -118,6 +126,14 @@ class Magmad {
   // magmad's own Service303 handle (phase tracks orchestrator reachability;
   // requests/errors/deadlines count its southbound RPC outcomes).
   void set_status(obs::Service303* status);
+
+  // Tail-sampled trace summaries (optional): drained and shipped to
+  // metricsd on each metrics tick. The source hands over whatever windows
+  // have closed since the last tick (typically the gateway TailSampler's
+  // drain_ready()).
+  void set_trace_source(std::function<std::vector<obs::TraceSummary>()> src) {
+    trace_source_ = std::move(src);
+  }
 
   // Begin the periodic loops (idempotent).
   void start();
@@ -157,6 +173,7 @@ class Magmad {
   obs::EventBuffer* events_;
   std::function<std::vector<orc8r::HistogramSnapshot>()> histogram_source_;
   std::function<std::vector<obs::ServiceStatus>()> status_source_;
+  std::function<std::vector<obs::TraceSummary>()> trace_source_;
   obs::Service303* status_ = nullptr;
 
   // Delta shipping: counts as of the last report put on the wire, per

@@ -61,6 +61,10 @@ agw::AccessGateway& Network::add_agw(
   node->orc8r_server->set_tracer(&tracer_, "orc8r");
   orchestrator_->bind(*node->orc8r_server);
   node->agw->set_tracer(&tracer_);
+  // Backhaul gauges: the AGW (side b) sends on the reverse link, so that is
+  // its uplink toward the orchestrator.
+  node->agw->set_backhaul_telemetry(&node->backhaul->reverse,
+                                    &node->backhaul->forward);
   node->agw->connect_orchestrator(*node->control.b, config_.magmad);
   orchestrator_->register_gateway("gw" + std::to_string(index), profile.name);
 

@@ -102,6 +102,16 @@ std::string export_chrome_trace(const Tracer& tracer, std::uint64_t trace_id) {
     out += ",\"span_id\":" + std::to_string(span.span_id);
     out += ",\"parent_span_id\":" + std::to_string(span.parent_span_id);
     if (span.error) out += ",\"error\":true";
+    // Wait-state vector: where this span's time went while it was open
+    // (ms, matching displayTimeUnit). Zero entries are elided.
+    for (std::size_t i = 0; i < kWaitStateCount; ++i) {
+      if (span.wait_ns[i] <= 0) continue;
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), ",\"wait_%s_ms\":%.6f",
+                    wait_state_name(static_cast<WaitState>(i)),
+                    1e3 * sim::to_seconds(span.wait_ns[i]));
+      out += buf;
+    }
     if (!span.links.empty()) {
       // Span links as "trace:span" pairs — enough to jump to the linked
       // trace in the viewer's args panel.

@@ -14,6 +14,18 @@ const char* span_kind_name(SpanKind kind) {
   return "?";
 }
 
+const char* wait_state_name(WaitState state) {
+  switch (state) {
+    case WaitState::kCpu: return "cpu";
+    case WaitState::kRunq: return "runq";
+    case WaitState::kRpcWait: return "rpc_wait";
+    case WaitState::kLinkTransit: return "link_transit";
+    case WaitState::kTimer: return "timer";
+    case WaitState::kOther: return "other";
+  }
+  return "?";
+}
+
 TraceContext Tracer::begin(std::string name, std::string service,
                            std::string node, SpanKind kind,
                            TraceContext parent) {
@@ -40,6 +52,14 @@ void Tracer::tag(TraceContext span, std::string key, std::string value) {
   if (it == open_.end() || it->second.trace_id != span.trace_id) return;
   if (key == "error") it->second.error = true;
   it->second.tags.emplace_back(std::move(key), std::move(value));
+}
+
+void Tracer::add_wait(TraceContext span, WaitState state,
+                      sim::Duration amount) {
+  if (amount <= 0) return;
+  auto it = open_.find(span.span_id);
+  if (it == open_.end() || it->second.trace_id != span.trace_id) return;
+  it->second.wait_ns[static_cast<std::size_t>(state)] += amount;
 }
 
 void Tracer::link(TraceContext span, TraceContext target) {
@@ -104,11 +124,11 @@ void Tracer::pin_trace(std::uint64_t trace_id) {
 void Tracer::evict_over_retention() {
   while (finished_.size() > max_finished_) {
     auto victim = finished_.begin();
-    if (!pinned_.empty()) {
+    if (!pinned_.empty() || !tail_pinned_.empty()) {
       // Oldest span of an *unpinned* trace goes first; in the common case
-      // (front unpinned) this scan stops immediately.
-      while (victim != finished_.end() &&
-             pinned_.count(victim->trace_id) != 0) {
+      // (front unpinned) this scan stops immediately. Error pins and
+      // sampler pins protect alike.
+      while (victim != finished_.end() && trace_pinned(victim->trace_id)) {
         ++victim;
       }
       // Everything pinned: the size bound still wins — drop the oldest.

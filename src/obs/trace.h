@@ -19,6 +19,7 @@
 //    lambdas and re-enter it with a Scope.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -45,6 +46,26 @@ struct TraceContext {
 enum class SpanKind : std::uint8_t { kInternal = 0, kClient = 1, kServer = 2 };
 const char* span_kind_name(SpanKind kind);
 
+// Where a span's time went while it was open. The instrumented layers charge
+// these as they learn them: sim::CpuModel charges kCpu/kRunq when a task
+// starts, rpc::RpcNode charges kRpcWait when a call completes and kTimer for
+// retry backoff, and the access stack charges kLinkTransit for round trips
+// it spends waiting on the UE. kOther is never charged directly — the
+// critical-path walk uses it for self-time it cannot classify.
+enum class WaitState : std::uint8_t {
+  kCpu = 0,          // on a core, executing
+  kRunq = 1,         // runnable, waiting for a core (or a worker slot)
+  kRpcWait = 2,      // blocked on an outstanding RPC
+  kLinkTransit = 3,  // in flight on a network link
+  kTimer = 4,        // blocked on a timer (retry backoff, pacing)
+  kOther = 5,        // unattributed self-time
+};
+inline constexpr std::size_t kWaitStateCount = 6;
+const char* wait_state_name(WaitState state);
+
+// Per-state accumulated durations; indexed by WaitState.
+using WaitVector = std::array<sim::Duration, kWaitStateCount>;
+
 struct SpanRecord {
   std::uint64_t trace_id = 0;
   std::uint64_t span_id = 0;
@@ -62,8 +83,16 @@ struct SpanRecord {
   // Set when the span was tagged "error"; an erroring span pins its whole
   // trace against drop-oldest eviction (see Tracer::set_retention).
   bool error = false;
+  // Accumulated off-/on-CPU attribution charged via Tracer::add_wait. The
+  // states need not cover the whole duration — the critical-path walk
+  // classifies the span's *self*-time against this vector and labels any
+  // remainder kOther.
+  WaitVector wait_ns{};
 
   sim::Duration duration() const { return end - start; }
+  sim::Duration wait(WaitState state) const {
+    return wait_ns[static_cast<std::size_t>(state)];
+  }
 };
 
 class Tracer {
@@ -84,6 +113,10 @@ class Tracer {
   // Link `span` to a causally related span of another trace (no-op when
   // either context is invalid or `span` is unknown/closed).
   void link(TraceContext span, TraceContext target);
+  // Charge `amount` of `span`'s open time to a wait state (no-op if the
+  // span is unknown/closed or the amount is not positive). Charges
+  // accumulate; nothing requires them to cover the span's duration.
+  void add_wait(TraceContext span, WaitState state, sim::Duration amount);
   // Close a span: stamps the end time, moves it to the finished ring and
   // fires the finish hooks. Closing an unknown or already-closed span is a
   // no-op (failure paths may race an explicit end with a cleanup end).
@@ -132,8 +165,23 @@ class Tracer {
   void set_max_pinned_traces(std::size_t max_pinned);
   std::size_t pinned_traces() const { return pinned_.size(); }
   bool trace_pinned(std::uint64_t trace_id) const {
+    return pinned_.count(trace_id) != 0 || tail_pinned_.count(trace_id) != 0;
+  }
+  // Error pins only (the retain-on-error set) — the TailSampler uses this
+  // to leave errored traces out of its K budget: they are already retained.
+  bool error_pinned(std::uint64_t trace_id) const {
     return pinned_.count(trace_id) != 0;
   }
+
+  // Explicit pins (tail-based sampling): a TailSampler pins the traces it
+  // keeps and unpins the ones it displaces. Kept separate from the error
+  // pins — releasing a sampler pin never releases an error pin, and the
+  // error-pin FIFO cap does not count sampler pins.
+  void pin(std::uint64_t trace_id) {
+    if (trace_id != 0) tail_pinned_.insert(trace_id);
+  }
+  void unpin(std::uint64_t trace_id) { tail_pinned_.erase(trace_id); }
+  std::size_t tail_pinned_traces() const { return tail_pinned_.size(); }
   const std::deque<SpanRecord>& finished() const { return finished_; }
   // All finished spans of one trace, in start order.
   std::vector<SpanRecord> trace_spans(std::uint64_t trace_id) const;
@@ -156,6 +204,7 @@ class Tracer {
   std::size_t max_finished_ = 65536;
   std::unordered_set<std::uint64_t> pinned_;  // trace ids with an error span
   std::deque<std::uint64_t> pin_order_;       // FIFO for the pin cap
+  std::unordered_set<std::uint64_t> tail_pinned_;  // sampler-held traces
   std::size_t max_pinned_traces_ = 128;
   std::uint64_t spans_started_ = 0;
   std::uint64_t spans_finished_ = 0;
@@ -186,6 +235,10 @@ inline TraceContext current_context(const Tracer* tracer) {
 }
 inline void link_span(Tracer* tracer, TraceContext span, TraceContext target) {
   if (tracer != nullptr) tracer->link(span, target);
+}
+inline void add_span_wait(Tracer* tracer, TraceContext span, WaitState state,
+                          sim::Duration amount) {
+  if (tracer != nullptr) tracer->add_wait(span, state, amount);
 }
 
 }  // namespace magma::obs

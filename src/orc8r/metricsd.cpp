@@ -1,6 +1,7 @@
 #include "orc8r/metricsd.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "rpc/wire.h"
 
@@ -196,6 +197,56 @@ double Metricsd::histogram_quantile(const std::string& name, double q) const {
 
 std::uint64_t Metricsd::histogram_count(const std::string& name) const {
   return merged_histogram(name).count();
+}
+
+void Metricsd::ingest_trace_summaries(
+    const std::vector<obs::TraceSummary>& summaries) {
+  for (const obs::TraceSummary& s : summaries) {
+    LatencyAttributionRow& row = attribution_[s.root_op];
+    row.root_op = s.root_op;
+    ++row.traces;
+    const double duration_s = sim::to_seconds(s.duration);
+    row.total_s += duration_s;
+    row.max_s = std::max(row.max_s, duration_s);
+    for (std::size_t i = 0; i < obs::kWaitStateCount; ++i) {
+      row.component_s[i] += sim::to_seconds(s.breakdown[i]);
+    }
+    ++trace_summaries_ingested_;
+  }
+}
+
+std::vector<LatencyAttributionRow> Metricsd::latency_attribution() const {
+  std::vector<LatencyAttributionRow> rows;
+  rows.reserve(attribution_.size());
+  for (const auto& [_, row] : attribution_) rows.push_back(row);
+  return rows;
+}
+
+std::string format_latency_attribution(
+    const std::vector<LatencyAttributionRow>& rows) {
+  std::string out;
+  for (const LatencyAttributionRow& row : rows) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%-16s traces=%llu mean=%.1fms max=%.1fms |",
+                  row.root_op.c_str(),
+                  static_cast<unsigned long long>(row.traces),
+                  row.traces > 0 ? 1e3 * row.total_s /
+                                       static_cast<double>(row.traces)
+                                 : 0.0,
+                  1e3 * row.max_s);
+    out += line;
+    for (std::size_t i = 0; i < obs::kWaitStateCount; ++i) {
+      if (row.component_s[i] <= 0) continue;
+      std::snprintf(line, sizeof(line), " %s %.1f%%",
+                    obs::wait_state_name(static_cast<obs::WaitState>(i)),
+                    row.total_s > 0 ? 100.0 * row.component_s[i] / row.total_s
+                                    : 0.0);
+      out += line;
+    }
+    out += '\n';
+  }
+  return out;
 }
 
 void Metricsd::set_retention(std::size_t max_samples_per_series) {

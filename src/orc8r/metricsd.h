@@ -8,6 +8,7 @@
 // paper's Prometheus. Lost reports are simply absent points.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -17,6 +18,7 @@
 #include "common/bytes.h"
 #include "common/result.h"
 #include "obs/histogram.h"
+#include "obs/tail_sampler.h"
 #include "sim/time.h"
 
 namespace magma::orc8r {
@@ -57,6 +59,21 @@ common::Bytes encode_histogram_report(
     const std::vector<HistogramSnapshot>& snapshots);
 common::Result<std::vector<HistogramSnapshot>> decode_histogram_report(
     common::BytesView data);
+
+// One row of the fleet-wide "where does <op> latency go" table: the
+// tail-sampled traces of a root operation, aggregated across gateways, with
+// the total decomposed along the critical path into wait states. These are
+// *tail* samples (each gateway's K slowest per window), so the table
+// attributes the latency an operator is paged about, not the mean.
+struct LatencyAttributionRow {
+  std::string root_op;
+  std::uint64_t traces = 0;
+  double total_s = 0;  // summed root durations
+  double max_s = 0;    // slowest single trace seen
+  // Per-wait-state critical-path seconds, indexed by obs::WaitState; sums
+  // to total_s (each summary's breakdown sums to its duration).
+  std::array<double, obs::kWaitStateCount> component_s{};
+};
 
 // How an alert rule interprets its threshold.
 enum class AlertKind : std::uint8_t {
@@ -108,6 +125,16 @@ class Metricsd {
   double histogram_quantile(const std::string& name, double q) const;
   std::uint64_t histogram_count(const std::string& name) const;
 
+  // Tail-sampled trace summaries (shipped by magmad on the metrics tick):
+  // fold each into the per-root-op attribution table.
+  void ingest_trace_summaries(const std::vector<obs::TraceSummary>& summaries);
+  std::uint64_t trace_summaries_ingested() const {
+    return trace_summaries_ingested_;
+  }
+  // The fleet-wide attribution table, root-op-ordered. Render with
+  // format_latency_attribution() below.
+  std::vector<LatencyAttributionRow> latency_attribution() const;
+
   // Per-series retention cap: each (metric name) series keeps at most this
   // many samples, oldest trimmed first (million-user soaks must not grow
   // metricsd without bound). 0 disables the cap.
@@ -149,6 +176,10 @@ class Metricsd {
   std::map<std::pair<std::string, std::string>, obs::Histogram> histograms_;
   std::uint64_t histogram_delta_orphans_ = 0;
 
+  // root op -> aggregated tail-trace attribution.
+  std::map<std::string, LatencyAttributionRow> attribution_;
+  std::uint64_t trace_summaries_ingested_ = 0;
+
   std::vector<AlertRule> rules_;
   // (rule name, gateway) -> alert
   std::map<std::pair<std::string, std::string>, ActiveAlert> firing_;
@@ -164,5 +195,11 @@ class Metricsd {
 // configured baseline); idempotent by rule name.
 void install_default_transport_rules(Metricsd& metricsd,
                                      double srtt_baseline_s);
+
+// Human-readable rendering of the attribution table (one line per root op,
+// mean and max duration plus per-state percentages) — what benches print as
+// the "where does attach latency go" answer.
+std::string format_latency_attribution(
+    const std::vector<LatencyAttributionRow>& rows);
 
 }  // namespace magma::orc8r

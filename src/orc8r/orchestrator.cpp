@@ -237,6 +237,21 @@ void Orchestrator::bind(rpc::RpcNode& node) {
       });
 
   node.register_method(
+      kMetricsService, kReportTraceSummaries,
+      [this](const rpc::Bytes& request, rpc::Respond respond) {
+        obs::svc_request(svc_metricsd_);
+        auto summaries = obs::decode_trace_summaries(request);
+        if (!summaries.ok()) {
+          obs::svc_error(svc_metricsd_, summaries.error().message);
+          respond(rpc::Error{summaries.error()});
+          return;
+        }
+        metricsd_.ingest_trace_summaries(summaries.value());
+        ++stats_.trace_summary_reports;
+        respond(rpc::Bytes{});
+      });
+
+  node.register_method(
       kEventService, kLogEvents,
       [this](const rpc::Bytes& request, rpc::Respond respond) {
         obs::svc_request(svc_eventd_);

@@ -72,6 +72,29 @@ void Statusd::record_checkin(const std::string& gateway_id,
   // Immediate re-evaluation: recovery (and its alert clear) must not wait
   // for the next sweep.
   evaluate(gw);
+  push_service_health(gw);
+}
+
+void Statusd::push_service_health(const GatewayStatus& gw) {
+  if (metricsd_ == nullptr || gw.health != GatewayHealth::kHealthy) return;
+  const sim::TimePoint now = kernel_.now();
+  for (const obs::ServiceStatus& svc : gw.services) {
+    if (service_rules_.insert(svc.service).second) {
+      // First sight of this service name anywhere in the fleet: watch its
+      // error counter for growth. Counters are monotonic, so any positive
+      // delta between two healthy checkins means the service is erroring
+      // while the gateway as a whole still looks fine — precisely the
+      // failure the gateway-level FSM cannot see.
+      metricsd_->add_alert_rule(
+          AlertRule{"service_errors_growth_" + svc.service,
+                    "service_errors_" + svc.service, 0.0, true,
+                    AlertKind::kDelta});
+      ++stats_.service_rules_installed;
+    }
+    metricsd_->ingest(MetricSample{gw.gateway_id,
+                                   "service_errors_" + svc.service,
+                                   static_cast<double>(svc.errors), now});
+  }
 }
 
 void Statusd::sweep_now() {

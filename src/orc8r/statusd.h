@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,9 @@ struct StatusdStats {
   std::uint64_t to_degraded = 0;
   std::uint64_t to_unreachable = 0;
   std::uint64_t recoveries = 0;  // non-healthy → healthy
+  // Per-service error-growth alert rules installed (one per distinct
+  // service name seen across all gateways' checkins).
+  std::uint64_t service_rules_installed = 0;
 };
 
 class Statusd {
@@ -106,11 +110,20 @@ class Statusd {
   std::uint64_t missed_for(const GatewayStatus& gw) const;
   // Re-evaluate one gateway's health and push its gauges.
   void evaluate(GatewayStatus& gw);
+  // Per-service health: while the gateway FSM is Healthy, push each
+  // service's cumulative error counter as a `service_errors_<svc>` gauge,
+  // installing (once per distinct service name) a kDelta rule that fires
+  // when the counter grows between checkins. A gateway whose checkins stop
+  // is covered by the missed-checkin machine instead; its error gauges
+  // freeze, so growth during an unhealthy stretch fires once on recovery —
+  // the first healthy checkin is exactly when an operator can act on it.
+  void push_service_health(const GatewayStatus& gw);
 
   sim::Kernel& kernel_;
   Metricsd* metricsd_;
   StatusdConfig config_;
   std::map<std::string, GatewayStatus> gateways_;
+  std::set<std::string> service_rules_;  // service names with a rule
   bool started_ = false;
   StatusdStats stats_;
 };

@@ -37,6 +37,22 @@ void RpcNode::finish_client_span(obs::TraceContext span, const char* status) {
   obs::end_span(tracer_, span);
 }
 
+sim::LabelId RpcNode::rpc_label(const std::string& service,
+                                const std::string& method) {
+  auto it = rpc_labels_.find({service, method});
+  if (it != rpc_labels_.end()) return it->second;
+  const sim::LabelId id =
+      cpu_->intern_label("rpc_client", service + "/" + method);
+  rpc_labels_.emplace(std::make_pair(service, method), id);
+  return id;
+}
+
+void RpcNode::charge_rpc_wait(const PendingCall& pc) {
+  if (cpu_ == nullptr) return;
+  cpu_->charge_wait(pc.label, obs::WaitState::kRpcWait,
+                    kernel_.now() - pc.issued_at);
+}
+
 void RpcNode::call(const std::string& service, const std::string& method,
                    Bytes request, sim::Duration deadline,
                    std::function<void(Result<Bytes>)> on_done) {
@@ -47,10 +63,13 @@ void RpcNode::call(const std::string& service, const std::string& method,
   pc.on_done = std::move(on_done);
   pc.span = obs::begin_span(tracer_, service + "/" + method, "rpc",
                             node_label_, obs::SpanKind::kClient);
+  pc.issued_at = kernel_.now();
+  if (cpu_ != nullptr) pc.label = rpc_label(service, method);
   pc.timeout = kernel_.schedule(deadline, [this, id]() {
     auto it = pending_.find(id);
     if (it == pending_.end()) return;
     auto cb = std::move(it->second.on_done);
+    charge_rpc_wait(it->second);
     finish_client_span(it->second.span, "deadline_exceeded");
     pending_.erase(it);
     ++stats_.calls_timed_out;
@@ -74,17 +93,30 @@ void RpcNode::call_with_retries(const std::string& service,
                                 sim::Duration deadline, int retries,
                                 sim::Duration backoff,
                                 std::function<void(Result<Bytes>)> on_done) {
+  // The span current at the original call site keeps waiting through every
+  // retry; charge the backoff gaps to it (and the rpc label) as timer wait.
+  const obs::TraceContext origin = obs::current_context(tracer_);
   call(service, method, request, deadline,
-       [this, service, method, request, deadline, retries, backoff,
+       [this, service, method, request, deadline, retries, backoff, origin,
         on_done = std::move(on_done)](Result<Bytes> result) mutable {
          const bool retryable = !result.ok() &&
                                 (result.code() == ErrorCode::kUnavailable ||
                                  result.code() == ErrorCode::kDeadlineExceeded);
          if (retryable && retries > 0) {
+           if (cpu_ != nullptr) {
+             cpu_->charge_wait(rpc_label(service, method),
+                               obs::WaitState::kTimer, backoff);
+           }
+           obs::add_span_wait(tracer_, origin, obs::WaitState::kTimer,
+                              backoff);
            kernel_.schedule(backoff, [this, service, method,
                                       request = std::move(request), deadline,
-                                      retries, backoff,
+                                      retries, backoff, origin,
                                       on_done = std::move(on_done)]() mutable {
+             // Re-enter the originating context so the retried call's client
+             // span lands in the same trace (and later backoffs keep
+             // charging it).
+             const obs::Tracer::Scope scope(tracer_, origin);
              call_with_retries(service, method, std::move(request), deadline,
                                retries - 1, backoff * 2, std::move(on_done));
            });
@@ -122,6 +154,7 @@ void RpcNode::on_send_failed(Bytes raw) {
   if (it == pending_.end()) return;  // already timed out or answered
   kernel_.cancel(it->second.timeout);
   auto cb = std::move(it->second.on_done);
+  charge_rpc_wait(it->second);
   finish_client_span(it->second.span, "unavailable");
   pending_.erase(it);
   ++stats_.calls_send_failed;
@@ -191,6 +224,7 @@ void RpcNode::handle_response(Reader& r) {
   if (it == pending_.end()) return;  // late duplicate or already timed out
   kernel_.cancel(it->second.timeout);
   auto cb = std::move(it->second.on_done);
+  charge_rpc_wait(it->second);
   finish_client_span(it->second.span,
                      code == ErrorCode::kOk ? "ok" : "error");
   pending_.erase(it);

@@ -26,6 +26,7 @@
 #include "net/channel.h"
 #include "obs/trace.h"
 #include "rpc/wire.h"
+#include "sim/cpu.h"
 #include "sim/kernel.h"
 
 namespace magma::rpc {
@@ -93,14 +94,27 @@ class RpcNode {
   void set_tracer(obs::Tracer* tracer, std::string node_label);
   obs::Tracer* tracer() const { return tracer_; }
 
+  // Off-CPU wait attribution: when set, every call charges its blocked time
+  // (issue → response/timeout/send-failure) against an interned
+  // ("rpc_client", "<service>/<method>") label on `cpu`, and retry backoff
+  // is charged as timer wait — the profiler's answer to "this label is 2%
+  // busy but its operations take 400 ms". The CpuModel is only used as the
+  // label registry + wait ledger; no work is submitted to it.
+  void set_wait_attribution(sim::CpuModel* cpu) { cpu_ = cpu; }
+
  private:
   struct PendingCall {
     std::function<void(Result<Bytes>)> on_done;
     sim::EventId timeout;
     obs::TraceContext span{};  // client span (invalid when untraced)
+    sim::TimePoint issued_at = 0;
+    sim::LabelId label = sim::kUnattributed;
   };
 
   void finish_client_span(obs::TraceContext span, const char* status);
+  sim::LabelId rpc_label(const std::string& service,
+                         const std::string& method);
+  void charge_rpc_wait(const PendingCall& pc);
 
   void on_message(Bytes raw);
   void on_send_failed(Bytes raw);
@@ -113,6 +127,8 @@ class RpcNode {
   std::string name_;
   obs::Tracer* tracer_ = nullptr;
   std::string node_label_;
+  sim::CpuModel* cpu_ = nullptr;  // wait-attribution ledger (optional)
+  std::map<std::pair<std::string, std::string>, sim::LabelId> rpc_labels_;
   std::uint64_t next_call_id_ = 1;
   std::map<std::pair<std::string, std::string>, Handler> handlers_;
   std::unordered_map<std::uint64_t, PendingCall> pending_;

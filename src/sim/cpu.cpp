@@ -12,7 +12,7 @@ CpuModel::CpuModel(Kernel& kernel, CpuConfig config)
   assert(config_.user_plane_cores <= config_.cores);
   cores_.resize(static_cast<std::size_t>(config_.cores));
   // Label 0: the catch-all for unlabeled submissions.
-  labels_.push_back(TaskLabelStats{"unattributed", "", 0, 0, 0});
+  labels_.push_back(TaskLabelStats{"unattributed", ""});
   label_ids_[{"unattributed", ""}] = kUnattributed;
 }
 
@@ -21,9 +21,21 @@ CpuModel::LabelId CpuModel::intern_label(const std::string& service,
   auto it = label_ids_.find({service, op});
   if (it != label_ids_.end()) return it->second;
   const LabelId id = static_cast<LabelId>(labels_.size());
-  labels_.push_back(TaskLabelStats{service, op, 0, 0, 0});
+  labels_.push_back(TaskLabelStats{service, op});
   label_ids_.emplace(std::make_pair(service, op), id);
   return id;
+}
+
+void CpuModel::charge_wait(LabelId label, obs::WaitState state,
+                           Duration amount) {
+  if (amount <= 0 || label >= labels_.size()) return;
+  TaskLabelStats& ls = labels_[label];
+  switch (state) {
+    case obs::WaitState::kRunq: ls.queue_wait_ns += amount; break;
+    case obs::WaitState::kRpcWait: ls.rpc_wait_ns += amount; break;
+    case obs::WaitState::kTimer: ls.timer_wait_ns += amount; break;
+    default: break;  // on-CPU and link time are charged elsewhere
+  }
 }
 
 bool CpuModel::core_eligible(int core, WorkClass cls) const {
@@ -51,7 +63,7 @@ bool CpuModel::submit(WorkClass cls, LabelId label, double reference_seconds,
             from_seconds(reference_seconds / config_.speed_ghz),
             label,
             kernel_.now(),
-            obs::current_context(tracer_),
+            obs::current_context(context_tracer()),
             std::move(done)};
   // Try to find an idle eligible core.
   for (int c = 0; c < config_.cores; ++c) {
@@ -83,6 +95,11 @@ void CpuModel::start(int core, Work work) {
   const Duration wait = kernel_.now() - work.submitted;
   ls.queue_wait_ns += wait;
   queue_wait_[idx].observe(to_seconds(wait));
+  // The submitting span (if any) just spent `wait` runnable and is about to
+  // spend `cost` on-CPU; charge both so its wait vector sums to wall time.
+  obs::Tracer* wt = context_tracer();
+  obs::add_span_wait(wt, work.origin, obs::WaitState::kRunq, wait);
+  obs::add_span_wait(wt, work.origin, obs::WaitState::kCpu, work.cost);
   obs::TraceContext span{};
   if (tracer_ != nullptr) {
     span = tracer_->begin(ls.service + "/" + ls.op,

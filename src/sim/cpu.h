@@ -62,13 +62,23 @@ struct CpuStats {
 // Per-(service, operation) attribution. busy_ns is charged when the task
 // *starts* (same convention as CpuStats::busy_ns, so per-label sums match
 // per-class and per-core totals exactly); queue_wait_ns is the time the task
-// sat runnable before a core picked it up.
+// sat runnable before a core picked it up. rpc_wait_ns and timer_wait_ns are
+// off-CPU charges reported by other layers via charge_wait() — the RPC stack
+// charges blocked-on-RPC time and retry-backoff time against the label that
+// issued the call — so wall time per label decomposes into
+// busy + queue_wait + rpc_wait + timer_wait.
 struct TaskLabelStats {
   std::string service;  // e.g. "accessd", "pipelined"
   std::string op;       // e.g. "establish", "forward_ul"
   Duration busy_ns = 0;
   Duration queue_wait_ns = 0;
+  Duration rpc_wait_ns = 0;
+  Duration timer_wait_ns = 0;
   std::uint64_t completed = 0;
+
+  Duration wall_ns() const {
+    return busy_ns + queue_wait_ns + rpc_wait_ns + timer_wait_ns;
+  }
 };
 
 class CpuModel {
@@ -82,6 +92,13 @@ class CpuModel {
   // Register a (service, operation) attribution label. Idempotent (same
   // pair returns the same id); call once at wiring time, not per task.
   LabelId intern_label(const std::string& service, const std::string& op);
+
+  // Off-CPU attribution: charge `amount` of wait time against `label`.
+  // kRunq adds to queue_wait_ns (the scheduler also charges this itself for
+  // run-queue time; callers use it for upstream admission queues, e.g. the
+  // accessd shard queue), kRpcWait/kTimer to their own counters. Other
+  // states are ignored — on-CPU time is only ever charged by start().
+  void charge_wait(LabelId label, obs::WaitState state, Duration amount);
 
   // Submit `reference_seconds` of work. `done` runs when the work completes;
   // it is not called if the submission is rejected (returns false).
@@ -132,6 +149,12 @@ class CpuModel {
   // per-core schedule. Expensive per task; opt in for short captures only.
   void set_tracer(obs::Tracer* tracer, std::string node);
 
+  // Always-on span wait attribution (cheap: no spans emitted). When set,
+  // the context current at submit() is captured and charged kRunq for its
+  // run-queue wait and kCpu for its execution time when the task starts —
+  // the span-side mirror of the per-label profiler counters.
+  void set_wait_tracer(obs::Tracer* tracer) { wait_tracer_ = tracer; }
+
  private:
   struct Work {
     WorkClass cls;
@@ -161,8 +184,13 @@ class CpuModel {
   std::vector<TaskLabelStats> labels_;
   std::map<std::pair<std::string, std::string>, LabelId> label_ids_;
   obs::Histogram queue_wait_[2];
-  obs::Tracer* tracer_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;         // per-task span emission (opt-in)
+  obs::Tracer* wait_tracer_ = nullptr;    // span wait charging (always-on)
   std::string node_;
+
+  obs::Tracer* context_tracer() const {
+    return tracer_ != nullptr ? tracer_ : wait_tracer_;
+  }
 };
 
 // Namespace-level shorthand for call sites that store labels as members.

@@ -22,6 +22,14 @@ LinkConfig satellite_backhaul() {
 Link::Link(Kernel& kernel, Rng rng, LinkConfig config)
     : kernel_(kernel), rng_(rng), config_(config) {}
 
+std::size_t Link::queue_depth() const {
+  const TimePoint now = kernel_.now();
+  while (!departures_.empty() && departures_.front() <= now) {
+    departures_.pop_front();
+  }
+  return departures_.size();
+}
+
 void Link::transmit(std::uint64_t size_bytes, std::function<void()> deliver,
                     std::function<void()> on_drop) {
   ++stats_.packets_sent;
@@ -29,6 +37,7 @@ void Link::transmit(std::uint64_t size_bytes, std::function<void()> deliver,
   const Duration ser = transmission_time(size_bytes, config_.bandwidth_bps);
   const TimePoint departure = start + ser;
   next_free_ = departure;
+  departures_.push_back(departure);
 
   const bool lost = !up_ || rng_.bernoulli(config_.loss_probability);
   if (lost) {

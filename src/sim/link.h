@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 
@@ -51,6 +52,12 @@ class Link {
   const LinkConfig& config() const { return config_; }
   const LinkStats& stats() const { return stats_; }
 
+  // Packets queued for (or currently in) serialization right now — the
+  // transmit-queue depth a router would report. Exposed to metricsd as the
+  // `link_queue_depth` gauge: a congested backhaul shows up here long before
+  // drops do.
+  std::size_t queue_depth() const;
+
   void set_loss_probability(double p) { config_.loss_probability = p; }
   // Administratively disable the link (models backhaul outage): everything
   // transmitted while down is dropped.
@@ -63,6 +70,9 @@ class Link {
   LinkConfig config_;
   LinkStats stats_;
   TimePoint next_free_ = 0;  // when the transmitter finishes current packet
+  // Departure times of packets not yet fully serialized; expired entries
+  // are lazily popped when the depth is read.
+  mutable std::deque<TimePoint> departures_;
   bool up_ = true;
 };
 

@@ -148,5 +148,62 @@ TEST(CpuProfile, TracerEmitsPerTaskSpans) {
   EXPECT_EQ(tracer.finished()[1].name, "unattributed/");
 }
 
+TEST(CpuProfile, ChargeWaitFeedsWallTimeDecomposition) {
+  Kernel kernel;
+  CpuConfig config;
+  config.cores = 1;
+  config.speed_ghz = 1.0;
+  CpuModel cpu(kernel, config);
+  const LabelId l = cpu.intern_label("accessd", "establish");
+  cpu.submit(WorkClass::kControl, l, 2.0, []() {});
+  cpu.submit(WorkClass::kControl, l, 1.0, []() {});  // sits 2 s runnable
+  kernel.run();
+
+  // Off-CPU charges reported by other layers land in their own buckets.
+  cpu.charge_wait(l, obs::WaitState::kRpcWait, 3 * kSecond);
+  cpu.charge_wait(l, obs::WaitState::kTimer, kSecond);
+  cpu.charge_wait(l, obs::WaitState::kCpu, kSecond);       // not an off-CPU state
+  cpu.charge_wait(l, obs::WaitState::kRpcWait, -5);        // non-positive
+  cpu.charge_wait(static_cast<LabelId>(9999),
+                  obs::WaitState::kRpcWait, kSecond);      // unknown label
+
+  const TaskLabelStats& ls = cpu.labels()[l];
+  EXPECT_EQ(ls.busy_ns, 3 * kSecond);
+  EXPECT_EQ(ls.queue_wait_ns, 2 * kSecond);
+  EXPECT_EQ(ls.rpc_wait_ns, 3 * kSecond);
+  EXPECT_EQ(ls.timer_wait_ns, kSecond);
+  // The profiler's contract: wall time is the sum of the on- and off-CPU
+  // buckets, so per-label breakdowns tile with no residue.
+  EXPECT_EQ(ls.wall_ns(),
+            ls.busy_ns + ls.queue_wait_ns + ls.rpc_wait_ns + ls.timer_wait_ns);
+  EXPECT_EQ(ls.wall_ns(), 9 * kSecond);
+}
+
+TEST(CpuProfile, WaitTracerChargesRunqAndCpuOntoTheSubmittingSpan) {
+  Kernel kernel;
+  obs::Tracer tracer(kernel);
+  CpuConfig config;
+  config.cores = 1;
+  config.speed_ghz = 1.0;
+  CpuModel cpu(kernel, config);
+  cpu.set_wait_tracer(&tracer);  // always-on charging, no per-task spans
+  const LabelId l = cpu.intern_label("accessd", "establish");
+
+  const obs::TraceContext span = tracer.begin("attach", "lte_frontend", "gw0");
+  {
+    obs::Tracer::Scope scope(&tracer, span);
+    cpu.submit(WorkClass::kControl, l, 1.0, []() {});
+    cpu.submit(WorkClass::kControl, l, 0.5, []() {});  // 1 s runnable first
+  }
+  kernel.run();
+  tracer.end(span);
+
+  // Without set_tracer there are no cpu0 task spans — only the root.
+  ASSERT_EQ(tracer.finished().size(), 1u);
+  const obs::SpanRecord& rec = tracer.finished()[0];
+  EXPECT_EQ(rec.wait(obs::WaitState::kCpu), kSecond + kSecond / 2);
+  EXPECT_EQ(rec.wait(obs::WaitState::kRunq), kSecond);
+}
+
 }  // namespace
 }  // namespace magma::sim

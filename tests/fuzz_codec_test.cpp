@@ -12,6 +12,7 @@
 #include "net/channel.h"
 #include "obs/events.h"
 #include "obs/status.h"
+#include "obs/tail_sampler.h"
 #include "orc8r/metricsd.h"
 #include "orc8r/streamer.h"
 #include "proto/lte/gtpc.h"
@@ -52,6 +53,7 @@ void decode_everything(common::BytesView data) {
   (void)orc8r::decode_histogram_report(data);
   (void)obs::decode_event_report(data);
   (void)obs::decode_gateway_status(data);
+  (void)obs::decode_trace_summaries(data);
   (void)net::decode_segment_header(data);
 }
 
@@ -221,6 +223,90 @@ TEST(FuzzGatewayStatus, RoundTripMutationAndTruncation) {
     }
   }
   SUCCEED();
+}
+
+// Trace summaries ride the same best-effort magmad→metricsd path as metric
+// reports; the decoder must reject truncation and trailing garbage, and a
+// hostile per-summary state count must never drive an allocation or a read
+// past the buffer.
+TEST(FuzzTraceSummary, RoundTripMutationAndTruncation) {
+  sim::Rng rng(43);
+  for (int round = 0; round < 500; ++round) {
+    std::vector<obs::TraceSummary> summaries(rng.uniform_int(4));
+    for (obs::TraceSummary& s : summaries) {
+      s.root_op = std::string(rng.uniform_int(16), 'o');
+      s.root_service = std::string(rng.uniform_int(12), 's');
+      s.gateway_id = std::string(rng.uniform_int(10), 'g');
+      s.trace_id = rng.next_u64();
+      s.start = static_cast<sim::TimePoint>(rng.next_u64() >> 1);
+      s.duration = static_cast<sim::Duration>(rng.next_u64() >> 1);
+      for (auto& d : s.breakdown) {
+        d = static_cast<sim::Duration>(rng.next_u64() >> 1);
+      }
+    }
+    const common::Bytes wire = obs::encode_trace_summaries(summaries);
+    auto decoded = obs::decode_trace_summaries(wire);
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded.value().size(), summaries.size());
+    for (std::size_t i = 0; i < summaries.size(); ++i) {
+      EXPECT_EQ(decoded.value()[i].root_op, summaries[i].root_op);
+      EXPECT_EQ(decoded.value()[i].trace_id, summaries[i].trace_id);
+      EXPECT_EQ(decoded.value()[i].duration, summaries[i].duration);
+      EXPECT_EQ(decoded.value()[i].breakdown, summaries[i].breakdown);
+    }
+
+    // Truncations are short by construction — every prefix must be rejected.
+    for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+      EXPECT_FALSE(
+          obs::decode_trace_summaries(common::BytesView(wire.data(), keep))
+              .ok())
+          << "prefix " << keep << " parsed as valid";
+    }
+    // Trailing garbage after a valid report: at_end() must catch it.
+    common::Bytes padded = wire;
+    padded.push_back(0x5a);
+    EXPECT_FALSE(obs::decode_trace_summaries(padded).ok());
+    // Bit flips: reject or decode, never crash.
+    if (!wire.empty()) {
+      common::Bytes mutated = wire;
+      const int flips = 1 + static_cast<int>(rng.uniform_int(4));
+      for (int f = 0; f < flips; ++f) {
+        mutated[rng.uniform_int(mutated.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+      }
+      (void)obs::decode_trace_summaries(mutated);
+    }
+  }
+  SUCCEED();
+}
+
+TEST(FuzzTraceSummary, HostileLengthsRejectedWithoutAllocating) {
+  // A count field claiming 2^61 summaries in a 16-byte buffer: the capped
+  // reserve must not trust it, and the decode must fail cleanly.
+  {
+    common::Bytes hostile(16, 0xff);
+    EXPECT_FALSE(obs::decode_trace_summaries(hostile).ok());
+  }
+  // A valid single summary whose wait-state count claims more i64s than the
+  // buffer holds: the oversized-summary guard must reject it.
+  {
+    obs::TraceSummary s;
+    s.root_op = "attach";
+    common::Bytes wire = obs::encode_trace_summaries({s});
+    // The state-count byte precedes the 6 × 8 breakdown bytes at the tail.
+    wire[wire.size() - 1 - 8 * obs::kWaitStateCount] = 0xff;
+    EXPECT_FALSE(obs::decode_trace_summaries(wire).ok());
+  }
+  // Huge string length prefix inside an otherwise plausible report.
+  {
+    obs::TraceSummary s;
+    s.root_op = "attach";
+    s.root_service = "lte_frontend";
+    common::Bytes wire = obs::encode_trace_summaries({s});
+    // The first string length lives right after the 8-byte count.
+    for (std::size_t i = 8; i < 16 && i < wire.size(); ++i) wire[i] = 0xff;
+    EXPECT_FALSE(obs::decode_trace_summaries(wire).ok());
+  }
 }
 
 TEST(FuzzMutation, TruncatedDesiredStateAlwaysRejected) {

@@ -184,6 +184,55 @@ TEST(Tracer, PinCapReleasesOldestPinFirst) {
   EXPECT_FALSE(tracer.trace_pinned(first.trace_id));
 }
 
+TEST(Tracer, AddWaitAccumulatesOnOpenSpansOnly) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  const TraceContext span = tracer.begin("op", "svc", "gw0");
+  tracer.add_wait(span, WaitState::kCpu, 10);
+  tracer.add_wait(span, WaitState::kCpu, 5);
+  tracer.add_wait(span, WaitState::kRunq, -3);  // non-positive: no-op
+  tracer.add_wait(TraceContext{}, WaitState::kCpu, 5);  // invalid: no-op
+  tracer.end(span);
+  tracer.add_wait(span, WaitState::kTimer, 7);  // closed: no-op
+  add_span_wait(nullptr, span, WaitState::kCpu, 5);  // null-safe helper
+
+  ASSERT_EQ(tracer.finished().size(), 1u);
+  const SpanRecord& rec = tracer.finished()[0];
+  EXPECT_EQ(rec.wait(WaitState::kCpu), 15);
+  EXPECT_EQ(rec.wait(WaitState::kRunq), 0);
+  EXPECT_EQ(rec.wait(WaitState::kTimer), 0);
+}
+
+TEST(Tracer, SamplerPinsAreSeparateFromErrorPins) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  const TraceContext span = tracer.begin("op", "svc", "gw0");
+  tracer.tag(span, "error", "boom");
+  tracer.end(span);
+  ASSERT_TRUE(tracer.error_pinned(span.trace_id));
+
+  // A sampler pin on the same trace: releasing it leaves the error pin.
+  tracer.pin(span.trace_id);
+  EXPECT_EQ(tracer.tail_pinned_traces(), 1u);
+  tracer.unpin(span.trace_id);
+  EXPECT_EQ(tracer.tail_pinned_traces(), 0u);
+  EXPECT_TRUE(tracer.error_pinned(span.trace_id));
+  EXPECT_TRUE(tracer.trace_pinned(span.trace_id));
+
+  // A pure sampler pin protects against eviction without an error anywhere.
+  tracer.set_retention(2);
+  const TraceContext kept = tracer.begin("kept", "svc", "gw0");
+  tracer.end(kept);
+  tracer.pin(kept.trace_id);
+  EXPECT_FALSE(tracer.error_pinned(kept.trace_id));
+  for (int i = 0; i < 6; ++i) {
+    tracer.end(tracer.begin("flood", "svc", "gw0"));
+  }
+  EXPECT_FALSE(tracer.trace_spans(kept.trace_id).empty());
+  tracer.pin(0);  // invalid trace id: no-op
+  EXPECT_EQ(tracer.tail_pinned_traces(), 1u);
+}
+
 TEST(Tracer, RetentionBoundWinsWhenEverythingIsPinned) {
   sim::Kernel kernel;
   Tracer tracer(kernel);
@@ -536,6 +585,17 @@ TEST(ChromeTrace, FilterByTraceId) {
     }
   }
   EXPECT_EQ(complete, 1);
+}
+
+TEST(ChromeTrace, ExportsWaitStateArgsElidingZeroes) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  const TraceContext span = tracer.begin("op", "svc", "gw0");
+  tracer.add_wait(span, WaitState::kLinkTransit, 2 * sim::kMillisecond);
+  tracer.end(span);
+  const std::string json = export_chrome_trace(tracer);
+  EXPECT_NE(json.find("\"wait_link_transit_ms\":2.000000"), std::string::npos);
+  EXPECT_EQ(json.find("wait_cpu_ms"), std::string::npos);
 }
 
 TEST(ChromeTrace, ExportsLinksAndErrorMarkers) {

@@ -7,22 +7,36 @@
 # before touching src/net or src/rpc.
 #
 # The observability suites ride along: tracer spans are ended from async
-# continuations that can outlive the component that began them, which is
-# the same class of lifetime bug.
+# continuations that can outlive the component that began them, and the
+# tail sampler pins/unpins ring entries from a finish hook — the same
+# class of lifetime bug.
 #
 # Usage: tests/run_sanitized.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+SUITES=(
+  net_channel_test net_congestion_test fuzz_codec_test property_test
+  rpc_test magmad_orc8r_test obs_test tail_sampler_test
+  tracing_integration_test statusd_test cpu_profile_test
+)
+
 cmake --preset asan
-cmake --build --preset asan -j "$(nproc)" --target \
-  net_channel_test net_congestion_test fuzz_codec_test property_test \
-  rpc_test magmad_orc8r_test obs_test tracing_integration_test \
-  statusd_test cpu_profile_test
+cmake --build --preset asan -j "$(nproc)" --target "${SUITES[@]}"
+
+# A suite that silently fell out of the build (renamed, dropped from
+# tests/CMakeLists.txt) must fail here, not pass vacuously via an empty
+# ctest match.
+for suite in "${SUITES[@]}"; do
+  if [[ ! -x "build-asan/tests/${suite}" ]]; then
+    echo "FATAL: suite binary missing: build-asan/tests/${suite}" >&2
+    exit 1
+  fi
+done
 
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 ctest --test-dir build-asan --output-on-failure \
-  -R 'Channel|Reliable|Datagram|Congestion|Fuzz|Rpc|Wire|Magmad|Orchestrator|DesiredState|TransportTelemetry|Tracer|Histogram|EventBuffer|EventReport|ChromeTrace|Tracing|Statusd|Service303|GatewayStatus|CpuProfile' \
+  -R 'Channel|Reliable|Datagram|Congestion|Fuzz|Rpc|Wire|Magmad|Orchestrator|DesiredState|TransportTelemetry|Tracer|Histogram|EventBuffer|EventReport|ChromeTrace|Tracing|Statusd|Service303|GatewayStatus|CpuProfile|TailSampler|CriticalPath' \
   "$@"
 echo "sanitized transport suite: OK"

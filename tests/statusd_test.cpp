@@ -254,5 +254,51 @@ TEST(Statusd, GaugesAndDefaultAlertLifecycle) {
   EXPECT_TRUE(metricsd.active_alerts().empty());
 }
 
+TEST(Statusd, PerServiceErrorGrowthAlertsWhileGatewayStaysHealthy) {
+  sim::Kernel kernel;
+  orc8r::Metricsd metricsd;
+  orc8r::Statusd statusd(kernel, &metricsd, fast_statusd());
+
+  obs::ServiceStatus mme;
+  mme.service = "mme";
+  mme.errors = 0;
+  statusd.record_checkin("gw0", {mme});
+  EXPECT_EQ(statusd.stats().service_rules_installed, 1u);
+  ASSERT_TRUE(metricsd.latest("gw0", "service_errors_mme").has_value());
+  EXPECT_TRUE(metricsd.active_alerts().empty());  // first sample baselines
+
+  // The error counter grows between two healthy checkins: the kDelta rule
+  // fires even though the gateway-level FSM never leaves Healthy — this is
+  // exactly the failure the missed-checkin machine cannot see.
+  mme.errors = 4;
+  statusd.record_checkin("gw0", {mme});
+  EXPECT_EQ(statusd.health("gw0"), orc8r::GatewayHealth::kHealthy);
+  const std::vector<orc8r::ActiveAlert> alerts = metricsd.active_alerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "service_errors_growth_mme");
+  EXPECT_EQ(alerts[0].gateway_id, "gw0");
+
+  // Growth stops: the next flat sample clears the alert.
+  statusd.record_checkin("gw0", {mme});
+  EXPECT_TRUE(metricsd.active_alerts().empty());
+
+  // One rule per distinct service name across the whole fleet.
+  statusd.record_checkin("gw1", {mme});
+  EXPECT_EQ(statusd.stats().service_rules_installed, 1u);
+
+  // An unhealthy gateway's checkins do not push service gauges — a frozen
+  // counter during an outage must not fire a stale delta; growth surfaces
+  // once, on the first healthy checkin after recovery.
+  kernel.run_until(55 * sim::kSecond);
+  statusd.sweep_now();
+  ASSERT_EQ(statusd.health("gw0"), orc8r::GatewayHealth::kUnreachable);
+  const double frozen = *metricsd.latest("gw0", "service_errors_mme");
+  // record_checkin recovers the gateway first, so this checkin pushes again.
+  mme.errors = 9;
+  statusd.record_checkin("gw0", {mme});
+  EXPECT_EQ(*metricsd.latest("gw0", "service_errors_mme"), 9.0);
+  EXPECT_NE(frozen, 9.0);
+}
+
 }  // namespace
 }  // namespace magma

@@ -154,6 +154,13 @@ void AccessGateway::connect_orchestrator(net::Channel& channel,
     return tail_sampler_ != nullptr ? tail_sampler_->drain_ready()
                                     : std::vector<obs::TraceSummary>{};
   });
+  // Fleet tail budget: checkin responses can reassign the sampler's
+  // keep-per-op K. Remember it in tail_config_ too, so a sampler rebuilt by
+  // a later set_tracer() keeps the assigned budget.
+  magmad_->set_tail_budget_sink([this](std::size_t keep) {
+    tail_config_.keep_per_op = keep;
+    if (tail_sampler_ != nullptr) tail_sampler_->set_keep_per_op(keep);
+  });
   magmad_->set_status(svc_magmad_);
 }
 

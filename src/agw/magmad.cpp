@@ -53,6 +53,95 @@ void Magmad::apply(const orc8r::DesiredState& state) {
   ++stats_.config_syncs_applied;
 }
 
+bool Magmad::apply_delta(const orc8r::DesiredUpdate& update) {
+  for (const orc8r::DeltaEntry& e : update.entries) {
+    if (e.kind == orc8r::DeltaEntry::Kind::kSubscriber) {
+      if (e.remove) {
+        subscribers_.remove(common::Imsi{e.key});
+      } else {
+        auto sub = SubscriberData::deserialize(e.blob);
+        if (!sub.ok()) return false;
+        subscribers_.upsert(std::move(sub).take());
+      }
+    } else {
+      if (e.remove) {
+        policies_.remove(e.key);
+      } else {
+        auto policy = core::Policy::deserialize(e.blob);
+        if (!policy.ok()) return false;
+        policies_.upsert(std::move(policy).take());
+      }
+    }
+    ++stats_.delta_entries_applied;
+  }
+  synced_version_ = update.version;
+  synced_epoch_ = update.epoch;
+  ++stats_.config_delta_syncs;
+  ++stats_.config_syncs_applied;
+  return true;
+}
+
+void Magmad::handle_update(const orc8r::DesiredUpdate& update,
+                           const std::function<void(bool)>& done) {
+  switch (update.mode) {
+    case orc8r::SyncMode::kNoop:
+      ++stats_.config_polls_noop;
+      if (done) done(false);
+      return;
+    case orc8r::SyncMode::kFull: {
+      auto state = orc8r::DesiredState::deserialize(update.full);
+      if (!state.ok()) {
+        ++stats_.sync_failures;
+        obs::svc_error(status_, "config sync: " + state.error().message);
+        if (done) done(false);
+        return;
+      }
+      // The orchestrator is the source of truth: a full sync is applied
+      // even when its version goes backwards (restart with an older or
+      // rebuilt store) — converging on the authoritative state beats
+      // wedging on stale-but-newer local state.
+      if (synced_epoch_ != 0 && update.epoch != synced_epoch_) {
+        ++stats_.epoch_resyncs;
+      }
+      if (update.epoch == synced_epoch_ && update.version < synced_version_) {
+        ++stats_.sync_regressions;
+      }
+      apply(state.value());
+      synced_version_ = update.version;
+      synced_epoch_ = update.epoch;
+      ++stats_.config_full_syncs;
+      if (done) done(true);
+      return;
+    }
+    case orc8r::SyncMode::kDelta: {
+      if (update.epoch != synced_epoch_) {
+        // Deltas from another incarnation must never splice onto our
+        // state; discard and force a full resync.
+        ++stats_.sync_failures;
+        synced_version_ = 0;
+        synced_epoch_ = 0;
+        obs::svc_error(status_, "config sync: delta from foreign epoch");
+        if (done) done(false);
+        return;
+      }
+      if (!apply_delta(update)) {
+        // A corrupt entry may have been half-applied; resetting the synced
+        // state makes the next poll a full sync — the idempotent
+        // replace_all repairs whatever the partial delta left behind.
+        ++stats_.sync_failures;
+        synced_version_ = 0;
+        synced_epoch_ = 0;
+        obs::svc_error(status_, "config sync: corrupt delta entry");
+        if (done) done(false);
+        return;
+      }
+      if (done) done(true);
+      return;
+    }
+  }
+  if (done) done(false);
+}
+
 void Magmad::sync_config_now(std::function<void(bool)> done) {
   if (orc8r_ == nullptr) {
     if (done) done(false);
@@ -61,6 +150,7 @@ void Magmad::sync_config_now(std::function<void(bool)> done) {
   orc8r::GetUpdatesRequest req;
   req.gateway_id = gateway_id_;
   req.have_version = synced_version_;
+  req.have_epoch = synced_epoch_;
   obs::svc_request(status_);
   orc8r_->call(
       orc8r::kStreamerService, orc8r::kGetUpdates, req.serialize(),
@@ -76,20 +166,14 @@ void Magmad::sync_config_now(std::function<void(bool)> done) {
           return;
         }
         set_reachable(true);
-        auto state = orc8r::DesiredState::deserialize(result.value());
-        if (!state.ok()) {
+        auto update = orc8r::DesiredUpdate::deserialize(result.value());
+        if (!update.ok()) {
           ++stats_.sync_failures;
-          obs::svc_error(status_, "config sync: " + state.error().message);
+          obs::svc_error(status_, "config sync: " + update.error().message);
           if (done) done(false);
           return;
         }
-        if (state.value().changed) {
-          apply(state.value());
-          if (done) done(true);
-        } else {
-          ++stats_.config_polls_noop;
-          if (done) done(false);
-        }
+        handle_update(update.value(), done);
       });
 }
 
@@ -113,6 +197,18 @@ void Magmad::checkin_tick() {
                  if (result.ok()) {
                    ++stats_.checkins_ok;
                    set_reachable(true);
+                   // The ack carries the fleet tail-sampling budget: this
+                   // gateway's assigned keep-per-op K (0: unmanaged).
+                   rpc::Reader r(result.value());
+                   (void)r.boolean();
+                   const std::uint64_t keep = r.u64();
+                   if (r.ok() && keep != 0 && keep != assigned_tail_keep_) {
+                     assigned_tail_keep_ = keep;
+                     ++stats_.tail_budget_updates;
+                     if (tail_budget_sink_) {
+                       tail_budget_sink_(static_cast<std::size_t>(keep));
+                     }
+                   }
                  } else {
                    ++stats_.checkin_failures;
                    if (result.error().code ==

@@ -71,6 +71,18 @@ struct MagmadStats {
   std::uint64_t config_syncs_applied = 0;
   std::uint64_t config_polls_noop = 0;
   std::uint64_t sync_failures = 0;
+  // Sync breakdown: config_syncs_applied = full + delta applies.
+  std::uint64_t config_full_syncs = 0;
+  std::uint64_t config_delta_syncs = 0;
+  std::uint64_t delta_entries_applied = 0;
+  // Full syncs whose version went *backwards* (orchestrator restarted with
+  // an older or rebuilt store). Accepted, not wedged: the orchestrator is
+  // the source of truth, stale-but-newer local state loses (§3.4).
+  std::uint64_t sync_regressions = 0;
+  // Orchestrator epoch changes observed (each forces a full resync).
+  std::uint64_t epoch_resyncs = 0;
+  // Fleet tail-budget assignments applied from checkin responses.
+  std::uint64_t tail_budget_updates = 0;
   std::uint64_t checkins_ok = 0;
   std::uint64_t checkin_failures = 0;
   std::uint64_t metric_reports_sent = 0;
@@ -135,12 +147,22 @@ class Magmad {
     trace_source_ = std::move(src);
   }
 
+  // Fleet-wide tail-sampling budget: the checkin response carries the
+  // keep-per-op K the orchestrator assigned this gateway (0: unmanaged).
+  // The sink is invoked whenever the assignment changes (typically wired to
+  // TailSampler::set_keep_per_op).
+  void set_tail_budget_sink(std::function<void(std::size_t)> sink) {
+    tail_budget_sink_ = std::move(sink);
+  }
+  std::uint64_t assigned_tail_keep() const { return assigned_tail_keep_; }
+
   // Begin the periodic loops (idempotent).
   void start();
   // One immediate config sync (used at boot and by tests).
   void sync_config_now(std::function<void(bool applied)> done = nullptr);
 
   std::uint64_t synced_version() const { return synced_version_; }
+  std::uint64_t synced_epoch() const { return synced_epoch_; }
   bool orchestrator_reachable() const { return reachable_; }
   const MagmadStats& stats() const { return stats_; }
 
@@ -150,7 +172,13 @@ class Magmad {
   void metrics_tick();
   void checkpoint_tick();
   void event_tick();
+  void handle_update(const orc8r::DesiredUpdate& update,
+                     const std::function<void(bool)>& done);
   void apply(const orc8r::DesiredState& state);
+  // Per-entry upsert/remove. False: an entry blob failed to decode — the
+  // sync is counted failed and synced state reset, forcing the next poll
+  // onto the self-healing full path.
+  bool apply_delta(const orc8r::DesiredUpdate& update);
   // True when the control channel backlog says best-effort traffic should
   // be shed this tick (also bumps telemetry_sheds).
   bool shed_telemetry();
@@ -174,6 +202,7 @@ class Magmad {
   std::function<std::vector<orc8r::HistogramSnapshot>()> histogram_source_;
   std::function<std::vector<obs::ServiceStatus>()> status_source_;
   std::function<std::vector<obs::TraceSummary>()> trace_source_;
+  std::function<void(std::size_t)> tail_budget_sink_;
   obs::Service303* status_ = nullptr;
 
   // Delta shipping: counts as of the last report put on the wire, per
@@ -184,6 +213,8 @@ class Magmad {
   bool started_ = false;
   bool reachable_ = false;
   std::uint64_t synced_version_ = 0;
+  std::uint64_t synced_epoch_ = 0;  // 0: never synced
+  std::uint64_t assigned_tail_keep_ = 0;
   MagmadStats stats_;
 };
 

@@ -1,9 +1,20 @@
 #include "orc8r/orchestrator.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "rpc/wire.h"
 
 namespace magma::orc8r {
+
+namespace {
+// Process-wide incarnation counter. The sim has no wall clock or boot id,
+// so this is what guarantees two orchestrator incarnations never share an
+// epoch — including a restart over a *fresh* store, where the persisted
+// "meta/epoch" alone would restart the sequence and let a gateway splice
+// new-incarnation deltas onto old-incarnation state.
+std::uint64_t g_next_epoch = 1;
+}  // namespace
 
 Orchestrator::Orchestrator(sim::Kernel& kernel, std::string network_name)
     : kernel_(kernel), network_name_(std::move(network_name)) {
@@ -13,12 +24,36 @@ Orchestrator::Orchestrator(sim::Kernel& kernel, std::string network_name)
   install_default_transport_rules(metricsd_, 0.25);
   // ... and its gateways' checkin freshness (statusd gauges).
   install_default_health_rules(metricsd_);
+  // A store blob that stops deserializing silently shrinks the config
+  // pushed to every gateway; any growth of the decode-error gauge pages.
+  metricsd_.add_alert_rule(AlertRule{"orchestrator_store_decode_errors_growth",
+                                     "orchestrator_store_decode_errors", 0.0,
+                                     true, AlertKind::kDelta});
+  // Southbound ingest sheds are loss-tolerant by design, but sustained
+  // growth means the fleet outgrew the ingest bounds.
+  metricsd_.add_alert_rule(AlertRule{"orc8r_ingest_shed_growth",
+                                     "orc8r_ingest_shed", 0.0, true,
+                                     AlertKind::kDelta});
   svc_streamer_ = &status_.register_service("streamer");
   svc_bootstrapper_ = &status_.register_service("bootstrapper");
   svc_state_ = &status_.register_service("state");
   svc_metricsd_ = &status_.register_service("metricsd");
   svc_eventd_ = &status_.register_service("eventd");
   svc_statusd_ = &status_.register_service("statusd");
+
+  // Epoch: strictly greater than both the store's previous incarnation and
+  // every other incarnation this process has seen.
+  std::uint64_t stored_epoch = 0;
+  if (const auto raw = store_.get("meta/epoch")) {
+    rpc::Reader r(*raw);
+    const std::uint64_t e = r.u64();
+    if (r.ok()) stored_epoch = e;
+  }
+  epoch_ = std::max(stored_epoch + 1, g_next_epoch);
+  g_next_epoch = epoch_ + 1;
+  rpc::Writer w;
+  w.u64(epoch_);
+  store_.put("meta/epoch", std::move(w).take());
 }
 
 std::vector<obs::Event> Orchestrator::events_of_type(
@@ -48,11 +83,19 @@ void Orchestrator::set_tracer(obs::Tracer* tracer, std::string node_label) {
 // ---------------------------------------------------------------------------
 
 void Orchestrator::add_subscriber(const agw::SubscriberData& subscriber) {
-  store_.put(subscriber_key(subscriber.imsi), subscriber.serialize());
+  common::Bytes blob = subscriber.serialize();
+  store_.put(subscriber_key(subscriber.imsi), blob);
+  record_delta(DeltaEntry{DeltaEntry::Kind::kSubscriber, false,
+                          subscriber.imsi.value, std::move(blob)});
 }
 
 void Orchestrator::remove_subscriber(const common::Imsi& imsi) {
+  const std::uint64_t before = store_.version();
   store_.erase(subscriber_key(imsi));
+  if (store_.version() != before) {
+    record_delta(
+        DeltaEntry{DeltaEntry::Kind::kSubscriber, true, imsi.value, {}});
+  }
 }
 
 std::optional<agw::SubscriberData> Orchestrator::get_subscriber(
@@ -69,11 +112,18 @@ std::size_t Orchestrator::subscriber_count() const {
 }
 
 void Orchestrator::add_policy(const core::Policy& policy) {
-  store_.put(policy_key(policy.name), policy.serialize());
+  common::Bytes blob = policy.serialize();
+  store_.put(policy_key(policy.name), blob);
+  record_delta(DeltaEntry{DeltaEntry::Kind::kPolicy, false, policy.name,
+                          std::move(blob)});
 }
 
 void Orchestrator::remove_policy(const std::string& name) {
+  const std::uint64_t before = store_.version();
   store_.erase(policy_key(name));
+  if (store_.version() != before) {
+    record_delta(DeltaEntry{DeltaEntry::Kind::kPolicy, true, name, {}});
+  }
 }
 
 std::optional<core::Policy> Orchestrator::get_policy(
@@ -113,23 +163,165 @@ std::optional<common::Bytes> Orchestrator::stored_checkpoint(
   return it->second;
 }
 
-DesiredState Orchestrator::desired_state(std::uint64_t have_version) const {
+// ---------------------------------------------------------------------------
+// Streamer: full state, blob cache, delta log
+// ---------------------------------------------------------------------------
+
+void Orchestrator::record_delta(DeltaEntry entry) {
+  delta_log_.push_back(DeltaRecord{store_.version(), std::move(entry)});
+  while (delta_log_.size() > delta_log_cap_) delta_log_.pop_front();
+}
+
+void Orchestrator::set_delta_log_cap(std::size_t cap) {
+  delta_log_cap_ = cap;
+  while (delta_log_.size() > delta_log_cap_) delta_log_.pop_front();
+}
+
+void Orchestrator::note_store_decode_error(const std::string& key,
+                                           const std::string& what) {
+  ++stats_.store_decode_errors;
+  MLOG_WARN("orchestrator")
+      << "store blob failed to decode, dropped from desired state: " << key
+      << " (" << what << ")";
+  metricsd_.ingest(MetricSample{
+      node_label_, "orchestrator_store_decode_errors",
+      static_cast<double>(stats_.store_decode_errors), kernel_.now()});
+  obs::Event event;
+  event.time = kernel_.now();
+  event.gateway_id = node_label_;
+  event.type = "store_decode_error";
+  event.source = "streamer";
+  event.message = key + ": " + what;
+  event.severity = obs::EventSeverity::kWarn;
+  events_.push_back(std::move(event));
+  if (events_.size() > event_retention_) {
+    events_.pop_front();
+    ++stats_.events_dropped;
+  }
+}
+
+DesiredState Orchestrator::build_full_state() {
   DesiredState state;
   state.version = store_.version();
-  if (have_version == state.version) {
-    state.changed = false;
-    return state;
-  }
   state.changed = true;
   for (const auto& [key, value] : store_.scan("sub/")) {
     auto sub = agw::SubscriberData::deserialize(value);
-    if (sub.ok()) state.subscribers.push_back(std::move(sub).take());
+    if (sub.ok()) {
+      state.subscribers.push_back(std::move(sub).take());
+    } else {
+      note_store_decode_error(key, sub.error().message);
+    }
   }
   for (const auto& [key, value] : store_.scan("policy/")) {
     auto policy = core::Policy::deserialize(value);
-    if (policy.ok()) state.policies.push_back(std::move(policy).take());
+    if (policy.ok()) {
+      state.policies.push_back(std::move(policy).take());
+    } else {
+      note_store_decode_error(key, policy.error().message);
+    }
   }
   return state;
+}
+
+const common::Bytes& Orchestrator::full_state_blob() {
+  if (!cached_full_valid_ || cached_full_version_ != store_.version()) {
+    const DesiredState state = build_full_state();
+    cached_full_ = state.serialize();
+    cached_full_version_ = state.version;
+    cached_full_valid_ = true;
+    ++stats_.full_serializations;
+  } else {
+    ++stats_.full_cache_hits;
+  }
+  return cached_full_;
+}
+
+DesiredState Orchestrator::desired_state(std::uint64_t have_version) {
+  if (have_version == store_.version()) {
+    DesiredState state;
+    state.version = store_.version();
+    state.changed = false;
+    return state;
+  }
+  return build_full_state();
+}
+
+DesiredUpdate Orchestrator::desired_update(const GetUpdatesRequest& request) {
+  DesiredUpdate u;
+  u.version = store_.version();
+  u.epoch = epoch_;
+
+  const auto full = [this, &u]() {
+    u.mode = SyncMode::kFull;
+    u.full = full_state_blob();
+    ++stats_.full_pushes;
+  };
+
+  if (request.have_epoch != epoch_) {
+    // First contact (have_epoch 0) or another incarnation's state: only the
+    // idempotent full sync is safe.
+    if (request.have_epoch != 0) ++stats_.epoch_resyncs;
+    full();
+    return u;
+  }
+  if (request.have_version == u.version) {
+    u.mode = SyncMode::kNoop;
+    return u;
+  }
+  if (request.have_version > u.version) {
+    // Same epoch but the gateway is ahead of the store — it synced against
+    // state this store no longer holds (a recovered backup, a store
+    // restored from an older image). Full sync walks it back explicitly.
+    ++stats_.version_regressions;
+    full();
+    return u;
+  }
+
+  // Behind by (have_version, version]. Serve a delta only if the log holds
+  // a record for *every* version bump in the range — direct store writes
+  // bypass the log and must surface as a coverage gap, not a wrong delta.
+  const std::uint64_t need = u.version - request.have_version;
+  std::uint64_t covered = 0;
+  for (auto it = delta_log_.rbegin();
+       it != delta_log_.rend() && it->version > request.have_version; ++it) {
+    ++covered;
+  }
+  if (covered != need) {
+    ++stats_.delta_log_misses;
+    full();
+    return u;
+  }
+
+  // Coalesce the range: last mutation per (kind, key) wins, emitted in
+  // deterministic (kind, key) order. An add+remove pair still emits the
+  // remove — the gateway may hold the earlier add.
+  std::map<std::pair<int, std::string>, const DeltaEntry*> coalesced;
+  for (auto it = delta_log_.end() - static_cast<std::ptrdiff_t>(covered);
+       it != delta_log_.end(); ++it) {
+    coalesced[{static_cast<int>(it->entry.kind), it->entry.key}] = &it->entry;
+  }
+  u.mode = SyncMode::kDelta;
+  u.entries.reserve(coalesced.size());
+  for (const auto& [_, entry] : coalesced) u.entries.push_back(*entry);
+  ++stats_.delta_pushes;
+  stats_.delta_entries_sent += u.entries.size();
+  stats_.deltas_coalesced += covered - u.entries.size();
+  return u;
+}
+
+std::uint64_t Orchestrator::assigned_keep_per_op() const {
+  if (fleet_trace_budget_ == 0) return 0;
+  const std::uint64_t fleet =
+      std::max<std::uint64_t>(1, gateways_.size());
+  return std::max<std::uint64_t>(1, fleet_trace_budget_ / fleet);
+}
+
+void Orchestrator::note_ingest_shed(IngestKind kind) {
+  (void)kind;  // per-kind breakdown lives in IngestShards' stats
+  ++stats_.ingest_sheds;
+  metricsd_.ingest(MetricSample{node_label_, "orc8r_ingest_shed",
+                                static_cast<double>(stats_.ingest_sheds),
+                                kernel_.now()});
 }
 
 // ---------------------------------------------------------------------------
@@ -147,13 +339,13 @@ void Orchestrator::bind(rpc::RpcNode& node) {
           respond(rpc::Error{req.error()});
           return;
         }
-        const DesiredState state = desired_state(req.value().have_version);
-        if (state.changed) {
-          ++stats_.config_pushes;
-        } else {
+        const DesiredUpdate update = desired_update(req.value());
+        if (update.mode == SyncMode::kNoop) {
           ++stats_.noop_polls;
+        } else {
+          ++stats_.config_pushes;
         }
-        respond(state.serialize());
+        respond(update.serialize());
       });
 
   node.register_method(
@@ -175,6 +367,9 @@ void Orchestrator::bind(rpc::RpcNode& node) {
           respond(rpc::Error{services.error()});
           return;
         }
+        // Inventory bookkeeping stays inline (cheap, and the response's
+        // tail budget needs the fleet size); the statusd apply — health FSM
+        // plus per-service snapshot storage — rides the ingest shards.
         auto& record = gateways_[gateway_id];
         record.id = gateway_id;
         if (record.description.empty()) record.description = description;
@@ -182,9 +377,19 @@ void Orchestrator::bind(rpc::RpcNode& node) {
         ++record.checkin_count;
         ++stats_.checkins;
         obs::svc_request(svc_statusd_);
-        statusd_.record_checkin(gateway_id, std::move(services).take());
+        if (!ingest_.submit(
+                gateway_id, IngestKind::kCheckin,
+                [this, gateway_id,
+                 snapshot = std::move(services).take()]() mutable {
+                  statusd_.record_checkin(gateway_id, std::move(snapshot));
+                })) {
+          note_ingest_shed(IngestKind::kCheckin);
+        }
         rpc::Writer w;
         w.boolean(true);
+        // Fleet-wide tail-sampling budget: this gateway's keep-per-op K
+        // (0: unmanaged, keep the local config).
+        w.u64(assigned_keep_per_op());
         respond(std::move(w).take());
       });
 
@@ -216,8 +421,16 @@ void Orchestrator::bind(rpc::RpcNode& node) {
           respond(rpc::Error{samples.error()});
           return;
         }
-        metricsd_.ingest(samples.value());
         ++stats_.metric_reports;
+        std::vector<MetricSample> batch = std::move(samples).take();
+        const std::string gateway_id =
+            batch.empty() ? std::string{} : batch.front().gateway_id;
+        if (!ingest_.submit(gateway_id, IngestKind::kMetrics,
+                            [this, batch = std::move(batch)]() {
+                              metricsd_.ingest(batch);
+                            })) {
+          note_ingest_shed(IngestKind::kMetrics);
+        }
         respond(rpc::Bytes{});
       });
 
@@ -231,8 +444,16 @@ void Orchestrator::bind(rpc::RpcNode& node) {
           respond(rpc::Error{snapshots.error()});
           return;
         }
-        metricsd_.ingest_histograms(snapshots.value());
         ++stats_.histogram_reports;
+        std::vector<HistogramSnapshot> batch = std::move(snapshots).take();
+        const std::string gateway_id =
+            batch.empty() ? std::string{} : batch.front().gateway_id;
+        if (!ingest_.submit(gateway_id, IngestKind::kHistograms,
+                            [this, batch = std::move(batch)]() {
+                              metricsd_.ingest_histograms(batch);
+                            })) {
+          note_ingest_shed(IngestKind::kHistograms);
+        }
         respond(rpc::Bytes{});
       });
 
@@ -246,8 +467,16 @@ void Orchestrator::bind(rpc::RpcNode& node) {
           respond(rpc::Error{summaries.error()});
           return;
         }
-        metricsd_.ingest_trace_summaries(summaries.value());
         ++stats_.trace_summary_reports;
+        std::vector<obs::TraceSummary> batch = std::move(summaries).take();
+        const std::string gateway_id =
+            batch.empty() ? std::string{} : batch.front().gateway_id;
+        if (!ingest_.submit(gateway_id, IngestKind::kTraceSummaries,
+                            [this, batch = std::move(batch)]() {
+                              metricsd_.ingest_trace_summaries(batch);
+                            })) {
+          note_ingest_shed(IngestKind::kTraceSummaries);
+        }
         respond(rpc::Bytes{});
       });
 

@@ -11,6 +11,13 @@
 // Runtime UE state never lives here — that is the hierarchical control
 // plane split: the orchestrator scales with configuration churn and
 // gateway count, not with subscriber activity (§3.2, §4.3.2).
+//
+// Fleet scale (§3.4 at deployment size): the streamer caches the serialized
+// full-state blob per store version (N gateways polling the same version
+// cost one serialization) and serves version-ranged deltas from a bounded
+// log of recent mutations, falling back to the idempotent full sync for
+// first contact, epoch changes, regressions, and log gaps. Southbound
+// report applies run behind IngestShards' per-gateway bounded queues.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,7 @@
 #include "obs/events.h"
 #include "obs/status.h"
 #include "obs/trace.h"
+#include "orc8r/ingest.h"
 #include "orc8r/metricsd.h"
 #include "orc8r/statusd.h"
 #include "orc8r/streamer.h"
@@ -53,6 +61,28 @@ struct OrchestratorStats {
   std::uint64_t event_reports = 0;
   std::uint64_t events_ingested = 0;
   std::uint64_t events_dropped = 0;  // event store retention overflow
+  // Streamer breakdown: config_pushes = full_pushes + delta_pushes.
+  std::uint64_t full_pushes = 0;
+  std::uint64_t delta_pushes = 0;
+  // Full-state blob cache: serializations is the number of cache rebuilds
+  // (at most one per store version *requested*), hits the pushes served
+  // from it — the stat that proves one config change fans out to N
+  // gateways without N serializations.
+  std::uint64_t full_serializations = 0;
+  std::uint64_t full_cache_hits = 0;
+  std::uint64_t delta_entries_sent = 0;
+  std::uint64_t deltas_coalesced = 0;  // log records folded away per push
+  // Full-sync fallback causes (each also counts a full_push).
+  std::uint64_t version_regressions = 0;  // gateway ahead of the store
+  std::uint64_t epoch_resyncs = 0;        // gateway from another incarnation
+  std::uint64_t delta_log_misses = 0;     // gap older than the delta log
+  // Store blobs that failed to deserialize while building the full state
+  // (also pushed as the orchestrator_store_decode_errors gauge).
+  std::uint64_t store_decode_errors = 0;
+  // Southbound report applies shed at a full per-gateway ingest queue
+  // (also pushed as the orc8r_ingest_shed gauge; IngestShards has the
+  // per-kind breakdown).
+  std::uint64_t ingest_sheds = 0;
 };
 
 class Orchestrator {
@@ -87,6 +117,11 @@ class Orchestrator {
   Statusd& statusd() { return statusd_; }
   const Statusd& statusd() const { return statusd_; }
 
+  // Sharded southbound ingest: report applies (statusd/metricsd mutations)
+  // run behind per-gateway bounded queues, not inline in the RPC handlers.
+  IngestShards& ingest() { return ingest_; }
+  const IngestShards& ingest() const { return ingest_; }
+
   // The orchestrator's own Service303 registry: every southbound service
   // (streamer, bootstrapper, state, metricsd, eventd, statusd) counts its
   // requests/errors here.
@@ -106,9 +141,32 @@ class Orchestrator {
 
   // Current config version (changes on every northbound mutation).
   std::uint64_t config_version() const { return store_.version(); }
+  // This incarnation's epoch (bumped every construction; a gateway seeing a
+  // new epoch discards its version and full-syncs).
+  std::uint64_t epoch() const { return epoch_; }
 
-  // Desired state for a gateway at its reported version.
-  DesiredState desired_state(std::uint64_t have_version) const;
+  // Desired state for a gateway at its reported version. Counts (and
+  // alerts on) store blobs that fail to deserialize instead of silently
+  // shrinking the config.
+  DesiredState desired_state(std::uint64_t have_version);
+
+  // The streamer's answer for a poll: noop, a coalesced delta, or the
+  // cached full state (see streamer.h for when each is chosen).
+  DesiredUpdate desired_update(const GetUpdatesRequest& request);
+
+  // Fleet-wide tail-sampling budget: on checkin each gateway is assigned
+  // keep-per-op K = clamp(budget / fleet size, 1, ...), so trace ingest
+  // stays bounded as the fleet grows. 0 (default): unmanaged — gateways
+  // keep their locally configured K.
+  void set_fleet_trace_budget(std::uint64_t budget) {
+    fleet_trace_budget_ = budget;
+  }
+  std::uint64_t fleet_trace_budget() const { return fleet_trace_budget_; }
+  // K currently handed out at checkin (0 when unmanaged).
+  std::uint64_t assigned_keep_per_op() const;
+
+  // Mutations the delta log retains; older gaps fall back to full sync.
+  void set_delta_log_cap(std::size_t cap);
 
   // --- Southbound RPC surface -------------------------------------------
   // Bind streamer/bootstrapper/state/metricsd handlers onto a node (one per
@@ -127,13 +185,26 @@ class Orchestrator {
     return "policy/" + name;
   }
 
+  // Scan + deserialize the whole store (the slow path the blob cache and
+  // delta log exist to avoid); counts decode errors.
+  DesiredState build_full_state();
+  // Serialized full state at the current store version, built at most once
+  // per version.
+  const common::Bytes& full_state_blob();
+  void record_delta(DeltaEntry entry);
+  void note_store_decode_error(const std::string& key,
+                               const std::string& what);
+  void note_ingest_shed(IngestKind kind);
+
   sim::Kernel& kernel_;
   std::string network_name_;
   store::WalStore store_;  // durable config: subscribers + policies
+  std::uint64_t epoch_ = 1;
   std::map<std::string, GatewayRecord> gateways_;
   std::map<std::string, common::Bytes> checkpoints_;
   Metricsd metricsd_;
   Statusd statusd_{kernel_, &metricsd_};
+  IngestShards ingest_{kernel_};
   obs::StatusRegistry status_{kernel_};
   // Per-service Service303 handles (owned by status_; stable addresses).
   obs::Service303* svc_streamer_ = nullptr;
@@ -146,6 +217,24 @@ class Orchestrator {
   std::size_t event_retention_ = 65536;
   obs::Tracer* tracer_ = nullptr;
   std::string node_label_ = "orc8r";
+
+  // Recent mutations, version-tagged, for delta serving. A record exists
+  // for every northbound store mutation since log_floor_versions_ worth of
+  // history; direct store writes (tests, corruption) bypass it, which the
+  // coverage check detects as a gap -> full sync.
+  struct DeltaRecord {
+    std::uint64_t version;  // store version after the mutation
+    DeltaEntry entry;
+  };
+  std::deque<DeltaRecord> delta_log_;
+  std::size_t delta_log_cap_ = 4096;
+
+  // Full-state blob cache, valid for exactly one store version.
+  std::uint64_t cached_full_version_ = 0;
+  bool cached_full_valid_ = false;
+  common::Bytes cached_full_;
+
+  std::uint64_t fleet_trace_budget_ = 0;
   OrchestratorStats stats_;
 };
 

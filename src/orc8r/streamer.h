@@ -1,11 +1,25 @@
 // Streamer wire types: desired-state configuration sync (§3.4).
 //
 // The orchestrator is the sole writer of configuration state; AGWs poll
-// GetUpdates with the version they have, and the streamer answers with the
-// *entire* desired state when anything changed ("the set of sessions is now
-// X, Y, Z" generalized to config). Idempotent full-set transfer is what
-// makes the sync self-healing after lost messages or AGW restarts — the
-// property bench/ablation_state_sync measures against a CRUD baseline.
+// GetUpdates with the (epoch, version) they have. The streamer answers one
+// of three ways:
+//   * kNoop  — the caller is current; nothing on the wire but the header.
+//   * kDelta — the caller is behind by a range the orchestrator's delta log
+//              still covers: a coalesced list of add/remove entries, so one
+//              config change fans out to N gateways without N full-set
+//              transfers.
+//   * kFull  — everything else (first sync, epoch change after an
+//              orchestrator restart, a version regression, or a gap older
+//              than the delta log): the *entire* desired state ("the set of
+//              sessions is now X, Y, Z" generalized to config). Idempotent
+//              full-set transfer is the self-healing path — the property
+//              bench/ablation_state_sync measures against a CRUD baseline —
+//              and deltas are strictly an optimization layered on top of it.
+//
+// The epoch distinguishes orchestrator incarnations: a gateway holding
+// version 40 from epoch 2 must not interpret version 3 of epoch 3 (a
+// restarted orchestrator with a rebuilt store) as "stale", nor splice epoch-3
+// deltas onto epoch-2 state. Any epoch mismatch degrades to kFull.
 #pragma once
 
 #include <cstdint>
@@ -22,11 +36,14 @@ namespace magma::orc8r {
 struct GetUpdatesRequest {
   std::string gateway_id;
   std::uint64_t have_version = 0;
+  std::uint64_t have_epoch = 0;  // 0: never synced (epochs start at 1)
 
   common::Bytes serialize() const;
   static common::Result<GetUpdatesRequest> deserialize(common::BytesView d);
 };
 
+// Full desired-state payload (carried inside a kFull DesiredUpdate, and
+// still the unit the orchestrator's northbound desired_state() returns).
 struct DesiredState {
   std::uint64_t version = 0;
   bool changed = false;  // false: caller's version is current; blobs empty
@@ -35,6 +52,34 @@ struct DesiredState {
 
   common::Bytes serialize() const;
   static common::Result<DesiredState> deserialize(common::BytesView d);
+};
+
+enum class SyncMode : std::uint8_t {
+  kNoop = 0,
+  kFull = 1,
+  kDelta = 2,
+};
+
+// One coalesced config mutation. `key` is the subscriber IMSI or policy
+// name; `blob` the serialized object for upserts, empty for removes.
+struct DeltaEntry {
+  enum class Kind : std::uint8_t { kSubscriber = 0, kPolicy = 1 };
+  Kind kind = Kind::kSubscriber;
+  bool remove = false;
+  std::string key;
+  common::Bytes blob;
+};
+
+// GetUpdates response envelope.
+struct DesiredUpdate {
+  std::uint64_t version = 0;
+  std::uint64_t epoch = 0;
+  SyncMode mode = SyncMode::kNoop;
+  std::vector<DeltaEntry> entries;  // kDelta only
+  common::Bytes full;               // kFull only: a serialized DesiredState
+
+  common::Bytes serialize() const;
+  static common::Result<DesiredUpdate> deserialize(common::BytesView d);
 };
 
 // Service/method names (orchestrator-side RPC surface).

@@ -21,6 +21,7 @@
 #include "proto/nr5g/nas5g.h"
 #include "proto/nr5g/ngap.h"
 #include "proto/wifi/radius.h"
+#include "rpc/wire.h"
 #include "sim/random.h"
 #include "store/state_store.h"
 #include "store/wal_store.h"
@@ -49,6 +50,8 @@ void decode_everything(common::BytesView data) {
   (void)agw::SubscriberData::deserialize(data);
   (void)core::Policy::deserialize(data);
   (void)orc8r::DesiredState::deserialize(data);
+  (void)orc8r::DesiredUpdate::deserialize(data);
+  (void)orc8r::GetUpdatesRequest::deserialize(data);
   (void)orc8r::decode_metric_report(data);
   (void)orc8r::decode_histogram_report(data);
   (void)obs::decode_event_report(data);
@@ -306,6 +309,130 @@ TEST(FuzzTraceSummary, HostileLengthsRejectedWithoutAllocating) {
     // The first string length lives right after the 8-byte count.
     for (std::size_t i = 8; i < 16 && i < wire.size(); ++i) wire[i] = 0xff;
     EXPECT_FALSE(obs::decode_trace_summaries(wire).ok());
+  }
+}
+
+// The delta-stream envelope is what every GetUpdates poll decodes on the
+// gateway side; it crosses the same trust boundary as the full-state codec.
+TEST(FuzzDeltaStream, UpdateRoundTripMutationAndTruncation) {
+  sim::Rng rng(57);
+  for (int round = 0; round < 500; ++round) {
+    orc8r::DesiredUpdate u;
+    u.version = rng.next_u64() >> 1;
+    u.epoch = rng.next_u64() >> 1;
+    const std::uint64_t pick = rng.uniform_int(3);
+    u.mode = static_cast<orc8r::SyncMode>(pick);
+    if (u.mode == orc8r::SyncMode::kDelta) {
+      const std::uint64_t entries = rng.uniform_int(4);
+      for (std::uint64_t i = 0; i < entries; ++i) {
+        orc8r::DeltaEntry e;
+        e.kind = rng.bernoulli(0.5) ? orc8r::DeltaEntry::Kind::kSubscriber
+                                    : orc8r::DeltaEntry::Kind::kPolicy;
+        e.remove = rng.bernoulli(0.3);
+        e.key = std::string(rng.uniform_int(16), 'k');
+        if (!e.remove) e.blob = random_bytes(rng, 32);
+        u.entries.push_back(std::move(e));
+      }
+    } else if (u.mode == orc8r::SyncMode::kFull) {
+      u.full = random_bytes(rng, 64);
+    }
+
+    const common::Bytes wire = u.serialize();
+    auto decoded = orc8r::DesiredUpdate::deserialize(wire);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().version, u.version);
+    EXPECT_EQ(decoded.value().epoch, u.epoch);
+    EXPECT_EQ(decoded.value().mode, u.mode);
+    EXPECT_EQ(decoded.value().full, u.full);
+    ASSERT_EQ(decoded.value().entries.size(), u.entries.size());
+    for (std::size_t i = 0; i < u.entries.size(); ++i) {
+      EXPECT_EQ(decoded.value().entries[i].kind, u.entries[i].kind);
+      EXPECT_EQ(decoded.value().entries[i].remove, u.entries[i].remove);
+      EXPECT_EQ(decoded.value().entries[i].key, u.entries[i].key);
+      EXPECT_EQ(decoded.value().entries[i].blob, u.entries[i].blob);
+    }
+
+    // Every strict prefix is short somewhere — all must be rejected.
+    for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+      EXPECT_FALSE(orc8r::DesiredUpdate::deserialize(
+                       common::BytesView(wire.data(), keep))
+                       .ok())
+          << "prefix " << keep << " parsed as valid";
+    }
+    // Trailing garbage after a valid envelope: at_end() must catch it.
+    common::Bytes padded = wire;
+    padded.push_back(0xa5);
+    EXPECT_FALSE(orc8r::DesiredUpdate::deserialize(padded).ok());
+    // Bit flips: reject or decode to *some* in-range envelope, never crash.
+    common::Bytes mutated = wire;
+    const int flips = 1 + static_cast<int>(rng.uniform_int(4));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.uniform_int(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+    }
+    auto survived = orc8r::DesiredUpdate::deserialize(mutated);
+    if (survived.ok()) {
+      EXPECT_LE(static_cast<std::uint8_t>(survived.value().mode), 2);
+      for (const orc8r::DeltaEntry& e : survived.value().entries) {
+        EXPECT_LE(static_cast<std::uint8_t>(e.kind), 1);
+        if (e.remove) {
+          EXPECT_TRUE(e.blob.empty());
+        }
+      }
+    }
+  }
+  SUCCEED();
+}
+
+TEST(FuzzDeltaStream, HostileLengthsRejectedWithoutAllocating) {
+  // A kDelta header whose entry count claims 2^64-1 entries in an empty
+  // payload: the capped reserve must not trust it, and the loop must stop
+  // at the first failed read.
+  {
+    rpc::Writer w;
+    w.u64(1);                   // version
+    w.u64(1);                   // epoch
+    w.u8(2);                    // kDelta
+    common::Bytes wire = std::move(w).take();
+    for (int i = 0; i < 8; ++i) wire.push_back(0xff);  // count = 2^64-1
+    EXPECT_FALSE(orc8r::DesiredUpdate::deserialize(wire).ok());
+  }
+  // An out-of-range mode byte.
+  {
+    rpc::Writer w;
+    w.u64(1);
+    w.u64(1);
+    w.u8(3);
+    EXPECT_FALSE(
+        orc8r::DesiredUpdate::deserialize(std::move(w).take()).ok());
+  }
+  // A remove entry smuggling a blob (an encoder never emits this; a decoder
+  // accepting it would let one wire bit resurrect a deleted subscriber).
+  {
+    rpc::Writer w;
+    w.u64(1);
+    w.u64(1);
+    w.u8(2);            // kDelta
+    w.u64(1);           // one entry
+    w.u8(0);            // kSubscriber
+    w.boolean(true);    // remove...
+    w.str("001010000000001");
+    w.bytes(common::to_bytes("zombie"));  // ...with a payload
+    EXPECT_FALSE(
+        orc8r::DesiredUpdate::deserialize(std::move(w).take()).ok());
+  }
+  // Truncated GetUpdatesRequest prefixes never parse.
+  {
+    orc8r::GetUpdatesRequest req;
+    req.gateway_id = "gw0";
+    req.have_version = 12;
+    req.have_epoch = 2;
+    const common::Bytes wire = req.serialize();
+    for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+      EXPECT_FALSE(orc8r::GetUpdatesRequest::deserialize(
+                       common::BytesView(wire.data(), keep))
+                       .ok());
+    }
   }
 }
 

@@ -71,6 +71,39 @@ TEST(Orchestrator, ConfigSurvivesCrash) {
   EXPECT_EQ(orc8r.subscriber_count(), 2u);
 }
 
+TEST(Orchestrator, CorruptStoreBlobIsCountedWarnedAndAlerted) {
+  // Regression: a store blob that fails to deserialize used to be silently
+  // dropped from the desired state — every gateway would converge on a
+  // config missing that subscriber, with nothing anywhere saying so.
+  sim::Kernel kernel;
+  orc8r::Orchestrator orc8r(kernel);
+  orc8r.add_subscriber(subscriber(1, "p"));
+  orc8r.store().put("sub/corrupt", common::to_bytes("garbage"));
+
+  const orc8r::DesiredState state = orc8r.desired_state(0);
+  // The good subscriber survives; the corrupt one is counted, not silent.
+  EXPECT_EQ(state.subscribers.size(), 1u);
+  EXPECT_EQ(orc8r.stats().store_decode_errors, 1u);
+  EXPECT_EQ(
+      orc8r.metrics().latest("orc8r", "orchestrator_store_decode_errors"),
+      1.0);
+  const auto events = orc8r.events_of_type("store_decode_error");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].severity, obs::EventSeverity::kWarn);
+  EXPECT_NE(events[0].message.find("sub/corrupt"), std::string::npos);
+
+  // The default growth alert fires once the gauge rises past its baseline
+  // (the corrupt blob is recounted on the next full-state rebuild).
+  orc8r.add_subscriber(subscriber(2, "p"));
+  (void)orc8r.desired_state(0);
+  EXPECT_EQ(orc8r.stats().store_decode_errors, 2u);
+  bool firing = false;
+  for (const orc8r::ActiveAlert& a : orc8r.metrics().active_alerts()) {
+    if (a.rule == "orchestrator_store_decode_errors_growth") firing = true;
+  }
+  EXPECT_TRUE(firing);
+}
+
 TEST(DesiredState, SerializeRoundTrip) {
   orc8r::DesiredState state;
   state.version = 42;
@@ -148,6 +181,45 @@ TEST_F(MagmadTest, ConfigRemovalPropagates) {
   kernel_.run_until(10 * sim::kSecond);
   EXPECT_EQ(subscribers_.size(), 1u);
   EXPECT_FALSE(subscribers_.get(imsi(1)).has_value());
+}
+
+TEST_F(MagmadTest, ConvergesAfterOrchestratorRestartWithOlderStore) {
+  // Regression: an orchestrator replaced by an instance with a fresh store
+  // answers polls with a *lower* version. A gateway comparing versions
+  // numerically wedges forever ("I have 12, you offer 3"); the epoch makes
+  // the restart explicit and the gateway must take the full sync — the
+  // orchestrator is the source of truth (§3.4).
+  for (int i = 1; i <= 8; ++i) orc8r_.add_subscriber(subscriber(i, "old"));
+  magmad_.sync_config_now();
+  kernel_.run_until(5 * sim::kSecond);
+  ASSERT_EQ(subscribers_.size(), 8u);
+  const std::uint64_t old_version = magmad_.synced_version();
+  const std::uint64_t old_epoch = magmad_.synced_epoch();
+  ASSERT_GT(old_version, 1u);
+
+  // Replace the orchestrator: fresh store, one subscriber, lower version.
+  orc8r::Orchestrator replacement(kernel_);
+  replacement.add_subscriber(subscriber(100, "new"));
+  ASSERT_LT(replacement.config_version(), old_version);
+  ASSERT_NE(replacement.epoch(), old_epoch);
+  replacement.bind(server_node_);  // re-registration replaces the handlers
+
+  bool applied = false;
+  magmad_.sync_config_now([&](bool a) { applied = a; });
+  kernel_.run_until(10 * sim::kSecond);
+  EXPECT_TRUE(applied);
+  // Converged backwards onto the replacement's (smaller) desired state.
+  EXPECT_EQ(subscribers_.size(), 1u);
+  EXPECT_TRUE(subscribers_.get(imsi(100)).has_value());
+  EXPECT_FALSE(subscribers_.get(imsi(1)).has_value());
+  EXPECT_EQ(magmad_.synced_version(), replacement.config_version());
+  EXPECT_EQ(magmad_.synced_epoch(), replacement.epoch());
+  EXPECT_EQ(magmad_.stats().epoch_resyncs, 1u);
+
+  // And stays converged: the next poll is a cheap noop, not a sync loop.
+  magmad_.sync_config_now();
+  kernel_.run_until(15 * sim::kSecond);
+  EXPECT_GE(magmad_.stats().config_polls_noop, 1u);
 }
 
 TEST_F(MagmadTest, SyncFailsGracefullyWhenDisconnected) {

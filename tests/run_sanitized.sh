@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 
 SUITES=(
   net_channel_test net_congestion_test fuzz_codec_test property_test
-  rpc_test magmad_orc8r_test obs_test tail_sampler_test
+  rpc_test magmad_orc8r_test fleet_scale_test obs_test tail_sampler_test
   tracing_integration_test statusd_test cpu_profile_test
 )
 
@@ -37,6 +37,6 @@ done
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 ctest --test-dir build-asan --output-on-failure \
-  -R 'Channel|Reliable|Datagram|Congestion|Fuzz|Rpc|Wire|Magmad|Orchestrator|DesiredState|TransportTelemetry|Tracer|Histogram|EventBuffer|EventReport|ChromeTrace|Tracing|Statusd|Service303|GatewayStatus|CpuProfile|TailSampler|CriticalPath' \
+  -R 'Channel|Reliable|Datagram|Congestion|Fuzz|Rpc|Wire|Magmad|Orchestrator|DesiredState|TransportTelemetry|Tracer|Histogram|EventBuffer|EventReport|ChromeTrace|Tracing|Statusd|Service303|GatewayStatus|CpuProfile|TailSampler|CriticalPath|FleetIngest|DeltaStream|FleetScale' \
   "$@"
 echo "sanitized transport suite: OK"

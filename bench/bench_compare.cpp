@@ -1,0 +1,82 @@
+// bench_compare — diff two bench JSON artifacts (BENCH_host.json,
+// BENCH_fleet.json, ...) and exit nonzero when any priced cost metric
+// (*_ns, *_ms, *_allocs, *_alloc_bytes, *_bytes_per_op) regressed by more
+// than the threshold (default 15%). The release gate in EXPERIMENTS.md's
+// "where does the host second go" recipe.
+//
+//   bench_compare BEFORE.json AFTER.json [--threshold 0.15]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_json.h"
+
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* before_path = nullptr;
+  const char* after_path = nullptr;
+  double threshold = 0.15;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::atof(argv[++i]);
+    } else if (before_path == nullptr) {
+      before_path = argv[i];
+    } else if (after_path == nullptr) {
+      after_path = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (before_path == nullptr || after_path == nullptr || threshold <= 0) {
+    std::fprintf(stderr,
+                 "usage: bench_compare BEFORE.json AFTER.json "
+                 "[--threshold 0.15]\n");
+    return 2;
+  }
+
+  std::string before_text;
+  std::string after_text;
+  if (!read_file(before_path, before_text)) {
+    std::fprintf(stderr, "cannot read %s\n", before_path);
+    return 2;
+  }
+  if (!read_file(after_path, after_text)) {
+    std::fprintf(stderr, "cannot read %s\n", after_path);
+    return 2;
+  }
+
+  const auto before = magma::obs::flatten_json_numbers(before_text);
+  if (!before.ok()) {
+    std::fprintf(stderr, "%s: %s\n", before_path,
+                 before.error().message.c_str());
+    return 2;
+  }
+  const auto after = magma::obs::flatten_json_numbers(after_text);
+  if (!after.ok()) {
+    std::fprintf(stderr, "%s: %s\n", after_path,
+                 after.error().message.c_str());
+    return 2;
+  }
+
+  const magma::obs::BenchCompareResult result =
+      magma::obs::bench_compare(before.value(), after.value(), threshold);
+  std::printf("%s",
+              magma::obs::format_bench_compare(result, threshold).c_str());
+  return result.ok ? 0 : 1;
+}

@@ -24,6 +24,7 @@
 #include "agw/magmad.h"
 #include "bench_util.h"
 #include "net/channel.h"
+#include "obs/host_profiler.h"
 #include "orc8r/orchestrator.h"
 
 using namespace magma;
@@ -83,6 +84,13 @@ int main() {
   config.checkpoint_interval = sim::kHour;
   config.event_flush_interval = sim::kHour;
 
+  // Host cost of booting the fleet: the global operator-new hook counts
+  // every allocation the 1000-gateway construction loop makes, so the
+  // per-AGW memory bill is a first-class bench metric.
+  const std::uint64_t boot_allocs_before =
+      obs::HostProfiler::process_alloc_count();
+  const std::uint64_t boot_bytes_before =
+      obs::HostProfiler::process_alloc_bytes();
   std::vector<std::unique_ptr<Gateway>> fleet;
   fleet.reserve(kFleet);
   for (int i = 0; i < kFleet; ++i) {
@@ -111,11 +119,29 @@ int main() {
     kernel.schedule(offset, [m]() { m->start(); });
     fleet.push_back(std::move(gw));
   }
+  const std::uint64_t boot_allocs_per_agw =
+      (obs::HostProfiler::process_alloc_count() - boot_allocs_before) / kFleet;
+  const std::uint64_t boot_bytes_per_agw =
+      (obs::HostProfiler::process_alloc_bytes() - boot_bytes_before) / kFleet;
+
+  // Per-phase host wall clock: each phase's run_until is timed so the JSON
+  // records where the host second goes at fleet scale.
+  auto phase_start = std::chrono::steady_clock::now();
+  auto phase_wall_ms = [&phase_start]() {
+    const auto now = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration_cast<std::chrono::microseconds>(
+                          now - phase_start)
+                          .count() /
+                      1000.0;
+    phase_start = now;
+    return ms;
+  };
 
   int failures = 0;
 
   // ---- Phase 1: initial sync wave --------------------------------------
   kernel.run_until(35 * sim::kSecond);
+  const double phase1_wall_ms = phase_wall_ms();
   int synced = 0;
   for (const auto& gw : fleet) {
     if (gw->magmad->synced_version() == orc8r.config_version()) ++synced;
@@ -134,7 +160,9 @@ int main() {
   // ---- Phase 2: one config change fans out as deltas -------------------
   const std::uint64_t deltas_before = orc8r.stats().delta_pushes;
   orc8r.add_subscriber(make_subscriber(9000, "unlimited"));
+  phase_start = std::chrono::steady_clock::now();
   kernel.run_until(75 * sim::kSecond);
+  const double phase2_wall_ms = phase_wall_ms();
   synced = 0;
   int applied_delta = 0;
   for (const auto& gw : fleet) {
@@ -162,7 +190,9 @@ int main() {
                                                          : "throttled"));
     }
   }
+  phase_start = std::chrono::steady_clock::now();
   kernel.run_until(115 * sim::kSecond);
+  const double phase3_wall_ms = phase_wall_ms();
   const std::uint64_t entries_sent =
       orc8r.stats().delta_entries_sent - entries_before;
   const std::uint64_t coalesced =
@@ -219,6 +249,11 @@ int main() {
               static_cast<unsigned long long>(ing.max_pending));
   std::printf("wall: %.0f ms for %d AGWs over %.0f simulated seconds\n",
               wall_ms, kFleet, sim::to_seconds(kernel.now()));
+  std::printf("host: sync %.0f ms, delta %.0f ms, churn %.0f ms; boot cost "
+              "%llu allocs / %llu bytes per AGW\n",
+              phase1_wall_ms, phase2_wall_ms, phase3_wall_ms,
+              static_cast<unsigned long long>(boot_allocs_per_agw),
+              static_cast<unsigned long long>(boot_bytes_per_agw));
 
   std::FILE* json = std::fopen("BENCH_fleet.json", "w");
   if (json != nullptr) {
@@ -242,6 +277,13 @@ int main() {
         "  \"ingest_shed\": %llu,\n"
         "  \"ingest_max_gateway_queue\": %llu,\n"
         "  \"assigned_tail_keep\": %llu,\n"
+        "  \"host\": {\n"
+        "    \"phase1_sync_wall_ms\": %.1f,\n"
+        "    \"phase2_delta_wall_ms\": %.1f,\n"
+        "    \"phase3_churn_wall_ms\": %.1f,\n"
+        "    \"boot_per_agw_allocs\": %llu,\n"
+        "    \"boot_per_agw_alloc_bytes\": %llu\n"
+        "  },\n"
         "  \"pass\": %s\n"
         "}\n",
         kFleet, kSubscribers, sim::to_seconds(kernel.now()), wall_ms,
@@ -257,6 +299,9 @@ int main() {
         static_cast<unsigned long long>(ing.shed),
         static_cast<unsigned long long>(ing.max_gateway_queue),
         static_cast<unsigned long long>(orc8r.assigned_keep_per_op()),
+        phase1_wall_ms, phase2_wall_ms, phase3_wall_ms,
+        static_cast<unsigned long long>(boot_allocs_per_agw),
+        static_cast<unsigned long long>(boot_bytes_per_agw),
         failures == 0 ? "true" : "false");
     std::fclose(json);
     std::printf("wrote BENCH_fleet.json\n");

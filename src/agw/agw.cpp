@@ -339,6 +339,15 @@ std::vector<orc8r::MetricSample> AccessGateway::telemetry_snapshot() {
             sim::to_seconds(per_core[core]));
     }
   }
+  // Host observability: how hard the simulator itself is working on behalf
+  // of this run. Events/queue depth come from the shared kernel; the alloc
+  // counter is process-wide (global operator-new hook) — both are real-host
+  // facts that never feed back into sim behavior.
+  gauge("sim_events_dispatched", static_cast<double>(kernel_.executed_events()));
+  gauge("sim_event_queue_hwm",
+        static_cast<double>(kernel_.stats().queue_hwm));
+  gauge("host_alloc_bytes",
+        static_cast<double>(obs::HostProfiler::process_alloc_bytes()));
   const AccessdStats& acc = accessd_->stats();
   gauge("attaches_completed",
         static_cast<double>(acc.attach_completed[0] + acc.attach_completed[1] +

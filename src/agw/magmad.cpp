@@ -1,6 +1,7 @@
 #include "agw/magmad.h"
 
 #include "common/log.h"
+#include "obs/host_profiler.h"
 #include "rpc/wire.h"
 
 namespace magma::agw {
@@ -47,6 +48,7 @@ void Magmad::start() {
 }
 
 void Magmad::apply(const orc8r::DesiredState& state) {
+  MAGMA_HOST_SCOPE("magmad", "apply_full");
   subscribers_.replace_all(state.subscribers);
   policies_.replace_all(state.policies);
   synced_version_ = state.version;
@@ -54,6 +56,7 @@ void Magmad::apply(const orc8r::DesiredState& state) {
 }
 
 bool Magmad::apply_delta(const orc8r::DesiredUpdate& update) {
+  MAGMA_HOST_SCOPE("magmad", "apply_delta");
   for (const orc8r::DeltaEntry& e : update.entries) {
     if (e.kind == orc8r::DeltaEntry::Kind::kSubscriber) {
       if (e.remove) {

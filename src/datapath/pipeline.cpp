@@ -1,6 +1,7 @@
 #include "datapath/pipeline.h"
 
 #include "common/bytes.h"
+#include "obs/host_profiler.h"
 
 namespace magma::datapath {
 
@@ -47,6 +48,7 @@ PipelineResult Pipeline::process(Packet pkt, Direction dir,
 
 PipelineResult Pipeline::process_batch(PacketBatch batch, Direction dir,
                                        sim::TimePoint now) {
+  MAGMA_HOST_SCOPE("datapath", "process_batch");
   if (!cache_enabled_) {
     return process_slow(std::move(batch), dir, now, nullptr);
   }
@@ -75,6 +77,10 @@ PipelineResult Pipeline::process_batch(PacketBatch batch, Direction dir,
 
 PipelineResult Pipeline::process_slow(PacketBatch batch, Direction dir,
                                       sim::TimePoint now, CachedPath* fill) {
+  // Separates the full multi-table walk from the microflow-cache fast path:
+  // self-time of process_batch ≈ cached-path cost, child slow_walk ≈ miss
+  // cost — exactly the split an arena/pool decision needs.
+  MAGMA_HOST_SCOPE("datapath", "slow_walk");
   PipelineResult result;
   Packet& pkt = batch.packet;
   std::uint64_t count = batch.count;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "obs/host_profiler.h"
 #include "rpc/wire.h"
 
 namespace magma::net {
@@ -243,6 +244,7 @@ class ReliableEndpoint final : public ReliableChannel {
   }
 
   void transmit_data(std::uint64_t seq) {
+    MAGMA_HOST_SCOPE("net.channel", "transmit_data");
     auto it = outstanding_.find(seq);
     if (it == outstanding_.end()) return;  // already acked
     it->second.sent_at = kernel_.now();
@@ -576,6 +578,7 @@ class ReliableEndpoint final : public ReliableChannel {
   }
 
   void on_segment(const common::Bytes& header_bytes, common::Bytes payload) {
+    MAGMA_HOST_SCOPE("net.channel", "on_segment");
     // The header crossed the simulated wire encoded; anything that does
     // not decode is line noise and is dropped (fail-soft, like a bad TCP
     // checksum).

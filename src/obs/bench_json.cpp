@@ -1,0 +1,232 @@
+#include "obs/bench_json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace magma::obs {
+
+namespace {
+
+using common::ErrorCode;
+
+// Minimal recursive-descent JSON reader over the subset the bench emitters
+// write. Collects numeric leaves into `out` under dotted paths.
+class Reader {
+ public:
+  Reader(const std::string& text, std::map<std::string, double>& out)
+      : text_(text), out_(out) {}
+
+  bool parse() {
+    skip_ws();
+    if (!parse_object("")) return false;
+    skip_ws();
+    return pos_ == text_.size();  // trailing garbage is a malformed file
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool parse_string(std::string& s) {
+    if (!consume('"')) return false;
+    s.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': s += '"'; break;
+          case '\\': s += '\\'; break;
+          case '/': s += '/'; break;
+          case 'n': s += '\n'; break;
+          case 't': s += '\t'; break;
+          case 'r': s += '\r'; break;
+          default: return false;  // \u etc. — no emitter writes them
+        }
+        continue;
+      }
+      s += c;
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(double& value) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool digits = false;
+    auto eat_digits = [&]() {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+        ++pos_;
+      }
+      eat_digits();
+    }
+    if (!digits) return false;
+    value = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  bool parse_literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_value(const std::string& path) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(path);
+    if (c == '"') {
+      std::string ignored;
+      return parse_string(ignored);
+    }
+    if (c == 't') return parse_literal("true");
+    if (c == 'f') return parse_literal("false");
+    if (c == 'n') return parse_literal("null");
+    double value = 0;
+    if (!parse_number(value)) return false;
+    out_[path] = value;
+    return true;
+  }
+
+  bool parse_object(const std::string& prefix) {
+    skip_ws();
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      const std::string path = prefix.empty() ? key : prefix + "." + key;
+      if (!parse_value(path)) return false;
+      skip_ws();
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+
+  const std::string& text_;
+  std::map<std::string, double>& out_;
+  std::size_t pos_ = 0;
+};
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::string suf(suffix);
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+}  // namespace
+
+common::Result<std::map<std::string, double>> flatten_json_numbers(
+    const std::string& text) {
+  std::map<std::string, double> out;
+  Reader reader(text, out);
+  if (!reader.parse()) {
+    return common::Error{ErrorCode::kInvalidArgument, "malformed bench JSON"};
+  }
+  return out;
+}
+
+bool is_cost_metric_key(const std::string& key) {
+  return ends_with(key, "_ns") || ends_with(key, "_ms") ||
+         ends_with(key, "_allocs") || ends_with(key, "_alloc_bytes") ||
+         ends_with(key, "_bytes_per_op");
+}
+
+BenchCompareResult bench_compare(const std::map<std::string, double>& before,
+                                 const std::map<std::string, double>& after,
+                                 double threshold) {
+  BenchCompareResult result;
+  for (const auto& [key, old_value] : before) {
+    auto it = after.find(key);
+    if (it == after.end()) {
+      result.notes.push_back("dropped: " + key);
+      continue;
+    }
+    if (!is_cost_metric_key(key)) continue;
+    const double new_value = it->second;
+    ++result.compared;
+    if (old_value <= 0) {
+      if (new_value > 0) result.notes.push_back("appeared-from-zero: " + key);
+      continue;
+    }
+    const double change = new_value / old_value - 1.0;
+    BenchDelta delta{key, old_value, new_value, change};
+    if (change > threshold) {
+      result.regressions.push_back(delta);
+      result.ok = false;
+    } else if (change < -threshold) {
+      result.improvements.push_back(delta);
+    }
+  }
+  for (const auto& [key, value] : after) {
+    (void)value;
+    if (before.find(key) == before.end()) {
+      result.notes.push_back("new: " + key);
+    }
+  }
+  return result;
+}
+
+std::string format_bench_compare(const BenchCompareResult& result,
+                                 double threshold) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "compared %zu cost metrics (threshold %.0f%%)\n",
+                result.compared, threshold * 100);
+  out += line;
+  for (const BenchDelta& d : result.regressions) {
+    std::snprintf(line, sizeof(line),
+                  "  REGRESSION %-44s %12.1f -> %12.1f  (%+.1f%%)\n",
+                  d.key.c_str(), d.before, d.after, d.change * 100);
+    out += line;
+  }
+  for (const BenchDelta& d : result.improvements) {
+    std::snprintf(line, sizeof(line),
+                  "  improved   %-44s %12.1f -> %12.1f  (%+.1f%%)\n",
+                  d.key.c_str(), d.before, d.after, d.change * 100);
+    out += line;
+  }
+  for (const std::string& note : result.notes) {
+    out += "  note: " + note + "\n";
+  }
+  out += result.ok ? "OK: no cost metric regressed\n"
+                   : "FAIL: cost metric regression\n";
+  return out;
+}
+
+}  // namespace magma::obs

@@ -1,0 +1,68 @@
+// Flat-number JSON reading + bench regression comparison.
+//
+// The bench trajectory (BENCH_host.json, BENCH_fleet.json, ...) is a series
+// of small JSON files with stable keys; the release-over-release gate the
+// ROADMAP asks for is "did any priced metric regress by more than X%". This
+// is the shared logic behind `bench/bench_compare` and the schema check the
+// microbench runs on its own output — library code so tests can drive it
+// with synthetic documents instead of spawning binaries.
+//
+// The parser understands exactly what the emitters write: objects, strings,
+// numbers, booleans and null, arbitrarily nested. Every numeric field is
+// flattened to a dotted path ("host.boot_alloc_bytes_per_agw"); everything
+// else is skipped. Malformed input is an error, not a crash — the files
+// cross release boundaries and a truncated artifact must fail loudly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace magma::obs {
+
+// Flatten every numeric field of `text` (a JSON object) into
+// dotted-path -> value. Arrays are not supported (no emitter writes them);
+// a document containing one is rejected.
+common::Result<std::map<std::string, double>> flatten_json_numbers(
+    const std::string& text);
+
+// One metric compared across two bench runs.
+struct BenchDelta {
+  std::string key;
+  double before = 0;
+  double after = 0;
+  // after/before - 1: positive means the metric grew.
+  double change = 0;
+};
+
+struct BenchCompareResult {
+  bool ok = true;                       // no cost metric regressed
+  std::vector<BenchDelta> regressions;  // cost metrics worse by > threshold
+  std::vector<BenchDelta> improvements; // cost metrics better by > threshold
+  std::vector<std::string> notes;       // keys present on one side only
+  std::size_t compared = 0;             // cost metrics present on both sides
+};
+
+// True when `key` names a priced cost metric where larger is worse: the
+// suffixes the BENCH emitters use for wall time and allocation cost
+// (..._ns, ..._ms, ..._allocs, ..._alloc_bytes, ..._bytes_per_op).
+// Counters like `delta_pushes` deliberately do not match — growth there is
+// workload, not regression.
+bool is_cost_metric_key(const std::string& key);
+
+// Compare two flattened bench documents. A cost metric regresses when
+// after > before * (1 + threshold) (with before == 0 treated as regression
+// only if after > 0 and threshold < infinity is irrelevant — a metric
+// appearing from zero is reported as a note, not a failure). Keys present
+// on only one side are notes: schemas may grow between releases.
+BenchCompareResult bench_compare(const std::map<std::string, double>& before,
+                                 const std::map<std::string, double>& after,
+                                 double threshold);
+
+// Human-readable report (one line per regression/improvement/note).
+std::string format_bench_compare(const BenchCompareResult& result,
+                                 double threshold);
+
+}  // namespace magma::obs

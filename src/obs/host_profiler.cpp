@@ -1,0 +1,335 @@
+#include "obs/host_profiler.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <utility>
+
+namespace magma::obs {
+
+namespace detail {
+HostProfiler* g_host_profiler = nullptr;
+}  // namespace detail
+
+namespace {
+
+// Process-wide allocation totals. Relaxed: they are monotone counters read
+// only for reporting; no ordering is implied or needed.
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+std::atomic<std::uint64_t> g_free_count{0};
+
+// Re-entrancy guard for the attribution path: growing the profiler's own
+// stats vector allocates, which would recurse into note_alloc forever.
+thread_local bool t_in_alloc_hook = false;
+
+// The global label registry. Append-only; ids are indices. A function-local
+// static (not a namespace-scope global) so interning from other static
+// initializers is safe.
+struct LabelRegistry {
+  std::vector<std::pair<std::string, std::string>> names;
+  std::map<std::pair<std::string, std::string>, HostLabelId> ids;
+  LabelRegistry() {
+    names.emplace_back("unattributed", "");
+    ids.emplace(names.back(), kHostUnlabeled);
+  }
+};
+
+LabelRegistry& registry() {
+  static LabelRegistry reg;
+  return reg;
+}
+
+}  // namespace
+
+HostLabelId host_label(const std::string& subsystem, const std::string& op) {
+  LabelRegistry& reg = registry();
+  const auto key = std::make_pair(subsystem, op);
+  auto it = reg.ids.find(key);
+  if (it != reg.ids.end()) return it->second;
+  const HostLabelId id = static_cast<HostLabelId>(reg.names.size());
+  reg.names.push_back(key);
+  reg.ids.emplace(std::move(key), id);
+  return id;
+}
+
+std::size_t host_label_count() { return registry().names.size(); }
+
+HostProfiler::HostProfiler() { frames_.reserve(64); }
+
+HostProfiler::~HostProfiler() {
+  if (detail::g_host_profiler == this) detail::g_host_profiler = nullptr;
+}
+
+void HostProfiler::install() { detail::g_host_profiler = this; }
+
+void HostProfiler::uninstall() { detail::g_host_profiler = nullptr; }
+
+HostLabelId HostProfiler::current_label() {
+  const HostProfiler* prof = detail::g_host_profiler;
+  if (prof == nullptr || prof->frames_.empty()) return kHostUnlabeled;
+  return prof->frames_.back().label;
+}
+
+std::uint64_t HostProfiler::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+HostLabelStats& HostProfiler::slot(HostLabelId label) {
+  if (label >= stats_.size()) {
+    // Grow only as far as this label (names filled lazily at snapshot
+    // time). Must NOT consult the label registry here: slot() runs inside
+    // the operator-new hook, and the registry's own function-local static
+    // may still be under construction when its first allocation lands
+    // here — touching it would re-enter the static's init guard and
+    // self-deadlock.
+    stats_.resize(static_cast<std::size_t>(label) + 1);
+  }
+  return stats_[label];
+}
+
+void HostProfiler::push_frame(HostLabelId label, std::uint64_t now_ns) {
+  frames_.push_back(Frame{label, now_ns, 0});
+}
+
+void HostProfiler::pop_frame(std::uint64_t now_ns) {
+  assert(!frames_.empty());
+  const Frame frame = frames_.back();
+  frames_.pop_back();
+  const std::uint64_t total =
+      now_ns > frame.start_ns ? now_ns - frame.start_ns : 0;
+  const std::uint64_t self =
+      total > frame.child_ns ? total - frame.child_ns : 0;
+  HostLabelStats& s = slot(frame.label);
+  ++s.calls;
+  s.total_ns += total;
+  s.self_ns += self;
+  if (total > s.max_ns) s.max_ns = total;
+  if (!frames_.empty()) frames_.back().child_ns += total;
+}
+
+void HostProfiler::note_event_scheduled(HostLabelId label) {
+  ++slot(label).events_scheduled;
+}
+
+void HostProfiler::note_event_dispatched(HostLabelId label) {
+  ++slot(label).events_dispatched;
+}
+
+void HostProfiler::note_alloc(std::size_t bytes) {
+  if (t_in_alloc_hook) return;
+  t_in_alloc_hook = true;
+  HostLabelStats& s =
+      slot(frames_.empty() ? kHostUnlabeled : frames_.back().label);
+  ++s.alloc_count;
+  s.alloc_bytes += bytes;
+  t_in_alloc_hook = false;
+}
+
+void HostProfiler::note_free() {
+  if (t_in_alloc_hook) return;
+  t_in_alloc_hook = true;
+  ++slot(frames_.empty() ? kHostUnlabeled : frames_.back().label).free_count;
+  t_in_alloc_hook = false;
+}
+
+std::vector<HostLabelStats> HostProfiler::snapshot() const {
+  const LabelRegistry& reg = registry();
+  std::vector<HostLabelStats> out(reg.names.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i < stats_.size()) out[i] = stats_[i];
+    out[i].subsystem = reg.names[i].first;
+    out[i].op = reg.names[i].second;
+  }
+  return out;
+}
+
+HostLabelStats HostProfiler::stats_for(const std::string& subsystem,
+                                       const std::string& op) const {
+  const LabelRegistry& reg = registry();
+  HostLabelStats out;
+  out.subsystem = subsystem;
+  out.op = op;
+  auto it = reg.ids.find(std::make_pair(subsystem, op));
+  if (it == reg.ids.end()) return out;
+  if (it->second < stats_.size()) {
+    out = stats_[it->second];
+    out.subsystem = subsystem;
+    out.op = op;
+  }
+  return out;
+}
+
+std::uint64_t HostProfiler::total_self_ns() const {
+  std::uint64_t sum = 0;
+  for (const HostLabelStats& s : stats_) sum += s.self_ns;
+  return sum;
+}
+
+void HostProfiler::reset() {
+  stats_.assign(stats_.size(), HostLabelStats{});
+  // Open frames stay: a reset mid-scope keeps attributing from here on.
+}
+
+std::uint64_t HostProfiler::process_alloc_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+std::uint64_t HostProfiler::process_alloc_bytes() {
+  return g_alloc_bytes.load(std::memory_order_relaxed);
+}
+std::uint64_t HostProfiler::process_free_count() {
+  return g_free_count.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+inline void count_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  HostProfiler* prof = detail::g_host_profiler;
+  if (prof != nullptr) prof->note_alloc(size);
+}
+
+inline void count_free() {
+  g_free_count.fetch_add(1, std::memory_order_relaxed);
+  HostProfiler* prof = detail::g_host_profiler;
+  if (prof != nullptr) prof->note_free();
+}
+
+void* checked_alloc(std::size_t size) {
+  // operator new must honor the new-handler protocol before bad_alloc.
+  for (;;) {
+    void* p = std::malloc(size != 0 ? size : 1);
+    if (p != nullptr) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* checked_aligned_alloc(std::size_t size, std::size_t alignment) {
+  for (;;) {
+    void* p = nullptr;
+    if (posix_memalign(&p, alignment < sizeof(void*) ? sizeof(void*)
+                                                     : alignment,
+                       size != 0 ? size : 1) == 0) {
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+}  // namespace
+}  // namespace magma::obs
+
+// ---------------------------------------------------------------------------
+// Global allocation hooks. Defined here (not behind a flag): linking libmagma
+// routes every new/delete in the process through these, which is what makes
+// "allocations per attach" measurable without a special build. Cost when no
+// profiler is installed: one relaxed atomic add and one branch per call.
+// ---------------------------------------------------------------------------
+
+namespace obsprof = magma::obs;
+
+void* operator new(std::size_t size) {
+  obsprof::count_alloc(size);
+  return obsprof::checked_alloc(size);
+}
+
+void* operator new[](std::size_t size) {
+  obsprof::count_alloc(size);
+  return obsprof::checked_alloc(size);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  obsprof::count_alloc(size);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  obsprof::count_alloc(size);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* operator new(std::size_t size, std::align_val_t al) {
+  obsprof::count_alloc(size);
+  return obsprof::checked_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+
+void* operator new[](std::size_t size, std::align_val_t al) {
+  obsprof::count_alloc(size);
+  return obsprof::checked_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+
+void* operator new(std::size_t size, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  obsprof::count_alloc(size);
+  void* p = nullptr;
+  const std::size_t alignment = static_cast<std::size_t>(al);
+  if (posix_memalign(&p, alignment < sizeof(void*) ? sizeof(void*) : alignment,
+                     size != 0 ? size : 1) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t al,
+                     const std::nothrow_t& tag) noexcept {
+  return operator new(size, al, tag);
+}
+
+void operator delete(void* p) noexcept {
+  if (p != nullptr) obsprof::count_free();
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept {
+  if (p != nullptr) obsprof::count_free();
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { operator delete[](p); }
+
+void operator delete(void* p, std::align_val_t) noexcept {
+  if (p != nullptr) obsprof::count_free();
+  std::free(p);
+}
+
+void operator delete[](void* p, std::align_val_t) noexcept {
+  if (p != nullptr) obsprof::count_free();
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t, std::align_val_t al) noexcept {
+  operator delete(p, al);
+}
+
+void operator delete[](void* p, std::size_t, std::align_val_t al) noexcept {
+  operator delete[](p, al);
+}
+
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  operator delete(p);
+}
+
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  operator delete[](p);
+}
+
+void operator delete(void* p, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  operator delete(p, al);
+}
+
+void operator delete[](void* p, std::align_val_t al,
+                       const std::nothrow_t&) noexcept {
+  operator delete[](p, al);
+}

@@ -88,6 +88,12 @@ struct SpanRecord {
   // classifies the span's *self*-time against this vector and labels any
   // remainder kOther.
   WaitVector wait_ns{};
+  // Kernel event-queue depth sampled when the span opened/closed. A span
+  // whose boundaries both saw a non-empty queue spent its unattributed time
+  // behind other work, not idle — the critical-path walk uses this to
+  // sub-classify kOther into "backlogged" vs "untracked".
+  std::size_t queue_depth_open = 0;
+  std::size_t queue_depth_close = 0;
 
   sim::Duration duration() const { return end - start; }
   sim::Duration wait(WaitState state) const {

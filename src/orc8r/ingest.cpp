@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/host_profiler.h"
+
 namespace magma::orc8r {
 
 const char* ingest_kind_name(IngestKind kind) {
@@ -66,6 +68,9 @@ std::size_t IngestShards::pending() const {
 }
 
 void IngestShards::pump(std::size_t index) {
+  // The pump is the orchestrator's southbound drain loop: at fleet scale it
+  // runs every 5 ms of sim time, so its host cost scales with checkin rate.
+  MAGMA_HOST_SCOPE("ingest", "pump");
   Shard& shard = shards_[index];
   std::size_t done = 0;
   // Round-robin across gateways, one apply per gateway per pass, resuming

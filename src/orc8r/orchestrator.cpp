@@ -1,5 +1,7 @@
 #include "orc8r/orchestrator.h"
 
+#include "obs/host_profiler.h"
+
 #include <algorithm>
 
 #include "common/log.h"
@@ -224,6 +226,7 @@ DesiredState Orchestrator::build_full_state() {
 }
 
 const common::Bytes& Orchestrator::full_state_blob() {
+  MAGMA_HOST_SCOPE("streamer", "serialize_full");
   if (!cached_full_valid_ || cached_full_version_ != store_.version()) {
     const DesiredState state = build_full_state();
     cached_full_ = state.serialize();
@@ -247,6 +250,7 @@ DesiredState Orchestrator::desired_state(std::uint64_t have_version) {
 }
 
 DesiredUpdate Orchestrator::desired_update(const GetUpdatesRequest& request) {
+  MAGMA_HOST_SCOPE("streamer", "desired_update");
   DesiredUpdate u;
   u.version = store_.version();
   u.epoch = epoch_;
@@ -351,6 +355,7 @@ void Orchestrator::bind(rpc::RpcNode& node) {
   node.register_method(
       kBootstrapperService, kCheckin,
       [this](const rpc::Bytes& request, rpc::Respond respond) {
+        MAGMA_HOST_SCOPE("orc8r", "checkin");
         obs::svc_request(svc_bootstrapper_);
         rpc::Reader r(request);
         const std::string gateway_id = r.str();

@@ -56,6 +56,7 @@ void RpcNode::charge_rpc_wait(const PendingCall& pc) {
 void RpcNode::call(const std::string& service, const std::string& method,
                    Bytes request, sim::Duration deadline,
                    std::function<void(Result<Bytes>)> on_done) {
+  MAGMA_HOST_SCOPE("rpc", "call_encode");
   const std::uint64_t id = next_call_id_++;
   ++stats_.calls_sent;
 
@@ -162,6 +163,7 @@ void RpcNode::on_send_failed(Bytes raw) {
 }
 
 void RpcNode::handle_request(Reader& r) {
+  MAGMA_HOST_SCOPE("rpc", "dispatch");
   const std::uint64_t id = r.u64();
   const WireTrace trace = read_trace(r);
   const std::string service = r.str();
@@ -198,6 +200,7 @@ void RpcNode::handle_request(Reader& r) {
 
 void RpcNode::send_response(std::uint64_t call_id,
                             const Result<Bytes>& result) {
+  MAGMA_HOST_SCOPE("rpc", "encode_response");
   Writer w;
   w.u8(kResponse);
   w.u64(call_id);
@@ -214,6 +217,7 @@ void RpcNode::send_response(std::uint64_t call_id,
 }
 
 void RpcNode::handle_response(Reader& r) {
+  MAGMA_HOST_SCOPE("rpc", "decode_response");
   const std::uint64_t id = r.u64();
   const auto code = static_cast<ErrorCode>(r.u8());
   const std::string message = r.str();

@@ -5,6 +5,17 @@
 
 namespace magma::sim {
 
+namespace {
+
+// Fallback dispatch label for events scheduled while no profiler scope was
+// active: the cost is still the kernel's to explain.
+obs::HostLabelId dispatch_label() {
+  static const obs::HostLabelId label = obs::host_label("kernel", "dispatch");
+  return label;
+}
+
+}  // namespace
+
 EventId Kernel::schedule(Duration delay, std::function<void()> fn) {
   return schedule_at(now_ + std::max<Duration>(delay, 0), std::move(fn));
 }
@@ -12,20 +23,30 @@ EventId Kernel::schedule(Duration delay, std::function<void()> fn) {
 EventId Kernel::schedule_at(TimePoint when, std::function<void()> fn) {
   assert(fn);
   const std::uint64_t id = next_id_++;
-  heap_.push(Event{std::max(when, now_), next_seq_++, id, std::move(fn)});
+  const obs::HostLabelId origin = obs::HostProfiler::current_label();
+  heap_.push(
+      Event{std::max(when, now_), next_seq_++, id, origin, std::move(fn)});
   pending_.insert(id);
+  ++stats_.scheduled;
+  if (pending_.size() > stats_.queue_hwm) stats_.queue_hwm = pending_.size();
+  if (obs::HostProfiler* prof = obs::HostProfiler::current()) {
+    prof->note_event_scheduled(origin);
+  }
   return EventId{id};
 }
 
 bool Kernel::cancel(EventId id) {
   // Lazy deletion: remove from the pending set; the heap entry is skipped
   // when it reaches the top.
-  return pending_.erase(id.value) > 0;
+  const bool live = pending_.erase(id.value) > 0;
+  if (live) ++stats_.cancelled;
+  return live;
 }
 
 void Kernel::skim() {
   while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
     heap_.pop();
+    ++stats_.skimmed;
   }
 }
 
@@ -38,7 +59,17 @@ bool Kernel::step() {
   assert(ev.when >= now_);
   now_ = ev.when;
   ++executed_;
-  ev.fn();
+  if (obs::HostProfiler* prof = obs::HostProfiler::current()) {
+    // Attribute the dispatch (and everything the callback does that is not
+    // itself inside a narrower scope) to the label that scheduled it.
+    const obs::HostLabelId label =
+        ev.origin != obs::kHostUnlabeled ? ev.origin : dispatch_label();
+    prof->note_event_dispatched(label);
+    obs::HostScope scope(label);
+    ev.fn();
+  } else {
+    ev.fn();
+  }
   return true;
 }
 

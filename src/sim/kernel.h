@@ -13,9 +13,20 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/host_profiler.h"
 #include "sim/time.h"
 
 namespace magma::sim {
+
+// Host-cost accounting for the event loop itself: how much heap traffic the
+// queue sees and how deep it gets. Counters, not behavior — a run with and
+// without a HostProfiler installed executes identically.
+struct KernelStats {
+  std::uint64_t scheduled = 0;  // heap pushes
+  std::uint64_t cancelled = 0;  // lazy deletions requested
+  std::uint64_t skimmed = 0;    // cancelled entries popped off the heap top
+  std::size_t queue_hwm = 0;    // pending-event high-water mark
+};
 
 // Handle used to cancel a scheduled event (e.g. a protocol retransmission
 // timer that fires only if no answer arrived).
@@ -51,12 +62,17 @@ class Kernel {
 
   std::size_t pending_events() const { return pending_.size(); }
   std::uint64_t executed_events() const { return executed_; }
+  const KernelStats& stats() const { return stats_; }
 
  private:
   struct Event {
     TimePoint when;
     std::uint64_t seq;  // tiebreak: FIFO among same-time events
     std::uint64_t id;
+    // Host-profiler label innermost when schedule() ran: dispatch wall cost
+    // is attributed to the subsystem that scheduled the event. Zero when no
+    // profiler was installed at schedule time.
+    obs::HostLabelId origin = obs::kHostUnlabeled;
     std::function<void()> fn;
   };
   struct Later {
@@ -73,6 +89,7 @@ class Kernel {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
+  KernelStats stats_;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::unordered_set<std::uint64_t> pending_;  // ids not yet run or cancelled
 };

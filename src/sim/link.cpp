@@ -32,6 +32,11 @@ std::size_t Link::queue_depth() const {
 
 void Link::transmit(std::uint64_t size_bytes, std::function<void()> deliver,
                     std::function<void()> on_drop) {
+  // Host cost of the link model itself is tiny; what this scope buys is the
+  // schedule-time label: delivery events are attributed to sim.link, so the
+  // profiler can separate "time spent delivering packets" from the kernel's
+  // other work.
+  MAGMA_HOST_SCOPE("sim.link", "transmit");
   ++stats_.packets_sent;
   const TimePoint start = std::max(kernel_.now(), next_free_);
   const Duration ser = transmission_time(size_bytes, config_.bandwidth_bps);

@@ -1,0 +1,136 @@
+// Bench JSON flattening and the regression gate behind bench/bench_compare.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "obs/bench_json.h"
+
+namespace magma::obs {
+namespace {
+
+using Flat = std::map<std::string, double>;
+
+// ---------------------------------------------------------------------------
+// flatten_json_numbers
+// ---------------------------------------------------------------------------
+
+TEST(BenchCompare, FlattensNestedNumericFields) {
+  const auto flat = flatten_json_numbers(R"({
+    "bench": "host_microbench",
+    "pass": true,
+    "nothing": null,
+    "wall_ms": 12.5,
+    "metrics": { "lte_attach_ns": 86000, "nested": { "deep_allocs": 3 } }
+  })");
+  ASSERT_TRUE(flat.ok());
+  const Flat& m = flat.value();
+  EXPECT_EQ(m.size(), 3u);  // strings/bools/null skipped
+  EXPECT_DOUBLE_EQ(m.at("wall_ms"), 12.5);
+  EXPECT_DOUBLE_EQ(m.at("metrics.lte_attach_ns"), 86000.0);
+  EXPECT_DOUBLE_EQ(m.at("metrics.nested.deep_allocs"), 3.0);
+}
+
+TEST(BenchCompare, RejectsMalformedDocuments) {
+  EXPECT_FALSE(flatten_json_numbers("").ok());
+  EXPECT_FALSE(flatten_json_numbers("{\"a\": 1").ok());       // truncated
+  EXPECT_FALSE(flatten_json_numbers("{\"a\": [1, 2]}").ok()); // arrays
+  EXPECT_FALSE(flatten_json_numbers("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(flatten_json_numbers("not json at all").ok());
+}
+
+TEST(BenchCompare, CostMetricKeySuffixes) {
+  EXPECT_TRUE(is_cost_metric_key("metrics.lte_attach_ns"));
+  EXPECT_TRUE(is_cost_metric_key("wall_ms"));
+  EXPECT_TRUE(is_cost_metric_key("boot_per_agw_allocs"));
+  EXPECT_TRUE(is_cost_metric_key("host.boot_per_agw_alloc_bytes"));
+  EXPECT_TRUE(is_cost_metric_key("streamer_bytes_per_op"));
+  // Workload counters are not priced: growth there is not regression.
+  EXPECT_FALSE(is_cost_metric_key("delta_pushes"));
+  EXPECT_FALSE(is_cost_metric_key("agws"));
+  EXPECT_FALSE(is_cost_metric_key("checkins"));
+}
+
+// ---------------------------------------------------------------------------
+// bench_compare
+// ---------------------------------------------------------------------------
+
+Flat baseline() {
+  return Flat{{"metrics.lte_attach_ns", 100000.0},
+              {"metrics.packet_route_ns", 80.0},
+              {"metrics.lte_attach_allocs", 500.0},
+              {"delta_pushes", 2000.0},
+              {"agws", 1000.0}};
+}
+
+TEST(BenchCompare, SelfDiffPasses) {
+  const Flat base = baseline();
+  const BenchCompareResult r = bench_compare(base, base, 0.15);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.regressions.empty());
+  EXPECT_TRUE(r.improvements.empty());
+  EXPECT_EQ(r.compared, 3u);  // only the cost metrics are priced
+}
+
+TEST(BenchCompare, TwentyPercentRegressionFails) {
+  const Flat base = baseline();
+  Flat after = base;
+  after["metrics.lte_attach_ns"] = 120000.0;  // +20% > 15% threshold
+  const BenchCompareResult r = bench_compare(base, after, 0.15);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_EQ(r.regressions[0].key, "metrics.lte_attach_ns");
+  EXPECT_NEAR(r.regressions[0].change, 0.20, 1e-9);
+  // The format ends with the FAIL marker bench_compare prints before exit 1.
+  EXPECT_NE(format_bench_compare(r, 0.15).find("FAIL"), std::string::npos);
+}
+
+TEST(BenchCompare, RegressionWithinThresholdPasses) {
+  const Flat base = baseline();
+  Flat after = base;
+  after["metrics.lte_attach_ns"] = 110000.0;  // +10% < 15%
+  const BenchCompareResult r = bench_compare(base, after, 0.15);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.regressions.empty());
+}
+
+TEST(BenchCompare, WorkloadCounterGrowthIsNotRegression) {
+  const Flat base = baseline();
+  Flat after = base;
+  after["delta_pushes"] = 10000.0;  // 5x, but not a cost metric
+  const BenchCompareResult r = bench_compare(base, after, 0.15);
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(BenchCompare, ImprovementsAreReportedNotFailed) {
+  const Flat base = baseline();
+  Flat after = base;
+  after["metrics.packet_route_ns"] = 40.0;  // -50%
+  const BenchCompareResult r = bench_compare(base, after, 0.15);
+  EXPECT_TRUE(r.ok);
+  ASSERT_EQ(r.improvements.size(), 1u);
+  EXPECT_EQ(r.improvements[0].key, "metrics.packet_route_ns");
+}
+
+TEST(BenchCompare, OneSidedKeysAreNotesNotFailures) {
+  Flat base = baseline();
+  Flat after = baseline();
+  base["metrics.dropped_metric_ns"] = 5.0;
+  after["metrics.brand_new_ns"] = 7.0;
+  const BenchCompareResult r = bench_compare(base, after, 0.15);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.notes.size(), 2u);  // one dropped, one new
+}
+
+TEST(BenchCompare, AppearingFromZeroIsNoteNotFailure) {
+  Flat base = baseline();
+  Flat after = baseline();
+  base["metrics.cold_ns"] = 0.0;
+  after["metrics.cold_ns"] = 50.0;
+  const BenchCompareResult r = bench_compare(base, after, 0.15);
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.notes.empty());
+}
+
+}  // namespace
+}  // namespace magma::obs

@@ -1,0 +1,361 @@
+// Host profiler: wall-clock scoped timers, allocation attribution, kernel
+// event accounting, determinism (profiler on vs off), the <2% disabled
+// overhead bound, and the queue-depth sub-classification of critical-path
+// `other` time.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/channel.h"
+#include "obs/critical_path.h"
+#include "obs/host_profiler.h"
+#include "obs/trace.h"
+#include "sim/kernel.h"
+#include "sim/link.h"
+#include "sim/random.h"
+
+namespace magma::obs {
+namespace {
+
+// Burn wall time without allocating, so scope totals are strictly positive
+// even on a coarse clock.
+void spin_ns(std::uint64_t ns) {
+  const std::uint64_t until = HostProfiler::now_ns() + ns;
+  volatile std::uint64_t sink = 0;
+  while (HostProfiler::now_ns() < until) sink = sink + 1;
+}
+
+// ---------------------------------------------------------------------------
+// Labels and scopes
+// ---------------------------------------------------------------------------
+
+TEST(HostProfiler, LabelInterningIsIdempotent) {
+  const HostLabelId a = host_label("test.intern", "op_a");
+  const HostLabelId b = host_label("test.intern", "op_b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, host_label("test.intern", "op_a"));
+  EXPECT_NE(a, kHostUnlabeled);
+  EXPECT_GT(host_label_count(), static_cast<std::size_t>(a));
+}
+
+TEST(HostProfiler, ScopeAttributesSelfAndChildTime) {
+  HostProfiler prof;
+  prof.install();
+  {
+    MAGMA_HOST_SCOPE("test.attr", "outer");
+    spin_ns(200000);
+    {
+      MAGMA_HOST_SCOPE("test.attr", "inner");
+      spin_ns(200000);
+    }
+    spin_ns(100000);
+  }
+  HostProfiler::uninstall();
+
+  const HostLabelStats outer = prof.stats_for("test.attr", "outer");
+  const HostLabelStats inner = prof.stats_for("test.attr", "inner");
+  EXPECT_EQ(outer.calls, 1u);
+  EXPECT_EQ(inner.calls, 1u);
+  // The inner scope's full duration is the outer scope's child time.
+  EXPECT_EQ(outer.child_ns(), inner.total_ns);
+  EXPECT_GT(outer.self_ns, 0u);
+  EXPECT_GT(inner.self_ns, 0u);
+  EXPECT_EQ(inner.self_ns, inner.total_ns);  // no grandchildren
+  EXPECT_GE(outer.max_ns, outer.total_ns);   // single call: max == total
+}
+
+TEST(HostProfiler, SelfTimeSumsToTotalOfOutermostScopes) {
+  HostProfiler prof;
+  prof.install();
+  {
+    MAGMA_HOST_SCOPE("test.sum", "root");
+    spin_ns(50000);
+    {
+      MAGMA_HOST_SCOPE("test.sum", "mid");
+      spin_ns(50000);
+      {
+        MAGMA_HOST_SCOPE("test.sum", "leaf");
+        spin_ns(50000);
+      }
+    }
+  }
+  HostProfiler::uninstall();
+
+  // Self/child separation is exact by construction: the sum of self_ns over
+  // every label equals the wall time inside outermost scopes.
+  const HostLabelStats root = prof.stats_for("test.sum", "root");
+  EXPECT_EQ(prof.total_self_ns(), root.total_ns);
+}
+
+TEST(HostProfiler, AllocationsAttributedToInnermostScope) {
+  HostProfiler prof;
+  prof.install();
+  {
+    MAGMA_HOST_SCOPE("test.alloc", "holder");
+    auto block = std::make_unique<char[]>(4096);
+    block[0] = 1;
+  }
+  HostProfiler::uninstall();
+
+  const HostLabelStats holder = prof.stats_for("test.alloc", "holder");
+  EXPECT_GE(holder.alloc_count, 1u);
+  EXPECT_GE(holder.alloc_bytes, 4096u);
+  EXPECT_GE(holder.free_count, 1u);
+}
+
+TEST(HostProfiler, ProcessTotalsAdvanceEvenWhenDisabled) {
+  ASSERT_FALSE(HostProfiler::enabled());
+  const std::uint64_t allocs_before = HostProfiler::process_alloc_count();
+  const std::uint64_t bytes_before = HostProfiler::process_alloc_bytes();
+  const std::uint64_t frees_before = HostProfiler::process_free_count();
+  {
+    auto block = std::make_unique<char[]>(8192);
+    block[0] = 1;
+  }
+  EXPECT_GT(HostProfiler::process_alloc_count(), allocs_before);
+  EXPECT_GE(HostProfiler::process_alloc_bytes(), bytes_before + 8192);
+  EXPECT_GT(HostProfiler::process_free_count(), frees_before);
+}
+
+TEST(HostProfiler, DisabledScopesAreNoOps) {
+  ASSERT_FALSE(HostProfiler::enabled());
+  EXPECT_EQ(HostProfiler::current_label(), kHostUnlabeled);
+  {
+    MAGMA_HOST_SCOPE("test.disabled", "noop");
+    EXPECT_EQ(HostProfiler::current_label(), kHostUnlabeled);
+  }
+  // A later profiler sees zero counts for the label.
+  HostProfiler prof;
+  EXPECT_EQ(prof.stats_for("test.disabled", "noop").calls, 0u);
+}
+
+TEST(HostProfiler, ResetZeroesStatsButKeepsLabels) {
+  HostProfiler prof;
+  prof.install();
+  {
+    MAGMA_HOST_SCOPE("test.reset", "op");
+    spin_ns(1000);
+  }
+  HostProfiler::uninstall();
+  ASSERT_EQ(prof.stats_for("test.reset", "op").calls, 1u);
+  prof.reset();
+  EXPECT_EQ(prof.stats_for("test.reset", "op").calls, 0u);
+  EXPECT_EQ(prof.total_self_ns(), 0u);
+  EXPECT_EQ(host_label("test.reset", "op"),
+            host_label("test.reset", "op"));  // still interned
+}
+
+// ---------------------------------------------------------------------------
+// Kernel event accounting
+// ---------------------------------------------------------------------------
+
+TEST(HostProfilerKernel, CountsScheduledAndDispatchedPerLabel) {
+  sim::Kernel kernel;
+  HostProfiler prof;
+  prof.install();
+  int fired = 0;
+  {
+    MAGMA_HOST_SCOPE("test.kernel", "producer");
+    for (int i = 0; i < 5; ++i) {
+      kernel.schedule(static_cast<sim::Duration>(i) * sim::kMillisecond,
+                      [&fired]() { ++fired; });
+    }
+  }
+  kernel.run_until(sim::kSecond);
+  HostProfiler::uninstall();
+
+  EXPECT_EQ(fired, 5);
+  const HostLabelStats producer = prof.stats_for("test.kernel", "producer");
+  EXPECT_EQ(producer.events_scheduled, 5u);
+  // The kernel re-enters the scheduling label around each dispatch, so the
+  // dispatches count there and their wall cost lands in its calls/total.
+  EXPECT_EQ(producer.events_dispatched, 5u);
+  EXPECT_EQ(producer.calls, 1u + 5u);
+  EXPECT_EQ(kernel.stats().scheduled, 5u);
+  EXPECT_GE(kernel.stats().queue_hwm, 5u);
+}
+
+TEST(HostProfilerKernel, UnlabeledSchedulesFallBackToDispatchLabel) {
+  sim::Kernel kernel;
+  HostProfiler prof;
+  prof.install();
+  kernel.schedule(sim::kMillisecond, []() {});
+  kernel.run_until(sim::kSecond);
+  HostProfiler::uninstall();
+
+  // Scheduled outside any scope: attributed to the kernel's own label.
+  const HostLabelStats fallback = prof.stats_for("kernel", "dispatch");
+  EXPECT_EQ(fallback.events_dispatched, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: host profiling must never feed back into sim behavior
+// ---------------------------------------------------------------------------
+
+struct EchoRunResult {
+  int completed = 0;
+  std::uint64_t executed_events = 0;
+  sim::TimePoint final_now = 0;
+  std::uint64_t retransmissions = 0;
+};
+
+EchoRunResult run_echo_scenario(bool profiled) {
+  HostProfiler prof;
+  if (profiled) prof.install();
+  EchoRunResult result;
+  {
+    sim::Kernel kernel;
+    sim::Rng rng(7);
+    net::DuplexLink link(kernel, rng, sim::microwave_backhaul());
+    net::ReliablePair pair = net::make_reliable_pair(kernel, link);
+    pair.b->set_receiver(
+        [&pair](common::Bytes msg) { pair.b->send(std::move(msg)); });
+    pair.a->set_receiver([&pair, &result](common::Bytes msg) {
+      if (++result.completed < 40) pair.a->send(std::move(msg));
+    });
+    pair.a->send(common::Bytes(256, 0x42));
+    kernel.run_until(120 * sim::kSecond);
+    result.executed_events = kernel.executed_events();
+    result.final_now = kernel.now();
+    result.retransmissions = pair.a->stats().retransmissions;
+  }
+  if (profiled) HostProfiler::uninstall();
+  return result;
+}
+
+TEST(HostProfilerDeterminism, SimResultsIdenticalProfilerOnVsOff) {
+  const EchoRunResult off = run_echo_scenario(false);
+  const EchoRunResult on = run_echo_scenario(true);
+  EXPECT_EQ(off.completed, on.completed);
+  EXPECT_EQ(off.executed_events, on.executed_events);
+  EXPECT_EQ(off.final_now, on.final_now);
+  EXPECT_EQ(off.retransmissions, on.retransmissions);
+  EXPECT_EQ(off.completed, 40);
+}
+
+// ---------------------------------------------------------------------------
+// Disabled overhead bound
+// ---------------------------------------------------------------------------
+
+// The hot-path work unit: enough arithmetic that the loop is not pure scope
+// overhead, little enough that a real regression in the disabled branch
+// would show.
+std::uint64_t work_unit(std::uint64_t x) {
+  for (int i = 0; i < 64; ++i) x = x * 6364136223846793005ull + 1442695040888963407ull;
+  return x;
+}
+
+std::uint64_t timed_loop(bool scoped, int iters, std::uint64_t& sink) {
+  const std::uint64_t t0 = HostProfiler::now_ns();
+  if (scoped) {
+    for (int i = 0; i < iters; ++i) {
+      MAGMA_HOST_SCOPE("test.overhead", "hot");
+      sink = work_unit(sink);
+    }
+  } else {
+    for (int i = 0; i < iters; ++i) sink = work_unit(sink);
+  }
+  return HostProfiler::now_ns() - t0;
+}
+
+TEST(HostProfilerOverhead, DisabledUnder2Percent) {
+  ASSERT_FALSE(HostProfiler::enabled());
+  constexpr int kIters = 200000;
+  std::uint64_t sink = 1;
+  // Warm up both paths, then take the min of several repetitions per side —
+  // the min filters scheduler noise; a retry loop absorbs the rest.
+  timed_loop(false, kIters, sink);
+  timed_loop(true, kIters, sink);
+  double best_ratio = 1e9;
+  for (int attempt = 0; attempt < 6 && best_ratio >= 1.02; ++attempt) {
+    std::uint64_t plain = ~0ull;
+    std::uint64_t scoped = ~0ull;
+    for (int rep = 0; rep < 5; ++rep) {
+      plain = std::min(plain, timed_loop(false, kIters, sink));
+      scoped = std::min(scoped, timed_loop(true, kIters, sink));
+    }
+    best_ratio = std::min(best_ratio, static_cast<double>(scoped) /
+                                          static_cast<double>(plain));
+  }
+  EXPECT_LT(best_ratio, 1.02) << "disabled-scope overhead above 2%";
+  EXPECT_NE(sink, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Queue-depth sampling and the backlogged sub-classification
+// ---------------------------------------------------------------------------
+
+TEST(QueueDepthSampling, SpanBoundariesStampKernelQueueDepth) {
+  sim::Kernel kernel;
+  Tracer tracer(kernel);
+  // Three future events: any span opened now sees a backlog of 3.
+  for (int i = 1; i <= 3; ++i) {
+    kernel.schedule(static_cast<sim::Duration>(i) * sim::kSecond, []() {});
+  }
+  const TraceContext span = tracer.begin("busy", "svc", "node");
+  tracer.end(span);
+  ASSERT_EQ(tracer.finished().size(), 1u);
+  EXPECT_EQ(tracer.finished().back().queue_depth_open, 3u);
+  EXPECT_EQ(tracer.finished().back().queue_depth_close, 3u);
+
+  kernel.run_until(10 * sim::kSecond);
+  const TraceContext idle = tracer.begin("idle", "svc", "node");
+  tracer.end(idle);
+  EXPECT_EQ(tracer.finished().back().queue_depth_open, 0u);
+  EXPECT_EQ(tracer.finished().back().queue_depth_close, 0u);
+}
+
+SpanRecord make_span(std::uint64_t span_id, std::uint64_t parent,
+                     sim::TimePoint start, sim::TimePoint end,
+                     std::size_t depth_open, std::size_t depth_close) {
+  SpanRecord s;
+  s.trace_id = 1;
+  s.span_id = span_id;
+  s.parent_span_id = parent;
+  s.name = "span" + std::to_string(span_id);
+  s.service = "svc";
+  s.node = "node";
+  s.start = start;
+  s.end = end;
+  s.queue_depth_open = depth_open;
+  s.queue_depth_close = depth_close;
+  return s;
+}
+
+TEST(QueueDepthSampling, CriticalPathSubClassifiesBackloggedOther) {
+  // Root 0..100ms, no wait charges: all `other`. One child 0..40ms that was
+  // backlogged at both boundaries; the root itself opened on an empty queue.
+  std::vector<SpanRecord> spans;
+  spans.push_back(make_span(1, 0, 0, 100 * sim::kMillisecond, 0, 2));
+  spans.push_back(make_span(2, 1, 0, 40 * sim::kMillisecond, 5, 3));
+  const CriticalPathResult cp = critical_path(spans);
+  ASSERT_TRUE(cp.valid);
+  // Everything is `other` (no charges anywhere)...
+  EXPECT_EQ(cp.component(WaitState::kOther), cp.total);
+  // ...but only the child's 40 ms is sub-classified as backlogged: the root
+  // opened on an empty queue (min(0, 2) == 0).
+  EXPECT_EQ(cp.other_backlogged, 40 * sim::kMillisecond);
+  EXPECT_EQ(cp.max_queue_depth, 5u);
+}
+
+TEST(QueueDepthSampling, BackloggedNeverExceedsOther) {
+  // A backlogged span whose self-time is fully claimed by a CPU charge:
+  // nothing lands in `other`, so nothing may land in `other_backlogged`.
+  std::vector<SpanRecord> spans;
+  SpanRecord root = make_span(1, 0, 0, 10 * sim::kMillisecond, 4, 4);
+  root.wait_ns[static_cast<std::size_t>(WaitState::kCpu)] =
+      10 * sim::kMillisecond;
+  spans.push_back(root);
+  const CriticalPathResult cp = critical_path(spans);
+  ASSERT_TRUE(cp.valid);
+  EXPECT_EQ(cp.component(WaitState::kOther), 0);
+  EXPECT_EQ(cp.other_backlogged, 0);
+  EXPECT_EQ(cp.max_queue_depth, 4u);
+}
+
+}  // namespace
+}  // namespace magma::obs

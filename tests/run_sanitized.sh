@@ -9,7 +9,9 @@
 # The observability suites ride along: tracer spans are ended from async
 # continuations that can outlive the component that began them, and the
 # tail sampler pins/unpins ring entries from a finish hook — the same
-# class of lifetime bug.
+# class of lifetime bug. The host profiler suite matters doubly here: it
+# exercises the global operator new/delete hooks under ASan's allocator
+# interposition, catching any mismatch in the override set.
 #
 # Usage: tests/run_sanitized.sh [extra ctest args...]
 set -euo pipefail
@@ -19,10 +21,16 @@ SUITES=(
   net_channel_test net_congestion_test fuzz_codec_test property_test
   rpc_test magmad_orc8r_test fleet_scale_test obs_test tail_sampler_test
   tracing_integration_test statusd_test cpu_profile_test
+  host_profiler_test bench_compare_test
 )
 
+# Bench binaries backing the ctest smoke targets (HostMicrobenchSmoke,
+# BenchCompareSelfDiff) — running the microbench under ASan exercises the
+# operator new/delete overrides against the sanitizer's interposition.
+BENCHES=(host_microbench bench_compare)
+
 cmake --preset asan
-cmake --build --preset asan -j "$(nproc)" --target "${SUITES[@]}"
+cmake --build --preset asan -j "$(nproc)" --target "${SUITES[@]}" "${BENCHES[@]}"
 
 # A suite that silently fell out of the build (renamed, dropped from
 # tests/CMakeLists.txt) must fail here, not pass vacuously via an empty
@@ -33,10 +41,16 @@ for suite in "${SUITES[@]}"; do
     exit 1
   fi
 done
+for b in "${BENCHES[@]}"; do
+  if [[ ! -x "build-asan/bench/${b}" ]]; then
+    echo "FATAL: bench binary missing: build-asan/bench/${b}" >&2
+    exit 1
+  fi
+done
 
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 ctest --test-dir build-asan --output-on-failure \
-  -R 'Channel|Reliable|Datagram|Congestion|Fuzz|Rpc|Wire|Magmad|Orchestrator|DesiredState|TransportTelemetry|Tracer|Histogram|EventBuffer|EventReport|ChromeTrace|Tracing|Statusd|Service303|GatewayStatus|CpuProfile|TailSampler|CriticalPath|FleetIngest|DeltaStream|FleetScale' \
+  -R 'Channel|Reliable|Datagram|Congestion|Fuzz|Rpc|Wire|Magmad|Orchestrator|DesiredState|TransportTelemetry|Tracer|Histogram|EventBuffer|EventReport|ChromeTrace|Tracing|Statusd|Service303|GatewayStatus|CpuProfile|TailSampler|CriticalPath|FleetIngest|DeltaStream|FleetScale|HostProfiler|BenchCompare|QueueDepth' \
   "$@"
 echo "sanitized transport suite: OK"

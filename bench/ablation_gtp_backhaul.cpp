@@ -109,7 +109,7 @@ void transport_fidelity_row(const char* name, const sim::LinkConfig& backhaul,
   const common::Bytes payload(512, 0x5A);
   for (int i = 0; i < 1200; ++i) {
     kernel.schedule(i * 250 * sim::kMillisecond,
-                    [&pair, payload]() { pair.a->send(payload); });
+                    [&pair, payload = payload]() { pair.a->send(payload); });
   }
   kernel.run();
 
@@ -154,7 +154,7 @@ void sack_burst_row(bool sack, std::uint64_t seed) {
   const common::Bytes payload(512, 0x5A);
   for (int i = 0; i < 32; ++i) {
     kernel.schedule(i * sim::kMillisecond,
-                    [&pair, payload]() { pair.a->send(payload); });
+                    [&pair, payload = payload]() { pair.a->send(payload); });
   }
   kernel.run();
 

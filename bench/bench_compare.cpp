@@ -5,6 +5,13 @@
 // "where does the host second go" recipe.
 //
 //   bench_compare BEFORE.json AFTER.json [--threshold 0.15]
+//                 [--suffix _allocs] [--slack N] [--strict-from-zero]
+//
+// --suffix gates only cost keys with that ending; --slack adds an absolute
+// allowance (after > before*(1+threshold)+slack fails); --strict-from-zero
+// makes a metric growing from 0 past the slack a failure instead of a note
+// — together they form the allocation-regression wall ctest runs
+// (BenchAllocRegressionGate).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,10 +37,16 @@ bool read_file(const char* path, std::string& out) {
 int main(int argc, char** argv) {
   const char* before_path = nullptr;
   const char* after_path = nullptr;
-  double threshold = 0.15;
+  magma::obs::BenchCompareOptions options;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
-      threshold = std::atof(argv[++i]);
+      options.threshold = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--slack") == 0 && i + 1 < argc) {
+      options.slack = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--suffix") == 0 && i + 1 < argc) {
+      options.suffix = argv[++i];
+    } else if (std::strcmp(argv[i], "--strict-from-zero") == 0) {
+      options.strict_from_zero = true;
     } else if (before_path == nullptr) {
       before_path = argv[i];
     } else if (after_path == nullptr) {
@@ -43,10 +56,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (before_path == nullptr || after_path == nullptr || threshold <= 0) {
+  if (before_path == nullptr || after_path == nullptr ||
+      options.threshold <= 0 || options.slack < 0) {
     std::fprintf(stderr,
                  "usage: bench_compare BEFORE.json AFTER.json "
-                 "[--threshold 0.15]\n");
+                 "[--threshold 0.15] [--suffix _allocs] [--slack N] "
+                 "[--strict-from-zero]\n");
     return 2;
   }
 
@@ -75,8 +90,8 @@ int main(int argc, char** argv) {
   }
 
   const magma::obs::BenchCompareResult result =
-      magma::obs::bench_compare(before.value(), after.value(), threshold);
-  std::printf("%s",
-              magma::obs::format_bench_compare(result, threshold).c_str());
+      magma::obs::bench_compare(before.value(), after.value(), options);
+  std::printf("%s", magma::obs::format_bench_compare(result, options.threshold)
+                        .c_str());
   return result.ok ? 0 : 1;
 }

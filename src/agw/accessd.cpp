@@ -110,8 +110,10 @@ void Accessd::arm_guard(const common::Imsi& imsi) {
   auto it = contexts_.find(imsi);
   if (it == contexts_.end()) return;
   kernel_.cancel(it->second.guard_timer);
+  // imsi arrives as a const&; an init-capture keeps the closure member
+  // non-const so the event's move stays noexcept (EventFn requires it).
   it->second.guard_timer = kernel_.schedule(
-      config_.context_guard, [this, imsi]() {
+      config_.context_guard, [this, imsi = imsi]() {
         auto it = contexts_.find(imsi);
         if (it == contexts_.end()) return;
         if (it->second.fsm.state() != EmmState::kRegistered) {

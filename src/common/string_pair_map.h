@@ -1,0 +1,33 @@
+// Transparent comparator for (service, op)-style string-pair map keys.
+//
+// A std::map keyed by std::pair<std::string, std::string> allocates twice on
+// every lookup-by-temporary: find({service, op}) materializes two string
+// copies just to compare and throw away. With a transparent comparator the
+// same map accepts a pair of string_views, so hot lookups (label interning
+// in sim::CpuModel, per-method label/handler dispatch in rpc) touch no heap
+// at all. The host profiler's per-label alloc attribution is the regression
+// test: see AllocDiscipline.LabelLookupIsAllocationFree.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace magma::common {
+
+// Lookup key: views over caller-owned strings, nothing copied.
+using StringPairView = std::pair<std::string_view, std::string_view>;
+
+struct StringPairLess {
+  using is_transparent = void;
+
+  template <typename A, typename B, typename C, typename D>
+  bool operator()(const std::pair<A, B>& x, const std::pair<C, D>& y) const {
+    const std::string_view xf{x.first};
+    const std::string_view yf{y.first};
+    if (xf != yf) return xf < yf;
+    return std::string_view{x.second} < std::string_view{y.second};
+  }
+};
+
+}  // namespace magma::common

@@ -18,19 +18,24 @@ bool FlowMatch::matches(const Packet& pkt, Direction dir) const {
 }
 
 void FlowTable::add(FlowEntry entry) {
-  // Stable position: after all entries with priority >= new priority.
-  auto it = std::find_if(entries_.begin(), entries_.end(),
-                         [&](const FlowEntry& e) {
-                           return e.priority < entry.priority;
-                         });
+  // Stable position: after all entries with priority >= new priority —
+  // upper_bound on the descending-sorted vector keeps FIFO order among
+  // equal priorities (first-added wins ties, like the list did).
+  auto it = std::upper_bound(entries_.begin(), entries_.end(), entry.priority,
+                             [](std::uint16_t priority, const FlowEntry& e) {
+                               return e.priority < priority;
+                             });
   entries_.insert(it, std::move(entry));
   ++generation_;
 }
 
 std::size_t FlowTable::remove_by_cookie(std::uint64_t cookie) {
   const auto before = entries_.size();
-  entries_.remove_if(
-      [cookie](const FlowEntry& e) { return e.cookie == cookie; });
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [cookie](const FlowEntry& e) {
+                                  return e.cookie == cookie;
+                                }),
+                 entries_.end());
   if (entries_.size() != before) ++generation_;
   return before - entries_.size();
 }

@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <optional>
 #include <string>
 #include <vector>
@@ -104,9 +103,12 @@ class FlowTable {
  public:
   // Entries are kept sorted by descending priority; insertion order breaks
   // ties (first-added wins), matching OVS behaviour closely enough.
-  // Storage is a list so FlowEntry addresses stay stable across unrelated
-  // mutations — the pipeline's microflow cache holds pointers into it
-  // (guarded by a generation counter bumped on every mutation).
+  // Storage is a flat sorted vector: lookups walk contiguous memory instead
+  // of chasing list nodes, and adds stop costing one node allocation each.
+  // FlowEntry addresses are stable only between mutations — the pipeline's
+  // microflow cache holds pointers into the vector, guarded by a generation
+  // counter bumped on every mutation (which is exactly when the vector may
+  // reallocate).
   void add(FlowEntry entry);
   // Remove all entries with the given cookie; returns count removed.
   std::size_t remove_by_cookie(std::uint64_t cookie);
@@ -116,7 +118,7 @@ class FlowTable {
   // the pipeline (which knows the batch size), not here.
   FlowEntry* lookup(const Packet& pkt, Direction dir);
 
-  const std::list<FlowEntry>& entries() const { return entries_; }
+  const std::vector<FlowEntry>& entries() const { return entries_; }
 
   // Sum of counters across entries with this cookie.
   FlowCounters counters_for_cookie(std::uint64_t cookie) const;
@@ -126,7 +128,7 @@ class FlowTable {
   std::uint64_t generation() const { return generation_; }
 
  private:
-  std::list<FlowEntry> entries_;
+  std::vector<FlowEntry> entries_;  // sorted by descending priority
   std::uint64_t generation_ = 0;
 };
 

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/pool.h"
 #include "datapath/flow_table.h"
 #include "datapath/gtpu.h"
 #include "datapath/meter.h"
@@ -156,7 +157,13 @@ class Pipeline {
 
   bool cache_enabled_ = true;
   static constexpr std::size_t kMaxCacheEntries = 65536;
-  std::unordered_map<CacheKey, CachedPath, CacheKeyHash> cache_;
+  // Nodes come from a freelist pool: session churn (install/remove bumps the
+  // table generation and evicts) otherwise makes the cache a steady-state
+  // allocator. Bucket arrays (n > 1 requests) bypass the pool by design.
+  std::unordered_map<
+      CacheKey, CachedPath, CacheKeyHash, std::equal_to<CacheKey>,
+      common::PoolAllocator<std::pair<const CacheKey, CachedPath>>>
+      cache_;
 };
 
 }  // namespace magma::datapath

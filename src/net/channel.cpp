@@ -2,15 +2,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <vector>
 
 #include "common/log.h"
+#include "common/pool.h"
 #include "obs/host_profiler.h"
 #include "rpc/wire.h"
 
 namespace magma::net {
 
 namespace {
+
+// Node-pooled ordered map: the retransmit and reorder windows churn one map
+// node per segment in steady state, so their nodes cycle through a per-map
+// freelist instead of the heap (DESIGN.md §9).
+template <typename K, typename V>
+using PooledMap =
+    std::map<K, V, std::less<K>,
+             common::PoolAllocator<std::pair<const K, V>>>;
 
 constexpr std::uint64_t kDatagramOverhead = 28;  // IP + UDP headers
 
@@ -650,7 +660,7 @@ class ReliableEndpoint final : public ReliableChannel {
 
   std::uint64_t epoch_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::map<std::uint64_t, Pending> outstanding_;
+  PooledMap<std::uint64_t, Pending> outstanding_;
   std::deque<std::uint64_t> send_queue_;  // seqs awaiting first transmission
   std::uint64_t highest_ack_ = 0;
   std::uint64_t highest_transmitted_ = 0;  // highest seq ever on the wire
@@ -672,7 +682,7 @@ class ReliableEndpoint final : public ReliableChannel {
 
   std::uint64_t recv_epoch_ = 0;
   std::uint64_t recv_next_ = 0;
-  std::map<std::uint64_t, common::Bytes> reorder_;
+  PooledMap<std::uint64_t, common::Bytes> reorder_;
   sim::TimePoint ts_recent_ = 0;  // tsval of the last DATA segment received
   bool have_ts_echo_ = false;
 
@@ -687,6 +697,8 @@ class ReliableEndpoint final : public ReliableChannel {
 
 common::Bytes encode_segment_header(const SegmentHeader& header) {
   rpc::Writer w;
+  // Exact encoded size: one reservation instead of log2(size) regrows.
+  w.reserve(1 + 4 * 8 + (header.has_ts ? 16 : 0) + 1 + 16 * header.sack.size());
   std::uint8_t flags = 0;
   if (header.is_ack) flags |= kFlagAck;
   if (header.is_rst) flags |= kFlagRst;

@@ -169,6 +169,15 @@ bool is_cost_metric_key(const std::string& key) {
 BenchCompareResult bench_compare(const std::map<std::string, double>& before,
                                  const std::map<std::string, double>& after,
                                  double threshold) {
+  BenchCompareOptions options;
+  options.threshold = threshold;
+  return bench_compare(before, after, options);
+}
+
+BenchCompareResult bench_compare(const std::map<std::string, double>& before,
+                                 const std::map<std::string, double>& after,
+                                 const BenchCompareOptions& options) {
+  const double threshold = options.threshold;
   BenchCompareResult result;
   for (const auto& [key, old_value] : before) {
     auto it = after.find(key);
@@ -177,15 +186,26 @@ BenchCompareResult bench_compare(const std::map<std::string, double>& before,
       continue;
     }
     if (!is_cost_metric_key(key)) continue;
+    if (!options.suffix.empty() && !ends_with(key, options.suffix.c_str())) {
+      continue;
+    }
     const double new_value = it->second;
     ++result.compared;
     if (old_value <= 0) {
-      if (new_value > 0) result.notes.push_back("appeared-from-zero: " + key);
+      if (new_value <= 0) continue;
+      if (options.strict_from_zero && new_value > options.slack) {
+        // A zero-cost path grew a cost: percentages cannot express this, so
+        // the relative `change` is left at 0 and `after` tells the story.
+        result.regressions.push_back(BenchDelta{key, old_value, new_value, 0});
+        result.ok = false;
+      } else {
+        result.notes.push_back("appeared-from-zero: " + key);
+      }
       continue;
     }
     const double change = new_value / old_value - 1.0;
     BenchDelta delta{key, old_value, new_value, change};
-    if (change > threshold) {
+    if (new_value > old_value * (1.0 + threshold) + options.slack) {
       result.regressions.push_back(delta);
       result.ok = false;
     } else if (change < -threshold) {

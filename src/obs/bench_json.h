@@ -52,6 +52,23 @@ struct BenchCompareResult {
 // workload, not regression.
 bool is_cost_metric_key(const std::string& key);
 
+// Gate tuning. The defaults reproduce the original two-sided percentage
+// diff; the allocation-regression wall tightens them:
+//  * `suffix` restricts the gate to cost keys with that ending ("_allocs"
+//    gates heap traffic only, ignoring wall-clock noise);
+//  * `slack` is an absolute allowance added to the bound — a metric
+//    regresses when after > before * (1 + threshold) + slack;
+//  * `strict_from_zero` turns a metric appearing from zero (before == 0,
+//    after > slack) into a regression instead of a note. This is the whole
+//    point of the alloc wall: a pooled path quietly re-growing from 0 to 1
+//    allocation per op is exactly the bug percentages can never catch.
+struct BenchCompareOptions {
+  double threshold = 0.15;
+  double slack = 0.0;
+  std::string suffix;
+  bool strict_from_zero = false;
+};
+
 // Compare two flattened bench documents. A cost metric regresses when
 // after > before * (1 + threshold) (with before == 0 treated as regression
 // only if after > 0 and threshold < infinity is irrelevant — a metric
@@ -60,6 +77,10 @@ bool is_cost_metric_key(const std::string& key);
 BenchCompareResult bench_compare(const std::map<std::string, double>& before,
                                  const std::map<std::string, double>& after,
                                  double threshold);
+// Options form: suffix filtering, absolute slack, strict from-zero gating.
+BenchCompareResult bench_compare(const std::map<std::string, double>& before,
+                                 const std::map<std::string, double>& after,
+                                 const BenchCompareOptions& options);
 
 // Human-readable report (one line per regression/improvement/note).
 std::string format_bench_compare(const BenchCompareResult& result,

@@ -39,7 +39,8 @@ void RpcNode::finish_client_span(obs::TraceContext span, const char* status) {
 
 sim::LabelId RpcNode::rpc_label(const std::string& service,
                                 const std::string& method) {
-  auto it = rpc_labels_.find({service, method});
+  // Transparent find: the steady-state hit path allocates nothing.
+  auto it = rpc_labels_.find(common::StringPairView{service, method});
   if (it != rpc_labels_.end()) return it->second;
   const sim::LabelId id =
       cpu_->intern_label("rpc_client", service + "/" + method);
@@ -110,7 +111,12 @@ void RpcNode::call_with_retries(const std::string& service,
            }
            obs::add_span_wait(tracer_, origin, obs::WaitState::kTimer,
                               backoff);
-           kernel_.schedule(backoff, [this, service, method,
+           // Init-captures (not simple captures) for the strings: GCC 12
+           // mis-computes noexcept on a nested lambda's move constructor
+           // when it simple-captures a non-trivial capture of the enclosing
+           // lambda, and EventFn statically requires nothrow move.
+           kernel_.schedule(backoff, [this, service = std::move(service),
+                                      method = std::move(method),
                                       request = std::move(request), deadline,
                                       retries, backoff, origin,
                                       on_done = std::move(on_done)]() mutable {
@@ -171,7 +177,7 @@ void RpcNode::handle_request(Reader& r) {
   const Bytes payload = r.bytes();
   if (!r.ok()) return;
 
-  auto it = handlers_.find({service, method});
+  auto it = handlers_.find(common::StringPairView{service, method});
   if (it == handlers_.end()) {
     send_response(id, Error{ErrorCode::kNotFound,
                             "no handler for " + service + "/" + method});

@@ -23,6 +23,7 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "common/string_pair_map.h"
 #include "net/channel.h"
 #include "obs/trace.h"
 #include "rpc/wire.h"
@@ -128,9 +129,15 @@ class RpcNode {
   obs::Tracer* tracer_ = nullptr;
   std::string node_label_;
   sim::CpuModel* cpu_ = nullptr;  // wait-attribution ledger (optional)
-  std::map<std::pair<std::string, std::string>, sim::LabelId> rpc_labels_;
+  // Transparent comparators: per-call label lookups and request dispatch
+  // find by string_view pair, no temporary pair<string,string>.
+  std::map<std::pair<std::string, std::string>, sim::LabelId,
+           common::StringPairLess>
+      rpc_labels_;
   std::uint64_t next_call_id_ = 1;
-  std::map<std::pair<std::string, std::string>, Handler> handlers_;
+  std::map<std::pair<std::string, std::string>, Handler,
+           common::StringPairLess>
+      handlers_;
   std::unordered_map<std::uint64_t, PendingCall> pending_;
   RpcStats stats_;
 };

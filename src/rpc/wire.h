@@ -17,6 +17,9 @@ namespace magma::rpc {
 
 class Writer {
  public:
+  // Pre-size the buffer when the encoded length is known (hot encoders like
+  // the segment-header codec avoid the vector's doubling reallocations).
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);

@@ -18,7 +18,10 @@ CpuModel::CpuModel(Kernel& kernel, CpuConfig config)
 
 CpuModel::LabelId CpuModel::intern_label(const std::string& service,
                                          const std::string& op) {
-  auto it = label_ids_.find({service, op});
+  // Heterogeneous find: zero allocations when the label is already interned
+  // (the steady-state case — callers intern once and cache the id, but
+  // defensive per-call interning must stay cheap too).
+  auto it = label_ids_.find(common::StringPairView{service, op});
   if (it != label_ids_.end()) return it->second;
   const LabelId id = static_cast<LabelId>(labels_.size());
   labels_.push_back(TaskLabelStats{service, op});

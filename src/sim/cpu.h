@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/string_pair_map.h"
 #include "obs/histogram.h"
 #include "obs/trace.h"
 #include "sim/kernel.h"
@@ -182,7 +183,12 @@ class CpuModel {
   CpuStats stats_;
 
   std::vector<TaskLabelStats> labels_;
-  std::map<std::pair<std::string, std::string>, LabelId> label_ids_;
+  // Transparent comparator: intern_label's find compares through
+  // string_views instead of building a pair<string,string> temporary (two
+  // heap allocations per call on the pre-interned fast path).
+  std::map<std::pair<std::string, std::string>, LabelId,
+           common::StringPairLess>
+      label_ids_;
   obs::Histogram queue_wait_[2];
   obs::Tracer* tracer_ = nullptr;         // per-task span emission (opt-in)
   obs::Tracer* wait_tracer_ = nullptr;    // span wait charging (always-on)

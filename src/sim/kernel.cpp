@@ -14,38 +14,79 @@ obs::HostLabelId dispatch_label() {
   return label;
 }
 
+constexpr std::uint64_t event_id_value(std::uint32_t gen, std::uint32_t slot) {
+  return (static_cast<std::uint64_t>(gen) << 32) | slot;
+}
+
 }  // namespace
 
-EventId Kernel::schedule(Duration delay, std::function<void()> fn) {
+EventId Kernel::schedule(Duration delay, EventFn fn) {
   return schedule_at(now_ + std::max<Duration>(delay, 0), std::move(fn));
 }
 
-EventId Kernel::schedule_at(TimePoint when, std::function<void()> fn) {
+EventId Kernel::schedule_at(TimePoint when, EventFn fn) {
   assert(fn);
-  const std::uint64_t id = next_id_++;
+  if (fn.on_heap()) ++stats_.closure_heap_fallbacks;
+  const std::uint32_t slot = reserve_slot();
   const obs::HostLabelId origin = obs::HostProfiler::current_label();
-  heap_.push(
-      Event{std::max(when, now_), next_seq_++, id, origin, std::move(fn)});
-  pending_.insert(id);
+  heap_.push_back(
+      Event{std::max(when, now_), next_seq_++, slot, origin, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
   ++stats_.scheduled;
-  if (pending_.size() > stats_.queue_hwm) stats_.queue_hwm = pending_.size();
+  if (live_ > stats_.queue_hwm) stats_.queue_hwm = live_;
   if (obs::HostProfiler* prof = obs::HostProfiler::current()) {
     prof->note_event_scheduled(origin);
   }
-  return EventId{id};
+  return EventId{event_id_value(slots_[slot].gen, slot)};
+}
+
+std::uint32_t Kernel::reserve_slot() {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].live = true;
+  return slot;
+}
+
+void Kernel::retire_slot(std::uint32_t slot) {
+  // Called only when the slot's heap entry has been popped; bumping the
+  // generation invalidates any EventId still referring to this slot.
+  slots_[slot].live = false;
+  ++slots_[slot].gen;
+  free_slots_.push_back(slot);
 }
 
 bool Kernel::cancel(EventId id) {
-  // Lazy deletion: remove from the pending set; the heap entry is skipped
-  // when it reaches the top.
-  const bool live = pending_.erase(id.value) > 0;
-  if (live) ++stats_.cancelled;
-  return live;
+  // Lazy deletion: mark the slot dead; the heap entry is skipped when it
+  // reaches the top.
+  const std::uint32_t slot = static_cast<std::uint32_t>(id.value);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id.value >> 32);
+  if (slot >= slots_.size() || slots_[slot].gen != gen ||
+      !slots_[slot].live) {
+    return false;
+  }
+  slots_[slot].live = false;
+  --live_;
+  ++stats_.cancelled;
+  return true;
+}
+
+Kernel::Event Kernel::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
 }
 
 void Kernel::skim() {
-  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
-    heap_.pop();
+  while (!heap_.empty() && !slots_[heap_.front().slot].live) {
+    retire_slot(pop_top().slot);
     ++stats_.skimmed;
   }
 }
@@ -53,9 +94,9 @@ void Kernel::skim() {
 bool Kernel::step() {
   skim();
   if (heap_.empty()) return false;
-  Event ev = heap_.top();
-  heap_.pop();
-  pending_.erase(ev.id);
+  Event ev = pop_top();
+  retire_slot(ev.slot);
+  --live_;
   assert(ev.when >= now_);
   now_ = ev.when;
   ++executed_;
@@ -82,7 +123,7 @@ TimePoint Kernel::run() {
 TimePoint Kernel::run_until(TimePoint deadline) {
   for (;;) {
     skim();
-    if (heap_.empty() || heap_.top().when > deadline) break;
+    if (heap_.empty() || heap_.front().when > deadline) break;
     step();
   }
   now_ = std::max(now_, deadline);

@@ -5,18 +5,33 @@
 // run is fully deterministic given its seed. Everything in the repository —
 // links, CPUs, protocol timers, traffic generators — is driven off this one
 // event loop.
+//
+// The schedule→dispatch path is allocation-free in steady state:
+//  * closures live inline in the event (EventFn, a small-buffer-optimized
+//    InplaceFunction) — oversized captures fall back to the heap and are
+//    counted in KernelStats::closure_heap_fallbacks;
+//  * cancellation bookkeeping is a generation-tagged slot table recycled
+//    through a free list, not a node-based set;
+//  * the priority heap is a plain vector, which only reallocates at the
+//    high-water mark.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "common/inplace_function.h"
 #include "obs/host_profiler.h"
 #include "sim/time.h"
 
 namespace magma::sim {
+
+// Inline closure capacity for scheduled events. Sized to cover the repo's
+// common captures — a link delivery ({peer, guard, header bytes, payload}
+// ≈ 72 B) and a CPU-completion ({this, core, idx, label, span, done}
+// ≈ 72 B) — with headroom. Bigger captures still work; they heap-allocate
+// and increment KernelStats::closure_heap_fallbacks.
+inline constexpr std::size_t kEventInlineBytes = 112;
+using EventFn = common::InplaceFunction<void(), kEventInlineBytes>;
 
 // Host-cost accounting for the event loop itself: how much heap traffic the
 // queue sees and how deep it gets. Counters, not behavior — a run with and
@@ -25,11 +40,15 @@ struct KernelStats {
   std::uint64_t scheduled = 0;  // heap pushes
   std::uint64_t cancelled = 0;  // lazy deletions requested
   std::uint64_t skimmed = 0;    // cancelled entries popped off the heap top
+  // Closures too big for EventFn's inline buffer (or scheduled with pooling
+  // disabled): each one is a heap round trip the bench wall will price.
+  std::uint64_t closure_heap_fallbacks = 0;
   std::size_t queue_hwm = 0;    // pending-event high-water mark
 };
 
 // Handle used to cancel a scheduled event (e.g. a protocol retransmission
-// timer that fires only if no answer arrived).
+// timer that fires only if no answer arrived). Encodes (generation << 32) |
+// slot; a default-constructed id never matches (generations start at 1).
 struct EventId {
   std::uint64_t value = 0;
   bool operator==(const EventId&) const = default;
@@ -45,9 +64,9 @@ class Kernel {
   double now_seconds() const { return to_seconds(now_); }
 
   // Schedule `fn` to run `delay` from now (delay < 0 is clamped to 0).
-  EventId schedule(Duration delay, std::function<void()> fn);
+  EventId schedule(Duration delay, EventFn fn);
   // Schedule `fn` at absolute time `when` (in the past is clamped to now).
-  EventId schedule_at(TimePoint when, std::function<void()> fn);
+  EventId schedule_at(TimePoint when, EventFn fn);
 
   // Cancel a pending event. Returns false if it already ran or was cancelled.
   bool cancel(EventId id);
@@ -60,20 +79,20 @@ class Kernel {
   // Execute at most one event. Returns false if the queue is empty.
   bool step();
 
-  std::size_t pending_events() const { return pending_.size(); }
+  std::size_t pending_events() const { return live_; }
   std::uint64_t executed_events() const { return executed_; }
   const KernelStats& stats() const { return stats_; }
 
  private:
   struct Event {
     TimePoint when;
-    std::uint64_t seq;  // tiebreak: FIFO among same-time events
-    std::uint64_t id;
+    std::uint64_t seq;   // tiebreak: FIFO among same-time events
+    std::uint32_t slot;  // index into slots_
     // Host-profiler label innermost when schedule() ran: dispatch wall cost
     // is attributed to the subsystem that scheduled the event. Zero when no
     // profiler was installed at schedule time.
     obs::HostLabelId origin = obs::kHostUnlabeled;
-    std::function<void()> fn;
+    EventFn fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -81,17 +100,31 @@ class Kernel {
       return a.seq > b.seq;
     }
   };
+  // Cancellation record for one in-heap event. A slot stays reserved until
+  // its heap entry is popped (dispatch or skim); only then does it return to
+  // the free list with a bumped generation, so stale EventIds can't alias a
+  // reused slot.
+  struct Slot {
+    std::uint32_t gen = 1;
+    bool live = false;
+  };
+
+  std::uint32_t reserve_slot();
+  void retire_slot(std::uint32_t slot);
 
   // Drop cancelled events sitting at the top of the heap.
   void skim();
+  // Pop the earliest event off heap_ (callers ensured it is non-empty).
+  Event pop_top();
 
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;  // scheduled, not yet run or cancelled
   KernelStats stats_;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::unordered_set<std::uint64_t> pending_;  // ids not yet run or cancelled
+  std::vector<Event> heap_;  // binary heap via std::push_heap/std::pop_heap
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace magma::sim

@@ -30,8 +30,8 @@ std::size_t Link::queue_depth() const {
   return departures_.size();
 }
 
-void Link::transmit(std::uint64_t size_bytes, std::function<void()> deliver,
-                    std::function<void()> on_drop) {
+void Link::transmit(std::uint64_t size_bytes, EventFn deliver,
+                    EventFn on_drop) {
   // Host cost of the link model itself is tiny; what this scope buys is the
   // schedule-time label: delivery events are attributed to sim.link, so the
   // profiler can separate "time spent delivering packets" from the kernel's

@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "sim/kernel.h"
@@ -45,9 +44,10 @@ class Link {
 
   // Queue `size_bytes` for transmission; `deliver` runs at arrival time
   // unless the packet is lost. `on_drop` (optional) runs at the would-be
-  // departure time when the packet is lost.
-  void transmit(std::uint64_t size_bytes, std::function<void()> deliver,
-                std::function<void()> on_drop = nullptr);
+  // departure time when the packet is lost. Both are EventFn: captures up to
+  // kEventInlineBytes schedule without touching the heap.
+  void transmit(std::uint64_t size_bytes, EventFn deliver,
+                EventFn on_drop = nullptr);
 
   const LinkConfig& config() const { return config_; }
   const LinkStats& stats() const { return stats_; }

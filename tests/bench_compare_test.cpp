@@ -132,5 +132,56 @@ TEST(BenchCompare, AppearingFromZeroIsNoteNotFailure) {
   EXPECT_FALSE(r.notes.empty());
 }
 
+// ---------------------------------------------------------------------------
+// bench_compare with options (the allocation-regression wall)
+// ---------------------------------------------------------------------------
+
+TEST(BenchCompare, SuffixFilterGatesOnlyMatchingCostKeys) {
+  const Flat base = baseline();
+  Flat after = base;
+  after["metrics.lte_attach_ns"] = 500000.0;  // 5x, but not an _allocs key
+  BenchCompareOptions opts;
+  opts.suffix = "_allocs";
+  const BenchCompareResult r = bench_compare(base, after, opts);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.compared, 1u);  // only lte_attach_allocs was priced
+  // The same diff without the filter fails on the _ns blowup.
+  EXPECT_FALSE(bench_compare(base, after, opts.threshold).ok);
+}
+
+TEST(BenchCompare, StrictFromZeroFailsOnZeroToOne) {
+  Flat base = baseline();
+  Flat after = baseline();
+  base["metrics.packet_route_allocs"] = 0.0;
+  after["metrics.packet_route_allocs"] = 1.0;
+  // Default semantics: a note, not a failure.
+  EXPECT_TRUE(bench_compare(base, after, 0.15).ok);
+  // Wall semantics: 1.0 > slack 0.5 from a zero baseline fails.
+  BenchCompareOptions opts;
+  opts.suffix = "_allocs";
+  opts.slack = 0.5;
+  opts.strict_from_zero = true;
+  const BenchCompareResult r = bench_compare(base, after, opts);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_EQ(r.regressions[0].key, "metrics.packet_route_allocs");
+  // Measurement jitter below the slack stays a note.
+  after["metrics.packet_route_allocs"] = 0.3;
+  EXPECT_TRUE(bench_compare(base, after, opts).ok);
+}
+
+TEST(BenchCompare, SlackIsAbsoluteAllowanceOnTopOfThreshold) {
+  Flat base = baseline();
+  Flat after = baseline();
+  base["metrics.reliable_allocs"] = 2.0;
+  after["metrics.reliable_allocs"] = 3.0;  // +50%, but only +1 absolute
+  BenchCompareOptions opts;
+  opts.threshold = 0.15;
+  opts.slack = 1.0;  // bound: 2*1.15 + 1 = 3.3
+  EXPECT_TRUE(bench_compare(base, after, opts).ok);
+  after["metrics.reliable_allocs"] = 3.5;  // past the bound
+  EXPECT_FALSE(bench_compare(base, after, opts).ok);
+}
+
 }  // namespace
 }  // namespace magma::obs

@@ -1,0 +1,173 @@
+// Boundary and lifecycle coverage for common::InplaceFunction and its use
+// as sim::EventFn: exact-fit captures stay inline, one-byte-over captures
+// take the (counted) heap fallback, move-only captures work, events can
+// reschedule themselves while firing, and heap-fallback events cancel
+// cleanly. Runs under the ASan preset via tests/run_sanitized.sh.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "common/inplace_function.h"
+#include "obs/host_profiler.h"
+#include "sim/kernel.h"
+
+namespace magma {
+namespace {
+
+class PoolingGuard {
+ public:
+  PoolingGuard() : was_(common::memory_pooling_enabled()) {}
+  ~PoolingGuard() { common::set_memory_pooling_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+using Fn = common::InplaceFunction<int(), sim::kEventInlineBytes>;
+
+template <std::size_t N>
+struct Blob {
+  char data[N];
+};
+
+TEST(InplaceFunction, ExactlyFittingCaptureStaysInline) {
+  PoolingGuard guard;
+  common::set_memory_pooling_enabled(true);
+  Blob<sim::kEventInlineBytes> blob{};
+  blob.data[0] = 42;
+  auto lam = [blob]() { return static_cast<int>(blob.data[0]); };
+  static_assert(sizeof(lam) == sim::kEventInlineBytes);
+  Fn fn(std::move(lam));
+  EXPECT_FALSE(fn.on_heap());
+  EXPECT_EQ(fn(), 42);
+}
+
+TEST(InplaceFunction, OneByteOverCaptureFallsBackToHeap) {
+  PoolingGuard guard;
+  common::set_memory_pooling_enabled(true);
+  Blob<sim::kEventInlineBytes + 1> blob{};
+  blob.data[sim::kEventInlineBytes] = 7;
+  auto lam = [blob]() {
+    return static_cast<int>(blob.data[sim::kEventInlineBytes]);
+  };
+  static_assert(sizeof(lam) == sim::kEventInlineBytes + 1);
+  Fn fn(std::move(lam));
+  EXPECT_TRUE(fn.on_heap());
+  EXPECT_EQ(fn(), 7);  // behavior identical either way
+}
+
+TEST(InplaceFunction, InlineConstructionAllocatesNothing) {
+  PoolingGuard guard;
+  common::set_memory_pooling_enabled(true);
+  Blob<64> blob{};
+  blob.data[1] = 9;
+  const std::uint64_t before = obs::HostProfiler::process_alloc_count();
+  {
+    Fn fn([blob]() { return static_cast<int>(blob.data[1]); });
+    Fn moved(std::move(fn));
+    (void)moved();
+  }
+  const std::uint64_t delta =
+      obs::HostProfiler::process_alloc_count() - before;
+  EXPECT_EQ(delta, 0u);
+}
+
+TEST(InplaceFunction, MoveOnlyCaptureInvokesAndReleases) {
+  PoolingGuard guard;
+  common::set_memory_pooling_enabled(true);
+  auto owned = std::make_unique<int>(31);
+  common::InplaceFunction<int(), 64> fn(
+      [owned = std::move(owned)]() { return *owned; });
+  EXPECT_FALSE(fn.on_heap());
+  // Move the wrapper itself: the unique_ptr relocates with it.
+  common::InplaceFunction<int(), 64> moved(std::move(fn));
+  EXPECT_EQ(moved(), 31);
+}
+
+TEST(InplaceFunction, DisabledPoolingForcesHeapEvenWhenSmall) {
+  PoolingGuard guard;
+  common::set_memory_pooling_enabled(false);
+  Fn fn([]() { return 3; });
+  EXPECT_TRUE(fn.on_heap());
+  EXPECT_EQ(fn(), 3);
+  // Re-enabling after construction must not confuse destruction: the Ops
+  // vtable chosen at construction owns the lifetime.
+  common::set_memory_pooling_enabled(true);
+}
+
+TEST(KernelClosure, HeapFallbackCounterTracksOversizedCaptures) {
+  PoolingGuard guard;
+  common::set_memory_pooling_enabled(true);
+  sim::Kernel k;
+  int fired = 0;
+  Blob<sim::kEventInlineBytes + 8> big{};
+  k.schedule(1, [&fired]() { ++fired; });  // small: inline
+  EXPECT_EQ(k.stats().closure_heap_fallbacks, 0u);
+  k.schedule(2, [&fired, big]() { ++fired; (void)big; });  // oversized
+  EXPECT_EQ(k.stats().closure_heap_fallbacks, 1u);
+  k.run();
+  EXPECT_EQ(fired, 2);
+}
+
+// An event that schedules its successor while its own closure is executing:
+// the heap entry holding the firing closure was already popped, so the
+// push_heap triggered from inside the closure must not invalidate it.
+struct Ticker {
+  sim::Kernel* k;
+  int* fires;
+  int remaining;
+  void operator()() {
+    ++*fires;
+    if (remaining > 0) k->schedule(10, Ticker{k, fires, remaining - 1});
+  }
+};
+
+TEST(KernelClosure, SelfRescheduleFromInsideFiringEvent) {
+  PoolingGuard guard;
+  common::set_memory_pooling_enabled(true);
+  sim::Kernel k;
+  int fires = 0;
+  k.schedule(0, Ticker{&k, &fires, 4});
+  k.run();
+  EXPECT_EQ(fires, 5);
+  EXPECT_EQ(k.now(), 40);
+  EXPECT_EQ(k.stats().closure_heap_fallbacks, 0u);
+}
+
+TEST(KernelClosure, CancelledHeapFallbackEventNeverRunsAndFrees) {
+  PoolingGuard guard;
+  common::set_memory_pooling_enabled(true);
+  sim::Kernel k;
+  int fired = 0;
+  Blob<sim::kEventInlineBytes + 32> big{};
+  const sim::EventId id = k.schedule(5, [&fired, big]() { ++fired; (void)big; });
+  EXPECT_EQ(k.stats().closure_heap_fallbacks, 1u);
+  EXPECT_TRUE(k.cancel(id));
+  EXPECT_FALSE(k.cancel(id));  // second cancel is a no-op
+  k.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(k.stats().cancelled, 1u);
+  // ASan's leak check (run_sanitized.sh) verifies the heap closure was
+  // freed when the cancelled entry was skimmed off the heap.
+}
+
+TEST(KernelClosure, StaleIdAfterDispatchDoesNotCancelReusedSlot) {
+  PoolingGuard guard;
+  common::set_memory_pooling_enabled(true);
+  sim::Kernel k;
+  int first = 0, second = 0;
+  const sim::EventId id = k.schedule(1, [&first]() { ++first; });
+  k.step();  // dispatches the first event; its slot is retired
+  // The next schedule reuses the slot with a bumped generation; the stale id
+  // must not cancel it.
+  k.schedule(1, [&second]() { ++second; });
+  EXPECT_FALSE(k.cancel(id));
+  k.run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+}  // namespace
+}  // namespace magma

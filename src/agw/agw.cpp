@@ -1,6 +1,7 @@
 #include "agw/agw.h"
 
 #include "common/log.h"
+#include "common/pool.h"
 #include "rpc/wire.h"
 
 namespace magma::agw {
@@ -348,6 +349,13 @@ std::vector<orc8r::MetricSample> AccessGateway::telemetry_snapshot() {
         static_cast<double>(kernel_.stats().queue_hwm));
   gauge("host_alloc_bytes",
         static_cast<double>(obs::HostProfiler::process_alloc_bytes()));
+  // Freelist-discipline guards: a closure too fat for the kernel's inline
+  // event storage, or a pool overflowing to the heap, is a host perf
+  // regression — both ship as cumulative gauges with default growth alerts.
+  gauge("sim_closure_heap_fallbacks",
+        static_cast<double>(kernel_.stats().closure_heap_fallbacks));
+  gauge("pool_heap_fallbacks",
+        static_cast<double>(common::total_pool_heap_fallbacks()));
   const AccessdStats& acc = accessd_->stats();
   gauge("attaches_completed",
         static_cast<double>(acc.attach_completed[0] + acc.attach_completed[1] +

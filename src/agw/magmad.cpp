@@ -181,11 +181,19 @@ void Magmad::sync_config_now(std::function<void(bool)> done) {
 }
 
 void Magmad::config_tick() {
+  if (wedged_) {
+    kernel_.schedule(config_.config_poll_interval, [this]() { config_tick(); });
+    return;
+  }
   sync_config_now();
   kernel_.schedule(config_.config_poll_interval, [this]() { config_tick(); });
 }
 
 void Magmad::checkin_tick() {
+  if (wedged_) {
+    kernel_.schedule(config_.checkin_interval, [this]() { checkin_tick(); });
+    return;
+  }
   rpc::Writer w;
   w.str(gateway_id_);
   w.str("agw");
@@ -278,6 +286,10 @@ std::vector<orc8r::HistogramSnapshot> Magmad::prepare_histogram_report(
 }
 
 void Magmad::metrics_tick() {
+  if (wedged_) {
+    kernel_.schedule(config_.metrics_interval, [this]() { metrics_tick(); });
+    return;
+  }
   if (shed_telemetry()) {
     kernel_.schedule(config_.metrics_interval, [this]() { metrics_tick(); });
     return;
@@ -339,6 +351,10 @@ void Magmad::metrics_tick() {
 }
 
 void Magmad::event_tick() {
+  if (wedged_) {
+    kernel_.schedule(config_.event_flush_interval, [this]() { event_tick(); });
+    return;
+  }
   // Backpressure-paced drain: ship batches until the buffer is empty or the
   // channel already holds telemetry_backpressure unacked messages. Each
   // batch sent occupies one slot, so the loop self-limits — a deep
@@ -398,6 +414,11 @@ void Magmad::event_tick() {
 }
 
 void Magmad::checkpoint_tick() {
+  if (wedged_) {
+    kernel_.schedule(config_.checkpoint_interval,
+                     [this]() { checkpoint_tick(); });
+    return;
+  }
   if (shed_telemetry()) {
     kernel_.schedule(config_.checkpoint_interval,
                      [this]() { checkpoint_tick(); });

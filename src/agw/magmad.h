@@ -161,6 +161,14 @@ class Magmad {
   // One immediate config sync (used at boot and by tests).
   void sync_config_now(std::function<void(bool applied)> done = nullptr);
 
+  // Fault injection: a wedged magmad stops doing work on every periodic
+  // tick (no checkins, no config polls, no telemetry) while the ticks keep
+  // rescheduling — the supervisor process is alive but its loops are stuck,
+  // the classic crashed-service shape statusd's missed-checkin FSM detects.
+  // Unwedging resumes on the next tick boundary.
+  void simulate_wedge(bool wedged) { wedged_ = wedged; }
+  bool wedged() const { return wedged_; }
+
   std::uint64_t synced_version() const { return synced_version_; }
   std::uint64_t synced_epoch() const { return synced_epoch_; }
   bool orchestrator_reachable() const { return reachable_; }
@@ -211,6 +219,7 @@ class Magmad {
   std::map<std::string, std::vector<std::uint64_t>> last_shipped_counts_;
 
   bool started_ = false;
+  bool wedged_ = false;
   bool reachable_ = false;
   std::uint64_t synced_version_ = 0;
   std::uint64_t synced_epoch_ = 0;  // 0: never synced

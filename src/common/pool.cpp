@@ -44,6 +44,12 @@ inline void mark_addressable(void* p, std::size_t n) {
 // -1 = unresolved; resolved lazily from MAGMA_DISABLE_POOLS on first query.
 std::atomic<int> g_pooling_state{-1};
 
+// Process-wide heap-fallback tally across every BlockPool. Individual pools
+// are private members of their owners (channel maps, microflow cache), so
+// fleet telemetry reads this instead of chasing pointers — the same pattern
+// as the process-wide host_alloc_bytes gauge.
+std::uint64_t g_total_heap_fallbacks = 0;
+
 int resolve_pooling_from_env() {
   const char* env = std::getenv("MAGMA_DISABLE_POOLS");
   const bool disabled = env != nullptr && env[0] != '\0' &&
@@ -66,6 +72,10 @@ void set_memory_pooling_enabled(bool enabled) noexcept {
   g_pooling_state.store(enabled ? 1 : 0, std::memory_order_relaxed);
 }
 
+std::uint64_t total_pool_heap_fallbacks() noexcept {
+  return g_total_heap_fallbacks;
+}
+
 BlockPool::~BlockPool() {
   for (const auto& [base, bytes] : chunks_) {
     // Chunks were carved into poisoned blocks; lift the ASan poison before
@@ -80,6 +90,7 @@ void* BlockPool::payload_from_heap(std::size_t size) {
       static_cast<Header*>(::operator new(sizeof(Header) + size));
   header->owner = nullptr;
   ++stats_.heap_fallbacks;
+  ++g_total_heap_fallbacks;
   return header + 1;
 }
 

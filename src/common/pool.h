@@ -47,6 +47,11 @@ namespace magma::common {
 bool memory_pooling_enabled() noexcept;
 void set_memory_pooling_enabled(bool enabled) noexcept;
 
+// Process-wide heap-fallback count summed over every BlockPool (pools are
+// private to their owners; telemetry reads this aggregate — see the
+// pool_heap_fallbacks gauge).
+std::uint64_t total_pool_heap_fallbacks() noexcept;
+
 struct PoolStats {
   std::uint64_t acquired = 0;         // allocate calls served (any path)
   std::uint64_t released = 0;         // deallocate calls

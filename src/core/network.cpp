@@ -19,6 +19,8 @@ Network::Network(NetworkConfig config)
   statusd.checkin_interval = config_.magmad.checkin_interval;
   orchestrator_->statusd().configure(statusd);
   orchestrator_->statusd().start();
+  // SLO evaluation (derived histogram SLIs) rides its own periodic tick.
+  orchestrator_->start_slo_tick();
   if (config_.with_ocs) ocs_ = std::make_unique<ocs::Ocs>();
   add_policy(unlimited_policy());
 }

@@ -1,0 +1,56 @@
+#include "obs/slo/attribution.h"
+
+#include <cstdio>
+
+namespace magma::obs::slo {
+
+namespace {
+
+std::string backhaul_detail(const DowntimeSignals& s) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "transport_resets +%.0f rto_at_cap +%.0f link_drops +%.0f",
+                s.transport_resets_growth, s.rto_at_cap_growth,
+                s.link_drops_growth);
+  return buf;
+}
+
+std::string crash_detail(const DowntimeSignals& s) {
+  if (s.error_event) return "ERROR event from " + s.error_source;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "service_errors_%s +%.0f",
+                s.error_service.c_str(), s.max_service_error_growth);
+  return buf;
+}
+
+std::string overload_detail(const DowntimeSignals& s) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "overload_rejections +%.0f runq_fraction %.2f",
+                s.overload_rejections_growth, s.runq_wait_fraction);
+  return buf;
+}
+
+}  // namespace
+
+DowntimeCause attribute_downtime(const DowntimeSignals& signals,
+                                 std::string* detail) {
+  if (signals.transport_resets_growth > 0 || signals.rto_at_cap_growth > 0 ||
+      signals.link_drops_growth > 0) {
+    if (detail != nullptr) *detail = backhaul_detail(signals);
+    return DowntimeCause::kBackhaul;
+  }
+  if (signals.error_event || signals.max_service_error_growth > 0) {
+    if (detail != nullptr) *detail = crash_detail(signals);
+    return DowntimeCause::kServiceCrash;
+  }
+  if (signals.overload_rejections_growth > 0 ||
+      signals.runq_wait_fraction > kRunqOverloadFraction) {
+    if (detail != nullptr) *detail = overload_detail(signals);
+    return DowntimeCause::kOverload;
+  }
+  if (detail != nullptr) detail->clear();
+  return DowntimeCause::kUnknown;
+}
+
+}  // namespace magma::obs::slo

@@ -1,0 +1,57 @@
+// Downtime attribution: label a closed downtime interval with its cause.
+//
+// The orchestrator gathers evidence around the interval — counter growth
+// across it (cumulative gauges sampled just before the down edge vs after
+// recovery plus a settle delay, so the post-recovery metrics tick has
+// landed), ERROR events from the gateway, per-service error-counter growth
+// from the Service303 snapshots, and the critical-path runq share — and
+// this pure function turns the evidence into a cause.
+//
+// Precedence matters and is deliberate:
+//   1. backhaul — transport resets, RTO pinned at max, or link drops grew.
+//      Checked FIRST: a backhaul outage buffers the gateway's events and
+//      ships them after recovery with in-window timestamps, so an ERROR
+//      event alone must not outrank transport evidence (a crashed service
+//      with a healthy backhaul, conversely, grows none of these counters).
+//   2. service crash — an ERROR event or a service error counter grew while
+//      the transport stayed clean.
+//   3. overload — admission-control rejections grew, or the critical path
+//      went runq-dominated.
+//   4. unknown — nothing conclusive; counted, never guessed.
+#pragma once
+
+#include <string>
+
+#include "obs/slo/availability.h"
+
+namespace magma::obs::slo {
+
+// Evidence gathered for one downtime interval. Growth fields are counter
+// deltas across [just before the down edge, recovery + settle]; 0 when the
+// counter did not move (or was never sampled on both sides).
+struct DowntimeSignals {
+  // Backhaul lens (transport + link counters from the gateway's own
+  // telemetry — cumulative, so the post-recovery report carries the growth
+  // that happened mid-outage).
+  double transport_resets_growth = 0;
+  double rto_at_cap_growth = 0;
+  double link_drops_growth = 0;
+  // Service lens.
+  bool error_event = false;        // ERROR-severity event in the window
+  std::string error_source;        // its emitting service
+  double max_service_error_growth = 0;  // largest service_errors_* delta
+  std::string error_service;            // the service it belongs to
+  // Overload lens.
+  double overload_rejections_growth = 0;
+  double runq_wait_fraction = 0;  // critical-path runq share in [0, 1]
+};
+
+// Threshold above which the critical-path runq share alone indicates
+// overload.
+inline constexpr double kRunqOverloadFraction = 0.5;
+
+// `detail` (optional) receives a one-line evidence summary.
+DowntimeCause attribute_downtime(const DowntimeSignals& signals,
+                                 std::string* detail);
+
+}  // namespace magma::obs::slo

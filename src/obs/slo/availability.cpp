@@ -1,0 +1,121 @@
+#include "obs/slo/availability.h"
+
+#include <algorithm>
+
+namespace magma::obs::slo {
+
+const char* downtime_cause_name(DowntimeCause cause) {
+  switch (cause) {
+    case DowntimeCause::kUnknown: return "unknown";
+    case DowntimeCause::kBackhaul: return "backhaul";
+    case DowntimeCause::kServiceCrash: return "service_crash";
+    case DowntimeCause::kOverload: return "overload";
+  }
+  return "?";
+}
+
+void AvailabilityLedger::observe(const std::string& gateway_id,
+                                 sim::TimePoint at) {
+  Gateway& gw = gateways_[gateway_id];
+  if (gw.first_seen < 0 || at < gw.first_seen) gw.first_seen = at;
+}
+
+void AvailabilityLedger::record_down(const std::string& gateway_id,
+                                     sim::TimePoint at) {
+  Gateway& gw = gateways_[gateway_id];
+  if (gw.down) return;
+  if (gw.first_seen < 0) gw.first_seen = at;
+  // Backdated edges must not reach into the previous interval (or before
+  // first contact): clamp forward.
+  sim::TimePoint start = std::max(at, gw.first_seen);
+  if (!gw.intervals.empty() && gw.intervals.back().end > start) {
+    start = gw.intervals.back().end;
+  }
+  DowntimeInterval interval;
+  interval.start = start;
+  gw.intervals.push_back(std::move(interval));
+  gw.down = true;
+  ++stats_.downs;
+}
+
+void AvailabilityLedger::record_up(const std::string& gateway_id,
+                                   sim::TimePoint at) {
+  auto it = gateways_.find(gateway_id);
+  if (it == gateways_.end() || !it->second.down) return;
+  DowntimeInterval& interval = it->second.intervals.back();
+  interval.end = std::max(at, interval.start);
+  it->second.down = false;
+  ++stats_.ups;
+}
+
+bool AvailabilityLedger::is_down(const std::string& gateway_id) const {
+  auto it = gateways_.find(gateway_id);
+  return it != gateways_.end() && it->second.down;
+}
+
+bool AvailabilityLedger::label(const std::string& gateway_id,
+                               sim::TimePoint start, DowntimeCause cause,
+                               std::string detail) {
+  auto it = gateways_.find(gateway_id);
+  if (it == gateways_.end()) return false;
+  // Newest first: the attribution join labels intervals shortly after they
+  // close.
+  for (auto rit = it->second.intervals.rbegin();
+       rit != it->second.intervals.rend(); ++rit) {
+    if (rit->start == start) {
+      rit->cause = cause;
+      rit->detail = std::move(detail);
+      ++stats_.labels;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<DowntimeInterval>* AvailabilityLedger::intervals(
+    const std::string& gateway_id) const {
+  auto it = gateways_.find(gateway_id);
+  return it == gateways_.end() ? nullptr : &it->second.intervals;
+}
+
+sim::TimePoint AvailabilityLedger::first_seen(
+    const std::string& gateway_id) const {
+  auto it = gateways_.find(gateway_id);
+  return it == gateways_.end() ? -1 : it->second.first_seen;
+}
+
+double AvailabilityLedger::downtime_seconds(const std::string& gateway_id,
+                                            sim::TimePoint from,
+                                            sim::TimePoint to) const {
+  auto it = gateways_.find(gateway_id);
+  if (it == gateways_.end() || to <= from) return 0;
+  double down = 0;
+  for (const DowntimeInterval& interval : it->second.intervals) {
+    const sim::TimePoint end = interval.end < 0 ? to : interval.end;
+    const sim::TimePoint lo = std::max(interval.start, from);
+    const sim::TimePoint hi = std::min(end, to);
+    if (hi > lo) down += sim::to_seconds(hi - lo);
+  }
+  return down;
+}
+
+double AvailabilityLedger::uptime_ratio(const std::string& gateway_id,
+                                        sim::TimePoint from,
+                                        sim::TimePoint to) const {
+  auto it = gateways_.find(gateway_id);
+  if (it == gateways_.end() || it->second.first_seen < 0) return 1.0;
+  const sim::TimePoint start = std::max(from, it->second.first_seen);
+  if (to <= start) return 1.0;
+  const double span = sim::to_seconds(to - start);
+  const double down = downtime_seconds(gateway_id, start, to);
+  return span <= 0 ? 1.0 : std::max(0.0, 1.0 - down / span);
+}
+
+std::vector<std::string> AvailabilityLedger::tracked() const {
+  std::vector<std::string> out;
+  out.reserve(gateways_.size());
+  for (const auto& [id, _] : gateways_) out.push_back(id);
+  return out;
+}
+
+}  // namespace magma::obs::slo

@@ -1,0 +1,36 @@
+#include "obs/slo/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace magma::obs::slo {
+
+double burn_rate(double good_fraction, double objective) {
+  const double budget = 1.0 - objective;
+  if (budget <= 0) return 0;
+  return std::max(0.0, 1.0 - good_fraction) / budget;
+}
+
+double budget_consumed(double mean_good, double objective,
+                       sim::Duration elapsed, sim::Duration window) {
+  if (window <= 0 || elapsed <= 0) return 0;
+  return burn_rate(mean_good, objective) * sim::to_seconds(elapsed) /
+         sim::to_seconds(window);
+}
+
+std::string format_slo_report(const std::vector<SloStatus>& rows) {
+  std::string out;
+  for (const SloStatus& row : rows) {
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "%-24s objective=%.3f%% sli=%.4f%% burn=%.2f "
+                  "budget_consumed=%.1f%%%s\n",
+                  row.name.c_str(), 100.0 * row.objective, 100.0 * row.sli,
+                  row.burn, 100.0 * row.budget_consumed,
+                  row.alerting ? "  [ALERTING]" : "");
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace magma::obs::slo

@@ -1,0 +1,64 @@
+// SLO declarations and error-budget math.
+//
+// An SLI here is a metric series whose samples are "good fractions" in
+// [0, 1] (1 = the objective was met at that instant): sli_gateway_up,
+// sli_attach_success_rate, sli_config_sync_fresh, sli_attach_p95_ok. An SLO
+// binds such a series to an objective (the target good fraction) over a
+// budget window; the error budget is the (1 - objective) slice of that
+// window the service is allowed to burn.
+//
+// Burn rate is the SRE-book normalization: a burn of 1 consumes exactly the
+// budget over the window, a burn of 14.4 consumes a 30-day budget's 2% in
+// one hour. Alerting on it is metricsd's AlertKind::kBurnRate (fast AND
+// slow window must both burn — see metricsd.h); this header only holds the
+// pure math and report formatting so it stays usable from benches and tests
+// without dragging in orc8r.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace magma::obs::slo {
+
+struct SloSpec {
+  std::string name;        // "availability", "attach_success", ...
+  std::string sli_metric;  // metric series carrying the 0..1 good fraction
+  double objective = 0.999;  // target good fraction over the window
+  sim::Duration window = 7 * 24 * sim::kHour;  // error-budget window
+  // Derived SLI (optional): when source_histogram is set, the owner's SLO
+  // tick computes quantile(source_histogram, quantile), compares it to
+  // `target`, and pushes the 0/1 outcome as sli_metric — how "attach p95
+  // under 500 ms" becomes an SLI from histograms that already ship.
+  std::string source_histogram;
+  double quantile = 0.95;
+  double target = 0;  // threshold for the derived quantile, seconds
+};
+
+// (1 - good_fraction) / (1 - objective): the rate the error budget burns
+// relative to the steady rate that would exhaust it exactly at window end.
+// 0 when the objective is degenerate (>= 1 treated as no budget at all
+// would divide by zero; callers install objectives < 1).
+double burn_rate(double good_fraction, double objective);
+
+// Fraction of the window's error budget consumed by running at `mean_good`
+// for `elapsed` of the `window`: burn_rate * elapsed / window. 1.0 = budget
+// gone.
+double budget_consumed(double mean_good, double objective,
+                       sim::Duration elapsed, sim::Duration window);
+
+// One row of the fleet SLO report (what Orchestrator::slo_report returns).
+struct SloStatus {
+  std::string name;
+  double objective = 0;
+  double sli = 1.0;  // mean good fraction over the report window
+  double burn = 0;
+  double budget_consumed = 0;
+  bool alerting = false;  // a burn-rate alert on this SLI is firing now
+};
+
+// Human-readable rendering, one line per SLO.
+std::string format_slo_report(const std::vector<SloStatus>& rows);
+
+}  // namespace magma::obs::slo

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/slo/slo.h"
 #include "rpc/wire.h"
 
 namespace magma::orc8r {
@@ -270,6 +271,7 @@ void Metricsd::add_alert_rule(AlertRule rule) {
 void Metricsd::remove_alert_rule(const std::string& name) {
   std::erase_if(rules_, [&](const AlertRule& r) { return r.name == name; });
   std::erase_if(firing_, [&](const auto& kv) { return kv.first.first == name; });
+  std::erase_if(burn_, [&](const auto& kv) { return kv.first.first == name; });
 }
 
 std::vector<ActiveAlert> Metricsd::active_alerts() const {
@@ -284,7 +286,9 @@ void Metricsd::evaluate_alerts(const MetricSample& sample) {
   const auto prev_it = last_value_.find(series_key);
   for (const AlertRule& rule : rules_) {
     if (rule.metric != sample.name) continue;
+    const auto key = std::make_pair(rule.name, sample.gateway_id);
     bool breached = false;
+    double alert_value = sample.value;
     if (rule.kind == AlertKind::kDelta) {
       // Growth vs the previous sample from this gateway; the first sample
       // of a series establishes the baseline and never fires.
@@ -293,20 +297,49 @@ void Metricsd::evaluate_alerts(const MetricSample& sample) {
         breached = rule.fire_above ? delta > rule.threshold
                                    : delta < rule.threshold;
       }
+    } else if (rule.kind == AlertKind::kBurnRate) {
+      // Slide the per-(rule, gateway) slow window; the fast window is its
+      // newest tail. Both burns must exceed the threshold to fire — and
+      // either recovering clears (see AlertKind docs).
+      BurnState& state = burn_[key];
+      state.samples.emplace_back(sample.time, sample.value);
+      state.sum += sample.value;
+      const sim::TimePoint slow_cut = sample.time - rule.slow_window;
+      while (!state.samples.empty() &&
+             state.samples.front().first <= slow_cut) {
+        state.sum -= state.samples.front().second;
+        state.samples.pop_front();
+      }
+      const double slow_mean =
+          state.sum / static_cast<double>(state.samples.size());
+      const sim::TimePoint fast_cut = sample.time - rule.fast_window;
+      double fast_sum = 0;
+      std::size_t fast_n = 0;
+      for (auto rit = state.samples.rbegin();
+           rit != state.samples.rend() && rit->first > fast_cut; ++rit) {
+        fast_sum += rit->second;
+        ++fast_n;
+      }
+      // fast_n >= 1: the sample just pushed is inside its own fast window.
+      const double fast_burn =
+          obs::slo::burn_rate(fast_sum / static_cast<double>(fast_n),
+                              rule.objective);
+      const double slow_burn = obs::slo::burn_rate(slow_mean, rule.objective);
+      breached = fast_burn > rule.threshold && slow_burn > rule.threshold;
+      alert_value = fast_burn;
     } else {
       breached = rule.fire_above ? sample.value > rule.threshold
                                  : sample.value < rule.threshold;
     }
-    const auto key = std::make_pair(rule.name, sample.gateway_id);
     auto it = firing_.find(key);
     if (breached) {
       if (it == firing_.end()) {
         firing_[key] =
-            ActiveAlert{rule.name, sample.gateway_id, sample.value,
+            ActiveAlert{rule.name, sample.gateway_id, alert_value,
                         sample.time};
         ++alerts_fired_;
       } else {
-        it->second.value = sample.value;  // still firing; refresh value
+        it->second.value = alert_value;  // still firing; refresh value
       }
     } else if (it != firing_.end()) {
       firing_.erase(it);  // recovered
@@ -331,8 +364,16 @@ void Metricsd::ingest(const MetricSample& sample) {
   }
   ++total_;
   if (max_per_series_ != 0 && series.size() > max_per_series_) {
-    series.erase(series.begin());
-    ++samples_dropped_;
+    // Amortized retention: trimming one sample per ingest is an O(cap)
+    // front-erase every time once a series fills — quadratic over a long
+    // run (the 7-day availability bench lives at the cap for days). Trim a
+    // half-cap chunk instead: the series length oscillates in
+    // [cap/2, cap] and eviction amortizes to O(1) per sample.
+    const std::size_t chunk = std::max<std::size_t>(1, max_per_series_ / 2);
+    const std::size_t evict = std::min(chunk, series.size());
+    series.erase(series.begin(),
+                 series.begin() + static_cast<std::ptrdiff_t>(evict));
+    samples_dropped_ += evict;
   }
 }
 
@@ -365,6 +406,25 @@ std::optional<double> Metricsd::latest(const std::string& gateway_id,
   return std::nullopt;
 }
 
+std::optional<double> Metricsd::latest_at_or_before(
+    const std::string& gateway_id, const std::string& name,
+    sim::TimePoint at) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  const std::vector<MetricSample>& series = it->second;
+  MetricSample probe;
+  probe.time = at;
+  auto pos = std::upper_bound(series.begin(), series.end(), probe,
+                              [](const MetricSample& a, const MetricSample& b) {
+                                return a.time < b.time;
+                              });
+  while (pos != series.begin()) {
+    --pos;
+    if (pos->gateway_id == gateway_id) return pos->value;
+  }
+  return std::nullopt;
+}
+
 double Metricsd::sum_in_window(const std::string& name, sim::TimePoint from,
                                sim::TimePoint to) const {
   auto it = by_name_.find(name);
@@ -374,6 +434,23 @@ double Metricsd::sum_in_window(const std::string& name, sim::TimePoint from,
     if (s.time >= from && s.time < to) sum += s.value;
   }
   return sum;
+}
+
+std::optional<double> Metricsd::mean_in_window(const std::string& name,
+                                               sim::TimePoint from,
+                                               sim::TimePoint to) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  double sum = 0;
+  std::size_t n = 0;
+  for (const MetricSample& s : it->second) {
+    if (s.time >= from && s.time < to) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  if (n == 0) return std::nullopt;
+  return sum / static_cast<double>(n);
 }
 
 void install_default_transport_rules(Metricsd& metricsd,
@@ -402,6 +479,100 @@ std::vector<std::string> Metricsd::metric_names() const {
   names.reserve(by_name_.size());
   for (const auto& [name, _] : by_name_) names.push_back(name);
   return names;
+}
+
+std::vector<AvailabilityRow> availability_rollup(
+    const obs::slo::AvailabilityLedger& ledger, sim::TimePoint from,
+    sim::TimePoint to) {
+  std::vector<AvailabilityRow> rows;
+  AvailabilityRow fleet;
+  fleet.gateway_id = "FLEET";
+  double availability_sum = 0;
+  for (const std::string& gw : ledger.tracked()) {
+    AvailabilityRow row;
+    row.gateway_id = gw;
+    row.availability = ledger.uptime_ratio(gw, from, to);
+    row.downtime_s = ledger.downtime_seconds(gw, from, to);
+    if (const auto* intervals = ledger.intervals(gw)) {
+      for (const obs::slo::DowntimeInterval& interval : *intervals) {
+        const sim::TimePoint end =
+            interval.end < 0 ? to : std::min(interval.end, to);
+        const sim::TimePoint start = std::max(interval.start, from);
+        if (end <= start) continue;  // no overlap with the report window
+        ++row.intervals;
+        row.cause_s[static_cast<std::size_t>(interval.cause)] +=
+            sim::to_seconds(end - start);
+      }
+    }
+    availability_sum += row.availability;
+    fleet.downtime_s += row.downtime_s;
+    fleet.intervals += row.intervals;
+    for (std::size_t i = 0; i < obs::slo::kDowntimeCauseCount; ++i) {
+      fleet.cause_s[i] += row.cause_s[i];
+    }
+    rows.push_back(std::move(row));
+  }
+  if (!rows.empty()) {
+    fleet.availability = availability_sum / static_cast<double>(rows.size());
+  }
+  rows.push_back(std::move(fleet));
+  return rows;
+}
+
+std::string format_availability(const std::vector<AvailabilityRow>& rows) {
+  std::string out;
+  for (const AvailabilityRow& row : rows) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%-16s avail=%.4f%% down=%.1fs intervals=%llu |",
+                  row.gateway_id.c_str(), 100.0 * row.availability,
+                  row.downtime_s,
+                  static_cast<unsigned long long>(row.intervals));
+    out += line;
+    for (std::size_t i = 0; i < obs::slo::kDowntimeCauseCount; ++i) {
+      if (row.cause_s[i] <= 0) continue;
+      std::snprintf(
+          line, sizeof(line), " %s %.1f%%",
+          obs::slo::downtime_cause_name(
+              static_cast<obs::slo::DowntimeCause>(i)),
+          row.downtime_s > 0 ? 100.0 * row.cause_s[i] / row.downtime_s : 0.0);
+      out += line;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void install_default_slo_rules(Metricsd& metricsd) {
+  // 14.4 is the SRE-book "2% of a 30-day budget in one hour" page threshold;
+  // with the fast window at 5 min and the slow at 1 h (the AlertRule
+  // defaults), a full outage fires within minutes and a lone bad sample
+  // never does.
+  AlertRule availability;
+  availability.name = "slo_availability_burn";
+  availability.metric = "sli_gateway_up";
+  availability.threshold = 14.4;
+  availability.kind = AlertKind::kBurnRate;
+  availability.objective = 0.999;
+  metricsd.add_alert_rule(std::move(availability));
+
+  AlertRule attach;
+  attach.name = "slo_attach_success_burn";
+  attach.metric = "sli_attach_success_rate";
+  attach.threshold = 14.4;
+  attach.kind = AlertKind::kBurnRate;
+  attach.objective = 0.99;
+  metricsd.add_alert_rule(std::move(attach));
+
+  // Config-sync staleness is a slower-moving signal (the config tick is
+  // 30 s): page at a gentler burn so a couple of lost polls don't.
+  AlertRule config_sync;
+  config_sync.name = "slo_config_sync_burn";
+  config_sync.metric = "sli_config_sync_fresh";
+  config_sync.threshold = 6.0;
+  config_sync.kind = AlertKind::kBurnRate;
+  config_sync.objective = 0.95;
+  metricsd.add_alert_rule(std::move(config_sync));
 }
 
 }  // namespace magma::orc8r

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <string>
@@ -18,6 +19,7 @@
 #include "common/bytes.h"
 #include "common/result.h"
 #include "obs/histogram.h"
+#include "obs/slo/availability.h"
 #include "obs/tail_sampler.h"
 #include "sim/time.h"
 
@@ -82,6 +84,14 @@ enum class AlertKind : std::uint8_t {
   // sample from the same gateway (for monotonic counters like
   // transport_resets, where any growth is the page-worthy signal).
   kDelta = 1,
+  // SRE-style multi-window burn rate over an SLI series (samples are good
+  // fractions in [0, 1]). Fires only when BOTH the fast window's and the
+  // slow window's burn rate — (1 - mean) / (1 - objective) — exceed
+  // `threshold`: the fast window makes the alert react within minutes of an
+  // outage, the slow window keeps a single bad sample from paging; clears
+  // as soon as either window recovers, so the page ends minutes after the
+  // incident does instead of waiting out the long window.
+  kBurnRate = 2,
 };
 
 // Threshold alert rule (the "metrics, alerting, and monitoring" systems
@@ -93,6 +103,10 @@ struct AlertRule {
   double threshold = 0;
   bool fire_above = true;    // fire when value > threshold (else <)
   AlertKind kind = AlertKind::kThreshold;
+  // kBurnRate only: the SLO's good-fraction objective and the two windows.
+  double objective = 0.999;
+  sim::Duration fast_window = 5 * sim::kMinute;
+  sim::Duration slow_window = sim::kHour;
 };
 
 struct ActiveAlert {
@@ -137,7 +151,10 @@ class Metricsd {
 
   // Per-series retention cap: each (metric name) series keeps at most this
   // many samples, oldest trimmed first (million-user soaks must not grow
-  // metricsd without bound). 0 disables the cap.
+  // metricsd without bound). Eviction is chunked — a series over the cap
+  // drops its oldest half-cap at once, so length oscillates in
+  // [cap/2, cap] and retention stays O(1) amortized per sample instead of
+  // an O(cap) front-erase each. 0 disables the cap.
   void set_retention(std::size_t max_samples_per_series);
   std::uint64_t samples_dropped() const { return samples_dropped_; }
 
@@ -147,6 +164,7 @@ class Metricsd {
   // Alerts currently firing (per gateway, latest sample crossing the
   // threshold; clears when a sample comes back within bounds).
   std::vector<ActiveAlert> active_alerts() const;
+  const std::vector<AlertRule>& alert_rules() const { return rules_; }
   std::uint64_t alerts_fired() const { return alerts_fired_; }
 
   // All samples of `name` across gateways, time-ordered.
@@ -156,9 +174,20 @@ class Metricsd {
   double sum_latest(const std::string& name) const;
   std::optional<double> latest(const std::string& gateway_id,
                                const std::string& name) const;
+  // Last value of `name` from `gateway_id` at or before `at` — what the
+  // downtime-attribution join uses to read a cumulative counter "just
+  // before the outage" vs "after recovery".
+  std::optional<double> latest_at_or_before(const std::string& gateway_id,
+                                            const std::string& name,
+                                            sim::TimePoint at) const;
   // Sum of all values of `name` in [from, to) (e.g. bytes per hour).
   double sum_in_window(const std::string& name, sim::TimePoint from,
                        sim::TimePoint to) const;
+  // Mean of all values of `name` in [from, to), across gateways — the SLI
+  // aggregation slo_report uses. nullopt when the window holds no samples.
+  std::optional<double> mean_in_window(const std::string& name,
+                                       sim::TimePoint from,
+                                       sim::TimePoint to) const;
 
   std::size_t total_samples() const { return total_; }
   std::vector<std::string> metric_names() const;
@@ -185,6 +214,15 @@ class Metricsd {
   std::map<std::pair<std::string, std::string>, ActiveAlert> firing_;
   // (metric, gateway) -> previous value, for kDelta rules.
   std::map<std::pair<std::string, std::string>, double> last_value_;
+  // (rule name, gateway) -> sliding slow-window SLI samples, for kBurnRate
+  // rules. The deque covers the slow window with a running sum (O(1) slow
+  // mean per sample); the fast mean is a reverse scan over its newest tail,
+  // which at sane SLI cadences is a handful of entries.
+  struct BurnState {
+    std::deque<std::pair<sim::TimePoint, double>> samples;
+    double sum = 0;
+  };
+  std::map<std::pair<std::string, std::string>, BurnState> burn_;
   std::uint64_t alerts_fired_ = 0;
 };
 
@@ -201,5 +239,32 @@ void install_default_transport_rules(Metricsd& metricsd,
 // the "where does attach latency go" answer.
 std::string format_latency_attribution(
     const std::vector<LatencyAttributionRow>& rows);
+
+// One row of the fleet availability rollup: a gateway's uptime ratio over
+// the report window with its downtime decomposed by attributed cause. The
+// final row returned by availability_rollup is the "FLEET" aggregate (mean
+// availability, summed downtime).
+struct AvailabilityRow {
+  std::string gateway_id;
+  double availability = 1.0;
+  double downtime_s = 0;
+  std::uint64_t intervals = 0;
+  std::array<double, obs::slo::kDowntimeCauseCount> cause_s{};
+};
+
+// Build the rollup from the statusd-owned ledger over [from, to).
+std::vector<AvailabilityRow> availability_rollup(
+    const obs::slo::AvailabilityLedger& ledger, sim::TimePoint from,
+    sim::TimePoint to);
+
+// Human-readable rendering, one line per gateway plus the FLEET row — the
+// metricsd answer to "what was my fleet's availability and why".
+std::string format_availability(const std::vector<AvailabilityRow>& rows);
+
+// Default SRE-style burn-rate alerting over the SLIs the orchestrator
+// extracts from signals that already flow (gateway liveness, attach
+// outcomes, config-sync freshness). Installed by Orchestrator; idempotent
+// by rule name.
+void install_default_slo_rules(Metricsd& metricsd);
 
 }  // namespace magma::orc8r

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/slo/attribution.h"
 #include "rpc/wire.h"
 
 namespace magma::orc8r {
@@ -36,6 +37,52 @@ Orchestrator::Orchestrator(sim::Kernel& kernel, std::string network_name)
   metricsd_.add_alert_rule(AlertRule{"orc8r_ingest_shed_growth",
                                      "orc8r_ingest_shed", 0.0, true,
                                      AlertKind::kDelta});
+  // SRE-style multi-window burn-rate alerting over the extracted SLIs.
+  install_default_slo_rules(metricsd_);
+  // Host-observability guards: the sim kernel and the payload pools fall
+  // back to the heap when their inline/pooled capacity is exceeded — both
+  // are perf regressions the fleet should page on, not discover in a bench.
+  metricsd_.add_alert_rule(AlertRule{"sim_closure_heap_fallbacks_growth",
+                                     "sim_closure_heap_fallbacks", 0.0, true,
+                                     AlertKind::kDelta});
+  metricsd_.add_alert_rule(AlertRule{"pool_heap_fallbacks_growth",
+                                     "pool_heap_fallbacks", 0.0, true,
+                                     AlertKind::kDelta});
+  // Default SLOs over the signals that already flow (see slos() docs).
+  {
+    obs::slo::SloSpec availability;
+    availability.name = "availability";
+    availability.sli_metric = "sli_gateway_up";
+    availability.objective = 0.999;
+    slos_.push_back(std::move(availability));
+    obs::slo::SloSpec attach_success;
+    attach_success.name = "attach_success";
+    attach_success.sli_metric = "sli_attach_success_rate";
+    attach_success.objective = 0.99;
+    slos_.push_back(std::move(attach_success));
+    obs::slo::SloSpec attach_p95;
+    attach_p95.name = "attach_p95";
+    attach_p95.sli_metric = "sli_attach_p95_ok";
+    attach_p95.objective = 0.95;
+    attach_p95.source_histogram = "span_lte_frontend_attach_s";
+    attach_p95.quantile = 0.95;
+    attach_p95.target = 0.5;  // p95 attach under 500 ms
+    slos_.push_back(std::move(attach_p95));
+    obs::slo::SloSpec config_sync;
+    config_sync.name = "config_sync_freshness";
+    config_sync.sli_metric = "sli_config_sync_fresh";
+    config_sync.objective = 0.95;
+    slos_.push_back(std::move(config_sync));
+  }
+  // Downtime attribution rides the ledger edges statusd's health FSM drives.
+  statusd_.set_downtime_hooks(
+      [this](const std::string& gw, sim::TimePoint start) {
+        on_downtime_open(gw, start);
+      },
+      [this](const std::string& gw,
+             const obs::slo::DowntimeInterval& interval) {
+        on_downtime_close(gw, interval);
+      });
   svc_streamer_ = &status_.register_service("streamer");
   svc_bootstrapper_ = &status_.register_service("bootstrapper");
   svc_state_ = &status_.register_service("state");
@@ -329,6 +376,186 @@ void Orchestrator::note_ingest_shed(IngestKind kind) {
 }
 
 // ---------------------------------------------------------------------------
+// Fleet SLO layer
+// ---------------------------------------------------------------------------
+
+void Orchestrator::add_slo(obs::slo::SloSpec spec) {
+  std::erase_if(slos_, [&](const obs::slo::SloSpec& s) {
+    return s.name == spec.name;
+  });
+  slos_.push_back(std::move(spec));
+}
+
+void Orchestrator::start_slo_tick(sim::Duration interval) {
+  if (slo_tick_started_) return;
+  slo_tick_started_ = true;
+  slo_tick(interval);
+}
+
+void Orchestrator::slo_tick(sim::Duration interval) {
+  kernel_.schedule(interval, [this, interval]() {
+    slo_tick_now();
+    slo_tick(interval);
+  });
+}
+
+void Orchestrator::slo_tick_now() {
+  ++stats_.slo_ticks;
+  const sim::TimePoint now = kernel_.now();
+  for (const obs::slo::SloSpec& spec : slos_) {
+    if (spec.source_histogram.empty()) continue;
+    // Derived SLI: the fleet-merged quantile of a histogram that already
+    // ships, folded to a 0/1 good sample against the spec's target.
+    if (metricsd_.histogram_count(spec.source_histogram) == 0) continue;
+    const double q =
+        metricsd_.histogram_quantile(spec.source_histogram, spec.quantile);
+    metricsd_.ingest(MetricSample{node_label_, spec.sli_metric,
+                                  q <= spec.target ? 1.0 : 0.0, now});
+  }
+}
+
+std::vector<obs::slo::SloStatus> Orchestrator::slo_report(
+    sim::TimePoint from, sim::TimePoint to) const {
+  std::vector<obs::slo::SloStatus> rows;
+  rows.reserve(slos_.size());
+  const std::vector<ActiveAlert> alerts = metricsd_.active_alerts();
+  for (const obs::slo::SloSpec& spec : slos_) {
+    obs::slo::SloStatus row;
+    row.name = spec.name;
+    row.objective = spec.objective;
+    // No samples in the window means nothing went wrong where the SLI is
+    // extracted (e.g. no attaches at all): report the budget untouched.
+    row.sli =
+        metricsd_.mean_in_window(spec.sli_metric, from, to).value_or(1.0);
+    row.burn = obs::slo::burn_rate(row.sli, spec.objective);
+    row.budget_consumed = obs::slo::budget_consumed(
+        row.sli, spec.objective, to - from, spec.window);
+    for (const ActiveAlert& alert : alerts) {
+      for (const AlertRule& rule : metricsd_.alert_rules()) {
+        if (rule.name == alert.rule && rule.metric == spec.sli_metric &&
+            rule.kind == AlertKind::kBurnRate) {
+          row.alerting = true;
+        }
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void Orchestrator::on_downtime_open(const std::string& gateway_id,
+                                    sim::TimePoint start) {
+  (void)start;
+  // Snapshot the fleet critical-path profile now; the close-side join
+  // deltas against it to decide whether the outage window was
+  // runq-dominated (the overload lens).
+  double runq_s = 0;
+  double total_s = 0;
+  for (const LatencyAttributionRow& row : metricsd_.latency_attribution()) {
+    runq_s += row.component_s[static_cast<std::size_t>(obs::WaitState::kRunq)];
+    total_s += row.total_s;
+  }
+  open_runq_snapshots_[gateway_id] = {runq_s, total_s};
+}
+
+void Orchestrator::on_downtime_close(
+    const std::string& gateway_id,
+    const obs::slo::DowntimeInterval& interval) {
+  // Wait out the settle delay so the recovered gateway's next metrics tick
+  // (carrying the counters that grew mid-outage) and its buffered events
+  // have landed before the join reads the evidence.
+  kernel_.schedule(attribution_settle_,
+                   [this, gw = gateway_id, iv = interval]() mutable {
+                     attribute_interval(gw, std::move(iv));
+                   });
+}
+
+void Orchestrator::attribute_interval(const std::string& gateway_id,
+                                      obs::slo::DowntimeInterval interval) {
+  const sim::TimePoint now = kernel_.now();
+  // Counter growth across [just before the down edge, now]: cumulative
+  // gauges make this robust to every mid-outage report being lost.
+  auto growth = [&](const std::string& metric) -> double {
+    const auto after = metricsd_.latest_at_or_before(gateway_id, metric, now);
+    if (!after.has_value()) return 0;
+    const auto before =
+        metricsd_.latest_at_or_before(gateway_id, metric, interval.start);
+    // A series that first appears mid-outage grew from zero.
+    if (!before.has_value()) return std::max(0.0, *after);
+    return std::max(0.0, *after - *before);
+  };
+  obs::slo::DowntimeSignals signals;
+  signals.transport_resets_growth = growth("transport_resets");
+  signals.rto_at_cap_growth = growth("transport_rto_at_cap");
+  signals.link_drops_growth = growth("link_dropped_packets_ul") +
+                              growth("link_dropped_packets_dl");
+  // ERROR events near the interval. The down edge is backdated to the first
+  // missed heartbeat, so a crash logged just before the heartbeats stopped
+  // sits slightly before interval.start — scan back a couple of checkin
+  // intervals.
+  const sim::TimePoint event_floor =
+      interval.start - 2 * statusd_.config().checkin_interval;
+  for (const obs::Event& e : events_) {
+    if (e.gateway_id != gateway_id || e.time < event_floor) continue;
+    if (e.severity != obs::EventSeverity::kError) continue;
+    signals.error_event = true;
+    signals.error_source = e.source;
+  }
+  // Per-service error-counter growth (statusd pushes service_errors_<svc>
+  // from the checkin snapshots).
+  static constexpr const char kServiceErrorsPrefix[] = "service_errors_";
+  for (const std::string& name : metricsd_.metric_names()) {
+    if (name.rfind(kServiceErrorsPrefix, 0) != 0) continue;
+    const double g = growth(name);
+    if (g > signals.max_service_error_growth) {
+      signals.max_service_error_growth = g;
+      signals.error_service = name.substr(sizeof(kServiceErrorsPrefix) - 1);
+    }
+  }
+  signals.overload_rejections_growth = growth("accessd_overload_rejections");
+  if (auto it = open_runq_snapshots_.find(gateway_id);
+      it != open_runq_snapshots_.end()) {
+    double runq_s = 0;
+    double total_s = 0;
+    for (const LatencyAttributionRow& row : metricsd_.latency_attribution()) {
+      runq_s +=
+          row.component_s[static_cast<std::size_t>(obs::WaitState::kRunq)];
+      total_s += row.total_s;
+    }
+    const double total_delta = total_s - it->second.second;
+    if (total_delta > 0) {
+      signals.runq_wait_fraction =
+          std::max(0.0, (runq_s - it->second.first) / total_delta);
+    }
+    open_runq_snapshots_.erase(it);
+  }
+
+  std::string detail;
+  const obs::slo::DowntimeCause cause =
+      obs::slo::attribute_downtime(signals, &detail);
+  statusd_.availability().label(gateway_id, interval.start, cause, detail);
+  if (cause == obs::slo::DowntimeCause::kUnknown) {
+    ++stats_.downtime_unattributed;
+  } else {
+    ++stats_.downtime_intervals_labeled;
+  }
+  // Leave the verdict where operators already look: the event stream.
+  obs::Event event;
+  event.time = now;
+  event.gateway_id = gateway_id;
+  event.type = "downtime_attributed";
+  event.source = "statusd";
+  event.message = std::string(obs::slo::downtime_cause_name(cause)) +
+                  (detail.empty() ? "" : ": " + detail);
+  event.severity = obs::EventSeverity::kWarn;
+  events_.push_back(std::move(event));
+  if (events_.size() > event_retention_) {
+    events_.pop_front();
+    ++stats_.events_dropped;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Southbound RPC surface
 // ---------------------------------------------------------------------------
 
@@ -348,6 +575,15 @@ void Orchestrator::bind(rpc::RpcNode& node) {
           ++stats_.noop_polls;
         } else {
           ++stats_.config_pushes;
+        }
+        // Config-sync freshness SLI: a poll answered "current" means this
+        // gateway's config was fresh when it asked (first contact and
+        // post-change catch-ups read as stale, which is exactly what the
+        // freshness budget is spent on).
+        if (!req.value().gateway_id.empty()) {
+          metricsd_.ingest(MetricSample{
+              req.value().gateway_id, "sli_config_sync_fresh",
+              update.mode == SyncMode::kNoop ? 1.0 : 0.0, kernel_.now()});
         }
         respond(update.serialize());
       });
@@ -494,6 +730,24 @@ void Orchestrator::bind(rpc::RpcNode& node) {
           obs::svc_error(svc_eventd_, events.error().message);
           respond(rpc::Error{events.error()});
           return;
+        }
+        // Attach-success SLI, extracted from the attach milestone events
+        // already in the batch: per gateway, good / (good + bad).
+        std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+            attach_outcomes;
+        for (const obs::Event& e : events.value()) {
+          if (e.type == "attach_success") {
+            ++attach_outcomes[e.gateway_id].first;
+          } else if (e.type == "attach_reject" || e.type == "attach_abort") {
+            ++attach_outcomes[e.gateway_id].second;
+          }
+        }
+        for (const auto& [gateway_id, outcomes] : attach_outcomes) {
+          const double total =
+              static_cast<double>(outcomes.first + outcomes.second);
+          metricsd_.ingest(MetricSample{
+              gateway_id, "sli_attach_success_rate",
+              static_cast<double>(outcomes.first) / total, kernel_.now()});
         }
         for (obs::Event& e : events.value()) {
           if (tracer_ != nullptr && e.trace.valid()) {

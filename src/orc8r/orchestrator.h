@@ -31,6 +31,7 @@
 #include "common/result.h"
 #include "core/policy.h"
 #include "obs/events.h"
+#include "obs/slo/slo.h"
 #include "obs/status.h"
 #include "obs/trace.h"
 #include "orc8r/ingest.h"
@@ -83,6 +84,11 @@ struct OrchestratorStats {
   // (also pushed as the orc8r_ingest_shed gauge; IngestShards has the
   // per-kind breakdown).
   std::uint64_t ingest_sheds = 0;
+  // SLO layer: periodic derived-SLI evaluations, and the downtime
+  // attribution join's outcomes (labeled = a non-unknown cause was found).
+  std::uint64_t slo_ticks = 0;
+  std::uint64_t downtime_intervals_labeled = 0;
+  std::uint64_t downtime_unattributed = 0;
 };
 
 class Orchestrator {
@@ -168,6 +174,37 @@ class Orchestrator {
   // Mutations the delta log retains; older gaps fall back to full sync.
   void set_delta_log_cap(std::size_t cap);
 
+  // --- Fleet SLO layer ---------------------------------------------------
+  // The default SLOs (installed at construction) cover the signals that
+  // already flow southbound: gateway availability from statusd's health
+  // FSM, attach success rate from structured events, attach p95 from the
+  // shipped histograms, and config-sync freshness from streamer polls.
+  void add_slo(obs::slo::SloSpec spec);
+  const std::vector<obs::slo::SloSpec>& slos() const { return slos_; }
+  // Begin the periodic SLO evaluation (derived histogram SLIs). NOT started
+  // implicitly for the same reason as statusd's sweep — the tick
+  // reschedules forever; core::Network starts it.
+  void start_slo_tick(sim::Duration interval = 60 * sim::kSecond);
+  // One evaluation (what the periodic tick runs): push each derived
+  // histogram SLI (quantile vs target, as a 0/1 good sample).
+  void slo_tick_now();
+  // Error-budget report over [from, to): per SLO, the mean SLI, burn rate,
+  // budget consumed, and whether a burn-rate alert on it is firing now.
+  std::vector<obs::slo::SloStatus> slo_report(sim::TimePoint from,
+                                              sim::TimePoint to) const;
+  // Fleet availability rollup from statusd's ledger (render with
+  // format_availability).
+  std::vector<AvailabilityRow> availability_rollup(sim::TimePoint from,
+                                                   sim::TimePoint to) const {
+    return orc8r::availability_rollup(statusd_.availability(), from, to);
+  }
+  // Delay between a downtime interval closing and the attribution join
+  // reading the evidence — long enough for the recovered gateway's next
+  // metrics tick (with the counters that grew mid-outage) to land.
+  void set_attribution_settle(sim::Duration settle) {
+    attribution_settle_ = settle;
+  }
+
   // --- Southbound RPC surface -------------------------------------------
   // Bind streamer/bootstrapper/state/metricsd handlers onto a node (one per
   // connected AGW link; handlers share this orchestrator's state).
@@ -195,6 +232,15 @@ class Orchestrator {
   void note_store_decode_error(const std::string& key,
                                const std::string& what);
   void note_ingest_shed(IngestKind kind);
+  void slo_tick(sim::Duration interval);
+  // Downtime attribution join (statusd ledger hooks): snapshot the
+  // fleet critical-path profile when an interval opens, gather counter
+  // growth / events / runq share after it closes (plus settle), label it.
+  void on_downtime_open(const std::string& gateway_id, sim::TimePoint start);
+  void on_downtime_close(const std::string& gateway_id,
+                         const obs::slo::DowntimeInterval& interval);
+  void attribute_interval(const std::string& gateway_id,
+                          obs::slo::DowntimeInterval interval);
 
   sim::Kernel& kernel_;
   std::string network_name_;
@@ -235,6 +281,15 @@ class Orchestrator {
   common::Bytes cached_full_;
 
   std::uint64_t fleet_trace_budget_ = 0;
+
+  // SLO layer state.
+  std::vector<obs::slo::SloSpec> slos_;
+  bool slo_tick_started_ = false;
+  sim::Duration attribution_settle_ = 90 * sim::kSecond;
+  // Fleet critical-path (runq_s, total_s) snapshot taken when a gateway's
+  // downtime interval opened, keyed by gateway — the overload lens.
+  std::map<std::string, std::pair<double, double>> open_runq_snapshots_;
+
   OrchestratorStats stats_;
 };
 

@@ -43,6 +43,7 @@ void Statusd::evaluate(GatewayStatus& gw) {
     next = GatewayHealth::kDegraded;
   }
   if (next != gw.health) {
+    const GatewayHealth prev = gw.health;
     if (next == GatewayHealth::kHealthy) {
       ++stats_.recoveries;
     } else if (next == GatewayHealth::kUnreachable) {
@@ -51,6 +52,25 @@ void Statusd::evaluate(GatewayStatus& gw) {
       ++stats_.to_degraded;
     }
     gw.health = next;
+    if (next == GatewayHealth::kUnreachable) {
+      // The gateway went dark well before the FSM noticed: backdate the
+      // down edge to the first missed heartbeat, bounding the availability
+      // error per edge to one checkin interval instead of the detection
+      // latency (unreachable_after_missed intervals + a sweep).
+      const sim::TimePoint down_at =
+          gw.last_checkin >= 0 ? gw.last_checkin + config_.checkin_interval
+                               : kernel_.now();
+      ledger_.record_down(gw.gateway_id, down_at);
+      if (on_down_) {
+        on_down_(gw.gateway_id,
+                 ledger_.intervals(gw.gateway_id)->back().start);
+      }
+    } else if (prev == GatewayHealth::kUnreachable) {
+      ledger_.record_up(gw.gateway_id, kernel_.now());
+      if (on_up_) {
+        on_up_(gw.gateway_id, ledger_.intervals(gw.gateway_id)->back());
+      }
+    }
   }
   if (metricsd_ != nullptr) {
     const sim::TimePoint now = kernel_.now();
@@ -58,6 +78,9 @@ void Statusd::evaluate(GatewayStatus& gw) {
                                    static_cast<double>(gw.health), now});
     metricsd_->ingest(MetricSample{gw.gateway_id, "gateway_missed_checkins",
                                    static_cast<double>(missed), now});
+    metricsd_->ingest(MetricSample{
+        gw.gateway_id, "sli_gateway_up",
+        gw.health == GatewayHealth::kUnreachable ? 0.0 : 1.0, now});
   }
 }
 
@@ -65,6 +88,7 @@ void Statusd::record_checkin(const std::string& gateway_id,
                              std::vector<obs::ServiceStatus> services) {
   GatewayStatus& gw = gateways_[gateway_id];
   gw.gateway_id = gateway_id;
+  ledger_.observe(gateway_id, kernel_.now());
   gw.last_checkin = kernel_.now();
   ++gw.checkins;
   gw.services = std::move(services);

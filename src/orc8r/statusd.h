@@ -21,11 +21,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "obs/slo/availability.h"
 #include "obs/status.h"
 #include "orc8r/metricsd.h"
 #include "sim/kernel.h"
@@ -103,6 +105,27 @@ class Statusd {
   const GatewayStatus* gateway(const std::string& gateway_id) const;
   std::vector<std::string> tracked_gateways() const;
 
+  // The availability ledger the health FSM drives: a gateway entering
+  // Unreachable opens a downtime interval (backdated to its first missed
+  // heartbeat, last_checkin + checkin_interval — see availability.h), and
+  // leaving Unreachable closes it. Alongside the health gauges, every
+  // evaluation also pushes `sli_gateway_up` (1.0 unless unreachable) — the
+  // SLI series the default availability burn-rate alert watches.
+  obs::slo::AvailabilityLedger& availability() { return ledger_; }
+  const obs::slo::AvailabilityLedger& availability() const { return ledger_; }
+
+  // Hooks the orchestrator's attribution join hangs off the ledger edges:
+  // `open` fires when a downtime interval opens (with its backdated start),
+  // `close` when it closes (with the whole interval, end filled in).
+  using DowntimeOpenHook =
+      std::function<void(const std::string&, sim::TimePoint)>;
+  using DowntimeCloseHook = std::function<void(
+      const std::string&, const obs::slo::DowntimeInterval&)>;
+  void set_downtime_hooks(DowntimeOpenHook open, DowntimeCloseHook close) {
+    on_down_ = std::move(open);
+    on_up_ = std::move(close);
+  }
+
   const StatusdStats& stats() const { return stats_; }
 
  private:
@@ -126,6 +149,9 @@ class Statusd {
   std::set<std::string> service_rules_;  // service names with a rule
   bool started_ = false;
   StatusdStats stats_;
+  obs::slo::AvailabilityLedger ledger_;
+  DowntimeOpenHook on_down_;
+  DowntimeCloseHook on_up_;
 };
 
 // Default health alerting over the statusd gauges: `gateway_degraded` warns

@@ -198,6 +198,56 @@ TEST(DeltaStream, CoalescesRepeatedWritesAndEmitsRemovals) {
   EXPECT_EQ(orc8r.stats().delta_entries_sent, 3u);
 }
 
+TEST(DeltaStream, HaveVersionEqualsCurrentServesNoop) {
+  sim::Kernel kernel;
+  orc8r::Orchestrator orc8r(kernel);
+  orc8r.add_subscriber(subscriber(1, "gold"));
+
+  // A caught-up gateway is a noop regardless of delta-log state — even a
+  // log trimmed to nothing must not push it onto the full path.
+  orc8r.set_delta_log_cap(0);
+  const orc8r::DesiredUpdate noop =
+      orc8r.desired_update(poll(orc8r.config_version(), orc8r.epoch()));
+  EXPECT_EQ(noop.mode, orc8r::SyncMode::kNoop);
+  EXPECT_TRUE(noop.entries.empty());
+  EXPECT_TRUE(noop.full.empty());
+  EXPECT_EQ(orc8r.stats().full_pushes, 0u);
+  EXPECT_EQ(orc8r.stats().delta_log_misses, 0u);
+}
+
+TEST(DeltaStream, DeltaLogTrimmedToExactRangeStillServesDelta) {
+  sim::Kernel kernel;
+  orc8r::Orchestrator orc8r(kernel);
+  const orc8r::DesiredUpdate base = orc8r.desired_update(poll(0, 0));
+
+  // Three mutations behind, and the log holds *exactly* those three
+  // records — the coverage check is an off-by-one trap: == must serve a
+  // delta, only < falls back to full.
+  orc8r.add_subscriber(subscriber(1, "p"));
+  orc8r.add_subscriber(subscriber(2, "p"));
+  orc8r.add_subscriber(subscriber(3, "p"));
+  const std::uint64_t need = orc8r.config_version() - base.version;
+  orc8r.set_delta_log_cap(static_cast<std::size_t>(need));
+
+  // The base poll itself may have been served as a full push; gate on
+  // growth from here, not absolute counts.
+  const std::uint64_t fulls_before = orc8r.stats().full_pushes;
+  const orc8r::DesiredUpdate exact =
+      orc8r.desired_update(poll(base.version, base.epoch));
+  EXPECT_EQ(exact.mode, orc8r::SyncMode::kDelta);
+  EXPECT_EQ(exact.entries.size(), 3u);
+  EXPECT_EQ(orc8r.stats().delta_log_misses, 0u);
+  EXPECT_EQ(orc8r.stats().full_pushes, fulls_before);
+
+  // One record fewer and the same poll must fall back to full.
+  orc8r.set_delta_log_cap(static_cast<std::size_t>(need) - 1);
+  const orc8r::DesiredUpdate short_log =
+      orc8r.desired_update(poll(base.version, base.epoch));
+  EXPECT_EQ(short_log.mode, orc8r::SyncMode::kFull);
+  EXPECT_EQ(orc8r.stats().full_pushes, fulls_before + 1);
+  EXPECT_EQ(orc8r.stats().delta_log_misses, 1u);
+}
+
 TEST(DeltaStream, LogOverflowAndDirectStoreWritesFallBackToFull) {
   sim::Kernel kernel;
   orc8r::Orchestrator orc8r(kernel);

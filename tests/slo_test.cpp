@@ -1,0 +1,382 @@
+// Fleet SLO layer: availability ledger interval accounting, SRE-style
+// multi-window burn-rate alerting, downtime-cause attribution, the SLO
+// report math, and the end-to-end join over a real backhaul outage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/network.h"
+#include "obs/slo/attribution.h"
+#include "obs/slo/availability.h"
+#include "obs/slo/slo.h"
+#include "orc8r/metricsd.h"
+#include "sim/time.h"
+
+namespace magma {
+namespace {
+
+using obs::slo::AvailabilityLedger;
+using obs::slo::DowntimeCause;
+using obs::slo::DowntimeSignals;
+
+// --- AvailabilityLedger ------------------------------------------------------
+
+TEST(AvailabilityLedger, IntervalAccountingAndUptimeRatio) {
+  AvailabilityLedger ledger;
+  ledger.observe("gw0", 0);
+  ledger.record_down("gw0", 100 * sim::kSecond);
+  ledger.record_up("gw0", 200 * sim::kSecond);
+
+  ASSERT_NE(ledger.intervals("gw0"), nullptr);
+  ASSERT_EQ(ledger.intervals("gw0")->size(), 1u);
+  EXPECT_EQ(ledger.intervals("gw0")->front().start, 100 * sim::kSecond);
+  EXPECT_EQ(ledger.intervals("gw0")->front().end, 200 * sim::kSecond);
+  EXPECT_FALSE(ledger.is_down("gw0"));
+
+  // 100 s down over a 1000 s window = 90% availability.
+  EXPECT_DOUBLE_EQ(ledger.downtime_seconds("gw0", 0, 1000 * sim::kSecond),
+                   100.0);
+  EXPECT_DOUBLE_EQ(ledger.uptime_ratio("gw0", 0, 1000 * sim::kSecond), 0.9);
+  // Window clipped to half of the outage sees half the downtime.
+  EXPECT_DOUBLE_EQ(
+      ledger.downtime_seconds("gw0", 0, 150 * sim::kSecond), 50.0);
+}
+
+TEST(AvailabilityLedger, OpenIntervalChargedToWindowEnd) {
+  AvailabilityLedger ledger;
+  ledger.observe("gw0", 0);
+  ledger.record_down("gw0", 600 * sim::kSecond);
+  EXPECT_TRUE(ledger.is_down("gw0"));
+  EXPECT_DOUBLE_EQ(ledger.downtime_seconds("gw0", 0, 1000 * sim::kSecond),
+                   400.0);
+  EXPECT_DOUBLE_EQ(ledger.uptime_ratio("gw0", 0, 1000 * sim::kSecond), 0.6);
+}
+
+TEST(AvailabilityLedger, BackdatedDownClampsToFirstSeenAndPriorInterval) {
+  AvailabilityLedger ledger;
+  ledger.observe("gw0", 50 * sim::kSecond);
+  // Backdated before first contact: clamped to first_seen.
+  ledger.record_down("gw0", 10 * sim::kSecond);
+  ledger.record_up("gw0", 100 * sim::kSecond);
+  EXPECT_EQ(ledger.intervals("gw0")->front().start, 50 * sim::kSecond);
+  // Backdated into the previous interval: clamped to its end.
+  ledger.record_down("gw0", 90 * sim::kSecond);
+  EXPECT_EQ(ledger.intervals("gw0")->back().start, 100 * sim::kSecond);
+  // Double-down is a no-op.
+  ledger.record_down("gw0", 300 * sim::kSecond);
+  EXPECT_EQ(ledger.intervals("gw0")->size(), 2u);
+  EXPECT_EQ(ledger.stats().downs, 2u);
+}
+
+TEST(AvailabilityLedger, UptimeRatioClampsWindowToFirstSeen) {
+  AvailabilityLedger ledger;
+  // Joined the fleet at t=500 s, down 100..200 of usable span 500..1000.
+  ledger.observe("gw0", 500 * sim::kSecond);
+  ledger.record_down("gw0", 600 * sim::kSecond);
+  ledger.record_up("gw0", 700 * sim::kSecond);
+  EXPECT_DOUBLE_EQ(ledger.uptime_ratio("gw0", 0, 1000 * sim::kSecond), 0.8);
+  // Never-seen gateways read fully available.
+  EXPECT_DOUBLE_EQ(ledger.uptime_ratio("nope", 0, 1000 * sim::kSecond), 1.0);
+}
+
+TEST(AvailabilityLedger, LabelFindsIntervalByStartTime) {
+  AvailabilityLedger ledger;
+  ledger.observe("gw0", 0);
+  ledger.record_down("gw0", 100 * sim::kSecond);
+  ledger.record_up("gw0", 200 * sim::kSecond);
+  EXPECT_TRUE(ledger.label("gw0", 100 * sim::kSecond,
+                           DowntimeCause::kBackhaul, "transport_resets +3"));
+  EXPECT_FALSE(ledger.label("gw0", 999 * sim::kSecond,
+                            DowntimeCause::kOverload, ""));
+  EXPECT_EQ(ledger.intervals("gw0")->front().cause, DowntimeCause::kBackhaul);
+  EXPECT_EQ(ledger.intervals("gw0")->front().detail, "transport_resets +3");
+  EXPECT_EQ(ledger.stats().labels, 1u);
+}
+
+// --- Burn-rate math and the kBurnRate alert kind -----------------------------
+
+TEST(BurnRate, MathMatchesSreDefinition) {
+  // All good: no burn. All bad at a 99.9% objective: burn 1000.
+  EXPECT_DOUBLE_EQ(obs::slo::burn_rate(1.0, 0.999), 0.0);
+  EXPECT_NEAR(obs::slo::burn_rate(0.0, 0.999), 1000.0, 1e-9);
+  // Half bad at 50% objective: burn 1 — budget spent exactly on schedule.
+  EXPECT_DOUBLE_EQ(obs::slo::burn_rate(0.5, 0.5), 1.0);
+  // Degenerate objective (no budget) never divides by zero.
+  EXPECT_DOUBLE_EQ(obs::slo::burn_rate(0.5, 1.0), 0.0);
+  // Burn 1 sustained for the whole window consumes the whole budget.
+  EXPECT_DOUBLE_EQ(
+      obs::slo::budget_consumed(0.5, 0.5, sim::kHour, sim::kHour), 1.0);
+  EXPECT_DOUBLE_EQ(
+      obs::slo::budget_consumed(0.5, 0.5, sim::kHour, 4 * sim::kHour), 0.25);
+}
+
+// Drive a kBurnRate rule with a hand-built SLI series: the slow window must
+// gate the fast one (no page on a blip), both-burning fires, and the fast
+// window recovering clears.
+TEST(BurnRate, MultiWindowFiresAndClears) {
+  orc8r::Metricsd metricsd;
+  orc8r::AlertRule rule;
+  rule.name = "slo_test_burn";
+  rule.metric = "sli_up";
+  rule.threshold = 14.4;
+  rule.kind = orc8r::AlertKind::kBurnRate;
+  rule.objective = 0.999;
+  metricsd.add_alert_rule(rule);
+
+  const sim::Duration step = 15 * sim::kSecond;
+  sim::TimePoint t = 0;
+  auto push = [&](double value) {
+    metricsd.ingest(orc8r::MetricSample{"gw0", "sli_up", value, t});
+    t += step;
+  };
+  auto firing = [&]() {
+    const auto alerts = metricsd.active_alerts();
+    return std::any_of(alerts.begin(), alerts.end(),
+                       [](const orc8r::ActiveAlert& a) {
+                         return a.rule == "slo_test_burn";
+                       });
+  };
+
+  // An hour of health establishes the slow window.
+  for (int i = 0; i < 240; ++i) push(1.0);
+  EXPECT_FALSE(firing());
+
+  // One bad sample: fast burn is huge but the slow window barely moved —
+  // no page (this is the whole point of the second window).
+  push(0.0);
+  EXPECT_FALSE(firing());
+  for (int i = 0; i < 4; ++i) push(1.0);
+  EXPECT_FALSE(firing());
+
+  // A sustained outage: the slow mean crosses once enough zeros accumulate
+  // (objective 0.999 → slow burn > 14.4 at ~4 zeros in the hour window),
+  // and the fast window is instantly saturated.
+  int samples_until_fire = 0;
+  for (int i = 0; i < 40 && !firing(); ++i) {
+    push(0.0);
+    ++samples_until_fire;
+  }
+  EXPECT_TRUE(firing());
+  EXPECT_LE(samples_until_fire, 8);  // pages within ~2 minutes of sim time
+
+  // Recovery: the fast window drains its zeros within fast_window (5 min =
+  // 20 samples), clearing the page long before the hour window forgets.
+  int samples_until_clear = 0;
+  for (int i = 0; i < 40 && firing(); ++i) {
+    push(1.0);
+    ++samples_until_clear;
+  }
+  EXPECT_FALSE(firing());
+  EXPECT_LE(samples_until_clear, 21);
+  EXPECT_GE(metricsd.alerts_fired(), 1u);
+}
+
+TEST(BurnRate, RemoveRuleDropsBurnState) {
+  orc8r::Metricsd metricsd;
+  orc8r::AlertRule rule;
+  rule.name = "slo_test_burn";
+  rule.metric = "sli_up";
+  rule.threshold = 1.0;
+  rule.kind = orc8r::AlertKind::kBurnRate;
+  rule.objective = 0.9;
+  metricsd.add_alert_rule(rule);
+  for (int i = 0; i < 10; ++i) {
+    metricsd.ingest(
+        orc8r::MetricSample{"gw0", "sli_up", 0.0, i * sim::kMinute});
+  }
+  EXPECT_FALSE(metricsd.active_alerts().empty());
+  metricsd.remove_alert_rule("slo_test_burn");
+  EXPECT_TRUE(metricsd.active_alerts().empty());
+  // Re-adding starts from a clean window: one good sample must not page.
+  metricsd.add_alert_rule(rule);
+  metricsd.ingest(
+      orc8r::MetricSample{"gw0", "sli_up", 1.0, 20 * sim::kMinute});
+  EXPECT_TRUE(metricsd.active_alerts().empty());
+}
+
+// --- Attribution precedence --------------------------------------------------
+
+TEST(Attribution, BackhaulOutranksErrorEvents) {
+  // A backhaul outage ships buffered ERROR events after recovery — the
+  // transport evidence must win anyway.
+  DowntimeSignals signals;
+  signals.transport_resets_growth = 2;
+  signals.error_event = true;
+  signals.error_source = "sessiond";
+  std::string detail;
+  EXPECT_EQ(obs::slo::attribute_downtime(signals, &detail),
+            DowntimeCause::kBackhaul);
+  EXPECT_NE(detail.find("transport_resets +2"), std::string::npos);
+}
+
+TEST(Attribution, ServiceCrashFromEventOrCounterGrowth) {
+  DowntimeSignals signals;
+  signals.error_event = true;
+  signals.error_source = "sessiond";
+  std::string detail;
+  EXPECT_EQ(obs::slo::attribute_downtime(signals, &detail),
+            DowntimeCause::kServiceCrash);
+  EXPECT_NE(detail.find("sessiond"), std::string::npos);
+
+  DowntimeSignals counters;
+  counters.max_service_error_growth = 7;
+  counters.error_service = "accessd";
+  EXPECT_EQ(obs::slo::attribute_downtime(counters, &detail),
+            DowntimeCause::kServiceCrash);
+  EXPECT_NE(detail.find("service_errors_accessd +7"), std::string::npos);
+}
+
+TEST(Attribution, OverloadFromRejectionsOrRunqShare) {
+  DowntimeSignals rejections;
+  rejections.overload_rejections_growth = 120;
+  std::string detail;
+  EXPECT_EQ(obs::slo::attribute_downtime(rejections, &detail),
+            DowntimeCause::kOverload);
+
+  DowntimeSignals runq;
+  runq.runq_wait_fraction = 0.8;
+  EXPECT_EQ(obs::slo::attribute_downtime(runq, &detail),
+            DowntimeCause::kOverload);
+  // At the threshold exactly: not conclusive.
+  runq.runq_wait_fraction = obs::slo::kRunqOverloadFraction;
+  EXPECT_EQ(obs::slo::attribute_downtime(runq, &detail),
+            DowntimeCause::kUnknown);
+  EXPECT_TRUE(detail.empty());
+}
+
+// --- Rollup + report formatting ----------------------------------------------
+
+TEST(SloReport, AvailabilityRollupAggregatesFleetRow) {
+  AvailabilityLedger ledger;
+  ledger.observe("gw0", 0);
+  ledger.observe("gw1", 0);
+  ledger.record_down("gw0", 100 * sim::kSecond);
+  ledger.record_up("gw0", 200 * sim::kSecond);
+  ledger.label("gw0", 100 * sim::kSecond, DowntimeCause::kBackhaul, "x");
+
+  const auto rows =
+      orc8r::availability_rollup(ledger, 0, 1000 * sim::kSecond);
+  ASSERT_EQ(rows.size(), 3u);  // gw0, gw1, FLEET
+  EXPECT_EQ(rows[0].gateway_id, "gw0");
+  EXPECT_DOUBLE_EQ(rows[0].availability, 0.9);
+  EXPECT_EQ(rows[0].intervals, 1u);
+  EXPECT_DOUBLE_EQ(
+      rows[0].cause_s[static_cast<std::size_t>(DowntimeCause::kBackhaul)],
+      100.0);
+  EXPECT_EQ(rows[1].gateway_id, "gw1");
+  EXPECT_DOUBLE_EQ(rows[1].availability, 1.0);
+  EXPECT_EQ(rows[2].gateway_id, "FLEET");
+  EXPECT_DOUBLE_EQ(rows[2].availability, 0.95);
+  EXPECT_DOUBLE_EQ(rows[2].downtime_s, 100.0);
+
+  const std::string table = orc8r::format_availability(rows);
+  EXPECT_NE(table.find("gw0"), std::string::npos);
+  EXPECT_NE(table.find("FLEET"), std::string::npos);
+  EXPECT_NE(table.find("backhaul 100.0%"), std::string::npos);
+}
+
+TEST(SloReport, FormatMarksAlertingRows) {
+  std::vector<obs::slo::SloStatus> rows(2);
+  rows[0].name = "availability";
+  rows[0].objective = 0.999;
+  rows[0].sli = 0.9987;
+  rows[0].alerting = true;
+  rows[1].name = "attach_success";
+  rows[1].objective = 0.99;
+  const std::string report = obs::slo::format_slo_report(rows);
+  EXPECT_NE(report.find("availability"), std::string::npos);
+  EXPECT_NE(report.find("[ALERTING]"), std::string::npos);
+  // Only the first row alerts.
+  EXPECT_EQ(report.find("[ALERTING]"), report.rfind("[ALERTING]"));
+}
+
+// --- End-to-end: statusd FSM → ledger → burn alert → attribution join --------
+
+TEST(SloIntegration, BackhaulOutageIsAccountedAlertedAndAttributed) {
+  core::NetworkConfig config;
+  config.magmad.checkin_interval = 15 * sim::kSecond;
+  config.magmad.metrics_interval = 15 * sim::kSecond;
+  core::Network net(config);
+  agw::AccessGateway& agw = net.add_agw(agw::bare_metal_j3160());
+  orc8r::Orchestrator& orc8r = net.orchestrator();
+
+  // Default burn-rate rules are installed by the orchestrator itself.
+  const auto& rules = orc8r.metrics().alert_rules();
+  EXPECT_TRUE(std::any_of(rules.begin(), rules.end(),
+                          [](const orc8r::AlertRule& r) {
+                            return r.name == "slo_availability_burn" &&
+                                   r.kind == orc8r::AlertKind::kBurnRate;
+                          }));
+
+  // A healthy half hour, then a 10-minute backhaul cut.
+  net.run_for(30 * sim::kMinute);
+  const sim::TimePoint cut_at = net.kernel().now();
+  net.set_backhaul_up(agw, false);
+  net.run_for(10 * sim::kMinute);
+
+  // Mid-outage: statusd marked it unreachable, the ledger holds an open
+  // interval, and the availability burn alert is paging.
+  EXPECT_EQ(orc8r.statusd().health("gw0"),
+            orc8r::GatewayHealth::kUnreachable);
+  EXPECT_TRUE(orc8r.statusd().availability().is_down("gw0"));
+  {
+    const auto alerts = orc8r.metrics().active_alerts();
+    EXPECT_TRUE(std::any_of(alerts.begin(), alerts.end(),
+                            [](const orc8r::ActiveAlert& a) {
+                              return a.rule == "slo_availability_burn" &&
+                                     a.gateway_id == "gw0";
+                            }));
+  }
+
+  // Recovery: the interval closes, the attribution join (after its settle
+  // delay) labels it backhaul from the transport counters, and the page
+  // clears once the fast window drains.
+  net.set_backhaul_up(agw, true);
+  net.run_for(12 * sim::kMinute);
+
+  const auto* intervals = orc8r.statusd().availability().intervals("gw0");
+  ASSERT_NE(intervals, nullptr);
+  ASSERT_EQ(intervals->size(), 1u);
+  const obs::slo::DowntimeInterval& interval = intervals->front();
+  EXPECT_GE(interval.end, interval.start);
+  // The backdated down edge lands within one checkin interval of the cut.
+  EXPECT_LE(std::abs(interval.start - cut_at),
+            2 * config.magmad.checkin_interval);
+  EXPECT_EQ(interval.cause, DowntimeCause::kBackhaul);
+  EXPECT_EQ(orc8r.stats().downtime_intervals_labeled, 1u);
+  EXPECT_EQ(orc8r.stats().downtime_unattributed, 0u);
+  {
+    const auto alerts = orc8r.metrics().active_alerts();
+    EXPECT_FALSE(std::any_of(alerts.begin(), alerts.end(),
+                             [](const orc8r::ActiveAlert& a) {
+                               return a.rule == "slo_availability_burn";
+                             }));
+  }
+  // The verdict is also an operator-visible event.
+  EXPECT_EQ(orc8r.events_of_type("downtime_attributed").size(), 1u);
+
+  // And the rollup charges roughly the injected 10 minutes to backhaul.
+  const auto rows = orc8r.availability_rollup(0, net.kernel().now());
+  ASSERT_GE(rows.size(), 2u);
+  EXPECT_EQ(rows.front().gateway_id, "gw0");
+  EXPECT_NEAR(rows.front().downtime_s, 600.0, 60.0);
+  const double backhaul_s = rows.front().cause_s[static_cast<std::size_t>(
+      DowntimeCause::kBackhaul)];
+  EXPECT_DOUBLE_EQ(backhaul_s, rows.front().downtime_s);
+
+  // The SLO report reflects the spent budget.
+  const auto report = orc8r.slo_report(0, net.kernel().now());
+  const auto availability_row =
+      std::find_if(report.begin(), report.end(),
+                   [](const obs::slo::SloStatus& s) {
+                     return s.name == "availability";
+                   });
+  ASSERT_NE(availability_row, report.end());
+  EXPECT_LT(availability_row->sli, 1.0);
+  EXPECT_GT(availability_row->burn, 0.0);
+}
+
+}  // namespace
+}  // namespace magma

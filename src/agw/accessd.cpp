@@ -119,7 +119,12 @@ void Accessd::arm_guard(const common::Imsi& imsi) {
         if (it->second.fsm.state() != EmmState::kRegistered) {
           // Half-open attach never completed: implicit detach (§3.4 —
           // runtime state is ephemeral and recoverable; the UE just
-          // re-attaches).
+          // re-attaches). A subscriber that keeps losing contexts this
+          // way shows up in the bearer-drop heavy hitters.
+          if (sketches_ != nullptr) {
+            sketches_->record(obs::sketch::SubscriberMetric::kBearerDrops,
+                              imsi.value);
+          }
           drop_context(imsi);
         }
       });
@@ -130,6 +135,15 @@ void Accessd::drop_context(const common::Imsi& imsi) {
   if (it == contexts_.end()) return;
   kernel_.cancel(it->second.guard_timer);
   contexts_.erase(it);
+}
+
+void Accessd::note_attach_failure(const common::Imsi& imsi) {
+  if (sketches_ == nullptr) return;
+  // Rejections run under the stage span's scope, so the current trace id
+  // is the failing attach — it rides along as the heavy-hitter exemplar
+  // and stays pinned by the span's error tag (TailSampler error path).
+  sketches_->record(obs::sketch::SubscriberMetric::kAttachFailures,
+                    imsi.value, 1, obs::current_context(tracer_).trace_id);
 }
 
 std::optional<EmmState> Accessd::ue_state(const common::Imsi& imsi) const {
@@ -146,15 +160,18 @@ common::Result<AuthChallenge> Accessd::do_begin(const common::Imsi& imsi,
                                                 RanType rat) {
   const auto idx = static_cast<std::size_t>(rat);
   ++stats_.attach_started[idx];
+  if (sketches_ != nullptr) sketches_->record_active(imsi.value, kernel_.now());
 
   auto sub = subscribers_.get(imsi);
   if (!sub.has_value()) {
     ++stats_.attach_rejected[idx];
+    note_attach_failure(imsi);
     return common::Error{common::ErrorCode::kNotFound,
                          "unknown subscriber " + imsi.value};
   }
   if (!sub->active) {
     ++stats_.attach_rejected[idx];
+    note_attach_failure(imsi);
     return common::Error{common::ErrorCode::kPermissionDenied,
                          "subscriber deactivated"};
   }
@@ -183,6 +200,7 @@ common::Result<AuthChallenge> Accessd::do_begin(const common::Imsi& imsi,
     auto vec_result = subscribers_.generate_auth_vector(imsi);
     if (!vec_result.ok()) {
       ++stats_.attach_rejected[idx];
+      note_attach_failure(imsi);
       drop_context(imsi);
       return vec_result.error();
     }
@@ -198,6 +216,7 @@ common::Result<AuthChallenge> Accessd::do_begin(const common::Imsi& imsi,
     auto vec = subscribers_.generate_auth_vector(imsi);
     if (!vec.ok()) {
       ++stats_.attach_rejected[idx];
+      note_attach_failure(imsi);
       drop_context(imsi);
       return vec.error();
     }
@@ -233,6 +252,7 @@ common::Result<SecurityKeys> Accessd::do_verify(
   if (!match) {
     ++stats_.auth_failures;
     ++stats_.attach_rejected[static_cast<std::size_t>(ctx.rat)];
+    note_attach_failure(imsi);
     ctx.fsm.handle(EmmEvent::kAuthFailed);
     drop_context(imsi);
     return common::Error{common::ErrorCode::kUnauthenticated,
@@ -263,6 +283,7 @@ void Accessd::resync_auth(
             subscribers_.resync(imsi, auts, ctx.vector.rand);
         if (!status.ok()) {
           ++stats_.auth_failures;
+          note_attach_failure(imsi);
           ctx.fsm.handle(EmmEvent::kAuthFailed);
           drop_context(imsi);
           done(status.error());
@@ -338,6 +359,7 @@ void Accessd::do_establish(
           UeContext& ctx = it->second;
           if (!fed.ok()) {
             ++stats_.attach_rejected[static_cast<std::size_t>(ctx.rat)];
+            note_attach_failure(req.imsi);
             ctx.fsm.handle(EmmEvent::kContextFailed);
             drop_context(req.imsi);
             done(fed.error());
@@ -358,6 +380,7 @@ void Accessd::do_establish(
     obs::tag_span(tracer_, ip_span, "error", ip.error().message);
     obs::end_span(tracer_, ip_span);
     ++stats_.attach_rejected[static_cast<std::size_t>(ctx.rat)];
+    note_attach_failure(req.imsi);
     ctx.fsm.handle(EmmEvent::kContextFailed);
     drop_context(req.imsi);
     done(ip.error());
@@ -387,6 +410,7 @@ common::Result<SessionInfo> Accessd::finish_establish(
   auto session = sessiond_.create_session(create);
   if (!session.ok()) {
     ++stats_.attach_rejected[static_cast<std::size_t>(ctx.rat)];
+    note_attach_failure(req.imsi);
     if (!home_routed) mobilityd_.release(req.imsi, kernel_.now()).ok();
     ctx.fsm.handle(EmmEvent::kContextFailed);
     drop_context(req.imsi);

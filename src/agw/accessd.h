@@ -31,6 +31,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "crypto/kdf.h"
+#include "obs/sketch/subscriber_sketches.h"
 #include "obs/status.h"
 #include "obs/trace.h"
 #include "proto/lte/emm_fsm.h"
@@ -154,6 +155,14 @@ class Accessd {
   // request; overload shedding counts an error.
   void set_status(obs::Service303* status) { status_ = status; }
 
+  // Per-subscriber sketches (optional): every attach rejection records the
+  // IMSI into the attach-failure heavy-hitter sketch (with the failing
+  // stage span as exemplar), and every attach attempt marks the IMSI
+  // active — "who fails to attach" stays answerable at fleet scale.
+  void set_subscriber_sketches(obs::sketch::SubscriberSketches* sketches) {
+    sketches_ = sketches;
+  }
+
   // Attach-context state, for tests and the AGW checkpoint.
   std::optional<proto::lte::EmmState> ue_state(const common::Imsi& imsi) const;
   std::size_t pending_contexts() const { return contexts_.size(); }
@@ -182,6 +191,9 @@ class Accessd {
 
   void arm_guard(const common::Imsi& imsi);
   void drop_context(const common::Imsi& imsi);
+  // Feed one attach rejection into the heavy-hitter sketch, with the
+  // current stage span (error-pinned by its tag) as exemplar.
+  void note_attach_failure(const common::Imsi& imsi);
 
   common::Result<AuthChallenge> do_begin(const common::Imsi& imsi,
                                          RanType rat);
@@ -221,6 +233,7 @@ class Accessd {
   obs::Tracer* tracer_ = nullptr;
   std::string node_;
   obs::Service303* status_ = nullptr;
+  obs::sketch::SubscriberSketches* sketches_ = nullptr;
   // Profiler labels for the per-stage CPU charges (interned once at
   // construction when a CPU model is present).
   sim::LabelId label_begin_ = sim::kUnattributed;

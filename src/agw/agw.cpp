@@ -59,6 +59,10 @@ AccessGateway::AccessGateway(sim::Kernel& kernel, common::GatewayId id,
   pipelined_.set_status(svc_pipelined_);
   sessiond_->set_status(svc_sessiond_);
   accessd_->set_status(svc_accessd_);
+  // Per-subscriber heavy hitters: attach failures and bearer drops from
+  // accessd, bytes/quota rejections and session liveness from sessiond.
+  accessd_->set_subscriber_sketches(&subscriber_sketches_);
+  sessiond_->set_subscriber_sketches(&subscriber_sketches_);
   // Continuous profiler: attribute user-plane forwarding per direction.
   label_forward_[static_cast<int>(datapath::Direction::kUplink)] =
       cpu_.intern_label("pipelined", "forward_ul");
@@ -126,8 +130,18 @@ void AccessGateway::set_tracer(obs::Tracer* tracer) {
     if (span.node != id_.value || span.kind != obs::SpanKind::kInternal) {
       return;
     }
-    latency_hist_["span_" + span.service + "_" + span.name + "_s"].observe(
-        sim::to_seconds(span.duration()));
+    // Each bucket keeps the latest landing span as its exemplar and pins
+    // that trace (refcounted) so a p99 query at metricsd can pivot to a
+    // retained trace — today only errors would pin it. Pin-new before
+    // unpin-old keeps the refcount nonzero when both are the same trace.
+    obs::Histogram& hist =
+        latency_hist_["span_" + span.service + "_" + span.name + "_s"];
+    const std::uint64_t displaced =
+        hist.observe(sim::to_seconds(span.duration()), span.trace_id);
+    if (span.trace_id != 0) {
+      tracer_->pin(span.trace_id);
+      tracer_->unpin(displaced);
+    }
   });
 }
 
@@ -154,6 +168,9 @@ void AccessGateway::connect_orchestrator(net::Channel& channel,
   magmad_->set_trace_source([this]() {
     return tail_sampler_ != nullptr ? tail_sampler_->drain_ready()
                                     : std::vector<obs::TraceSummary>{};
+  });
+  magmad_->set_sketch_source([this]() {
+    return subscriber_sketches_.snapshot(id_.value, kernel_.now());
   });
   // Fleet tail budget: checkin responses can reassign the sampler's
   // keep-per-op K. Remember it in tail_config_ too, so a sampler rebuilt by
@@ -411,6 +428,13 @@ std::vector<orc8r::HistogramSnapshot> AccessGateway::histogram_snapshot()
     snap.name = name;
     snap.bounds = hist.bounds();
     snap.counts = hist.counts();
+    const std::vector<std::uint64_t>& exemplars = hist.exemplars();
+    for (std::size_t b = 0; b < exemplars.size(); ++b) {
+      if (exemplars[b] != 0) {
+        snap.exemplars.emplace_back(static_cast<std::uint32_t>(b),
+                                    exemplars[b]);
+      }
+    }
     snap.sum = hist.sum();
     snap.time = kernel_.now();
     snapshots.push_back(std::move(snap));

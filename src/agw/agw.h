@@ -35,6 +35,7 @@
 #include "net/channel.h"
 #include "obs/events.h"
 #include "obs/histogram.h"
+#include "obs/sketch/subscriber_sketches.h"
 #include "obs/status.h"
 #include "obs/tail_sampler.h"
 #include "obs/trace.h"
@@ -145,6 +146,17 @@ class AccessGateway {
   obs::StatusRegistry& status() { return status_; }
   const obs::StatusRegistry& status() const { return status_; }
 
+  // Per-subscriber heavy-hitter sketches (attach failures, bearer drops,
+  // quota rejections, bytes) + distinct-active HLL. Fed by
+  // accessd/sessiond/pipelined; magmad ships a cumulative snapshot with
+  // each metrics tick. O(K + 2^p) however many subscribers attach.
+  obs::sketch::SubscriberSketches& subscriber_sketches() {
+    return subscriber_sketches_;
+  }
+  const obs::sketch::SubscriberSketches& subscriber_sketches() const {
+    return subscriber_sketches_;
+  }
+
   // --- component access -------------------------------------------------------
   const common::GatewayId& id() const { return id_; }
   const AgwProfile& profile() const { return profile_; }
@@ -210,6 +222,7 @@ class AccessGateway {
   const sim::Link* backhaul_ul_ = nullptr;
   const sim::Link* backhaul_dl_ = nullptr;
   obs::EventBuffer events_{1024};
+  obs::sketch::SubscriberSketches subscriber_sketches_;
   // Per-stage attach latency, keyed "span_<service>_<name>_s". std::map:
   // snapshots ship in deterministic order.
   std::map<std::string, obs::Histogram> latency_hist_;

@@ -108,6 +108,12 @@ struct MagmadStats {
   std::uint64_t trace_reports_sent = 0;
   std::uint64_t trace_reports_lost = 0;
   std::uint64_t trace_summaries_shipped = 0;
+  // Per-subscriber sketch reports (cumulative SpaceSaving + HLL snapshots,
+  // O(K + 2^p) on the wire however many subscribers the gateway serves).
+  // Best-effort like the rest: a lost report is superseded by the next
+  // tick's cumulative snapshot.
+  std::uint64_t sketch_reports_sent = 0;
+  std::uint64_t sketch_reports_lost = 0;
   // Best-effort ticks that skipped shipping because the control channel was
   // already backlogged (see MagmadConfig::telemetry_backpressure). Events
   // stay in their bounded buffer for the next tick; metrics/checkpoints are
@@ -145,6 +151,13 @@ class Magmad {
   // drain_ready()).
   void set_trace_source(std::function<std::vector<obs::TraceSummary>()> src) {
     trace_source_ = std::move(src);
+  }
+
+  // Per-subscriber sketches (optional): the source returns the gateway's
+  // cumulative SketchReport (typically SubscriberSketches::snapshot),
+  // shipped to metricsd on each metrics tick.
+  void set_sketch_source(std::function<obs::sketch::SketchReport()> src) {
+    sketch_source_ = std::move(src);
   }
 
   // Fleet-wide tail-sampling budget: the checkin response carries the
@@ -210,6 +223,7 @@ class Magmad {
   std::function<std::vector<orc8r::HistogramSnapshot>()> histogram_source_;
   std::function<std::vector<obs::ServiceStatus>()> status_source_;
   std::function<std::vector<obs::TraceSummary>()> trace_source_;
+  std::function<obs::sketch::SketchReport()> sketch_source_;
   std::function<void(std::size_t)> tail_budget_sink_;
   obs::Service303* status_ = nullptr;
 
@@ -217,6 +231,10 @@ class Magmad {
   // histogram name. Cleared on a lost report so the next tick re-ships full
   // (metricsd may have missed the base the deltas build on).
   std::map<std::string, std::vector<std::uint64_t>> last_shipped_counts_;
+  // Exemplars as of the last shipped report, per histogram name — deltas
+  // carry only (bucket, trace id) pairs that changed since.
+  std::map<std::string, std::vector<std::pair<std::uint32_t, std::uint64_t>>>
+      last_shipped_exemplars_;
 
   bool started_ = false;
   bool wedged_ = false;

@@ -78,7 +78,13 @@ common::Result<common::SessionId> Sessiond::do_create_session(
     const CreateRequest& req) {
   if (by_imsi_.contains(req.imsi)) {
     // Re-attach: tear down the old session first (the UE context was lost
-    // on its side; keeping two sessions would double-count usage).
+    // on its side; keeping two sessions would double-count usage). The
+    // abnormal teardown counts as a bearer drop for this subscriber.
+    if (sketches_ != nullptr) {
+      sketches_->record(obs::sketch::SubscriberMetric::kBearerDrops,
+                        req.imsi.value, 1,
+                        obs::current_context(tracer_).trace_id);
+    }
     end_session(req.imsi).ok();
   }
 
@@ -133,8 +139,10 @@ common::Status Sessiond::end_session(const common::Imsi& imsi) {
     return common::Error{common::ErrorCode::kNotFound, "no session"};
   }
   SessionRecord& session = it->second;
-  // Final usage reading before rules (and their counters) disappear.
+  // Final usage reading before rules (and their counters) disappear; the
+  // outstanding sketch byte delta flushes with it.
   refresh_usage(session);
+  flush_sketch_bytes(session);
 
   if (session.policy.charging == core::ChargingMode::kOcsQuota &&
       ocs_ != nullptr) {
@@ -200,14 +208,35 @@ std::vector<common::Imsi> Sessiond::active_imsis() const {
 }
 
 void Sessiond::refresh_usage(SessionRecord& session) {
+  const std::uint64_t before = session.used_bytes;
   session.used_bytes = session.counter_base_bytes +
                        pipelined_.session_usage(session.id.value).bytes;
+  // Usage deltas feed the bytes heavy-hitter sketch: every reading is a
+  // delta of the cumulative counter, so the accumulated total equals
+  // actual bytes however often usage is refreshed. Offers happen on the
+  // sketch-mark cadence, not per poll.
+  if (sketches_ != nullptr && session.used_bytes > before) {
+    session.pending_sketch_bytes += session.used_bytes - before;
+  }
+}
+
+void Sessiond::flush_sketch_bytes(SessionRecord& session) {
+  if (sketches_ == nullptr || session.pending_sketch_bytes == 0) return;
+  sketches_->record(obs::sketch::SubscriberMetric::kBytes,
+                    session.imsi.value, session.pending_sketch_bytes);
+  session.pending_sketch_bytes = 0;
 }
 
 void Sessiond::poll_usage() {
+  const sim::TimePoint now = kernel_.now();
   for (auto& [imsi, session] : by_imsi_) {
     refresh_usage(session);
     enforce(session);
+    if (sketches_ != nullptr && now >= session.next_sketch_mark) {
+      session.next_sketch_mark = now + kSketchMarkInterval;
+      sketches_->record_active(imsi.value, now);
+      flush_sketch_bytes(session);
+    }
   }
 }
 
@@ -250,7 +279,13 @@ void Sessiond::enforce(SessionRecord& session) {
       const std::uint64_t cap = policy.tiers.back().until_usage_bytes;
       if (cap > 0 && used >= cap) {
         blocked = true;
-        if (!session.flows.blocked) ++stats_.caps_enforced;
+        if (!session.flows.blocked) {
+          ++stats_.caps_enforced;
+          if (sketches_ != nullptr) {
+            sketches_->record(obs::sketch::SubscriberMetric::kQuotaRejections,
+                              session.imsi.value);
+          }
+        }
       }
       break;
     }
@@ -299,6 +334,10 @@ void Sessiond::request_quota(SessionRecord& session) {
         if (granted == 0) {
           session.quota_denied = true;
           ++stats_.quota_denials;
+          if (sketches_ != nullptr) {
+            sketches_->record(obs::sketch::SubscriberMetric::kQuotaRejections,
+                              imsi.value);
+          }
         } else {
           session.quota_granted += granted;
         }

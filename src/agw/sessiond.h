@@ -24,6 +24,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "core/policy.h"
+#include "obs/sketch/subscriber_sketches.h"
 #include "obs/status.h"
 #include "obs/trace.h"
 #include "rpc/rpc.h"
@@ -51,6 +52,15 @@ struct SessionRecord {
   std::uint64_t quota_reported = 0;  // usage already reconciled
   bool quota_request_inflight = false;
   bool quota_denied = false;
+
+  // Sketch-feed throttle: per-IMSI liveness marks and byte deltas go to
+  // the subscriber sketches once per kSketchMarkInterval, not every 2 s
+  // poll — deltas accumulate here in between (flushed at session end too,
+  // so sketch byte totals stay exact). Not serialized: a restore re-marks
+  // on the next poll and the pending delta was already flushed or lost
+  // with the counters.
+  sim::TimePoint next_sketch_mark = 0;
+  std::uint64_t pending_sketch_bytes = 0;
 
   std::uint64_t used_in_interval() const {
     return used_bytes - interval_base_bytes;
@@ -84,6 +94,14 @@ class Sessiond {
   // Service303 handle (optional): session lifecycle calls count requests
   // and errors.
   void set_status(obs::Service303* status) { status_ = status; }
+
+  // Per-subscriber sketches (optional): usage deltas feed the bytes
+  // heavy-hitter sketch, quota denials and cap enforcement feed the
+  // quota-rejection sketch, re-attach teardowns feed bearer drops, and
+  // every polled session marks its IMSI active.
+  void set_subscriber_sketches(obs::sketch::SubscriberSketches* sketches) {
+    sketches_ = sketches;
+  }
 
   struct CreateRequest {
     common::Imsi imsi;
@@ -123,6 +141,11 @@ class Sessiond {
   void poll_usage();
   // How often the AGW runs poll_usage (public so the AGW can schedule it).
   static constexpr sim::Duration kPollInterval = 2 * sim::kSecond;
+  // How often a live session marks its IMSI active / flushes byte deltas
+  // into the subscriber sketches. Coarser than the usage poll: the HLL
+  // activity window is minutes wide, so per-poll marking would buy nothing
+  // but hash work.
+  static constexpr sim::Duration kSketchMarkInterval = 60 * sim::kSecond;
 
   const SessiondStats& stats() const { return stats_; }
 
@@ -135,6 +158,7 @@ class Sessiond {
   common::Result<common::SessionId> do_create_session(const CreateRequest& req);
   void refresh_usage(SessionRecord& session);
   void enforce(SessionRecord& session);
+  void flush_sketch_bytes(SessionRecord& session);
   void apply_flows(SessionRecord& session, const SessionFlows& desired);
   void request_quota(SessionRecord& session);
 
@@ -147,6 +171,7 @@ class Sessiond {
   obs::Tracer* tracer_ = nullptr;
   std::string node_;
   obs::Service303* status_ = nullptr;
+  obs::sketch::SubscriberSketches* sketches_ = nullptr;
 };
 
 }  // namespace magma::agw

@@ -1,0 +1,238 @@
+#include "obs/sketch/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/bytes.h"
+
+namespace magma::obs::sketch {
+
+namespace {
+
+std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+  return a > std::numeric_limits<std::uint64_t>::max() - b
+             ? std::numeric_limits<std::uint64_t>::max()
+             : a + b;
+}
+
+}  // namespace
+
+SpaceSaving::SpaceSaving(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  heap_.reserve(capacity_);
+}
+
+void SpaceSaving::bubble_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (heap_[parent].count <= heap_[i].count) break;
+    std::swap(heap_[parent], heap_[i]);
+    index_[heap_[parent].key] = parent;
+    index_[heap_[i].key] = i;
+    i = parent;
+  }
+}
+
+void SpaceSaving::bubble_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l < n && heap_[l].count < heap_[smallest].count) smallest = l;
+    if (r < n && heap_[r].count < heap_[smallest].count) smallest = r;
+    if (smallest == i) break;
+    std::swap(heap_[smallest], heap_[i]);
+    index_[heap_[smallest].key] = smallest;
+    index_[heap_[i].key] = i;
+    i = smallest;
+  }
+}
+
+void SpaceSaving::offer(const std::string& key, std::uint64_t weight,
+                        std::uint64_t exemplar_trace_id) {
+  if (weight == 0) return;
+  total_weight_ = saturating_add(total_weight_, weight);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    HeavyHitter& h = heap_[it->second];
+    h.count = saturating_add(h.count, weight);
+    if (exemplar_trace_id != 0) h.exemplar_trace_id = exemplar_trace_id;
+    bubble_down(it->second);
+    return;
+  }
+  if (heap_.size() < capacity_) {
+    heap_.push_back({key, weight, 0, exemplar_trace_id});
+    index_[key] = heap_.size() - 1;
+    bubble_up(heap_.size() - 1);
+    return;
+  }
+  // Full: the minimum counter is re-labelled as `key`, which inherits its
+  // count as explicit error. The table never grows past capacity.
+  HeavyHitter& min = heap_[0];
+  index_.erase(min.key);
+  const std::uint64_t inherited = min.count;
+  min.key = key;
+  min.error = inherited;
+  min.count = saturating_add(inherited, weight);
+  min.exemplar_trace_id = exemplar_trace_id;
+  index_[key] = 0;
+  bubble_down(0);
+}
+
+std::vector<HeavyHitter> SpaceSaving::top(std::size_t k) const {
+  std::vector<HeavyHitter> out = heap_;
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.key < b.key;
+            });
+  if (k != 0 && out.size() > k) out.resize(k);
+  return out;
+}
+
+std::uint64_t SpaceSaving::min_count() const {
+  if (heap_.size() < capacity_) return 0;
+  return heap_.empty() ? 0 : heap_[0].count;
+}
+
+void SpaceSaving::merge(const SpaceSaving& other) {
+  const std::uint64_t my_min = min_count();
+  const std::uint64_t other_min = other.min_count();
+  // Union of counters. A key present on only one side may have been seen —
+  // and evicted — on the other, up to that side's min_count; fold that in
+  // as both count and error so estimates stay upper bounds and `count -
+  // error` stays a valid lower bound.
+  std::unordered_map<std::string, HeavyHitter> merged;
+  merged.reserve(heap_.size() + other.heap_.size());
+  for (const HeavyHitter& h : heap_) merged.emplace(h.key, h);
+  for (const HeavyHitter& h : other.heap_) {
+    auto it = merged.find(h.key);
+    if (it != merged.end()) {
+      HeavyHitter& m = it->second;
+      m.count = saturating_add(m.count, h.count);
+      m.error = saturating_add(m.error, h.error);
+      if (m.exemplar_trace_id == 0) m.exemplar_trace_id = h.exemplar_trace_id;
+    } else {
+      HeavyHitter m = h;
+      m.count = saturating_add(m.count, my_min);
+      m.error = saturating_add(m.error, my_min);
+      merged.emplace(m.key, std::move(m));
+    }
+  }
+  for (auto& [key, m] : merged) {
+    if (other.index_.count(key) == 0) {
+      m.count = saturating_add(m.count, other_min);
+      m.error = saturating_add(m.error, other_min);
+    }
+  }
+  std::vector<HeavyHitter> all;
+  all.reserve(merged.size());
+  for (auto& [key, h] : merged) all.push_back(std::move(h));
+  std::sort(all.begin(), all.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.key < b.key;
+            });
+  if (all.size() > capacity_) all.resize(capacity_);
+
+  heap_.clear();
+  index_.clear();
+  for (HeavyHitter& h : all) {
+    heap_.push_back(std::move(h));
+    index_[heap_.back().key] = heap_.size() - 1;
+    bubble_up(heap_.size() - 1);
+  }
+  total_weight_ = saturating_add(total_weight_, other.total_weight_);
+}
+
+std::size_t SpaceSaving::memory_bytes() const {
+  std::size_t bytes = heap_.capacity() * sizeof(HeavyHitter) +
+                      index_.bucket_count() * sizeof(void*);
+  for (const HeavyHitter& h : heap_) bytes += h.key.capacity();
+  return bytes;
+}
+
+void SpaceSaving::assign(std::size_t capacity,
+                         std::vector<HeavyHitter> entries,
+                         std::uint64_t total_weight) {
+  capacity_ = capacity == 0 ? 1 : capacity;
+  heap_.clear();
+  index_.clear();
+  if (entries.size() > capacity_) entries.resize(capacity_);
+  for (HeavyHitter& h : entries) {
+    if (index_.count(h.key) != 0) continue;  // duplicate key on the wire
+    heap_.push_back(std::move(h));
+    index_[heap_.back().key] = heap_.size() - 1;
+    bubble_up(heap_.size() - 1);
+  }
+  total_weight_ = total_weight;
+}
+
+HyperLogLog::HyperLogLog(unsigned precision)
+    : precision_(std::min(16u, std::max(4u, precision))),
+      registers_(std::size_t{1} << precision_, 0) {}
+
+void HyperLogLog::add(std::string_view key) {
+  std::uint64_t h = common::fnv1a(common::BytesView(
+      reinterpret_cast<const std::uint8_t*>(key.data()), key.size()));
+  // FNV-1a's low bits disperse poorly for short sequential keys (IMSIs);
+  // run the splitmix64 finalizer so register selection and rank are
+  // effectively uniform.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  const std::size_t idx = h >> (64 - precision_);
+  const std::uint64_t rest = h << precision_;
+  // Rank of the first set bit in the remaining 64-p bits, 1-based; all-zero
+  // rest counts the full width.
+  const std::uint8_t rank =
+      rest == 0 ? static_cast<std::uint8_t>(64 - precision_ + 1)
+                : static_cast<std::uint8_t>(__builtin_clzll(rest) + 1);
+  if (rank > registers_[idx]) registers_[idx] = rank;
+}
+
+double HyperLogLog::estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  const double alpha =
+      registers_.size() <= 16 ? 0.673
+      : registers_.size() <= 32 ? 0.697
+      : registers_.size() <= 64 ? 0.709
+                                : 0.7213 / (1.0 + 1.079 / m);
+  double sum = 0;
+  std::size_t zeros = 0;
+  for (const std::uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  const double raw = alpha * m * m / sum;
+  if (raw <= 2.5 * m && zeros != 0) {
+    // Linear counting regime: the raw estimator biases high when most
+    // registers are still zero.
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_) return;  // incompatible layouts
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+void HyperLogLog::assign(unsigned precision,
+                         std::vector<std::uint8_t> registers) {
+  precision_ = std::min(16u, std::max(4u, precision));
+  registers_ = std::move(registers);
+  registers_.resize(std::size_t{1} << precision_, 0);
+  // Clamp impossible ranks from hostile input: rank can never exceed the
+  // hash width remaining after register selection, plus one.
+  const std::uint8_t max_rank =
+      static_cast<std::uint8_t>(64 - precision_ + 1);
+  for (std::uint8_t& r : registers_) r = std::min(r, max_rank);
+}
+
+}  // namespace magma::obs::sketch

@@ -1,0 +1,123 @@
+// Cardinality-bounded per-subscriber telemetry (§3.1 / §4.3.1: operators
+// debug *subscribers* — "why do attaches fail for these IMSIs?" — but
+// per-IMSI time series at fleet scale would explode metricsd cardinality).
+//
+// Two classic streaming summaries make the subscriber axis affordable:
+//
+//  * SpaceSaving (Metwally et al., "Efficient computation of frequent and
+//    top-k elements in data streams") keeps exactly K counters no matter
+//    how many distinct IMSIs flow through. Every estimate is an upper
+//    bound; each counter carries its maximum overestimate explicitly, so a
+//    report can say "IMSI X: ≥ 412 attach failures (±3)" instead of a
+//    number of unknown quality.
+//
+//  * HyperLogLog (Flajolet et al.) answers "how many distinct IMSIs were
+//    active?" in 2^p bytes with ~1.04/sqrt(2^p) relative error — no
+//    million-entry set on the gateway or in metricsd.
+//
+// Both are *mergeable* (Agarwal et al., "Mergeable summaries"): gateways
+// ship their local summaries on the magmad metrics tick and metricsd folds
+// them into a fleet-wide answer whose error bounds are the sum of the
+// parts' — the same shape as histogram shipping, O(K + 2^p) per gateway
+// regardless of subscriber count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace magma::obs::sketch {
+
+// One SpaceSaving counter. `count` is an upper bound on the key's true
+// weight; `count - error` is a guaranteed lower bound (error is the counter
+// value the key inherited when it evicted the previous minimum, plus
+// whatever merges added). `exemplar_trace_id` is the trace of one recent
+// contributing event (0: none) — the metrics→trace pivot for "show me one
+// failed attach from this IMSI".
+struct HeavyHitter {
+  std::string key;
+  std::uint64_t count = 0;
+  std::uint64_t error = 0;
+  std::uint64_t exemplar_trace_id = 0;
+};
+
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(std::size_t capacity = 64);
+
+  // Add `weight` to `key`'s counter. When the table is full, the minimum
+  // counter is evicted and `key` inherits its count as error (the classic
+  // SpaceSaving step — the evicted key's weight can never be lost, only
+  // re-attributed with an explicit bound).
+  void offer(const std::string& key, std::uint64_t weight = 1,
+             std::uint64_t exemplar_trace_id = 0);
+
+  // Counters sorted by count descending (ties: key ascending, so reports
+  // are deterministic). k == 0 returns all.
+  std::vector<HeavyHitter> top(std::size_t k = 0) const;
+
+  // Fold `other` into this sketch. A key absent from one side could still
+  // have been seen up to that side's min-count times (it may have been
+  // evicted), so absent keys contribute the other sketch's min_count() to
+  // both the estimate and the error — the bound stays sound, and the
+  // merged sketch keeps the top `capacity` counters.
+  void merge(const SpaceSaving& other);
+
+  // The smallest counter value when full (0 while under capacity): the
+  // maximum weight any *unseen* key could have accumulated.
+  std::uint64_t min_count() const;
+
+  std::uint64_t total_weight() const { return total_weight_; }
+  std::size_t size() const { return heap_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool contains(const std::string& key) const {
+    return index_.count(key) != 0;
+  }
+
+  // Approximate heap footprint — what the scaleout bench asserts is
+  // O(capacity), independent of how many distinct keys were offered.
+  std::size_t memory_bytes() const;
+
+  void assign(std::size_t capacity, std::vector<HeavyHitter> entries,
+              std::uint64_t total_weight);
+
+ private:
+  void bubble_up(std::size_t i);
+  void bubble_down(std::size_t i);
+
+  std::size_t capacity_;
+  // Min-heap on count: heap_[0] is the eviction candidate. K is small
+  // (tens), so O(log K) heap fixups beat a balanced tree's pointer churn.
+  std::vector<HeavyHitter> heap_;
+  std::unordered_map<std::string, std::size_t> index_;  // key -> heap slot
+  std::uint64_t total_weight_ = 0;
+};
+
+// HyperLogLog distinct counter over string keys (IMSIs). Precision p gives
+// 2^p one-byte registers and ~1.04/sqrt(2^p) standard error: p=12 is 4 KiB
+// for ~1.6% — a million active subscribers counted in a page of memory.
+class HyperLogLog {
+ public:
+  explicit HyperLogLog(unsigned precision = 12);
+
+  void add(std::string_view key);
+  // Harmonic-mean estimate with the standard small-range (linear counting)
+  // correction.
+  double estimate() const;
+  // Register-wise max: the merged estimate covers the union of both
+  // streams (lossless — HLL merge introduces no additional error).
+  void merge(const HyperLogLog& other);
+
+  unsigned precision() const { return precision_; }
+  const std::vector<std::uint8_t>& registers() const { return registers_; }
+  void assign(unsigned precision, std::vector<std::uint8_t> registers);
+  std::size_t memory_bytes() const { return registers_.size(); }
+
+ private:
+  unsigned precision_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace magma::obs::sketch

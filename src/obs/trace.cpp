@@ -125,18 +125,22 @@ void Tracer::pin_trace(std::uint64_t trace_id) {
 
 void Tracer::evict_over_retention() {
   while (finished_.size() > max_finished_) {
-    auto victim = finished_.begin();
     if (!pinned_.empty() || !tail_pinned_.empty()) {
-      // Oldest span of an *unpinned* trace goes first; in the common case
-      // (front unpinned) this scan stops immediately. Error pins and
-      // sampler pins protect alike.
-      while (victim != finished_.end() && trace_pinned(victim->trace_id)) {
-        ++victim;
+      // Oldest span of an *unpinned* trace goes first. Pinned spans at the
+      // front rotate to the back instead of being scanned past every call:
+      // long-lived pins (exemplars hold theirs for a whole metrics window)
+      // would otherwise make each eviction a linear walk plus a mid-deque
+      // erase. Rotation is O(1) amortized — each pinned span moves once
+      // per eviction round, and consumers order by start time, not deque
+      // position. The rotation budget covers the everything-pinned case:
+      // after a full lap the size bound still wins and the front drops.
+      std::size_t rotations = finished_.size();
+      while (rotations-- > 0 && trace_pinned(finished_.front().trace_id)) {
+        finished_.push_back(std::move(finished_.front()));
+        finished_.pop_front();
       }
-      // Everything pinned: the size bound still wins — drop the oldest.
-      if (victim == finished_.end()) victim = finished_.begin();
     }
-    finished_.erase(victim);
+    finished_.pop_front();
     ++spans_dropped_;
   }
 }

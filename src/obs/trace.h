@@ -179,14 +179,21 @@ class Tracer {
     return pinned_.count(trace_id) != 0;
   }
 
-  // Explicit pins (tail-based sampling): a TailSampler pins the traces it
-  // keeps and unpins the ones it displaces. Kept separate from the error
-  // pins — releasing a sampler pin never releases an error pin, and the
-  // error-pin FIFO cap does not count sampler pins.
+  // Explicit pins (tail-based sampling, histogram exemplars): a TailSampler
+  // pins the traces it keeps and unpins the ones it displaces; histogram
+  // buckets pin their exemplar traces the same way. Kept separate from the
+  // error pins — releasing an explicit pin never releases an error pin, and
+  // the error-pin FIFO cap does not count explicit pins. Pins are
+  // refcounted so two owners (a sampler and an exemplar bucket) holding the
+  // same trace release independently.
   void pin(std::uint64_t trace_id) {
-    if (trace_id != 0) tail_pinned_.insert(trace_id);
+    if (trace_id != 0) ++tail_pinned_[trace_id];
   }
-  void unpin(std::uint64_t trace_id) { tail_pinned_.erase(trace_id); }
+  void unpin(std::uint64_t trace_id) {
+    auto it = tail_pinned_.find(trace_id);
+    if (it == tail_pinned_.end()) return;
+    if (--it->second == 0) tail_pinned_.erase(it);
+  }
   std::size_t tail_pinned_traces() const { return tail_pinned_.size(); }
   const std::deque<SpanRecord>& finished() const { return finished_; }
   // All finished spans of one trace, in start order.
@@ -210,7 +217,8 @@ class Tracer {
   std::size_t max_finished_ = 65536;
   std::unordered_set<std::uint64_t> pinned_;  // trace ids with an error span
   std::deque<std::uint64_t> pin_order_;       // FIFO for the pin cap
-  std::unordered_set<std::uint64_t> tail_pinned_;  // sampler-held traces
+  // Explicitly pinned traces -> pin refcount (sampler + exemplar holders).
+  std::unordered_map<std::uint64_t, std::uint32_t> tail_pinned_;
   std::size_t max_pinned_traces_ = 128;
   std::uint64_t spans_started_ = 0;
   std::uint64_t spans_finished_ = 0;

@@ -16,6 +16,8 @@ const char* ingest_kind_name(IngestKind kind) {
       return "histograms";
     case IngestKind::kTraceSummaries:
       return "trace_summaries";
+    case IngestKind::kSketches:
+      return "sketches";
   }
   return "unknown";
 }

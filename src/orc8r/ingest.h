@@ -37,8 +37,9 @@ enum class IngestKind : std::uint8_t {
   kMetrics = 1,
   kHistograms = 2,
   kTraceSummaries = 3,
+  kSketches = 4,
 };
-inline constexpr std::size_t kIngestKindCount = 4;
+inline constexpr std::size_t kIngestKindCount = 5;
 const char* ingest_kind_name(IngestKind kind);
 
 struct IngestConfig {

@@ -64,6 +64,11 @@ common::Bytes encode_histogram_report(
       for (const double b : s.bounds) w.f64(b);
       for (const std::uint64_t c : s.counts) w.u64(c);
     }
+    w.u32(static_cast<std::uint32_t>(s.exemplars.size()));
+    for (const auto& [bucket, trace_id] : s.exemplars) {
+      w.u32(bucket);
+      w.u64(trace_id);
+    }
     w.f64(s.sum);
     w.i64(s.time);
   }
@@ -121,6 +126,18 @@ common::Result<std::vector<HistogramSnapshot>> decode_histogram_report(
                              "unsorted histogram bounds"};
       }
     }
+    const std::uint32_t exemplars = r.u32();
+    // 12 wire bytes per (bucket, trace id) pair — the count is wire data.
+    if (static_cast<std::uint64_t>(exemplars) * 12 > r.remaining()) {
+      return common::Error{common::ErrorCode::kInvalidArgument,
+                           "oversized exemplar list"};
+    }
+    s.exemplars.reserve(exemplars);
+    for (std::uint32_t e = 0; e < exemplars && r.ok(); ++e) {
+      const std::uint32_t bucket = r.u32();
+      const std::uint64_t trace_id = r.u64();
+      s.exemplars.emplace_back(bucket, trace_id);
+    }
     s.sum = r.f64();
     s.time = r.i64();
     snapshots.push_back(std::move(s));
@@ -137,25 +154,40 @@ void Metricsd::ingest_histogram(const HistogramSnapshot& snapshot) {
     auto it = histograms_.find({snapshot.gateway_id, snapshot.name});
     if (it == histograms_.end()) {
       ++histogram_delta_orphans_;  // no base to overlay; sender re-ships full
+      note_drop(DropKind::kHistogram);
       return;
     }
     std::vector<std::uint64_t> counts = it->second.counts();
     for (const auto& [index, count] : snapshot.changed) {
       if (index >= counts.size()) {
         ++histogram_delta_orphans_;  // layout drifted under the delta
+        note_drop(DropKind::kHistogram);
         return;
       }
       counts[index] = count;
     }
     obs::Histogram h(std::vector<double>{});
     if (!h.assign(it->second.bounds(), std::move(counts), snapshot.sum)) {
+      note_drop(DropKind::kHistogram);
       return;
+    }
+    // Deltas carry only *changed* exemplars: start from the stored ones.
+    const std::vector<std::uint64_t>& kept = it->second.exemplars();
+    for (std::size_t b = 0; b < kept.size(); ++b) h.set_exemplar(b, kept[b]);
+    for (const auto& [bucket, trace_id] : snapshot.exemplars) {
+      h.set_exemplar(bucket, trace_id);
     }
     it->second = std::move(h);
     return;
   }
   obs::Histogram h(std::vector<double>{});
-  if (!h.assign(snapshot.bounds, snapshot.counts, snapshot.sum)) return;
+  if (!h.assign(snapshot.bounds, snapshot.counts, snapshot.sum)) {
+    note_drop(DropKind::kHistogram);
+    return;
+  }
+  for (const auto& [bucket, trace_id] : snapshot.exemplars) {
+    h.set_exemplar(bucket, trace_id);
+  }
   histograms_.insert_or_assign({snapshot.gateway_id, snapshot.name},
                                std::move(h));
 }
@@ -198,6 +230,61 @@ double Metricsd::histogram_quantile(const std::string& name, double q) const {
 
 std::uint64_t Metricsd::histogram_count(const std::string& name) const {
   return merged_histogram(name).count();
+}
+
+std::uint64_t Metricsd::histogram_exemplar(const std::string& name,
+                                           double q) const {
+  return merged_histogram(name).exemplar_near_quantile(q);
+}
+
+void Metricsd::ingest_sketch_report(obs::sketch::SketchReport report) {
+  auto it = sketches_.find(report.gateway_id);
+  if (it != sketches_.end() && it->second.time > report.time) {
+    // A replayed or reordered report older than what we hold would roll the
+    // cumulative sketches backwards.
+    note_drop(DropKind::kSketch);
+    return;
+  }
+  ++sketch_reports_ingested_;
+  sketches_.insert_or_assign(report.gateway_id, std::move(report));
+}
+
+obs::sketch::SpaceSaving Metricsd::merged_top_subscribers(
+    obs::sketch::SubscriberMetric metric) const {
+  const std::size_t idx = static_cast<std::size_t>(metric);
+  obs::sketch::SpaceSaving merged;
+  bool first = true;
+  for (const auto& [gw, report] : sketches_) {
+    if (first) {
+      merged = report.topk[idx];
+      first = false;
+    } else {
+      merged.merge(report.topk[idx]);
+    }
+  }
+  return merged;
+}
+
+double Metricsd::fleet_active_subscribers(bool window) const {
+  obs::sketch::HyperLogLog merged;
+  bool first = true;
+  for (const auto& [gw, report] : sketches_) {
+    const obs::sketch::HyperLogLog& h =
+        window ? report.active_window : report.active_total;
+    if (first) {
+      merged = h;
+      first = false;
+    } else {
+      merged.merge(h);
+    }
+  }
+  return first ? 0.0 : merged.estimate();
+}
+
+std::string Metricsd::top_subscribers_report(
+    obs::sketch::SubscriberMetric metric, std::size_t k) const {
+  return obs::sketch::format_top_subscribers(
+      metric, merged_top_subscribers(metric).top(), k, sketches_.size());
 }
 
 void Metricsd::ingest_trace_summaries(
@@ -258,8 +345,37 @@ void Metricsd::set_retention(std::size_t max_samples_per_series) {
       const std::size_t excess = series.size() - max_per_series_;
       series.erase(series.begin(),
                    series.begin() + static_cast<std::ptrdiff_t>(excess));
-      samples_dropped_ += excess;
+      note_drop(DropKind::kMetric, excess);
     }
+  }
+}
+
+std::uint64_t Metricsd::samples_dropped() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t d : dropped_) total += d;
+  return total;
+}
+
+const char* Metricsd::drop_kind_name(DropKind kind) {
+  switch (kind) {
+    case DropKind::kMetric: return "metric";
+    case DropKind::kHistogram: return "histogram";
+    case DropKind::kTraceSummary: return "trace_summary";
+    case DropKind::kSketch: return "sketch";
+  }
+  return "unknown";
+}
+
+void Metricsd::self_observe(sim::TimePoint now) {
+  for (std::size_t i = 0; i < kDropKindCount; ++i) {
+    MetricSample sample;
+    // The kind plays the gateway dimension so each kind is its own series
+    // for the kDelta growth rule.
+    sample.gateway_id = drop_kind_name(static_cast<DropKind>(i));
+    sample.name = "metricsd_samples_dropped";
+    sample.value = static_cast<double>(dropped_[i]);
+    sample.time = now;
+    ingest(sample);
   }
 }
 
@@ -373,7 +489,7 @@ void Metricsd::ingest(const MetricSample& sample) {
     const std::size_t evict = std::min(chunk, series.size());
     series.erase(series.begin(),
                  series.begin() + static_cast<std::ptrdiff_t>(evict));
-    samples_dropped_ += evict;
+    note_drop(DropKind::kMetric, evict);
   }
 }
 
@@ -541,6 +657,15 @@ std::string format_availability(const std::vector<AvailabilityRow>& rows) {
     out += '\n';
   }
   return out;
+}
+
+void install_default_metricsd_rules(Metricsd& metricsd) {
+  // The self-observed drop gauge is cumulative per kind; any rise between
+  // two self_observe ticks means the pipeline truncated telemetry since the
+  // last look.
+  metricsd.add_alert_rule(AlertRule{"metricsd_samples_dropped_growth",
+                                    "metricsd_samples_dropped", 0.0, true,
+                                    AlertKind::kDelta});
 }
 
 void install_default_slo_rules(Metricsd& metricsd) {

@@ -19,6 +19,7 @@
 #include "common/bytes.h"
 #include "common/result.h"
 #include "obs/histogram.h"
+#include "obs/sketch/subscriber_sketches.h"
 #include "obs/slo/availability.h"
 #include "obs/tail_sampler.h"
 #include "sim/time.h"
@@ -55,6 +56,11 @@ struct HistogramSnapshot {
   // re-ships full after any report loss regardless).
   bool delta = false;
   std::vector<std::pair<std::uint32_t, std::uint64_t>> changed;
+  // Optional per-bucket exemplars as (bucket index, trace id) pairs — one
+  // recent trace that landed in that bucket, so a p99 query can be pivoted
+  // to a pinned trace. Full snapshots carry every non-zero exemplar; delta
+  // snapshots carry only buckets whose exemplar changed.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> exemplars;
 };
 
 common::Bytes encode_histogram_report(
@@ -138,6 +144,29 @@ class Metricsd {
   // p50/p95/p99-style query over the merged buckets; 0 when absent.
   double histogram_quantile(const std::string& name, double q) const;
   std::uint64_t histogram_count(const std::string& name) const;
+  // The metrics→trace pivot: trace id of one exemplar in (or below) the
+  // quantile-q bucket of the merged histogram (0: none shipped yet).
+  std::uint64_t histogram_exemplar(const std::string& name, double q) const;
+
+  // --- per-subscriber sketches (cardinality-bounded telemetry) -------------
+  // Cumulative sketch report from a gateway: replaces that gateway's
+  // previous report (out-of-order replays older than the stored report are
+  // dropped and counted against DropKind::kSketch).
+  void ingest_sketch_report(obs::sketch::SketchReport report);
+  std::uint64_t sketch_reports_ingested() const {
+    return sketch_reports_ingested_;
+  }
+  std::size_t sketch_gateways() const { return sketches_.size(); }
+  // Fleet-wide merge across gateways; error bounds carried explicitly (a
+  // key one gateway evicted contributes that gateway's min-count).
+  obs::sketch::SpaceSaving merged_top_subscribers(
+      obs::sketch::SubscriberMetric metric) const;
+  // Fleet-wide distinct active IMSIs (HLL register-max merge): since boot,
+  // or over the gateways' last closed window.
+  double fleet_active_subscribers(bool window = false) const;
+  // Rendered top-K answer for "who are my worst subscribers by <metric>".
+  std::string top_subscribers_report(obs::sketch::SubscriberMetric metric,
+                                     std::size_t k) const;
 
   // Tail-sampled trace summaries (shipped by magmad on the metrics tick):
   // fold each into the per-root-op attribution table.
@@ -156,7 +185,31 @@ class Metricsd {
   // [cap/2, cap] and retention stays O(1) amortized per sample instead of
   // an O(cap) front-erase each. 0 disables the cap.
   void set_retention(std::size_t max_samples_per_series);
-  std::uint64_t samples_dropped() const { return samples_dropped_; }
+  std::uint64_t samples_dropped() const;
+  // Per-kind drop accounting: every sample metricsd discards — retention
+  // trims, malformed histograms, undecodable reports — lands in exactly one
+  // kind, so silent telemetry truncation is itself a metric.
+  enum class DropKind : std::uint8_t {
+    kMetric = 0,        // retention-cap trims of plain samples
+    kHistogram = 1,     // malformed layouts, orphaned deltas
+    kTraceSummary = 2,  // undecodable trace-summary reports
+    kSketch = 3,        // undecodable or stale sketch reports
+  };
+  static constexpr std::size_t kDropKindCount = 4;
+  static const char* drop_kind_name(DropKind kind);
+  std::uint64_t samples_dropped(DropKind kind) const {
+    return dropped_[static_cast<std::size_t>(kind)];
+  }
+  // Ingest-adjacent layers (the orchestrator's decode path) report their
+  // discards here so the gauge below covers the whole pipeline.
+  void note_drop(DropKind kind, std::uint64_t n = 1) {
+    dropped_[static_cast<std::size_t>(kind)] += n;
+  }
+  // Self-observation: ingest one `metricsd_samples_dropped` gauge sample
+  // per kind (gateway_id = kind name), so the default kDelta rule pages on
+  // any growth — a telemetry pipeline that drops data must say so in the
+  // telemetry itself.
+  void self_observe(sim::TimePoint now);
 
   // --- alerting ------------------------------------------------------------
   void add_alert_rule(AlertRule rule);
@@ -199,11 +252,15 @@ class Metricsd {
   std::map<std::string, std::vector<MetricSample>> by_name_;
   std::size_t total_ = 0;
   std::size_t max_per_series_ = 100000;
-  std::uint64_t samples_dropped_ = 0;
+  std::array<std::uint64_t, kDropKindCount> dropped_{};
 
   // (gateway, name) -> latest cumulative snapshot.
   std::map<std::pair<std::string, std::string>, obs::Histogram> histograms_;
   std::uint64_t histogram_delta_orphans_ = 0;
+
+  // gateway -> latest cumulative sketch report.
+  std::map<std::string, obs::sketch::SketchReport> sketches_;
+  std::uint64_t sketch_reports_ingested_ = 0;
 
   // root op -> aggregated tail-trace attribution.
   std::map<std::string, LatencyAttributionRow> attribution_;
@@ -260,6 +317,12 @@ std::vector<AvailabilityRow> availability_rollup(
 // Human-readable rendering, one line per gateway plus the FLEET row — the
 // metricsd answer to "what was my fleet's availability and why".
 std::string format_availability(const std::vector<AvailabilityRow>& rows);
+
+// Default alerting over metricsd's own health: any growth of the per-kind
+// `metricsd_samples_dropped` gauge pages — silent truncation of the
+// telemetry pipeline is an outage of the observability plane itself.
+// Installed by Orchestrator; idempotent by rule name.
+void install_default_metricsd_rules(Metricsd& metricsd);
 
 // Default SRE-style burn-rate alerting over the SLIs the orchestrator
 // extracts from signals that already flow (gateway liveness, attach

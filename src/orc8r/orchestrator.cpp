@@ -39,6 +39,7 @@ Orchestrator::Orchestrator(sim::Kernel& kernel, std::string network_name)
                                      AlertKind::kDelta});
   // SRE-style multi-window burn-rate alerting over the extracted SLIs.
   install_default_slo_rules(metricsd_);
+  install_default_metricsd_rules(metricsd_);
   // Host-observability guards: the sim kernel and the payload pools fall
   // back to the heap when their inline/pooled capacity is exceeded — both
   // are perf regressions the fleet should page on, not discover in a bench.
@@ -402,6 +403,10 @@ void Orchestrator::slo_tick(sim::Duration interval) {
 void Orchestrator::slo_tick_now() {
   ++stats_.slo_ticks;
   const sim::TimePoint now = kernel_.now();
+  // Piggyback metricsd's self-observation (the per-kind samples-dropped
+  // gauge) on the SLO cadence: the kDelta growth rule sees a fresh point
+  // every tick.
+  metricsd_.self_observe(now);
   for (const obs::slo::SloSpec& spec : slos_) {
     if (spec.source_histogram.empty()) continue;
     // Derived SLI: the fleet-merged quantile of a histogram that already
@@ -682,6 +687,7 @@ void Orchestrator::bind(rpc::RpcNode& node) {
         auto snapshots = decode_histogram_report(request);
         if (!snapshots.ok()) {
           obs::svc_error(svc_metricsd_, snapshots.error().message);
+          metricsd_.note_drop(Metricsd::DropKind::kHistogram);
           respond(rpc::Error{snapshots.error()});
           return;
         }
@@ -705,6 +711,7 @@ void Orchestrator::bind(rpc::RpcNode& node) {
         auto summaries = obs::decode_trace_summaries(request);
         if (!summaries.ok()) {
           obs::svc_error(svc_metricsd_, summaries.error().message);
+          metricsd_.note_drop(Metricsd::DropKind::kTraceSummary);
           respond(rpc::Error{summaries.error()});
           return;
         }
@@ -717,6 +724,29 @@ void Orchestrator::bind(rpc::RpcNode& node) {
                               metricsd_.ingest_trace_summaries(batch);
                             })) {
           note_ingest_shed(IngestKind::kTraceSummaries);
+        }
+        respond(rpc::Bytes{});
+      });
+
+  node.register_method(
+      kMetricsService, kReportSketches,
+      [this](const rpc::Bytes& request, rpc::Respond respond) {
+        obs::svc_request(svc_metricsd_);
+        auto report = obs::sketch::decode_sketch_report(request);
+        if (!report.ok()) {
+          obs::svc_error(svc_metricsd_, report.error().message);
+          metricsd_.note_drop(Metricsd::DropKind::kSketch);
+          respond(rpc::Error{report.error()});
+          return;
+        }
+        ++stats_.sketch_reports;
+        obs::sketch::SketchReport batch = std::move(report).take();
+        const std::string gateway_id = batch.gateway_id;
+        if (!ingest_.submit(gateway_id, IngestKind::kSketches,
+                            [this, batch = std::move(batch)]() mutable {
+                              metricsd_.ingest_sketch_report(std::move(batch));
+                            })) {
+          note_ingest_shed(IngestKind::kSketches);
         }
         respond(rpc::Bytes{});
       });

@@ -59,6 +59,7 @@ struct OrchestratorStats {
   std::uint64_t metric_reports = 0;
   std::uint64_t histogram_reports = 0;
   std::uint64_t trace_summary_reports = 0;
+  std::uint64_t sketch_reports = 0;
   std::uint64_t event_reports = 0;
   std::uint64_t events_ingested = 0;
   std::uint64_t events_dropped = 0;  // event store retention overflow

@@ -96,6 +96,7 @@ inline constexpr const char* kMetricsService = "metricsd";
 inline constexpr const char* kReportMetrics = "Report";
 inline constexpr const char* kReportHistograms = "ReportHistograms";
 inline constexpr const char* kReportTraceSummaries = "ReportTraceSummaries";
+inline constexpr const char* kReportSketches = "ReportSketches";
 
 inline constexpr const char* kEventService = "eventd";
 inline constexpr const char* kLogEvents = "LogEvents";

@@ -11,6 +11,7 @@
 #include "datapath/packet.h"
 #include "net/channel.h"
 #include "obs/events.h"
+#include "obs/sketch/subscriber_sketches.h"
 #include "obs/status.h"
 #include "obs/tail_sampler.h"
 #include "orc8r/metricsd.h"
@@ -57,6 +58,7 @@ void decode_everything(common::BytesView data) {
   (void)obs::decode_event_report(data);
   (void)obs::decode_gateway_status(data);
   (void)obs::decode_trace_summaries(data);
+  (void)obs::sketch::decode_sketch_report(data);
   (void)net::decode_segment_header(data);
 }
 
@@ -309,6 +311,168 @@ TEST(FuzzTraceSummary, HostileLengthsRejectedWithoutAllocating) {
     // The first string length lives right after the 8-byte count.
     for (std::size_t i = 8; i < 16 && i < wire.size(); ++i) wire[i] = 0xff;
     EXPECT_FALSE(obs::decode_trace_summaries(wire).ok());
+  }
+}
+
+// The sketch report is the newest magmad→metricsd payload; a hostile or
+// corrupted report must never crash metricsd, never drive an unbounded
+// allocation, and never decode into a sketch violating its own invariants
+// (error bound exceeding the count estimate, out-of-range capacity).
+TEST(FuzzSketchReport, RoundTripMutationAndTruncation) {
+  sim::Rng rng(71);
+  for (int round = 0; round < 200; ++round) {
+    obs::sketch::SketchConfig config;
+    config.topk_capacity = 4 + rng.uniform_int(12);
+    obs::sketch::SubscriberSketches sketches(config);
+    const std::uint64_t keys = rng.uniform_int(40);
+    for (std::uint64_t i = 0; i < keys; ++i) {
+      const common::Imsi imsi =
+          common::Imsi::from_digits(1010000000000ULL + rng.uniform_int(25));
+      const auto metric = static_cast<obs::sketch::SubscriberMetric>(
+          rng.uniform_int(obs::sketch::kSubscriberMetricCount));
+      sketches.record(metric, imsi.value, 1 + rng.uniform_int(9),
+                      rng.next_u64());
+      sketches.record_active(imsi.value, static_cast<sim::TimePoint>(i));
+    }
+
+    const obs::sketch::SketchReport report =
+        sketches.snapshot("gw-fuzz", 1000);
+    const common::Bytes wire = obs::sketch::encode_sketch_report(report);
+    auto decoded = obs::sketch::decode_sketch_report(wire);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().gateway_id, report.gateway_id);
+    EXPECT_EQ(decoded.value().time, report.time);
+    EXPECT_EQ(decoded.value().topk_capacity, report.topk_capacity);
+    for (std::size_t m = 0; m < obs::sketch::kSubscriberMetricCount; ++m) {
+      const auto want = report.topk[m].top();
+      const auto got = decoded.value().topk[m].top();
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].key, want[i].key);
+        EXPECT_EQ(got[i].count, want[i].count);
+        EXPECT_EQ(got[i].error, want[i].error);
+        EXPECT_EQ(got[i].exemplar_trace_id, want[i].exemplar_trace_id);
+      }
+      EXPECT_EQ(decoded.value().topk[m].total_weight(),
+                report.topk[m].total_weight());
+    }
+    EXPECT_EQ(decoded.value().active_total.registers(),
+              report.active_total.registers());
+    EXPECT_EQ(decoded.value().active_window.registers(),
+              report.active_window.registers());
+
+    // Every strict prefix cuts a read short somewhere — all must fail.
+    // The sweep is quadratic in the ~11 KB wire (the HLL registers), so
+    // run it on a handful of differently-shaped reports, not all 200.
+    if (round < 3) {
+      for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+        EXPECT_FALSE(obs::sketch::decode_sketch_report(
+                         common::BytesView(wire.data(), keep))
+                         .ok())
+            << "prefix " << keep << " parsed as valid";
+      }
+    }
+    // Trailing garbage after a valid report: at_end() must catch it.
+    common::Bytes padded = wire;
+    padded.push_back(0xc3);
+    EXPECT_FALSE(obs::sketch::decode_sketch_report(padded).ok());
+    // Bit flips: reject, or decode into a report that still holds the
+    // sketch invariants — never crash, never yield error > count.
+    common::Bytes mutated = wire;
+    const int flips = 1 + static_cast<int>(rng.uniform_int(4));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.uniform_int(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+    }
+    auto survived = obs::sketch::decode_sketch_report(mutated);
+    if (survived.ok()) {
+      EXPECT_GE(survived.value().topk_capacity, 1u);
+      EXPECT_LE(survived.value().topk_capacity, 4096u);
+      for (const obs::sketch::SpaceSaving& s : survived.value().topk) {
+        for (const obs::sketch::HeavyHitter& h : s.top()) {
+          EXPECT_LE(h.error, h.count);
+        }
+      }
+    }
+  }
+}
+
+TEST(FuzzSketchReport, HostileFieldsRejectedWithoutAllocating) {
+  // Hostile K: capacity 0 (a divide-by-nothing sketch) and capacity 2^32-1
+  // (a reserve bomb) must both be rejected at the header.
+  for (const std::uint32_t capacity : {0u, 0xffffffffu, 4097u}) {
+    rpc::Writer w;
+    w.str("gw0");
+    w.i64(0);
+    w.u32(capacity);
+    w.u8(0);
+    EXPECT_FALSE(
+        obs::sketch::decode_sketch_report(std::move(w).take()).ok());
+  }
+  // A metric-set width claiming 255 sketches.
+  {
+    rpc::Writer w;
+    w.str("gw0");
+    w.i64(0);
+    w.u32(8);
+    w.u8(0xff);
+    EXPECT_FALSE(
+        obs::sketch::decode_sketch_report(std::move(w).take()).ok());
+  }
+  // An entry count claiming 2^32-1 heavy hitters in an empty buffer: the
+  // bounded reserve must not trust it.
+  {
+    rpc::Writer w;
+    w.str("gw0");
+    w.i64(0);
+    w.u32(8);
+    w.u8(1);
+    w.u64(0);           // total weight
+    w.u32(0xffffffff);  // hostile entry count, no entry bytes follow
+    EXPECT_FALSE(
+        obs::sketch::decode_sketch_report(std::move(w).take()).ok());
+  }
+  // An entry whose error bound exceeds its count estimate: accepting it
+  // would let one gateway poison the fleet-wide lower bounds.
+  {
+    rpc::Writer w;
+    w.str("gw0");
+    w.i64(0);
+    w.u32(8);
+    w.u8(1);
+    w.u64(10);  // total weight
+    w.u32(1);
+    w.str("IMSI001010000000001");
+    w.u64(3);   // count...
+    w.u64(7);   // ...below the claimed error
+    w.u64(0);
+    EXPECT_FALSE(
+        obs::sketch::decode_sketch_report(std::move(w).take()).ok());
+  }
+  // An HLL claiming precision 40 (a 2^40-register reserve bomb), and one
+  // whose register payload disagrees with its declared precision.
+  {
+    rpc::Writer w;
+    w.str("gw0");
+    w.i64(0);
+    w.u32(8);
+    w.u8(0);
+    w.u8(40);  // hostile precision
+    w.bytes(common::BytesView{});
+    EXPECT_FALSE(
+        obs::sketch::decode_sketch_report(std::move(w).take()).ok());
+  }
+  {
+    rpc::Writer w;
+    w.str("gw0");
+    w.i64(0);
+    w.u32(8);
+    w.u8(0);
+    w.u8(12);  // claims 4096 registers...
+    const common::Bytes regs(16, 0);  // ...ships 16
+    w.bytes(common::BytesView(regs.data(), regs.size()));
+    EXPECT_FALSE(
+        obs::sketch::decode_sketch_report(std::move(w).take()).ok());
   }
 }
 

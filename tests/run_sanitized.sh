@@ -21,7 +21,7 @@ SUITES=(
   net_channel_test net_congestion_test fuzz_codec_test property_test
   rpc_test magmad_orc8r_test fleet_scale_test obs_test tail_sampler_test
   tracing_integration_test statusd_test slo_test cpu_profile_test
-  host_profiler_test bench_compare_test
+  host_profiler_test bench_compare_test sketch_test histogram_test
   pool_test inplace_function_test alloc_discipline_test
 )
 
@@ -32,8 +32,12 @@ SUITES=(
 # downtime hooks and the attribution join (closures scheduled from RPC
 # continuations — exactly the lifetime shape sanitizers exist for). If the
 # availability bench binary ever falls out of the build, the loop below
-# fails loudly rather than letting the SLO layer go unexercised.
-BENCHES=(host_microbench bench_compare fleet_slo_availability)
+# fails loudly rather than letting the SLO layer go unexercised. The
+# subscriber bench joins them: SpaceSaving merge moves HeavyHitter strings
+# between gateway-owned and metricsd-owned sketches — an aliasing bug there
+# is exactly an ASan find.
+BENCHES=(host_microbench bench_compare fleet_slo_availability
+         scaleout_subscribers)
 
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)" --target "${SUITES[@]}" "${BENCHES[@]}"
@@ -57,6 +61,6 @@ done
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 ctest --test-dir build-asan --output-on-failure \
-  -R 'Channel|Reliable|Datagram|Congestion|Fuzz|Rpc|Wire|Magmad|Orchestrator|DesiredState|TransportTelemetry|Tracer|Histogram|EventBuffer|EventReport|ChromeTrace|Tracing|Statusd|Service303|GatewayStatus|CpuProfile|TailSampler|CriticalPath|FleetIngest|DeltaStream|FleetScale|HostProfiler|BenchCompare|QueueDepth|BlockPool|TypedPool|PoolAllocator|InplaceFunction|KernelClosure|AllocDiscipline|AvailabilityLedger|BurnRate|Attribution|SloReport|SloIntegration|FleetSloAvailability' \
+  -R 'Channel|Reliable|Datagram|Congestion|Fuzz|Rpc|Wire|Magmad|Orchestrator|DesiredState|TransportTelemetry|Tracer|Histogram|EventBuffer|EventReport|ChromeTrace|Tracing|Statusd|Service303|GatewayStatus|CpuProfile|TailSampler|CriticalPath|FleetIngest|DeltaStream|FleetScale|HostProfiler|BenchCompare|QueueDepth|BlockPool|TypedPool|PoolAllocator|InplaceFunction|KernelClosure|AllocDiscipline|AvailabilityLedger|BurnRate|Attribution|SloReport|SloIntegration|FleetSloAvailability|SpaceSaving|HyperLogLog|SubscriberSketches|SketchCodec|FormatTopSubscribers|MetricsdSketch|MetricsdDrops|AccessdSketch|SubscriberBench' \
   "$@"
 echo "sanitized transport suite: OK"

@@ -1,0 +1,465 @@
+// Per-subscriber sketch layer: SpaceSaving exactness and error bounds,
+// HyperLogLog accuracy and lossless merge, the wire codec's rejection
+// surface, metricsd's fleet merge, per-kind drop accounting with its
+// default alert, and the gateway-to-orchestrator pivot from a heavy-hitter
+// entry to a pinned exemplar trace.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "agw/accessd.h"
+#include "obs/sketch/subscriber_sketches.h"
+#include "orc8r/metricsd.h"
+
+namespace magma {
+namespace {
+
+using obs::sketch::HeavyHitter;
+using obs::sketch::HyperLogLog;
+using obs::sketch::SketchReport;
+using obs::sketch::SpaceSaving;
+using obs::sketch::SubscriberMetric;
+using obs::sketch::SubscriberSketches;
+
+std::string key(int n) { return common::Imsi::from_digits(
+    1010000000000ULL + static_cast<std::uint64_t>(n)).value; }
+
+// ---------------------------------------------------------------------------
+// SpaceSaving
+// ---------------------------------------------------------------------------
+
+TEST(SpaceSaving, ExactUnderCapacity) {
+  SpaceSaving sketch(8);
+  sketch.offer(key(1), 5);
+  sketch.offer(key(2), 3);
+  sketch.offer(key(1), 2);
+  const auto top = sketch.top();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, key(1));
+  EXPECT_EQ(top[0].count, 7u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].key, key(2));
+  EXPECT_EQ(top[1].count, 3u);
+  EXPECT_EQ(sketch.min_count(), 0u);  // under capacity: nothing evicted
+  EXPECT_EQ(sketch.total_weight(), 10u);
+}
+
+TEST(SpaceSaving, EvictionInheritsMinAsError) {
+  SpaceSaving sketch(2);
+  sketch.offer(key(1), 10);
+  sketch.offer(key(2), 4);
+  sketch.offer(key(3), 1);  // evicts key(2) (count 4), inherits it
+  ASSERT_EQ(sketch.size(), 2u);
+  EXPECT_FALSE(sketch.contains(key(2)));
+  const auto top = sketch.top();
+  EXPECT_EQ(top[0].key, key(1));
+  EXPECT_EQ(top[1].key, key(3));
+  EXPECT_EQ(top[1].count, 5u);  // inherited 4 + weight 1: upper bound
+  EXPECT_EQ(top[1].error, 4u);  // explicit overestimate
+  // The invariants that make the report honest: count is an upper bound,
+  // count - error a guaranteed lower bound (true count was 1).
+  EXPECT_GE(top[1].count, 1u);
+  EXPECT_LE(top[1].count - top[1].error, 1u);
+  // Total weight is never lost, only re-attributed.
+  EXPECT_EQ(sketch.total_weight(), 15u);
+}
+
+TEST(SpaceSaving, HeavyHittersSurviveNoiseFlood) {
+  SpaceSaving sketch(16);
+  // Two planted heavy keys, then a flood of 10k singletons.
+  sketch.offer("heavy-a", 5000);
+  sketch.offer("heavy-b", 3000);
+  for (int i = 0; i < 10000; ++i) sketch.offer(key(i));
+  const auto top = sketch.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, "heavy-a");
+  EXPECT_EQ(top[1].key, "heavy-b");
+  EXPECT_EQ(top[0].count, 5000u);
+  EXPECT_EQ(top[0].error, 0u);
+  // The noise floor is bounded by total/capacity.
+  EXPECT_LE(sketch.min_count(), sketch.total_weight() / 16);
+}
+
+TEST(SpaceSaving, TopIsDeterministicOnTies) {
+  SpaceSaving sketch(8);
+  sketch.offer("b", 2);
+  sketch.offer("a", 2);
+  sketch.offer("c", 2);
+  const auto top = sketch.top();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, "a");  // ties break by key ascending
+  EXPECT_EQ(top[1].key, "b");
+  EXPECT_EQ(top[2].key, "c");
+}
+
+TEST(SpaceSaving, MergeAddsCommonKeysExactly) {
+  SpaceSaving a(8);
+  SpaceSaving b(8);
+  a.offer(key(1), 100);
+  a.offer(key(2), 50);
+  b.offer(key(1), 30);
+  b.offer(key(3), 10);
+  a.merge(b);
+  const auto top = a.top();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, key(1));
+  EXPECT_EQ(top[0].count, 130u);
+  EXPECT_EQ(top[0].error, 0u);  // both sides under capacity: exact
+  // One-sided keys: both sketches were under capacity (min 0), so no
+  // padding — counts stay exact.
+  EXPECT_EQ(top[1].count, 50u);
+  EXPECT_EQ(top[2].count, 10u);
+  EXPECT_EQ(a.total_weight(), 190u);
+}
+
+TEST(SpaceSaving, MergePadsOneSidedKeysWithMinCount) {
+  // Fill b to capacity so its min-count is nonzero: a key absent from b
+  // could still have been seen up to min_count(b) times there.
+  SpaceSaving a(2);
+  SpaceSaving b(2);
+  a.offer("only-a", 100);
+  b.offer("x", 7);
+  b.offer("y", 5);
+  ASSERT_EQ(b.min_count(), 5u);
+  a.merge(b);
+  const auto top = a.top();
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].key, "only-a");
+  EXPECT_EQ(top[0].count, 105u);  // padded by b's min
+  EXPECT_EQ(top[0].error, 5u);    // and the padding is declared as error
+  // Bound soundness: true count 100 sits inside [count - error, count].
+  EXPECT_GE(top[0].count, 100u);
+  EXPECT_LE(top[0].count - top[0].error, 100u);
+}
+
+TEST(SpaceSaving, MergeKeepsTopCapacity) {
+  SpaceSaving a(4);
+  SpaceSaving b(4);
+  for (int i = 0; i < 4; ++i) a.offer(key(i), 100 + i);
+  for (int i = 4; i < 8; ++i) b.offer(key(i), 1000 * (i - 3));
+  a.merge(b);
+  EXPECT_EQ(a.size(), 4u);  // union of 8 truncated to capacity
+  const auto top = a.top();
+  // b's heavy keys dominate even after one-sided padding (every a key gets
+  // +min_count(b) = 1000, still far below b's top).
+  EXPECT_EQ(top[0].key, key(7));
+  EXPECT_EQ(top[0].count, 4000u + 100u);  // padded by a's min
+  // Total weight of the union is preserved even though entries were cut.
+  EXPECT_EQ(a.total_weight(),
+            100u + 101 + 102 + 103 + 1000 + 2000 + 3000 + 4000);
+}
+
+TEST(SpaceSaving, ExemplarFollowsLatestContribution) {
+  SpaceSaving sketch(4);
+  sketch.offer(key(1), 1, 0xAAA);
+  EXPECT_EQ(sketch.top()[0].exemplar_trace_id, 0xAAAu);
+  sketch.offer(key(1), 1, 0xBBB);
+  EXPECT_EQ(sketch.top()[0].exemplar_trace_id, 0xBBBu);
+  sketch.offer(key(1), 1, 0);  // no exemplar: keeps the last one
+  EXPECT_EQ(sketch.top()[0].exemplar_trace_id, 0xBBBu);
+}
+
+TEST(SpaceSaving, MemoryIndependentOfKeyCount) {
+  SpaceSaving small(32);
+  SpaceSaving big(32);
+  for (int i = 0; i < 100; ++i) small.offer(key(i));
+  for (int i = 0; i < 100000; ++i) big.offer(key(i));
+  EXPECT_EQ(small.memory_bytes(), big.memory_bytes());
+  EXPECT_EQ(big.size(), 32u);
+}
+
+// ---------------------------------------------------------------------------
+// HyperLogLog
+// ---------------------------------------------------------------------------
+
+TEST(HyperLogLog, SmallRangeIsNearExact) {
+  HyperLogLog hll(12);
+  for (int i = 0; i < 100; ++i) hll.add(key(i));
+  EXPECT_NEAR(hll.estimate(), 100.0, 2.0);
+}
+
+TEST(HyperLogLog, LargeRangeWithinErrorBound) {
+  HyperLogLog hll(12);  // ~1.6% standard error
+  for (int i = 0; i < 200000; ++i) hll.add(key(i));
+  EXPECT_NEAR(hll.estimate(), 200000.0, 200000.0 * 0.05);
+}
+
+TEST(HyperLogLog, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 1000; ++i) hll.add(key(i));
+  }
+  EXPECT_NEAR(hll.estimate(), 1000.0, 1000.0 * 0.05);
+}
+
+TEST(HyperLogLog, MergeCoversUnionLosslessly) {
+  HyperLogLog a(12);
+  HyperLogLog b(12);
+  HyperLogLog reference(12);
+  for (int i = 0; i < 5000; ++i) {
+    a.add(key(i));
+    reference.add(key(i));
+  }
+  for (int i = 2500; i < 7500; ++i) {  // overlapping halves
+    b.add(key(i));
+    reference.add(key(i));
+  }
+  a.merge(b);
+  // Register-wise max merge is exactly the sketch of the union stream.
+  EXPECT_DOUBLE_EQ(a.estimate(), reference.estimate());
+}
+
+TEST(HyperLogLog, MemoryIsRegistersOnly) {
+  HyperLogLog hll(12);
+  EXPECT_EQ(hll.memory_bytes(), 4096u);
+  for (int i = 0; i < 100000; ++i) hll.add(key(i));
+  EXPECT_EQ(hll.memory_bytes(), 4096u);
+}
+
+// ---------------------------------------------------------------------------
+// SubscriberSketches + wire codec
+// ---------------------------------------------------------------------------
+
+TEST(SubscriberSketches, ActiveWindowAnswersOverClosedWindow) {
+  SubscriberSketches sketches;
+  // First window: 10 IMSIs active.
+  for (int i = 0; i < 10; ++i) sketches.record_active(key(i), sim::kMinute);
+  EXPECT_EQ(sketches.distinct_active_window(), 0.0);  // none closed yet
+  // Next window: 3 IMSIs. The first window closes.
+  for (int i = 0; i < 3; ++i) {
+    sketches.record_active(key(i), 6 * sim::kMinute);
+  }
+  EXPECT_NEAR(sketches.distinct_active_window(), 10.0, 1.0);
+  EXPECT_NEAR(sketches.distinct_active_total(), 10.0, 1.0);
+}
+
+TEST(SubscriberSketches, WindowGapYieldsEmptyClosedWindow) {
+  SubscriberSketches sketches;
+  for (int i = 0; i < 10; ++i) sketches.record_active(key(i), sim::kMinute);
+  // Activity resumes three windows later: the last *closed* window (the
+  // gap) was empty.
+  sketches.record_active(key(0), 20 * sim::kMinute);
+  EXPECT_EQ(sketches.distinct_active_window(), 0.0);
+}
+
+TEST(SketchCodec, RoundTripPreservesEverything) {
+  SubscriberSketches sketches;
+  sketches.record(SubscriberMetric::kAttachFailures, key(1), 42, 0xDEAD);
+  sketches.record(SubscriberMetric::kBytes, key(2), 1 << 20);
+  sketches.record_active(key(1), sim::kMinute);
+  sketches.record_active(key(3), 6 * sim::kMinute);
+
+  const SketchReport report = sketches.snapshot("gw0", 7 * sim::kMinute);
+  const common::Bytes wire = obs::sketch::encode_sketch_report(report);
+  auto decoded = obs::sketch::decode_sketch_report(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+
+  const SketchReport& got = decoded.value();
+  EXPECT_EQ(got.gateway_id, "gw0");
+  EXPECT_EQ(got.time, 7 * sim::kMinute);
+  const auto failures = got.topk[0].top();
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].key, key(1));
+  EXPECT_EQ(failures[0].count, 42u);
+  EXPECT_EQ(failures[0].exemplar_trace_id, 0xDEADu);
+  const auto bytes = got.topk[3].top();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0].count, static_cast<std::uint64_t>(1 << 20));
+  EXPECT_DOUBLE_EQ(got.active_total.estimate(),
+                   report.active_total.estimate());
+  EXPECT_DOUBLE_EQ(got.active_window.estimate(),
+                   report.active_window.estimate());
+}
+
+TEST(SketchCodec, RejectsTruncationAndGarbage) {
+  SubscriberSketches sketches;
+  sketches.record(SubscriberMetric::kAttachFailures, key(1), 3, 0x1);
+  sketches.record_active(key(1), sim::kMinute);
+  const common::Bytes wire =
+      obs::sketch::encode_sketch_report(sketches.snapshot("gw0", sim::kMinute));
+
+  // Every proper prefix must be rejected, never crash.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    auto r = obs::sketch::decode_sketch_report(
+        common::BytesView(wire.data(), len));
+    EXPECT_FALSE(r.ok()) << "prefix of length " << len << " decoded";
+  }
+  // Trailing garbage is rejected too (at_end is part of the contract).
+  common::Bytes padded = wire;
+  padded.push_back(0xFF);
+  EXPECT_FALSE(obs::sketch::decode_sketch_report(padded).ok());
+}
+
+TEST(FormatTopSubscribers, SkipsNoiseAndRendersBounds) {
+  std::vector<HeavyHitter> entries;
+  entries.push_back({key(1), 500, 12, 0xABCD});
+  entries.push_back({key(2), 7, 7, 0});  // lower bound 0: noise, skipped
+  const std::string report = obs::sketch::format_top_subscribers(
+      SubscriberMetric::kAttachFailures, entries, 10, 3);
+  EXPECT_NE(report.find("attach_failures"), std::string::npos);
+  EXPECT_NE(report.find("3 gateways"), std::string::npos);
+  EXPECT_NE(report.find(key(1)), std::string::npos);
+  EXPECT_NE(report.find(">= 488"), std::string::npos);  // count - error
+  EXPECT_NE(report.find("+-12"), std::string::npos);
+  EXPECT_EQ(report.find(key(2)), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Metricsd: fleet merge, staleness, drop accounting, default alert
+// ---------------------------------------------------------------------------
+
+SketchReport gateway_report(const std::string& gw, sim::TimePoint t,
+                            const std::string& imsi, std::uint64_t failures,
+                            std::uint64_t exemplar = 0) {
+  SubscriberSketches sketches;
+  sketches.record(SubscriberMetric::kAttachFailures, imsi, failures,
+                  exemplar);
+  sketches.record_active(imsi, t);
+  return sketches.snapshot(gw, t);
+}
+
+TEST(MetricsdSketch, FleetMergeSumsAcrossGateways) {
+  orc8r::Metricsd m;
+  m.ingest_sketch_report(gateway_report("gw0", 10, key(1), 300, 0xE1));
+  m.ingest_sketch_report(gateway_report("gw1", 10, key(1), 200));
+  m.ingest_sketch_report(gateway_report("gw2", 10, key(2), 50));
+  EXPECT_EQ(m.sketch_reports_ingested(), 3u);
+  EXPECT_EQ(m.sketch_gateways(), 3u);
+
+  const SpaceSaving merged =
+      m.merged_top_subscribers(SubscriberMetric::kAttachFailures);
+  const auto top = merged.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, key(1));
+  EXPECT_EQ(top[0].count, 500u);
+  EXPECT_EQ(top[0].exemplar_trace_id, 0xE1u);
+  EXPECT_EQ(top[1].key, key(2));
+  EXPECT_EQ(top[1].count, 50u);
+
+  EXPECT_NEAR(m.fleet_active_subscribers(), 2.0, 0.5);
+  const std::string report =
+      m.top_subscribers_report(SubscriberMetric::kAttachFailures, 5);
+  EXPECT_NE(report.find(key(1)), std::string::npos);
+}
+
+TEST(MetricsdSketch, CumulativeReportReplacesAndStaleIsDropped) {
+  orc8r::Metricsd m;
+  m.ingest_sketch_report(gateway_report("gw0", 10, key(1), 100));
+  m.ingest_sketch_report(gateway_report("gw0", 20, key(1), 150));
+  // Replays older than the stored report must not regress the count.
+  m.ingest_sketch_report(gateway_report("gw0", 5, key(1), 100));
+  const auto top =
+      m.merged_top_subscribers(SubscriberMetric::kAttachFailures).top(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].count, 150u);  // cumulative, latest wins
+  EXPECT_EQ(m.samples_dropped(orc8r::Metricsd::DropKind::kSketch), 1u);
+}
+
+TEST(MetricsdDrops, PerKindAccountingFeedsTheGauge) {
+  orc8r::Metricsd m;
+  m.note_drop(orc8r::Metricsd::DropKind::kHistogram, 2);
+  m.note_drop(orc8r::Metricsd::DropKind::kSketch);
+  EXPECT_EQ(m.samples_dropped(orc8r::Metricsd::DropKind::kHistogram), 2u);
+  EXPECT_EQ(m.samples_dropped(orc8r::Metricsd::DropKind::kSketch), 1u);
+  EXPECT_EQ(m.samples_dropped(), 3u);  // sum over kinds
+
+  m.self_observe(100);
+  // One gauge sample per kind, keyed by kind name.
+  EXPECT_EQ(m.latest("histogram", "metricsd_samples_dropped"), 2.0);
+  EXPECT_EQ(m.latest("sketch", "metricsd_samples_dropped"), 1.0);
+  EXPECT_EQ(m.latest("metric", "metricsd_samples_dropped"), 0.0);
+}
+
+TEST(MetricsdDrops, DefaultRulePagesOnDropGrowth) {
+  orc8r::Metricsd m;
+  orc8r::install_default_metricsd_rules(m);
+  // Idempotent by rule name.
+  orc8r::install_default_metricsd_rules(m);
+  std::size_t drop_rules = 0;
+  for (const auto& rule : m.alert_rules()) {
+    if (rule.metric == "metricsd_samples_dropped") ++drop_rules;
+  }
+  EXPECT_EQ(drop_rules, 1u);
+
+  m.self_observe(100);  // baseline: zero drops
+  EXPECT_TRUE(m.active_alerts().empty());
+  m.note_drop(orc8r::Metricsd::DropKind::kSketch, 5);
+  m.self_observe(200);  // growth: pages
+  const auto alerts = m.active_alerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].gateway_id, "sketch");
+  m.self_observe(300);  // no further growth: clears
+  EXPECT_TRUE(m.active_alerts().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Gateway instrumentation: accessd feeds the sketches with exemplars
+// ---------------------------------------------------------------------------
+
+TEST(AccessdSketch, AttachRejectionRecordsImsiWithExemplar) {
+  sim::Kernel kernel;
+  sim::Rng rng(1);
+  agw::SubscriberDb subscribers([&rng]() { return rng.next_u64(); });
+  agw::PolicyDb policies;
+  agw::Mobilityd mobilityd{agw::IpBlock{}};
+  agw::Pipelined pipelined;
+  agw::Sessiond sessiond(kernel, pipelined, nullptr);
+  agw::Accessd accessd(kernel, nullptr, subscribers, policies, mobilityd,
+                       sessiond);
+  obs::Tracer tracer(kernel);
+  accessd.set_observability(&tracer, "gw0");
+  SubscriberSketches sketches;
+  accessd.set_subscriber_sketches(&sketches);
+
+  const common::Imsi unknown = common::Imsi::from_digits(4040000000000ULL);
+  bool rejected = false;
+  accessd.begin_attach(unknown, agw::RanType::kLte,
+                       [&](common::Result<agw::AuthChallenge> r) {
+                         rejected = !r.ok();
+                       });
+  kernel.run();
+  ASSERT_TRUE(rejected);
+
+  // The attempt marked the IMSI active; the rejection landed in the
+  // attach-failure sketch with the failing stage span as exemplar.
+  EXPECT_NEAR(sketches.distinct_active_total(), 1.0, 0.1);
+  const auto top = sketches.topk(SubscriberMetric::kAttachFailures).top();
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].key, unknown.value);
+  EXPECT_EQ(top[0].count, 1u);
+  EXPECT_NE(top[0].exemplar_trace_id, 0u);
+}
+
+TEST(AccessdSketch, GuardTimerDropFeedsBearerDrops) {
+  sim::Kernel kernel;
+  sim::Rng rng(1);
+  agw::SubscriberDb subscribers([&rng]() { return rng.next_u64(); });
+  agw::PolicyDb policies;
+  agw::Mobilityd mobilityd{agw::IpBlock{}};
+  agw::Pipelined pipelined;
+  agw::Sessiond sessiond(kernel, pipelined, nullptr);
+  agw::Accessd accessd(kernel, nullptr, subscribers, policies, mobilityd,
+                       sessiond);
+  SubscriberSketches sketches;
+  accessd.set_subscriber_sketches(&sketches);
+
+  agw::SubscriberData sub;
+  sub.imsi = common::Imsi::from_digits(4040000000001ULL);
+  subscribers.upsert(sub);
+  accessd.begin_attach(sub.imsi, agw::RanType::kLte,
+                       [](common::Result<agw::AuthChallenge>) {});
+  // Never answer the challenge: draining the kernel runs the context guard
+  // timer, the half-open attach is dropped, and the subscriber shows up
+  // under bearer drops.
+  kernel.run();
+  EXPECT_EQ(accessd.pending_contexts(), 0u);
+  const auto top = sketches.topk(SubscriberMetric::kBearerDrops).top();
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].key, sub.imsi.value);
+}
+
+}  // namespace
+}  // namespace magma
